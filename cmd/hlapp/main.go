@@ -1,0 +1,112 @@
+// Command hlapp regenerates the paper's application benchmarks (§6.2):
+// Figure 11 (replicated RocksDB-style store under YCSB-A) and Figure 12
+// (MongoDB-style store under YCSB A/B/D/E/F).
+//
+// Usage:
+//
+//	hlapp [-exp all|fig11|fig12] [-quick] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hyperloop/internal/experiments"
+	"hyperloop/internal/sim"
+	"hyperloop/internal/stats"
+	"hyperloop/internal/ycsb"
+)
+
+var (
+	expFlag = flag.String("exp", "all", "experiment: all, fig11, fig12")
+	quick   = flag.Bool("quick", false, "reduced op counts for a fast run")
+	csv     = flag.Bool("csv", false, "emit tables as CSV")
+	seed    = flag.Int64("seed", 1, "simulation seed")
+)
+
+func ms(d sim.Duration) string { return fmt.Sprintf("%.3fms", float64(d)/1e6) }
+
+func main() {
+	flag.Parse()
+	records, ops := int64(2000), 20000
+	if *quick {
+		records, ops = 300, 3000
+	}
+
+	if *expFlag == "all" || *expFlag == "fig11" {
+		if err := fig11(records, ops); err != nil {
+			fmt.Fprintln(os.Stderr, "fig11:", err)
+			os.Exit(1)
+		}
+	}
+	if *expFlag == "all" || *expFlag == "fig12" {
+		if err := fig12(records, ops); err != nil {
+			fmt.Fprintln(os.Stderr, "fig12:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func fig11(records int64, ops int) error {
+	fmt.Println("=== Figure 11: replicated RocksDB, YCSB-A updates, 10:1 co-location ===")
+	t := stats.NewTable("system", "avg", "p95", "p99", "p99-vs-HL")
+	var hlP99 sim.Duration
+	for _, sys := range []experiments.System{
+		experiments.HyperLoop, experiments.NaiveEvent, experiments.NaivePolling,
+	} {
+		r, err := experiments.RocksDB(experiments.AppParams{
+			System: sys, Records: records, Ops: ops, TenantsPerCore: 10, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		if sys == experiments.HyperLoop {
+			hlP99 = r.Latency.P99
+		}
+		t.AddRow(r.System, ms(r.Latency.Mean), ms(r.Latency.P95), ms(r.Latency.P99),
+			fmt.Sprintf("%.1fx", float64(r.Latency.P99)/float64(hlP99)))
+	}
+	printTable(t)
+	return nil
+}
+
+func fig12(records int64, ops int) error {
+	fmt.Println("=== Figure 12: MongoDB-style store, YCSB A/B/D/E/F, native vs HyperLoop ===")
+	t := stats.NewTable("workload", "native-avg", "native-p99", "HL-avg", "HL-p99", "avg-cut", "gap-cut")
+	for _, name := range []string{"A", "B", "D", "E", "F"} {
+		nv, err := experiments.MongoDB(experiments.AppParams{
+			System: experiments.NaivePolling, Workload: ycsb.Workloads[name],
+			Records: records, Ops: ops, TenantsPerCore: 10, Seed: *seed,
+		})
+		if err != nil {
+			return fmt.Errorf("workload %s native: %w", name, err)
+		}
+		hl, err := experiments.MongoDB(experiments.AppParams{
+			System: experiments.HyperLoop, Workload: ycsb.Workloads[name],
+			Records: records, Ops: ops, TenantsPerCore: 10, Seed: *seed,
+		})
+		if err != nil {
+			return fmt.Errorf("workload %s hyperloop: %w", name, err)
+		}
+		avgCut := 100 * (1 - float64(hl.Latency.Mean)/float64(nv.Latency.Mean))
+		gapNV := float64(nv.Latency.P99 - nv.Latency.Mean)
+		gapHL := float64(hl.Latency.P99 - hl.Latency.Mean)
+		gapCut := 100 * (1 - gapHL/gapNV)
+		t.AddRow(name, ms(nv.Latency.Mean), ms(nv.Latency.P99),
+			ms(hl.Latency.Mean), ms(hl.Latency.P99),
+			fmt.Sprintf("%.0f%%", avgCut), fmt.Sprintf("%.0f%%", gapCut))
+	}
+	printTable(t)
+	fmt.Println("(avg-cut: average write-latency reduction; gap-cut: avg<->p99 gap reduction)")
+	return nil
+}
+
+// printTable renders a result table as text or CSV per the -csv flag.
+func printTable(t *stats.Table) {
+	if *csv {
+		fmt.Print(t.CSV())
+		return
+	}
+	fmt.Println(t)
+}

@@ -1,0 +1,119 @@
+// Command hlmotivation regenerates the paper's motivation experiment
+// (§2.2, Figure 2): MongoDB-like latency and context switches under
+// multi-tenant co-location, sweeping replica-set count (2a) and cores per
+// server (2b).
+//
+// Usage:
+//
+//	hlmotivation [-exp all|fig2a|fig2b] [-quick] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hyperloop/internal/experiments"
+	"hyperloop/internal/sim"
+	"hyperloop/internal/stats"
+)
+
+var (
+	expFlag = flag.String("exp", "all", "experiment: all, fig2a, fig2b")
+	quick   = flag.Bool("quick", false, "reduced op counts for a fast run")
+	csv     = flag.Bool("csv", false, "emit tables as CSV")
+	seed    = flag.Int64("seed", 1, "simulation seed")
+)
+
+func ms(d sim.Duration) string { return fmt.Sprintf("%.3fms", float64(d)/1e6) }
+
+func main() {
+	flag.Parse()
+	opsPerSet := 2000
+	if *quick {
+		opsPerSet = 400
+	}
+	if *expFlag == "all" || *expFlag == "fig2a" {
+		if err := fig2a(opsPerSet); err != nil {
+			fmt.Fprintln(os.Stderr, "fig2a:", err)
+			os.Exit(1)
+		}
+	}
+	if *expFlag == "all" || *expFlag == "fig2b" {
+		if err := fig2b(opsPerSet); err != nil {
+			fmt.Fprintln(os.Stderr, "fig2b:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func fig2a(opsPerSet int) error {
+	fmt.Println("=== Figure 2(a): latency vs replica-sets (3 servers x 16 cores) ===")
+	sets := []int{9, 12, 15, 18, 21, 24, 27}
+	if *quick {
+		sets = []int{9, 18, 27}
+	}
+	var results []experiments.MotivationResult
+	var maxSw uint64
+	for _, n := range sets {
+		r, err := experiments.Motivation(experiments.MotivationParams{
+			ReplicaSets: n, OpsPerSet: opsPerSet, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+		if r.ContextSwitches > maxSw {
+			maxSw = r.ContextSwitches
+		}
+	}
+	t := stats.NewTable("sets", "avg", "p95", "p99", "ctx-switches(norm)", "util")
+	for _, r := range results {
+		t.AddRow(fmt.Sprint(r.ReplicaSets),
+			ms(r.Latency.Mean), ms(r.Latency.P95), ms(r.Latency.P99),
+			fmt.Sprintf("%.2f", float64(r.ContextSwitches)/float64(maxSw)),
+			fmt.Sprintf("%.2f", r.Utilization))
+	}
+	printTable(t)
+	return nil
+}
+
+func fig2b(opsPerSet int) error {
+	fmt.Println("=== Figure 2(b): latency vs cores per server (18 replica-sets) ===")
+	cores := []int{2, 4, 6, 8, 10, 12, 14, 16}
+	if *quick {
+		cores = []int{4, 8, 16}
+	}
+	var results []experiments.MotivationResult
+	var maxSw uint64
+	for _, c := range cores {
+		r, err := experiments.Motivation(experiments.MotivationParams{
+			ReplicaSets: 18, Cores: c, OpsPerSet: opsPerSet, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+		if r.ContextSwitches > maxSw {
+			maxSw = r.ContextSwitches
+		}
+	}
+	t := stats.NewTable("cores", "avg", "p95", "p99", "ctx-switches(norm)", "util")
+	for _, r := range results {
+		t.AddRow(fmt.Sprint(r.Cores),
+			ms(r.Latency.Mean), ms(r.Latency.P95), ms(r.Latency.P99),
+			fmt.Sprintf("%.2f", float64(r.ContextSwitches)/float64(maxSw)),
+			fmt.Sprintf("%.2f", r.Utilization))
+	}
+	printTable(t)
+	return nil
+}
+
+// printTable renders a result table as text or CSV per the -csv flag.
+func printTable(t *stats.Table) {
+	if *csv {
+		fmt.Print(t.CSV())
+		return
+	}
+	fmt.Println(t)
+}

@@ -1,0 +1,62 @@
+// Command hltrace narrates one durable gWRITE through a 3-replica
+// HyperLoop chain at NIC-event granularity: every WQE execution, WAIT
+// firing, ownership stall, and inbound message on every NIC, with virtual
+// timestamps — §4's Figures 4-5 as a live timeline. Note which node column
+// each event sits in: after the client's initial three sends, every event
+// happens on replica NICs with no host code anywhere.
+//
+// Usage:
+//
+//	hltrace [-size N] [-durable=true]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hyperloop"
+	"hyperloop/internal/cluster"
+	"hyperloop/internal/core"
+	"hyperloop/internal/sim"
+	"hyperloop/internal/trace"
+)
+
+var (
+	size    = flag.Int("size", 256, "payload bytes")
+	durable = flag.Bool("durable", true, "interleave gFLUSH")
+)
+
+func main() {
+	flag.Parse()
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, cluster.Config{Nodes: 4, StoreSize: 1 << 20})
+	g := core.New(cl, core.Config{Depth: 16})
+	defer g.Close()
+
+	// Let setup traffic (priming, credit seeds) drain before tracing.
+	eng.RunFor(hyperloop.Millisecond)
+
+	col := trace.NewCollector(0)
+	col.AttachAll(cl)
+
+	cl.Client().StoreWrite(0, make([]byte, *size))
+	start := eng.Now()
+	done := false
+	var lat sim.Duration
+	if err := g.GWrite(0, *size, *durable, func(r core.Result) {
+		lat = r.Latency
+		done = true
+	}); err != nil {
+		log.Fatal(err)
+	}
+	eng.RunUntil(func() bool { return done }, eng.Now().Add(hyperloop.Second))
+	if !done {
+		log.Fatal("gWRITE stalled")
+	}
+
+	fmt.Printf("durable gWRITE of %dB across 3 replicas: %v end to end\n", *size, lat)
+	fmt.Print(col.Render(col.Window(start, start.Add(lat+1)), start))
+	fmt.Println("\nevery row after the client's three posts runs on a replica NIC;")
+	fmt.Println("no replica host CPU appears anywhere in this timeline.")
+}

@@ -1,0 +1,122 @@
+// Replicated key-value store (the RocksDB case study, §5.1): a workload of
+// puts/gets/scans over the HyperLoop-backed store, followed by a replica
+// failure, detection by the chain manager, repair with a spare, and
+// continued writes — demonstrating that the accelerated data path does not
+// interfere with a conventional recovery control path.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hyperloop"
+)
+
+func main() {
+	eng := hyperloop.NewEngine()
+	cl := hyperloop.NewCluster(eng, hyperloop.ClusterConfig{Nodes: 6, StoreSize: 32 << 20})
+	client := cl.Client()
+	members := cl.Replicas()[:3]
+	spares := cl.Replicas()[3:]
+
+	group := hyperloop.NewGroupWithNodes(eng, client, members, hyperloop.GroupConfig{})
+
+	ready := false
+	db := hyperloop.OpenKVStore(hyperloop.NodeStore(client), hyperloop.CoreReplicator(group),
+		hyperloop.KVConfig{LogSize: 4 << 20, DataSize: 16 << 20}, func(err error) { ready = err == nil })
+	eng.RunUntil(func() bool { return ready }, eng.Now().Add(hyperloop.Second))
+	if !ready {
+		log.Fatal("store open stalled")
+	}
+
+	// Failure handling: when a replica dies, rebuild the group over the
+	// survivors plus a spare, catch the spare up, and resume.
+	var manager *hyperloop.ChainManager
+	recovered := false
+	manager = hyperloop.NewChainManager(eng, client, members, spares, hyperloop.ChainConfig{},
+		func(failed *hyperloop.Node, survivors []*hyperloop.Node) {
+			fmt.Printf("failover:    replica node %d declared dead at %v; repairing\n", failed.Index, eng.Now())
+			group.Close()
+			spare, err := manager.TakeSpare()
+			if err != nil {
+				log.Fatal(err)
+			}
+			manager.CatchUp(spare, 0, 32<<20, func(err error) {
+				if err != nil {
+					log.Fatal(err)
+				}
+				newMembers := append(append([]*hyperloop.Node{}, survivors...), spare)
+				group = hyperloop.NewGroupWithNodes(eng, client, newMembers, hyperloop.GroupConfig{})
+				manager.Resume(newMembers)
+				recovered = true
+			})
+		})
+
+	// Write a workload.
+	const keys = 2000
+	acked := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("user%06d", i)
+		val := []byte(fmt.Sprintf("value-%06d-%032d", i, i))
+		if err := db.Put(key, val, func(err error) {
+			if err == nil {
+				acked++
+			}
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	eng.RunUntil(func() bool { return acked >= keys }, eng.Now().Add(30*hyperloop.Second))
+	fmt.Printf("loaded %d keys (all acks imply NVM durability on 3 replicas)\n", acked)
+
+	if v, ok := db.Get("user000042"); ok {
+		fmt.Printf("point read:  user000042 -> %.20s...\n", v)
+	}
+	scan := db.Scan("user001990", 5)
+	fmt.Printf("range scan:  %d keys from user001990 (first %s)\n", len(scan), scan[0].Key)
+
+	committed := false
+	db.Commit(func(err error) { committed = err == nil })
+	eng.RunUntil(func() bool { return committed }, eng.Now().Add(30*hyperloop.Second))
+	fmt.Printf("committed:   log drained, %d records pending\n", db.PendingCommits())
+
+	// Crash the tail replica and verify the durable image reconstructs the
+	// full store.
+	tail := members[2]
+	tail.Dev.PowerFail()
+	rebuilt, err := hyperloop.RebuildKV(func(off, size int) []byte {
+		return tail.Dev.DurableRead(off, size)
+	}, hyperloop.KVConfig{LogSize: 4 << 20, DataSize: 16 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("crash check: replica 3 durable image rebuilds %d/%d keys\n", len(rebuilt), keys)
+
+	// Sever the middle replica and let the chain repair itself. (The store
+	// keeps its group handle; in a production integration the app would
+	// re-bind the store's replicator to the rebuilt group — here we verify
+	// the control path: detection, catch-up, resumed data path.)
+	victim := members[1]
+	for _, n := range cl.Nodes {
+		if n != victim {
+			cl.Net.CutBoth(n.NIC.Node(), victim.NIC.Node())
+		}
+	}
+	if !eng.RunUntil(func() bool { return recovered }, eng.Now().Add(10*hyperloop.Second)) {
+		log.Fatal("failover never completed")
+	}
+	fmt.Printf("failover:    chain repaired with spare node %d (failovers=%d)\n",
+		spares[0].Index, manager.Failovers())
+
+	// Writes flow on the rebuilt chain.
+	post := false
+	client.StoreWrite(31<<20, []byte("post-failover"))
+	group.GWrite(31<<20, 13, true, func(r hyperloop.Result) { post = r.Err == nil })
+	eng.RunUntil(func() bool { return post }, eng.Now().Add(hyperloop.Second))
+	fmt.Printf("post-repair: durable gWRITE on new chain ok=%v\n", post)
+
+	for i, rep := range members {
+		fmt.Printf("replica %d CPU utilization: %.2f%%\n", i, 100*rep.Host.Utilization())
+	}
+	fmt.Printf("simulated time: %v\n", eng.Now())
+}

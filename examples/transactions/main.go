@@ -1,0 +1,101 @@
+// Replicated ACID transactions (§2.1): multi-object atomic commits over
+// the HyperLoop primitives — group locks via gCAS, one redo record per
+// transaction via gWRITE+gFLUSH, commit via gMEMCPY+gFLUSH — including the
+// paper's bank-transfer-style X/Y example and a crash that proves
+// atomicity under failure.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"hyperloop"
+)
+
+const (
+	logBase  = 0
+	logSize  = 1 << 20
+	objBase  = 2 << 20 // account table
+	lockBase = 7 << 20
+)
+
+func main() {
+	eng := hyperloop.NewEngine()
+	cl := hyperloop.NewCluster(eng, hyperloop.ClusterConfig{Nodes: 4, StoreSize: 8 << 20})
+	group := hyperloop.NewGroup(cl, hyperloop.GroupConfig{})
+	defer group.Close()
+
+	ready := false
+	wal := hyperloop.NewWAL(hyperloop.NodeStore(cl.Client()), hyperloop.CoreReplicator(group),
+		logBase, logSize, func(err error) { ready = err == nil })
+	eng.RunUntil(func() bool { return ready }, eng.Now().Add(hyperloop.Second))
+	if !ready {
+		log.Fatal("wal init stalled")
+	}
+	lm := hyperloop.NewLockManager(group, eng, lockBase, hyperloop.LockConfig{})
+	mgr := hyperloop.NewTxnManager(eng, wal, hyperloop.NodeStore(cl.Client()), lm, hyperloop.TxnConfig{})
+
+	account := func(i int) int { return objBase + 8*i }
+	balance := func(node *hyperloop.Node, i int) uint64 {
+		return binary.LittleEndian.Uint64(node.StoreBytes(account(i), 8))
+	}
+
+	// Seed two accounts with a transaction.
+	seed, _ := mgr.Begin()
+	seed.WriteUint64(account(0), 1000)
+	seed.WriteUint64(account(1), 500)
+	done := false
+	seed.Commit(func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		done = true
+	})
+	eng.RunUntil(func() bool { return done }, eng.Now().Add(hyperloop.Second))
+	fmt.Printf("seeded:    account0=%d account1=%d (replicated x3, durable)\n",
+		balance(cl.Client(), 0), balance(cl.Client(), 1))
+
+	// Transfer 250 from account 0 to account 1 — the paper's "X and Y must
+	// both change" example: atomic on every replica.
+	tx, _ := mgr.Begin()
+	a := binary.LittleEndian.Uint64(tx.Read(account(0), 8))
+	b := binary.LittleEndian.Uint64(tx.Read(account(1), 8))
+	tx.WriteUint64(account(0), a-250)
+	tx.WriteUint64(account(1), b+250)
+	done = false
+	tx.Commit(func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		done = true
+	})
+	eng.RunUntil(func() bool { return done }, eng.Now().Add(hyperloop.Second))
+
+	for i, rep := range cl.Replicas() {
+		rep.Dev.PowerFail() // rack outage
+		b0, b1 := balance(rep, 0), balance(rep, 1)
+		fmt.Printf("replica %d after power failure: account0=%d account1=%d (sum %d)\n",
+			i, b0, b1, b0+b1)
+		if b0+b1 != 1500 {
+			log.Fatal("money created or destroyed!")
+		}
+	}
+
+	// A transaction that never finishes replicating must be invisible:
+	// sever the chain, attempt a transfer, crash, recover.
+	cl.Net.CutBoth(cl.Replicas()[0].NIC.Node(), cl.Replicas()[1].NIC.Node())
+	doomed, _ := mgr.Begin()
+	doomed.WriteUint64(account(0), 0) // try to zero the account
+	doomed.Commit(func(err error) {
+		fmt.Printf("severed-chain transaction completed with err=%v (never acked)\n", err)
+	})
+	eng.RunFor(100 * hyperloop.Millisecond)
+
+	tail := cl.Replicas()[2]
+	tail.Dev.PowerFail()
+	fmt.Printf("tail after crash: account0=%d (doomed transaction invisible)\n", balance(tail, 0))
+
+	committed, aborted := mgr.Stats()
+	fmt.Printf("stats: committed=%d aborted=%d\n", committed, aborted)
+}

@@ -1,0 +1,71 @@
+package hyperloop
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTestbedQuickstart(t *testing.T) {
+	eng := NewEngine()
+	tb := NewTestbed(eng, 3)
+	defer tb.Group.Close()
+
+	tb.Client().StoreWrite(0, []byte("hello"))
+	var res Result
+	done := false
+	if err := tb.Group.GWrite(0, 5, true, func(r Result) { res = r; done = true }); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(func() bool { return done }, eng.Now().Add(Second))
+	if !done || res.Err != nil {
+		t.Fatalf("quickstart write failed: done=%v err=%v", done, res.Err)
+	}
+	if res.Latency <= 0 || res.Latency > 100*Microsecond {
+		t.Fatalf("implausible latency %v", res.Latency)
+	}
+	for i, rep := range tb.Replicas() {
+		rep.Dev.PowerFail()
+		if got := rep.StoreBytes(0, 5); !bytes.Equal(got, []byte("hello")) {
+			t.Fatalf("replica %d: %q", i, got)
+		}
+	}
+}
+
+func TestFacadeStorageEngines(t *testing.T) {
+	eng := NewEngine()
+	tb := NewTestbed(eng, 3)
+	defer tb.Group.Close()
+
+	ready := false
+	db := OpenKVStore(NodeStore(tb.Client()), CoreReplicator(tb.Group),
+		KVConfig{LogSize: 1 << 20, DataSize: 4 << 20}, func(err error) { ready = err == nil })
+	eng.RunUntil(func() bool { return ready }, eng.Now().Add(Second))
+	if !ready {
+		t.Fatal("kvstore open stalled")
+	}
+	acked := false
+	db.Put("facade-key", []byte("facade-value"), func(err error) { acked = err == nil })
+	eng.RunUntil(func() bool { return acked }, eng.Now().Add(Second))
+	if v, ok := db.Get("facade-key"); !ok || string(v) != "facade-value" {
+		t.Fatalf("get: %q %v", v, ok)
+	}
+}
+
+func TestFacadeLocks(t *testing.T) {
+	eng := NewEngine()
+	tb := NewTestbed(eng, 2)
+	defer tb.Group.Close()
+	lm := NewLockManager(tb.Group, eng, 1<<20, LockConfig{})
+	locked := false
+	lm.WrLock(0, 5, func(err error) { locked = err == nil })
+	eng.RunUntil(func() bool { return locked }, eng.Now().Add(Second))
+	if !locked {
+		t.Fatal("facade lock acquisition stalled")
+	}
+	unlocked := false
+	lm.WrUnlock(0, 5, func(err error) { unlocked = err == nil })
+	eng.RunUntil(func() bool { return unlocked }, eng.Now().Add(Second))
+	if !unlocked {
+		t.Fatal("facade unlock stalled")
+	}
+}

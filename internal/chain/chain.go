@@ -1,0 +1,263 @@
+// Package chain is the control plane the paper deliberately leaves
+// conventional (§5, "group failures are detected and repaired in an
+// application specific manner"): heartbeat-based failure detection over a
+// replication chain, write pausing, member replacement with state catch-up,
+// and hand-off back to the accelerated data path.
+//
+// HyperLoop only accelerates the data path; this package demonstrates that
+// the primitives are low level enough not to interfere with recovery (§5.1):
+// on failure the manager tears down the group, the application rebuilds a
+// fresh one over the surviving members plus a spare, and writes resume.
+package chain
+
+import (
+	"errors"
+	"fmt"
+
+	"hyperloop/internal/cluster"
+	"hyperloop/internal/rdma"
+	"hyperloop/internal/sim"
+)
+
+// Errors.
+var (
+	ErrNoSpare = errors.New("chain: no spare node available")
+	ErrHalted  = errors.New("chain: manager halted")
+)
+
+// Config tunes detection.
+type Config struct {
+	// HeartbeatEvery is the probe period (default 1ms).
+	HeartbeatEvery sim.Duration
+	// MissedThreshold declares a member failed after this many periods
+	// without a response (default 5) — "a configurable number of
+	// consecutive missing heartbeats is considered a data path failure".
+	MissedThreshold int
+	// HandlerCost is the replica CPU demand to answer a probe (default
+	// 500ns). Probe replies contend with tenants, so the threshold must
+	// ride out scheduling delay.
+	HandlerCost sim.Duration
+	// CatchUpGbps is the state-copy bandwidth for a joining member
+	// (default 10).
+	CatchUpGbps float64
+}
+
+func (c *Config) fill() {
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = sim.Millisecond
+	}
+	if c.MissedThreshold <= 0 {
+		c.MissedThreshold = 5
+	}
+	if c.HandlerCost <= 0 {
+		c.HandlerCost = 500
+	}
+	if c.CatchUpGbps <= 0 {
+		c.CatchUpGbps = 10
+	}
+}
+
+// member is one monitored replica.
+type member struct {
+	node     *cluster.Node
+	toQP     *rdma.QP // client → member probes
+	fromQP   *rdma.QP // member → client replies
+	lastSeen sim.Time
+}
+
+// Manager monitors a chain and coordinates replacement.
+type Manager struct {
+	eng     *sim.Engine
+	client  *cluster.Node
+	cfg     Config
+	members []*member
+	spares  []*cluster.Node
+
+	paused    bool
+	halted    bool
+	failedIdx int
+	onFailure func(failed *cluster.Node, survivors []*cluster.Node)
+
+	probes    uint64
+	replies   uint64
+	failovers uint64
+}
+
+// NewManager starts monitoring members (the chain replicas) with the given
+// spare pool. onFailure runs once per detected failure with the failed node
+// and the surviving members, after writes are paused; the application then
+// rebuilds its group and calls Resume.
+func NewManager(eng *sim.Engine, client *cluster.Node, members, spares []*cluster.Node,
+	cfg Config, onFailure func(failed *cluster.Node, survivors []*cluster.Node)) *Manager {
+	cfg.fill()
+	m := &Manager{
+		eng:       eng,
+		client:    client,
+		cfg:       cfg,
+		spares:    spares,
+		onFailure: onFailure,
+		failedIdx: -1,
+	}
+	for _, n := range members {
+		m.members = append(m.members, m.watch(n))
+	}
+	m.scheduleProbe()
+	return m
+}
+
+// watch wires probe QPs to a node and arms its responder.
+func (m *Manager) watch(n *cluster.Node) *member {
+	to, toPeer := cluster.ConnectPair(m.client, n, 64, 64)
+	from, fromPeer := cluster.ConnectPair(n, m.client, 64, 64)
+	mem := &member{node: n, toQP: to, fromQP: from, lastSeen: m.eng.Now()}
+
+	// Member-side responder: each probe wakes a (cheap) host task that
+	// posts the reply — control path, so CPU involvement is fine. Probes
+	// and replies are 0-byte SENDs; the immediate carries the sequence.
+	toPeer.RecvCQ().SetAutoDrain(true)
+	toPeer.SendCQ().SetAutoDrain(true)
+	from.SendCQ().SetAutoDrain(true)
+	toPeer.RecvCQ().SetCallback(func(e rdma.CQE) {
+		if e.Status != rdma.StatusSuccess {
+			return
+		}
+		toPeer.PostRecv(rdma.WQE{})
+		n.Host.Submit("chain-heartbeat", m.cfg.HandlerCost, func() {
+			from.PostSend(rdma.WQE{Opcode: rdma.OpSend, Imm: e.Imm})
+		})
+	})
+	for i := 0; i < 64; i++ {
+		toPeer.PostRecv(rdma.WQE{})
+		fromPeer.PostRecv(rdma.WQE{})
+	}
+	// Client-side reply sink.
+	fromPeer.RecvCQ().SetAutoDrain(true)
+	fromPeer.SendCQ().SetAutoDrain(true)
+	fromPeer.RecvCQ().SetCallback(func(e rdma.CQE) {
+		if e.Status != rdma.StatusSuccess {
+			return
+		}
+		m.replies++
+		mem.lastSeen = m.eng.Now()
+		fromPeer.PostRecv(rdma.WQE{})
+	})
+	return mem
+}
+
+// Members returns the currently monitored nodes.
+func (m *Manager) Members() []*cluster.Node {
+	out := make([]*cluster.Node, len(m.members))
+	for i, mem := range m.members {
+		out[i] = mem.node
+	}
+	return out
+}
+
+// Paused reports whether writes should be held (failure being repaired).
+func (m *Manager) Paused() bool { return m.paused }
+
+// Failovers counts completed detections.
+func (m *Manager) Failovers() uint64 { return m.failovers }
+
+// Halt stops probing permanently.
+func (m *Manager) Halt() { m.halted = true }
+
+func (m *Manager) scheduleProbe() {
+	if m.halted {
+		return
+	}
+	m.eng.Schedule(m.cfg.HeartbeatEvery, func() {
+		if m.halted {
+			return
+		}
+		m.probe()
+		m.check()
+		m.scheduleProbe()
+	})
+}
+
+func (m *Manager) probe() {
+	if m.paused {
+		return
+	}
+	for _, mem := range m.members {
+		if mem.toQP.State() != rdma.QPReady {
+			continue
+		}
+		m.probes++
+		mem.toQP.PostSend(rdma.WQE{Opcode: rdma.OpSend, Imm: m.probes})
+	}
+}
+
+func (m *Manager) check() {
+	if m.paused {
+		return
+	}
+	deadline := sim.Duration(m.cfg.MissedThreshold) * m.cfg.HeartbeatEvery
+	for i, mem := range m.members {
+		if m.eng.Now().Sub(mem.lastSeen) <= deadline {
+			continue
+		}
+		// Member failed: pause writes and let the application repair.
+		m.paused = true
+		m.failedIdx = i
+		m.failovers++
+		failed := mem.node
+		var survivors []*cluster.Node
+		for j, other := range m.members {
+			if j != i {
+				survivors = append(survivors, other.node)
+			}
+		}
+		if m.onFailure != nil {
+			m.onFailure(failed, survivors)
+		}
+		return
+	}
+}
+
+// TakeSpare removes and returns a spare node for chain repair.
+func (m *Manager) TakeSpare() (*cluster.Node, error) {
+	if len(m.spares) == 0 {
+		return nil, ErrNoSpare
+	}
+	s := m.spares[0]
+	m.spares = m.spares[1:]
+	return s, nil
+}
+
+// Resume replaces the monitored membership (after the application has
+// rebuilt its group and caught the new member up) and restarts probing.
+func (m *Manager) Resume(members []*cluster.Node) {
+	if m.halted {
+		return
+	}
+	m.members = m.members[:0]
+	for _, n := range members {
+		m.members = append(m.members, m.watch(n))
+	}
+	m.paused = false
+	m.failedIdx = -1
+}
+
+// CatchUp copies [off, off+size) of the client's store to a joining node —
+// the "copy the log and the database from an upstream node; writes are
+// paused for a short duration" step of §5.1. done fires after the simulated
+// transfer time (size / CatchUpGbps) with the bytes installed durably.
+func (m *Manager) CatchUp(newNode *cluster.Node, off, size int, done func(error)) {
+	if m.halted {
+		done(ErrHalted)
+		return
+	}
+	data := m.client.StoreBytes(off, size)
+	d := sim.Duration(float64(size*8) / m.cfg.CatchUpGbps)
+	m.eng.Schedule(d, func() {
+		newNode.StoreWrite(off, data)
+		done(nil)
+	})
+}
+
+func (m *Manager) String() string {
+	return fmt.Sprintf("chain.Manager{members=%d spares=%d paused=%v failovers=%d}",
+		len(m.members), len(m.spares), m.paused, m.failovers)
+}

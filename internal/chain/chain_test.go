@@ -1,0 +1,210 @@
+package chain
+
+import (
+	"bytes"
+	"testing"
+
+	"hyperloop/internal/cluster"
+	"hyperloop/internal/core"
+	"hyperloop/internal/fabric"
+	"hyperloop/internal/sim"
+)
+
+func testCluster(t *testing.T, nodes int) (*sim.Engine, *cluster.Cluster) {
+	t.Helper()
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, cluster.Config{
+		Nodes: nodes, StoreSize: 1 << 20, Fabric: fabric.Config{JitterFrac: -1},
+	})
+	return eng, cl
+}
+
+func TestHeartbeatsKeepMembershipStable(t *testing.T) {
+	eng, cl := testCluster(t, 4)
+	failures := 0
+	m := NewManager(eng, cl.Client(), cl.Replicas(), nil, Config{},
+		func(*cluster.Node, []*cluster.Node) { failures++ })
+	eng.RunFor(100 * sim.Millisecond)
+	if failures != 0 {
+		t.Fatalf("healthy chain reported %d failures", failures)
+	}
+	if m.Paused() {
+		t.Fatal("healthy chain paused")
+	}
+	if m.replies == 0 {
+		t.Fatal("no heartbeat replies observed")
+	}
+}
+
+func TestDetectsSeveredReplica(t *testing.T) {
+	eng, cl := testCluster(t, 4)
+	var failedNode *cluster.Node
+	var survivors []*cluster.Node
+	m := NewManager(eng, cl.Client(), cl.Replicas(), nil, Config{},
+		func(f *cluster.Node, s []*cluster.Node) { failedNode = f; survivors = s })
+
+	victim := cl.Replicas()[1]
+	eng.RunFor(10 * sim.Millisecond)
+	cl.Net.CutBoth(cl.Client().NIC.Node(), victim.NIC.Node())
+
+	ok := eng.RunUntil(func() bool { return failedNode != nil }, eng.Now().Add(sim.Second))
+	if !ok {
+		t.Fatal("failure never detected")
+	}
+	if failedNode != victim {
+		t.Fatalf("detected wrong node: %d", failedNode.Index)
+	}
+	if len(survivors) != 2 {
+		t.Fatalf("survivors = %d", len(survivors))
+	}
+	if !m.Paused() {
+		t.Fatal("writes not paused after failure")
+	}
+	if m.Failovers() != 1 {
+		t.Fatalf("failovers = %d", m.Failovers())
+	}
+}
+
+func TestNoFalsePositiveUnderLoadedReplicas(t *testing.T) {
+	// Heartbeat replies ride the replica CPU; a busy host delays them but
+	// the threshold must tolerate normal scheduling noise.
+	eng, cl := testCluster(t, 4)
+	failures := 0
+	NewManager(eng, cl.Client(), cl.Replicas(), nil,
+		Config{HeartbeatEvery: 5 * sim.Millisecond, MissedThreshold: 6},
+		func(*cluster.Node, []*cluster.Node) { failures++ })
+	// Saturate replica CPUs moderately (2 hogs per 16 cores won't starve
+	// the tiny heartbeat handler for 30ms).
+	for _, rep := range cl.Replicas() {
+		rep.Host.StartLoop("hog-1", nil)
+		rep.Host.StartLoop("hog-2", nil)
+	}
+	eng.RunFor(200 * sim.Millisecond)
+	if failures != 0 {
+		t.Fatalf("false positive failures: %d", failures)
+	}
+}
+
+func TestSpareManagement(t *testing.T) {
+	eng, cl := testCluster(t, 5)
+	m := NewManager(eng, cl.Client(), cl.Replicas()[:3], cl.Replicas()[3:], Config{}, nil)
+	s, err := m.TakeSpare()
+	if err != nil || s != cl.Replicas()[3] {
+		t.Fatalf("TakeSpare: %v %v", s, err)
+	}
+	if _, err := m.TakeSpare(); err != ErrNoSpare {
+		t.Fatalf("second TakeSpare: %v", err)
+	}
+	_ = eng
+}
+
+func TestCatchUpCopiesState(t *testing.T) {
+	eng, cl := testCluster(t, 3)
+	m := NewManager(eng, cl.Client(), cl.Replicas()[:1], nil, Config{}, nil)
+	payload := bytes.Repeat([]byte("s"), 4096)
+	cl.Client().StoreWrite(100, payload)
+
+	newNode := cl.Replicas()[1]
+	done := false
+	start := eng.Now()
+	m.CatchUp(newNode, 0, 64<<10, func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		done = true
+	})
+	eng.RunUntil(func() bool { return done }, eng.Now().Add(sim.Second))
+	if !done {
+		t.Fatal("catch-up never finished")
+	}
+	if eng.Now() == start {
+		t.Fatal("catch-up was instantaneous; transfer time not modeled")
+	}
+	if got := newNode.StoreBytes(100, len(payload)); !bytes.Equal(got, payload) {
+		t.Fatal("catch-up did not copy state")
+	}
+	// CPU-path install is durable.
+	newNode.Dev.PowerFail()
+	if got := newNode.StoreBytes(100, len(payload)); !bytes.Equal(got, payload) {
+		t.Fatal("caught-up state not durable")
+	}
+}
+
+// TestEndToEndFailover drives the full repair loop: a HyperLoop group loses
+// a replica, the manager detects it, the app rebuilds a fresh group over
+// the survivors plus a spare, catches the spare up, and writes continue.
+func TestEndToEndFailover(t *testing.T) {
+	eng, cl := testCluster(t, 5) // client + 3 chain + 1 spare
+	client := cl.Client()
+	members := cl.Replicas()[:3]
+	spares := cl.Replicas()[3:]
+
+	g := core.NewWithNodes(eng, client, members, core.Config{Depth: 64})
+	var m *Manager
+	recovered := false
+
+	m = NewManager(eng, client, members, spares, Config{},
+		func(failed *cluster.Node, survivors []*cluster.Node) {
+			// Application repair: tear down, recruit a spare, catch it up,
+			// rebuild the group, resume.
+			g.Close()
+			spare, err := m.TakeSpare()
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.CatchUp(spare, 0, 1<<20, func(err error) {
+				if err != nil {
+					t.Fatal(err)
+				}
+				newMembers := append(append([]*cluster.Node{}, survivors...), spare)
+				g = core.NewWithNodes(eng, client, newMembers, core.Config{Depth: 64})
+				m.Resume(newMembers)
+				recovered = true
+			})
+		})
+
+	// Write some data pre-failure.
+	client.StoreWrite(0, []byte("pre-failure-data"))
+	preDone := false
+	g.GWrite(0, 16, true, func(r core.Result) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		preDone = true
+	})
+	if !eng.RunUntil(func() bool { return preDone }, eng.Now().Add(sim.Second)) {
+		t.Fatal("pre-failure write stalled")
+	}
+
+	// Kill the middle replica.
+	victim := members[1]
+	for _, n := range cl.Nodes {
+		if n != victim {
+			cl.Net.CutBoth(n.NIC.Node(), victim.NIC.Node())
+		}
+	}
+	if !eng.RunUntil(func() bool { return recovered }, eng.Now().Add(5*sim.Second)) {
+		t.Fatal("recovery never completed")
+	}
+
+	// Writes flow on the repaired chain, reaching the recruited spare.
+	client.StoreWrite(64, []byte("post-failure-data"))
+	postDone := false
+	g.GWrite(64, 17, true, func(r core.Result) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		postDone = true
+	})
+	if !eng.RunUntil(func() bool { return postDone }, eng.Now().Add(sim.Second)) {
+		t.Fatal("post-failure write stalled")
+	}
+	spare := spares[0]
+	if got := spare.StoreBytes(64, 17); string(got) != "post-failure-data" {
+		t.Fatalf("spare store: %q", got)
+	}
+	// And the spare holds the caught-up pre-failure state.
+	if got := spare.StoreBytes(0, 16); string(got) != "pre-failure-data" {
+		t.Fatalf("spare missing caught-up state: %q", got)
+	}
+}

@@ -1,0 +1,591 @@
+package core
+
+import (
+	"fmt"
+
+	"hyperloop/internal/cluster"
+	"hyperloop/internal/rdma"
+	"hyperloop/internal/sim"
+)
+
+// chanKind identifies a primitive's dedicated chain of queue pairs. Each
+// primitive gets its own QPs, rings, and staging regions so that pre-posted
+// chain shapes are uniform per channel (the paper allocates "separate
+// metadata memory regions for each primitive", §4.1).
+type chanKind int
+
+const (
+	chWrite chanKind = iota
+	chCAS
+	chMemcpy
+	chFlush
+)
+
+func (k chanKind) String() string {
+	switch k {
+	case chWrite:
+		return "gWRITE"
+	case chCAS:
+		return "gCAS"
+	case chMemcpy:
+		return "gMEMCPY"
+	case chFlush:
+		return "gFLUSH"
+	default:
+		return fmt.Sprintf("chan(%d)", int(k))
+	}
+}
+
+// op is a queued primitive invocation.
+type op struct {
+	seq     uint64
+	off     int
+	src     int
+	size    int
+	durable bool
+	casOld  uint64
+	casNew  uint64
+	exec    ExecuteMap
+	done    func(Result)
+	issued  sim.Time
+	timeout *sim.Event
+}
+
+// hop is one replica's wiring for a channel.
+type hop struct {
+	node    *cluster.Node
+	up      *rdma.QP // QP whose RQ receives from the previous node
+	down    *rdma.QP // QP toward the next node (client for the tail)
+	loop    *rdma.QP // loopback QP (gCAS / gMEMCPY local ops)
+	staging *rdma.MemoryRegion
+	posted  int // op chains pre-posted so far (absolute count)
+
+	// Flow control: after replenishing, the replica CPU RDMA-WRITEs its
+	// posted count to the client's credit region — off the critical path —
+	// so the client never issues into an unreplenished ring slot.
+	credQP *rdma.QP
+	credMR *rdma.MemoryRegion // 8-byte counter staging on the replica
+}
+
+// channel is the per-primitive datapath: client-side queues plus one hop
+// per replica.
+type channel struct {
+	kind chanKind
+	g    *Group
+	hops []*hop
+
+	cliQP      *rdma.QP           // client → first replica
+	ackQP      *rdma.QP           // on the client, from the tail
+	cliStaging *rdma.MemoryRegion // outgoing metadata ring
+	ackMR      *rdma.MemoryRegion // result/ack landing ring
+
+	creditMR *rdma.MemoryRegion // per-hop posted counters, written by replicas
+
+	issued    uint64
+	acked     uint64
+	pending   []*op // in-flight, ack order = issue order (chain + RC)
+	waiting   []*op // queued behind MaxInflight / credits
+	pumpArmed bool  // retry timer scheduled for credit-starved issues
+	ackSlot   int   // bytes per ack ring slot
+	msgHead   int   // metadata message size entering hop 0
+	slotsSQ   int   // downstream SQ slots per op
+	slotsLQ   int   // loopback SQ slots per op
+	manipLen  int   // bytes of descriptor images peeled per hop
+}
+
+// minCredit returns the lowest replenished-op count across hops: the client
+// may issue sequence numbers strictly below it.
+func (c *channel) minCredit() uint64 {
+	var buf [8]byte
+	min := ^uint64(0)
+	for i := range c.hops {
+		c.creditMR.Backing().ReadAt(8*i, buf[:])
+		if v := le64(buf[:]); v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// geometry returns per-kind chain shape: slots per op on the down SQ and
+// loop SQ, and the image bytes peeled by each hop's RECV.
+func geometry(kind chanKind) (slotsSQ, slotsLQ, manipLen int) {
+	switch kind {
+	case chWrite:
+		return 4, 0, 2 * rdma.SlotSize // WAIT, WRITE, FLUSH/NOP, SEND
+	case chCAS:
+		return 2, 2, rdma.SlotSize // down: WAIT,SEND; loop: WAIT,CAS
+	case chMemcpy:
+		return 2, 3, 2 * rdma.SlotSize // loop: WAIT,WRITE,FLUSH/NOP
+	case chFlush:
+		return 3, 0, 0 // WAIT, READ0, SEND
+	default:
+		panic("core: unknown channel kind")
+	}
+}
+
+// msgSize returns the metadata message size arriving at hop i (0-indexed)
+// for a group of n replicas.
+func (c *channel) msgSize(i int) int {
+	n := len(c.g.replicas)
+	switch c.kind {
+	case chWrite:
+		// Images for forwarding hops i..n-2 (the tail has none).
+		m := n - 1 - i
+		if m < 0 {
+			m = 0
+		}
+		return m * c.manipLen
+	case chCAS:
+		// Own image + later hops' images + result map.
+		return (n-i)*c.manipLen + 8*n
+	case chMemcpy:
+		return (n - i) * c.manipLen
+	case chFlush:
+		return 0
+	default:
+		panic("core: unknown channel kind")
+	}
+}
+
+// stagingSize returns the staging bytes per op at hop i: the message it
+// forwards downstream.
+func (c *channel) stagingSize(i int) int {
+	if c.kind == chCAS {
+		// The tail still stages the result map it acks to the client.
+		return c.msgSize(i) - c.manipLen
+	}
+	if i == len(c.g.replicas)-1 {
+		return 0
+	}
+	return c.msgSize(i + 1)
+}
+
+// buildChannel creates QPs, CQs, staging regions, and client-side rings for
+// one primitive.
+func (g *Group) buildChannel(kind chanKind) *channel {
+	c := &channel{kind: kind, g: g}
+	c.slotsSQ, c.slotsLQ, c.manipLen = geometry(kind)
+	n := len(g.replicas)
+	depth := g.cfg.Depth
+
+	// Chain QPs around the ring: client→R0, R0→R1, …, R(n-1)→client. Hop
+	// i's upstream is pair i's receiving end; its downstream is pair i+1's
+	// sending end.
+	nodes := append([]*cluster.Node{g.client}, g.replicas...)
+	type pair struct{ src, dst *rdma.QP }
+	pairs := make([]pair, n+1)
+	for i := 0; i <= n; i++ {
+		src := nodes[i]
+		dst := nodes[(i+1)%(n+1)]
+		a, b := cluster.ConnectPair(src, dst, depth*maxInt(c.slotsSQ, 4), depth)
+		pairs[i] = pair{src: a, dst: b}
+	}
+	c.cliQP = pairs[0].src
+	c.ackQP = pairs[n].dst
+	c.creditMR = g.client.NIC.RegisterRAM(8*maxInt(n, 1), rdma.AccessLocalWrite|rdma.AccessRemoteWrite)
+	for i, rep := range g.replicas {
+		h := &hop{node: rep, up: pairs[i].dst, down: pairs[i+1].src}
+		// Credit path: replica → client, used only by the replenisher.
+		cq, _ := cluster.ConnectPair(rep, g.client, 64, 1)
+		cq.SendCQ().SetAutoDrain(true)
+		h.credQP = cq
+		h.credMR = rep.NIC.RegisterRAM(8, rdma.AccessLocalWrite)
+		if c.slotsLQ > 0 {
+			h.loop = cluster.Loopback(rep, depth*c.slotsLQ)
+			h.loop.SendCQ().SetAutoDrain(true)
+			h.loop.RecvCQ().SetAutoDrain(true)
+		}
+		if s := c.stagingSize(i); s > 0 {
+			h.staging = rep.NIC.RegisterRAM(depth*s, rdma.AccessLocalWrite)
+		}
+		// Chain CQs are WAIT-only: no host polls them.
+		h.up.RecvCQ().SetAutoDrain(true)
+		h.up.SendCQ().SetAutoDrain(true)
+		h.down.SendCQ().SetAutoDrain(true)
+		h.down.RecvCQ().SetAutoDrain(true)
+		c.hops = append(c.hops, h)
+	}
+
+	// Client rings.
+	c.msgHead = c.msgSize(0)
+	if c.msgHead > 0 {
+		c.cliStaging = g.client.NIC.RegisterRAM(depth*c.msgHead, rdma.AccessLocalWrite)
+	}
+	c.ackSlot = 8 * n
+	if c.ackSlot < 8 {
+		c.ackSlot = 8
+	}
+	c.ackMR = g.client.NIC.RegisterRAM(depth*c.ackSlot, rdma.AccessLocalWrite|rdma.AccessRemoteWrite)
+	c.cliQP.SendCQ().SetAutoDrain(true)
+	c.cliQP.SendCQ().SetCallback(func(e rdma.CQE) {
+		if e.Status != rdma.StatusSuccess {
+			g.fail(fmt.Errorf("%w: client %s completion %s", ErrGroupFailed, c.kind, e.Status))
+		}
+	})
+	c.ackQP.RecvCQ().SetAutoDrain(true)
+	c.ackQP.RecvCQ().SetCallback(func(e rdma.CQE) { c.onAck(e) })
+	return c
+}
+
+// prime pre-posts the initial rings: client ack RECVs and every hop's op
+// chains.
+func (c *channel) prime() {
+	for k := 0; k < c.g.cfg.Depth; k++ {
+		if _, err := c.ackQP.PostRecv(rdma.WQE{WRID: uint64(k)}); err != nil {
+			panic(fmt.Sprintf("core: prime ack recv: %v", err))
+		}
+	}
+	for i := range c.hops {
+		c.replenish(i)
+		// Setup is host-coordinated: seed the credit region directly.
+		var buf [8]byte
+		putLE64(buf[:], uint64(c.hops[i].posted))
+		c.creditMR.Backing().WriteAt(8*i, buf[:])
+	}
+}
+
+// replenishable returns how many op chains hop ri could re-post right now.
+func (c *channel) replenishable(ri int) int {
+	h := c.hops[ri]
+	free := c.g.cfg.Depth - h.up.RQTable().Posted()
+	if dn := (h.down.SQTable().Slots() - h.down.SQTable().Posted()) / c.slotsSQ; dn < free {
+		free = dn
+	}
+	if h.loop != nil {
+		if lp := (h.loop.SQTable().Slots() - h.loop.SQTable().Posted()) / c.slotsLQ; lp < free {
+			free = lp
+		}
+	}
+	if free < 0 {
+		free = 0
+	}
+	return free
+}
+
+// replenish tops up hop ri's rings, returning chains posted. After posting
+// it pushes the new credit to the client (an RDMA WRITE issued by the
+// replica CPU, off the critical path).
+func (c *channel) replenish(ri int) int {
+	n := 0
+	for c.replenishable(ri) > 0 {
+		if err := c.postOpChain(ri, c.hops[ri].posted); err != nil {
+			c.g.fail(fmt.Errorf("%w: replenish %s hop %d: %v", ErrGroupFailed, c.kind, ri, err))
+			return n
+		}
+		c.hops[ri].posted++
+		n++
+	}
+	if n > 0 {
+		c.pushCredit(ri)
+	}
+	return n
+}
+
+// pushCredit publishes hop ri's posted count into the client's credit
+// region.
+func (c *channel) pushCredit(ri int) {
+	h := c.hops[ri]
+	var buf [8]byte
+	putLE64(buf[:], uint64(h.posted))
+	h.credMR.Backing().WriteAt(0, buf[:])
+	if _, err := h.credQP.PostSend(rdma.WQE{
+		Opcode: rdma.OpWrite, RKey: c.creditMR.RKey(), RAddr: uint64(8 * ri),
+		SGEs: []rdma.SGE{{LKey: h.credMR.LKey(), Offset: 0, Length: 8}},
+	}); err != nil {
+		c.g.fail(fmt.Errorf("%w: credit push %s hop %d: %v", ErrGroupFailed, c.kind, ri, err))
+	}
+}
+
+// stagingOff returns the staging byte offset for op k at hop i.
+func (c *channel) stagingOff(i int, k int) int {
+	return (k % c.g.cfg.Depth) * c.stagingSize(i)
+}
+
+// ackOff returns the ack-ring byte offset for op k.
+func (c *channel) ackOff(k int) int { return (k % c.g.cfg.Depth) * c.ackSlot }
+
+// postOpChain pre-posts the WQE chain for absolute op index k at hop ri.
+// This is the replica-CPU work HyperLoop keeps off the critical path.
+func (c *channel) postOpChain(ri, k int) error {
+	h := c.hops[ri]
+	tail := ri == len(c.hops)-1
+	kk := uint64(k)
+	stg := c.stagingSize(ri)
+
+	// Held placeholder rewritten by the RECV scatter.
+	held := rdma.WQE{Opcode: rdma.OpNop, WRID: kk}
+
+	switch c.kind {
+	case chWrite:
+		base := k * c.slotsSQ
+		var sges []rdma.SGE
+		if !tail {
+			sges = append(sges, rdma.SGE{
+				LKey:   h.down.SQTable().MR().LKey(),
+				Offset: uint64(h.down.SQTable().SlotOffset(base + 1)),
+				Length: uint32(c.manipLen),
+			})
+			if stg > 0 {
+				sges = append(sges, rdma.SGE{
+					LKey:   h.staging.LKey(),
+					Offset: uint64(c.stagingOff(ri, k)),
+					Length: uint32(stg),
+				})
+			}
+		}
+		if _, err := h.up.PostRecv(rdma.WQE{WRID: kk, SGEs: sges}); err != nil {
+			return err
+		}
+		if _, err := h.down.PostSend(rdma.WQE{Opcode: rdma.OpWait, WaitCQ: h.up.RecvCQ().ID(), WaitCount: 1, WRID: kk}); err != nil {
+			return err
+		}
+		if tail {
+			_, err := h.down.PostSend(rdma.WQE{
+				Opcode: rdma.OpWriteImm, Signaled: true, WRID: kk, Imm: kk,
+				RKey: c.ackMR.RKey(), RAddr: uint64(c.ackOff(k)),
+			})
+			return err
+		}
+		if _, err := h.down.PostSend(held, rdma.HoldOwnership); err != nil { // WRITE
+			return err
+		}
+		if _, err := h.down.PostSend(held, rdma.HoldOwnership); err != nil { // FLUSH / NOP
+			return err
+		}
+		var fwd []rdma.SGE
+		if stg > 0 {
+			fwd = []rdma.SGE{{LKey: h.staging.LKey(), Offset: uint64(c.stagingOff(ri, k)), Length: uint32(stg)}}
+		}
+		_, err := h.down.PostSend(rdma.WQE{Opcode: rdma.OpSend, Signaled: true, WRID: kk, SGEs: fwd})
+		return err
+
+	case chCAS:
+		lbase := k * c.slotsLQ
+		sges := []rdma.SGE{{
+			LKey:   h.loop.SQTable().MR().LKey(),
+			Offset: uint64(h.loop.SQTable().SlotOffset(lbase + 1)),
+			Length: uint32(c.manipLen),
+		}, {
+			LKey:   h.staging.LKey(),
+			Offset: uint64(c.stagingOff(ri, k)),
+			Length: uint32(stg),
+		}}
+		if _, err := h.up.PostRecv(rdma.WQE{WRID: kk, SGEs: sges}); err != nil {
+			return err
+		}
+		if _, err := h.loop.PostSend(rdma.WQE{Opcode: rdma.OpWait, WaitCQ: h.up.RecvCQ().ID(), WaitCount: 1, WRID: kk}); err != nil {
+			return err
+		}
+		if _, err := h.loop.PostSend(held, rdma.HoldOwnership); err != nil { // CAS / NOP
+			return err
+		}
+		if _, err := h.down.PostSend(rdma.WQE{Opcode: rdma.OpWait, WaitCQ: h.loop.SendCQ().ID(), WaitCount: 1, WRID: kk}); err != nil {
+			return err
+		}
+		if tail {
+			_, err := h.down.PostSend(rdma.WQE{
+				Opcode: rdma.OpWriteImm, Signaled: true, WRID: kk, Imm: kk,
+				RKey: c.ackMR.RKey(), RAddr: uint64(c.ackOff(k)),
+				SGEs: []rdma.SGE{{LKey: h.staging.LKey(), Offset: uint64(c.stagingOff(ri, k)), Length: uint32(stg)}},
+			})
+			return err
+		}
+		_, err := h.down.PostSend(rdma.WQE{
+			Opcode: rdma.OpSend, Signaled: true, WRID: kk,
+			SGEs: []rdma.SGE{{LKey: h.staging.LKey(), Offset: uint64(c.stagingOff(ri, k)), Length: uint32(stg)}},
+		})
+		return err
+
+	case chMemcpy:
+		lbase := k * c.slotsLQ
+		sges := []rdma.SGE{{
+			LKey:   h.loop.SQTable().MR().LKey(),
+			Offset: uint64(h.loop.SQTable().SlotOffset(lbase + 1)),
+			Length: uint32(c.manipLen),
+		}}
+		if stg > 0 {
+			sges = append(sges, rdma.SGE{LKey: h.staging.LKey(), Offset: uint64(c.stagingOff(ri, k)), Length: uint32(stg)})
+		}
+		if _, err := h.up.PostRecv(rdma.WQE{WRID: kk, SGEs: sges}); err != nil {
+			return err
+		}
+		if _, err := h.loop.PostSend(rdma.WQE{Opcode: rdma.OpWait, WaitCQ: h.up.RecvCQ().ID(), WaitCount: 1, WRID: kk}); err != nil {
+			return err
+		}
+		if _, err := h.loop.PostSend(held, rdma.HoldOwnership); err != nil { // local WRITE (copy)
+			return err
+		}
+		if _, err := h.loop.PostSend(held, rdma.HoldOwnership); err != nil { // FLUSH / NOP
+			return err
+		}
+		// Both loop ops are signaled, so the forward waits for two CQEs.
+		if _, err := h.down.PostSend(rdma.WQE{Opcode: rdma.OpWait, WaitCQ: h.loop.SendCQ().ID(), WaitCount: 2, WRID: kk}); err != nil {
+			return err
+		}
+		if tail {
+			_, err := h.down.PostSend(rdma.WQE{
+				Opcode: rdma.OpWriteImm, Signaled: true, WRID: kk, Imm: kk,
+				RKey: c.ackMR.RKey(), RAddr: uint64(c.ackOff(k)),
+			})
+			return err
+		}
+		var fwd []rdma.SGE
+		if stg > 0 {
+			fwd = []rdma.SGE{{LKey: h.staging.LKey(), Offset: uint64(c.stagingOff(ri, k)), Length: uint32(stg)}}
+		}
+		_, err := h.down.PostSend(rdma.WQE{Opcode: rdma.OpSend, Signaled: true, WRID: kk, SGEs: fwd})
+		return err
+
+	case chFlush:
+		if _, err := h.up.PostRecv(rdma.WQE{WRID: kk}); err != nil {
+			return err
+		}
+		if _, err := h.down.PostSend(rdma.WQE{Opcode: rdma.OpWait, WaitCQ: h.up.RecvCQ().ID(), WaitCount: 1, WRID: kk}); err != nil {
+			return err
+		}
+		if tail {
+			_, err := h.down.PostSend(rdma.WQE{
+				Opcode: rdma.OpWriteImm, Signaled: true, WRID: kk, Imm: kk,
+				RKey: c.ackMR.RKey(), RAddr: uint64(c.ackOff(k)),
+			})
+			return err
+		}
+		// Flush the next replica's store (0-byte READ), then forward.
+		next := c.g.replicas[ri+1]
+		if _, err := h.down.PostSend(rdma.WQE{Opcode: rdma.OpRead, Signaled: true, WRID: kk, RKey: next.Store.RKey()}); err != nil {
+			return err
+		}
+		_, err := h.down.PostSend(rdma.WQE{Opcode: rdma.OpSend, Signaled: true, WRID: kk})
+		return err
+
+	default:
+		panic("core: unknown channel kind")
+	}
+}
+
+// failAll errors out all in-flight and queued ops.
+func (c *channel) failAll(reason error) {
+	for _, o := range append(c.pending, c.waiting...) {
+		c.finish(o, reason)
+	}
+	c.pending = nil
+	c.waiting = nil
+}
+
+func (c *channel) finish(o *op, err error) {
+	if o.timeout != nil {
+		c.g.eng.Cancel(o.timeout)
+	}
+	res := Result{
+		Seq:       o.seq,
+		Issued:    o.issued,
+		Completed: c.g.eng.Now(),
+		Err:       err,
+	}
+	res.Latency = res.Completed.Sub(res.Issued)
+	if err == nil && c.kind == chCAS {
+		res.CASOld = c.readResultMap(o.seq)
+	}
+	if err == nil {
+		c.g.opsCompleted++
+	}
+	if o.done != nil {
+		o.done(res)
+	}
+}
+
+// readResultMap copies the gCAS result map out of the ack ring before the
+// slot can be reused.
+func (c *channel) readResultMap(seq uint64) []uint64 {
+	n := len(c.g.replicas)
+	buf := make([]byte, 8*n)
+	c.ackMR.Backing().ReadAt(c.ackOff(int(seq)), buf)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = le64(buf[8*i:])
+	}
+	return out
+}
+
+// onAck handles a tail WRITE_IMM arriving at the client: acks are strictly
+// in issue order (chain topology + reliable-connected in-order delivery).
+func (c *channel) onAck(e rdma.CQE) {
+	if e.Status != rdma.StatusSuccess {
+		c.g.fail(fmt.Errorf("%w: %s ack status %s", ErrGroupFailed, c.kind, e.Status))
+		return
+	}
+	if len(c.pending) == 0 {
+		c.g.fail(fmt.Errorf("%w: %s spurious ack imm=%d", ErrGroupFailed, c.kind, e.Imm))
+		return
+	}
+	o := c.pending[0]
+	c.pending = c.pending[1:]
+	if e.Imm != o.seq {
+		c.g.fail(fmt.Errorf("%w: %s ack order violation: imm=%d want %d", ErrGroupFailed, c.kind, e.Imm, o.seq))
+		return
+	}
+	c.acked++
+	// Re-arm the consumed ack RECV.
+	if _, err := c.ackQP.PostRecv(rdma.WQE{}); err != nil {
+		c.g.fail(fmt.Errorf("%w: repost ack recv: %v", ErrGroupFailed, err))
+		return
+	}
+	c.finish(o, nil)
+	c.pump()
+}
+
+// submit queues a primitive invocation and pumps the issue path.
+func (c *channel) submit(o *op) error {
+	if c.g.failed != nil {
+		return c.g.failed
+	}
+	c.waiting = append(c.waiting, o)
+	c.pump()
+	return nil
+}
+
+// pump issues queued ops while the in-flight window and replica credits
+// allow. When credit-starved it arms a retry timer: credits arrive as RDMA
+// WRITEs (no completion event on the client), so a short poll is how a real
+// client would notice them.
+func (c *channel) pump() {
+	if c.g.failed != nil {
+		return
+	}
+	for len(c.waiting) > 0 && len(c.pending) < c.g.cfg.MaxInflight && c.issued < c.minCredit() {
+		o := c.waiting[0]
+		c.waiting = c.waiting[1:]
+		c.send(o)
+	}
+	if len(c.waiting) > 0 && len(c.pending) < c.g.cfg.MaxInflight && !c.pumpArmed {
+		c.pumpArmed = true
+		c.g.eng.Schedule(10*sim.Microsecond, func() {
+			c.pumpArmed = false
+			c.pump()
+		})
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func le64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLE64(b []byte, v uint64) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}

@@ -1,0 +1,518 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"hyperloop/internal/cluster"
+	"hyperloop/internal/fabric"
+	"hyperloop/internal/sim"
+)
+
+// testGroup builds a quiet cluster (no background load) with n replicas.
+func testGroup(t *testing.T, n int, cfg Config) (*sim.Engine, *cluster.Cluster, *Group) {
+	t.Helper()
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, cluster.Config{
+		Nodes:     n + 1,
+		StoreSize: 1 << 20,
+		Fabric:    fabric.Config{JitterFrac: -1},
+	})
+	g := New(cl, cfg)
+	return eng, cl, g
+}
+
+// run drives the engine until done or the deadline and fails the test on
+// group failure.
+func run(t *testing.T, eng *sim.Engine, g *Group, done *bool) {
+	t.Helper()
+	ok := eng.RunUntil(func() bool { return *done || g.Failed() != nil }, eng.Now().Add(sim.Second))
+	if g.Failed() != nil {
+		t.Fatalf("group failed: %v", g.Failed())
+	}
+	if !ok || !*done {
+		t.Fatalf("operation did not complete (t=%v)", eng.Now())
+	}
+}
+
+func TestGWriteReplicatesToAll(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 7} {
+		eng, cl, g := testGroup(t, n, Config{Depth: 64})
+		payload := bytes.Repeat([]byte("x"), 1024)
+		copy(payload, "hello-group")
+		cl.Client().StoreWrite(4096, payload)
+
+		done := false
+		var res Result
+		if err := g.GWrite(4096, len(payload), false, func(r Result) { res = r; done = true }); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		run(t, eng, g, &done)
+		if res.Err != nil {
+			t.Fatalf("n=%d: result err %v", n, res.Err)
+		}
+		for i := 0; i < n; i++ {
+			got := g.Replica(i).StoreBytes(4096, len(payload))
+			if !bytes.Equal(got, payload) {
+				t.Fatalf("n=%d: replica %d store mismatch (got %q...)", n, i, got[:16])
+			}
+		}
+		if res.Latency <= 0 {
+			t.Fatalf("n=%d: non-positive latency", n)
+		}
+		g.Close()
+	}
+}
+
+func TestGWriteDurability(t *testing.T) {
+	eng, cl, g := testGroup(t, 3, Config{Depth: 64})
+	data := []byte("must-survive-power-failure")
+	cl.Client().StoreWrite(0, data)
+
+	done := false
+	g.GWrite(0, len(data), true, func(Result) { done = true })
+	run(t, eng, g, &done)
+
+	for i := 0; i < 3; i++ {
+		rep := g.Replica(i)
+		rep.Dev.PowerFail()
+		if got := rep.StoreBytes(0, len(data)); !bytes.Equal(got, data) {
+			t.Fatalf("durable gWRITE lost on replica %d after power failure: %q", i, got)
+		}
+	}
+}
+
+func TestGWriteNonDurableIsVolatile(t *testing.T) {
+	eng, cl, g := testGroup(t, 3, Config{Depth: 64})
+	data := []byte("volatile-bytes")
+	cl.Client().StoreWrite(0, data)
+
+	done := false
+	g.GWrite(0, len(data), false, func(Result) { done = true })
+	run(t, eng, g, &done)
+
+	lost := 0
+	for i := 0; i < 3; i++ {
+		rep := g.Replica(i)
+		rep.Dev.PowerFail()
+		if got := rep.StoreBytes(0, len(data)); !bytes.Equal(got, data) {
+			lost++
+		}
+	}
+	if lost == 0 {
+		t.Fatal("non-durable gWRITE survived power failure on every replica; NIC-cache model inert")
+	}
+}
+
+func TestGFlushMakesPriorWritesDurable(t *testing.T) {
+	eng, cl, g := testGroup(t, 3, Config{Depth: 64})
+	data := []byte("flush-me-later")
+	cl.Client().StoreWrite(0, data)
+
+	done := false
+	g.GWrite(0, len(data), false, func(Result) { done = true })
+	run(t, eng, g, &done)
+
+	done = false
+	g.GFlush(func(Result) { done = true })
+	run(t, eng, g, &done)
+
+	for i := 0; i < 3; i++ {
+		rep := g.Replica(i)
+		rep.Dev.PowerFail()
+		if got := rep.StoreBytes(0, len(data)); !bytes.Equal(got, data) {
+			t.Fatalf("gFLUSH did not persist replica %d: %q", i, got)
+		}
+	}
+}
+
+func TestGCASAcquireAndResultMap(t *testing.T) {
+	eng, _, g := testGroup(t, 3, Config{Depth: 64})
+
+	done := false
+	var res Result
+	g.GCAS(128, 0, 42, AllReplicas(3), func(r Result) { res = r; done = true })
+	run(t, eng, g, &done)
+
+	if len(res.CASOld) != 3 {
+		t.Fatalf("result map size %d", len(res.CASOld))
+	}
+	for i, v := range res.CASOld {
+		if v != 0 {
+			t.Fatalf("replica %d original value %d, want 0", i, v)
+		}
+		buf := g.Replica(i).StoreBytes(128, 8)
+		if le64(buf) != 42 {
+			t.Fatalf("replica %d lock word %d, want 42", i, le64(buf))
+		}
+	}
+
+	// A second CAS expecting 0 must fail everywhere and report 42.
+	done = false
+	g.GCAS(128, 0, 99, AllReplicas(3), func(r Result) { res = r; done = true })
+	run(t, eng, g, &done)
+	for i, v := range res.CASOld {
+		if v != 42 {
+			t.Fatalf("replica %d reported %d, want 42", i, v)
+		}
+		buf := g.Replica(i).StoreBytes(128, 8)
+		if le64(buf) != 42 {
+			t.Fatalf("replica %d lock word clobbered to %d", i, le64(buf))
+		}
+	}
+}
+
+func TestGCASExecuteMapSelectsReplicas(t *testing.T) {
+	eng, _, g := testGroup(t, 3, Config{Depth: 64})
+
+	// Execute only on replicas 0 and 2.
+	var exec ExecuteMap = 1<<0 | 1<<2
+	done := false
+	var res Result
+	g.GCAS(0, 0, 7, exec, func(r Result) { res = r; done = true })
+	run(t, eng, g, &done)
+
+	if res.CASOld[0] != 0 || res.CASOld[2] != 0 {
+		t.Fatalf("executed replicas reported %v", res.CASOld)
+	}
+	if res.CASOld[1] != CASNotExecuted {
+		t.Fatalf("skipped replica result = %x, want sentinel", res.CASOld[1])
+	}
+	if v := le64(g.Replica(0).StoreBytes(0, 8)); v != 7 {
+		t.Fatalf("replica 0 word %d", v)
+	}
+	if v := le64(g.Replica(1).StoreBytes(0, 8)); v != 0 {
+		t.Fatalf("skipped replica 1 mutated: %d", v)
+	}
+	if v := le64(g.Replica(2).StoreBytes(0, 8)); v != 7 {
+		t.Fatalf("replica 2 word %d", v)
+	}
+}
+
+func TestGCASUndoPattern(t *testing.T) {
+	// Acquire on all, then undo on the subset that succeeded — the paper's
+	// recovery idiom for partially-acquired locks.
+	eng, _, g := testGroup(t, 3, Config{Depth: 64})
+	// Pre-seed replica 1's lock word so its CAS misses.
+	g.Replica(1).StoreWrite(64, leBytes(555))
+
+	done := false
+	var res Result
+	g.GCAS(64, 0, 1, AllReplicas(3), func(r Result) { res = r; done = true })
+	run(t, eng, g, &done)
+	if res.CASOld[0] != 0 || res.CASOld[1] != 555 || res.CASOld[2] != 0 {
+		t.Fatalf("mixed acquire results %v", res.CASOld)
+	}
+
+	// Undo where original == expected (replicas 0, 2).
+	var undo ExecuteMap
+	for i, v := range res.CASOld {
+		if v == 0 {
+			undo |= 1 << uint(i)
+		}
+	}
+	done = false
+	g.GCAS(64, 1, 0, undo, func(r Result) { res = r; done = true })
+	run(t, eng, g, &done)
+	if v := le64(g.Replica(0).StoreBytes(64, 8)); v != 0 {
+		t.Fatalf("undo failed on replica 0: %d", v)
+	}
+	if v := le64(g.Replica(1).StoreBytes(64, 8)); v != 555 {
+		t.Fatalf("undo touched skipped replica 1: %d", v)
+	}
+	if v := le64(g.Replica(2).StoreBytes(64, 8)); v != 0 {
+		t.Fatalf("undo failed on replica 2: %d", v)
+	}
+}
+
+func TestGMemcpyCommitsLogToData(t *testing.T) {
+	eng, cl, g := testGroup(t, 3, Config{Depth: 64})
+	record := []byte("log-record-payload")
+	cl.Client().StoreWrite(0, record)
+
+	// Replicate into the "log region" (offset 0) then commit to the "data
+	// region" (offset 64K) on all replicas via NIC-local copy.
+	done := false
+	g.GWrite(0, len(record), true, func(Result) { done = true })
+	run(t, eng, g, &done)
+
+	done = false
+	g.GMemcpy(64<<10, 0, len(record), true, func(Result) { done = true })
+	run(t, eng, g, &done)
+
+	for i := 0; i < 3; i++ {
+		rep := g.Replica(i)
+		if got := rep.StoreBytes(64<<10, len(record)); !bytes.Equal(got, record) {
+			t.Fatalf("replica %d data region %q", i, got)
+		}
+		rep.Dev.PowerFail()
+		if got := rep.StoreBytes(64<<10, len(record)); !bytes.Equal(got, record) {
+			t.Fatalf("replica %d durable copy lost: %q", i, got)
+		}
+	}
+}
+
+func TestNoReplicaCPUOnCriticalPath(t *testing.T) {
+	// The headline property: replica hosts spend (almost) no CPU while ops
+	// flow. Only the periodic replenisher runs, and with nothing consumed
+	// it posts nothing.
+	eng, cl, g := testGroup(t, 3, Config{Depth: 256})
+	payload := bytes.Repeat([]byte("y"), 512)
+	cl.Client().StoreWrite(0, payload)
+
+	for i := 0; i < 3; i++ {
+		g.Replica(i).Host.ResetAccounting()
+	}
+	const ops = 200
+	completed := 0
+	var issue func()
+	issue = func() {
+		g.GWrite(0, 512, true, func(Result) {
+			completed++
+			if completed < ops {
+				issue()
+			}
+		})
+	}
+	issue()
+	ok := eng.RunUntil(func() bool { return completed >= ops || g.Failed() != nil }, eng.Now().Add(sim.Second))
+	if !ok || g.Failed() != nil {
+		t.Fatalf("ops=%d failed=%v", completed, g.Failed())
+	}
+	for i := 0; i < 3; i++ {
+		if u := g.Replica(i).Host.Utilization(); u > 0.02 {
+			t.Fatalf("replica %d CPU utilization %.3f during HyperLoop ops, want ≈0", i, u)
+		}
+	}
+}
+
+func TestPipelinedThroughput(t *testing.T) {
+	// Many ops in flight: all must complete, in order, with correct data.
+	eng, cl, g := testGroup(t, 3, Config{Depth: 128, MaxInflight: 32})
+	payload := bytes.Repeat([]byte("z"), 256)
+	cl.Client().StoreWrite(0, payload)
+
+	const ops = 500
+	completed := 0
+	lastSeq := ^uint64(0)
+	for i := 0; i < ops; i++ {
+		err := g.GWrite(0, 256, false, func(r Result) {
+			if lastSeq != ^uint64(0) && r.Seq != lastSeq+1 {
+				t.Errorf("acks out of order: %d after %d", r.Seq, lastSeq)
+			}
+			lastSeq = r.Seq
+			completed++
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	ok := eng.RunUntil(func() bool { return completed >= ops || g.Failed() != nil }, eng.Now().Add(sim.Second))
+	if !ok || g.Failed() != nil {
+		t.Fatalf("completed=%d failed=%v", completed, g.Failed())
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	// More ops than Depth forces ring reuse and exercises the replenisher.
+	eng, cl, g := testGroup(t, 2, Config{Depth: 16, MaxInflight: 4})
+	cl.Client().StoreWrite(0, bytes.Repeat([]byte("w"), 64))
+
+	const ops = 200
+	completed := 0
+	for i := 0; i < ops; i++ {
+		if err := g.GWrite(0, 64, true, func(Result) { completed++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ok := eng.RunUntil(func() bool { return completed >= ops || g.Failed() != nil }, eng.Now().Add(10*sim.Second))
+	if !ok || g.Failed() != nil {
+		t.Fatalf("completed=%d/%d failed=%v", completed, ops, g.Failed())
+	}
+}
+
+func TestMixedPrimitivesInterleaved(t *testing.T) {
+	eng, cl, g := testGroup(t, 3, Config{Depth: 64})
+	cl.Client().StoreWrite(1000, []byte("abcdefgh"))
+
+	total := 0
+	g.GWrite(1000, 8, true, func(Result) { total++ })
+	g.GCAS(2000, 0, 1, AllReplicas(3), func(Result) { total++ })
+	g.GMemcpy(3000, 1000, 8, true, func(Result) { total++ })
+	g.GFlush(func(Result) { total++ })
+	ok := eng.RunUntil(func() bool { return total >= 4 || g.Failed() != nil }, eng.Now().Add(sim.Second))
+	if !ok || g.Failed() != nil {
+		t.Fatalf("total=%d failed=%v", total, g.Failed())
+	}
+	if got := g.Replica(2).StoreBytes(3000, 8); string(got) != "abcdefgh" {
+		t.Fatalf("memcpy result %q", got)
+	}
+	if v := le64(g.Replica(0).StoreBytes(2000, 8)); v != 1 {
+		t.Fatalf("cas result %d", v)
+	}
+}
+
+func TestBadArgsRejected(t *testing.T) {
+	_, _, g := testGroup(t, 2, Config{Depth: 16})
+	if err := g.GWrite(-1, 10, false, nil); err != ErrBadArgs {
+		t.Fatalf("negative offset: %v", err)
+	}
+	if err := g.GWrite(0, 0, false, nil); err != ErrBadArgs {
+		t.Fatalf("zero size: %v", err)
+	}
+	if err := g.GWrite(1<<20-4, 8, false, nil); err != ErrTooLarge {
+		t.Fatalf("overflow: %v", err)
+	}
+	if err := g.GMemcpy(0, -1, 8, false, nil); err != ErrBadArgs {
+		t.Fatalf("memcpy bad src: %v", err)
+	}
+	if err := g.GCAS(1<<20, 0, 1, 1, nil); err != ErrBadArgs {
+		t.Fatalf("cas out of range: %v", err)
+	}
+}
+
+func TestOpTimeoutFailsGroup(t *testing.T) {
+	eng, cl, g := testGroup(t, 3, Config{Depth: 16, OpTimeout: 10 * sim.Millisecond})
+	// Sever the chain between replica 1 and replica 2.
+	cl.Net.CutBoth(g.Replica(1).NIC.Node(), g.Replica(2).NIC.Node())
+	cl.Client().StoreWrite(0, []byte("doomed"))
+
+	var res Result
+	done := false
+	g.GWrite(0, 6, false, func(r Result) { res = r; done = true })
+	eng.RunUntil(func() bool { return done }, eng.Now().Add(sim.Second))
+	if !done || res.Err == nil {
+		t.Fatalf("expected timeout failure, got done=%v err=%v", done, res.Err)
+	}
+	if g.Failed() == nil {
+		t.Fatal("group not marked failed after timeout")
+	}
+	// Subsequent ops fail fast.
+	if err := g.GWrite(0, 6, false, nil); err == nil {
+		t.Fatal("issue after failure succeeded")
+	}
+}
+
+func TestLatencyScalesGentlyWithGroupSize(t *testing.T) {
+	// HyperLoop's latency grows roughly linearly in chain length (wire
+	// hops) with no CPU term — no blow-up (Figure 10 shape).
+	lat := func(n int) sim.Duration {
+		eng, cl, g := testGroup(t, n, Config{Depth: 64})
+		cl.Client().StoreWrite(0, bytes.Repeat([]byte("q"), 1024))
+		var total sim.Duration
+		done := 0
+		var issue func()
+		issue = func() {
+			g.GWrite(0, 1024, true, func(r Result) {
+				total += r.Latency
+				done++
+				if done < 50 {
+					issue()
+				}
+			})
+		}
+		issue()
+		eng.RunUntil(func() bool { return done >= 50 || g.Failed() != nil }, eng.Now().Add(sim.Second))
+		if g.Failed() != nil {
+			t.Fatalf("n=%d: %v", n, g.Failed())
+		}
+		return total / 50
+	}
+	l3, l7 := lat(3), lat(7)
+	if l7 <= l3 {
+		t.Fatalf("latency should grow with chain length: %v vs %v", l3, l7)
+	}
+	if l7 > 4*l3 {
+		t.Fatalf("latency blow-up with group size: 3→%v, 7→%v", l3, l7)
+	}
+	if l3 < 2*sim.Microsecond || l3 > 60*sim.Microsecond {
+		t.Fatalf("group-3 durable gWRITE latency %v outside plausible range", l3)
+	}
+}
+
+func leBytes(v uint64) []byte {
+	b := make([]byte, 8)
+	putLE64(b, v)
+	return b
+}
+
+// TestPropertyGroupMatchesShadowModel drives a random sequence of mixed
+// primitives and checks every replica's final store against a simple
+// shadow model — the strongest end-to-end correctness check we have.
+func TestPropertyGroupMatchesShadowModel(t *testing.T) {
+	for _, seed := range []int64{3, 17, 4242} {
+		eng, cl, g := testGroup(t, 3, Config{Depth: 256})
+		r := sim.NewRand(seed)
+		const window = 64 << 10
+		shadow := make([]byte, window)
+
+		const ops = 120
+		completed := 0
+		var step func(i int)
+		step = func(i int) {
+			if i >= ops {
+				return
+			}
+			next := func(Result) {
+				completed++
+				step(i + 1)
+			}
+			switch r.Intn(3) {
+			case 0: // gWRITE of random bytes at a random offset
+				off := r.Intn(window - 256)
+				size := 1 + r.Intn(255)
+				data := make([]byte, size)
+				for j := range data {
+					data[j] = byte(r.Intn(256))
+				}
+				cl.Client().StoreWrite(off, data)
+				copy(shadow[off:], data)
+				g.GWrite(off, size, r.Intn(2) == 0, next)
+			case 1: // gMEMCPY within the window
+				src := r.Intn(window - 256)
+				dst := r.Intn(window - 256)
+				size := 1 + r.Intn(255)
+				copy(shadow[dst:dst+size], append([]byte(nil), shadow[src:src+size]...))
+				g.GMemcpy(dst, src, size, r.Intn(2) == 0, next)
+			default: // gCAS on an aligned word
+				off := 8 * r.Intn(window/8)
+				old := le64(shadow[off:])
+				var cur [8]byte
+				copy(cur[:], shadow[off:])
+				newV := r.Uint64()
+				// Half the time CAS with the right expectation, half wrong.
+				expect := old
+				if r.Intn(2) == 0 {
+					expect = old + 1 + uint64(r.Intn(5))
+				}
+				if expect == old {
+					putLE64(shadow[off:], newV)
+					// Keep the client's mirror coherent for later gWRITEs.
+					b := make([]byte, 8)
+					putLE64(b, newV)
+					cl.Client().StoreWrite(off, b)
+				}
+				g.GCAS(off, expect, newV, AllReplicas(3), next)
+			}
+		}
+		step(0)
+		if !eng.RunUntil(func() bool { return completed >= ops || g.Failed() != nil }, eng.Now().Add(30*sim.Second)) {
+			t.Fatalf("seed %d: stalled at %d/%d (%v)", seed, completed, ops, g.Failed())
+		}
+		if g.Failed() != nil {
+			t.Fatalf("seed %d: %v", seed, g.Failed())
+		}
+		for i := 0; i < 3; i++ {
+			got := g.Replica(i).StoreBytes(0, window)
+			if !bytes.Equal(got, shadow) {
+				for j := range got {
+					if got[j] != shadow[j] {
+						t.Fatalf("seed %d replica %d: first divergence at offset %d (got %d want %d)",
+							seed, i, j, got[j], shadow[j])
+					}
+				}
+			}
+		}
+		g.Close()
+	}
+}

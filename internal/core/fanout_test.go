@@ -1,0 +1,234 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"hyperloop/internal/cluster"
+	"hyperloop/internal/fabric"
+	"hyperloop/internal/sim"
+)
+
+func fanoutRig(t *testing.T, backups int) (*sim.Engine, *cluster.Cluster, *FanoutGroup) {
+	t.Helper()
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, cluster.Config{
+		Nodes: backups + 2, StoreSize: 1 << 20, Fabric: fabric.Config{JitterFrac: -1},
+	})
+	g := NewFanout(eng, cl.Client(), cl.Replicas()[0], cl.Replicas()[1:], Config{Depth: 64})
+	return eng, cl, g
+}
+
+func TestFanoutReplicatesToPrimaryAndBackups(t *testing.T) {
+	for _, nb := range []int{1, 2, 4} {
+		eng, cl, g := fanoutRig(t, nb)
+		payload := bytes.Repeat([]byte("f"), 512)
+		copy(payload, "fanout-data")
+		cl.Client().StoreWrite(256, payload)
+
+		done := false
+		if err := g.GWrite(256, len(payload), true, func(r Result) {
+			if r.Err != nil {
+				t.Fatal(r.Err)
+			}
+			done = true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !eng.RunUntil(func() bool { return done || g.Failed() != nil }, eng.Now().Add(sim.Second)) {
+			t.Fatalf("nb=%d: fanout write stalled (%v)", nb, g.Failed())
+		}
+		for i, rep := range cl.Replicas() {
+			if got := rep.StoreBytes(256, len(payload)); !bytes.Equal(got, payload) {
+				t.Fatalf("nb=%d replica %d mismatch", nb, i)
+			}
+		}
+	}
+}
+
+func TestFanoutAckImpliesBackupDurability(t *testing.T) {
+	eng, cl, g := fanoutRig(t, 3)
+	data := []byte("must-be-durable-on-backups")
+	cl.Client().StoreWrite(0, data)
+	done := false
+	g.GWrite(0, len(data), true, func(r Result) { done = r.Err == nil })
+	eng.RunUntil(func() bool { return done }, eng.Now().Add(sim.Second))
+	if !done {
+		t.Fatalf("write stalled: %v", g.Failed())
+	}
+	for i, rep := range cl.Replicas() {
+		rep.Dev.PowerFail()
+		if got := rep.StoreBytes(0, len(data)); !bytes.Equal(got, data) {
+			t.Fatalf("replica %d lost acked fanout write: %q", i, got)
+		}
+	}
+}
+
+func TestFanoutPipelined(t *testing.T) {
+	eng, cl, g := fanoutRig(t, 2)
+	cl.Client().StoreWrite(0, bytes.Repeat([]byte("p"), 128))
+	const ops = 300
+	completed := 0
+	for i := 0; i < ops; i++ {
+		if err := g.GWrite(0, 128, true, func(r Result) {
+			if r.Err == nil {
+				completed++
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !eng.RunUntil(func() bool { return completed >= ops || g.Failed() != nil }, eng.Now().Add(10*sim.Second)) {
+		t.Fatalf("completed %d/%d (%v)", completed, ops, g.Failed())
+	}
+}
+
+func TestFanoutNoPrimaryCPUOnCriticalPath(t *testing.T) {
+	eng, cl, g := fanoutRig(t, 3)
+	cl.Client().StoreWrite(0, bytes.Repeat([]byte("c"), 256))
+	primary := cl.Replicas()[0]
+	primary.Host.ResetAccounting()
+	completed := 0
+	var issue func()
+	issue = func() {
+		g.GWrite(0, 256, true, func(r Result) {
+			completed++
+			if completed < 150 {
+				issue()
+			}
+		})
+	}
+	issue()
+	if !eng.RunUntil(func() bool { return completed >= 150 || g.Failed() != nil }, eng.Now().Add(10*sim.Second)) {
+		t.Fatalf("stalled at %d (%v)", completed, g.Failed())
+	}
+	if u := primary.Host.Utilization(); u > 0.02 {
+		t.Fatalf("primary CPU %.3f during fan-out ops, want ≈0 (coordination offloaded)", u)
+	}
+}
+
+func TestFanoutBadArgs(t *testing.T) {
+	_, _, g := fanoutRig(t, 2)
+	if err := g.GWrite(-1, 4, false, nil); err != ErrBadArgs {
+		t.Fatalf("negative offset: %v", err)
+	}
+	if err := g.GWrite(0, 2<<20, false, nil); err != ErrBadArgs {
+		t.Fatalf("oversize: %v", err)
+	}
+}
+
+func TestFanoutWidthLimit(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, cluster.Config{Nodes: 8, StoreSize: 1 << 20})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-wide fanout did not panic")
+		}
+	}()
+	NewFanout(eng, cl.Client(), cl.Replicas()[0], cl.Replicas()[1:7], Config{Depth: 16})
+}
+
+func TestFanoutVsChainLatency(t *testing.T) {
+	// Fan-out trades chain pipelining for parallel backup writes: with the
+	// same replica count its latency must be no worse than the chain's
+	// (fewer serial wire hops).
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, cluster.Config{Nodes: 5, StoreSize: 1 << 20, Fabric: fabric.Config{JitterFrac: -1}})
+	chainG := New(cl, Config{Depth: 64})
+	defer chainG.Close()
+	cl.Client().StoreWrite(0, bytes.Repeat([]byte("x"), 1024))
+
+	var chainLat, fanLat sim.Duration
+	n := 0
+	var chainOp func()
+	chainOp = func() {
+		chainG.GWrite(0, 1024, true, func(r Result) {
+			chainLat += r.Latency
+			n++
+			if n < 50 {
+				chainOp()
+			}
+		})
+	}
+	chainOp()
+	eng.RunUntil(func() bool { return n >= 50 }, eng.Now().Add(sim.Second))
+
+	eng2 := sim.NewEngine()
+	cl2 := cluster.New(eng2, cluster.Config{Nodes: 5, StoreSize: 1 << 20, Fabric: fabric.Config{JitterFrac: -1}})
+	fanG := NewFanout(eng2, cl2.Client(), cl2.Replicas()[0], cl2.Replicas()[1:], Config{Depth: 64})
+	cl2.Client().StoreWrite(0, bytes.Repeat([]byte("x"), 1024))
+	m := 0
+	var fanOp func()
+	fanOp = func() {
+		fanG.GWrite(0, 1024, true, func(r Result) {
+			fanLat += r.Latency
+			m++
+			if m < 50 {
+				fanOp()
+			}
+		})
+	}
+	fanOp()
+	eng2.RunUntil(func() bool { return m >= 50 }, eng2.Now().Add(sim.Second))
+
+	if n < 50 || m < 50 {
+		t.Fatalf("runs incomplete: chain=%d fanout=%d", n, m)
+	}
+	chainAvg, fanAvg := chainLat/50, fanLat/50
+	if fanAvg > chainAvg {
+		t.Fatalf("fan-out (%v) slower than chain (%v) at equal replica count", fanAvg, chainAvg)
+	}
+}
+
+func TestFixedChainReplicatesFixedBuffer(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, cluster.Config{Nodes: 4, StoreSize: 1 << 20, Fabric: fabric.Config{JitterFrac: -1}})
+	const off, size = 4096, 256
+	g := NewFixedChain(cl, off, size, Config{Depth: 64})
+
+	payload := bytes.Repeat([]byte("s"), size)
+	copy(payload, "static-buffer")
+	cl.Client().StoreWrite(off, payload)
+	done := false
+	if err := g.Write(func(r Result) { done = r.Err == nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !eng.RunUntil(func() bool { return done || g.Failed() != nil }, eng.Now().Add(sim.Second)) {
+		t.Fatalf("fixed write stalled: %v", g.Failed())
+	}
+	for i, rep := range cl.Replicas() {
+		if got := rep.StoreBytes(off, size); !bytes.Equal(got, payload) {
+			t.Fatalf("replica %d fixed buffer mismatch", i)
+		}
+	}
+
+	// The strawman's limitation: a second write only ever moves the same
+	// buffer — there is no way to address different data.
+	copy(payload, "second-content")
+	cl.Client().StoreWrite(off, payload)
+	done = false
+	g.Write(func(r Result) { done = r.Err == nil })
+	eng.RunUntil(func() bool { return done }, eng.Now().Add(sim.Second))
+	if got := cl.Replicas()[2].StoreBytes(off, 14); string(got) != "second-content" {
+		t.Fatalf("fixed rewrite: %q", got)
+	}
+}
+
+func TestFixedChainPipelined(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, cluster.Config{Nodes: 4, StoreSize: 1 << 20, Fabric: fabric.Config{JitterFrac: -1}})
+	g := NewFixedChain(cl, 0, 1024, Config{Depth: 32})
+	cl.Client().StoreWrite(0, bytes.Repeat([]byte("q"), 1024))
+	const ops = 200
+	completed := 0
+	for i := 0; i < ops; i++ {
+		g.Write(func(r Result) {
+			if r.Err == nil {
+				completed++
+			}
+		})
+	}
+	if !eng.RunUntil(func() bool { return completed >= ops || g.Failed() != nil }, eng.Now().Add(10*sim.Second)) {
+		t.Fatalf("completed %d/%d (%v)", completed, ops, g.Failed())
+	}
+}

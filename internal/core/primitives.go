@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+
+	"hyperloop/internal/rdma"
+)
+
+// send issues op o on channel c: it builds the per-replica descriptor
+// images (the "metadata" of §4.1, pre-calculated by the client), stages
+// them, and posts the client-side work requests. Everything after this —
+// per-hop execution, forwarding, flushing, the tail ack — happens on NICs.
+func (c *channel) send(o *op) {
+	o.seq = c.issued
+	c.issued++
+	o.issued = c.g.eng.Now()
+	c.pending = append(c.pending, o)
+	if c.g.cfg.OpTimeout > 0 {
+		seq := o.seq
+		o.timeout = c.g.eng.Schedule(c.g.cfg.OpTimeout, func() {
+			c.g.fail(fmt.Errorf("%w: %s op %d timed out", ErrGroupFailed, c.kind, seq))
+		})
+	}
+
+	k := int(o.seq)
+	msg := c.buildMetadata(o, k)
+	slotOff := (k % c.g.cfg.Depth) * c.msgHead
+	if len(msg) > 0 {
+		c.cliStaging.Backing().WriteAt(slotOff, msg)
+	}
+	post := func(w rdma.WQE) {
+		if c.g.failed != nil {
+			return
+		}
+		if _, err := c.cliQP.PostSend(w); err != nil {
+			c.g.fail(fmt.Errorf("%w: client post %s: %v", ErrGroupFailed, c.kind, err))
+		}
+	}
+	head := c.g.replicas[0]
+	metaSGE := []rdma.SGE{}
+	if c.msgHead > 0 {
+		metaSGE = []rdma.SGE{{LKey: c.cliStaging.LKey(), Offset: uint64(slotOff), Length: uint32(c.msgHead)}}
+	}
+	switch c.kind {
+	case chWrite:
+		post(rdma.WQE{
+			Opcode: rdma.OpWrite, Signaled: true, WRID: o.seq,
+			RKey: head.Store.RKey(), RAddr: uint64(o.off),
+			SGEs: []rdma.SGE{{LKey: c.g.client.Store.LKey(), Offset: uint64(o.off), Length: uint32(o.size)}},
+		})
+		if o.durable {
+			// gFLUSH interleave: drain the head replica's NIC cache before
+			// the metadata SEND triggers its forward.
+			post(rdma.WQE{Opcode: rdma.OpRead, Signaled: true, WRID: o.seq, RKey: head.Store.RKey()})
+		}
+		post(rdma.WQE{Opcode: rdma.OpSend, Signaled: true, WRID: o.seq, SGEs: metaSGE})
+	case chCAS, chMemcpy:
+		post(rdma.WQE{Opcode: rdma.OpSend, Signaled: true, WRID: o.seq, SGEs: metaSGE})
+	case chFlush:
+		post(rdma.WQE{Opcode: rdma.OpRead, Signaled: true, WRID: o.seq, RKey: head.Store.RKey()})
+		post(rdma.WQE{Opcode: rdma.OpSend, Signaled: true, WRID: o.seq})
+	}
+}
+
+// buildMetadata assembles the message entering hop 0: the concatenated
+// descriptor images each hop's RECV will peel into its own queue slots,
+// plus (for gCAS) the result map.
+func (c *channel) buildMetadata(o *op, k int) []byte {
+	n := len(c.hops)
+	msg := make([]byte, 0, c.msgHead)
+	switch c.kind {
+	case chWrite:
+		for i := 0; i < n-1; i++ {
+			msg = append(msg, c.writeImage(i, o, k)...)
+			msg = append(msg, c.flushImage(i+1, o)...)
+		}
+	case chCAS:
+		for i := 0; i < n; i++ {
+			msg = append(msg, c.casImage(i, o, k)...)
+		}
+		res := make([]byte, 8*n)
+		for i := 0; i < n; i++ {
+			putLE64(res[8*i:], CASNotExecuted)
+		}
+		msg = append(msg, res...)
+	case chMemcpy:
+		for i := 0; i < n; i++ {
+			msg = append(msg, c.memcpyImage(i, o, k)...)
+			msg = append(msg, c.selfFlushImage(i, o)...)
+		}
+	case chFlush:
+		// No images: the chain is fully pre-posted.
+	}
+	if len(msg) != c.msgHead {
+		panic(fmt.Sprintf("core: %s metadata %dB, geometry says %dB", c.kind, len(msg), c.msgHead))
+	}
+	return msg
+}
+
+// writeImage is hop i's forwarding WRITE: gather the freshly-replicated
+// bytes from its own store and write them to hop i+1's store at the same
+// offset.
+func (c *channel) writeImage(i int, o *op, k int) []byte {
+	self := c.g.replicas[i]
+	next := c.g.replicas[i+1]
+	return (&rdma.WQE{
+		Opcode: rdma.OpWrite, Signaled: true, HWOwned: true, WRID: uint64(k),
+		RKey: next.Store.RKey(), RAddr: uint64(o.off),
+		SGEs: []rdma.SGE{{LKey: self.Store.LKey(), Offset: uint64(o.off), Length: uint32(o.size)}},
+	}).EncodeImage()
+}
+
+// flushImage is the interleaved gFLUSH toward replica j's store (a 0-byte
+// READ), or a signaled NOP when the op is not durable.
+func (c *channel) flushImage(j int, o *op) []byte {
+	if !o.durable {
+		return nopImage()
+	}
+	return (&rdma.WQE{
+		Opcode: rdma.OpRead, Signaled: true, HWOwned: true,
+		RKey: c.g.replicas[j].Store.RKey(),
+	}).EncodeImage()
+}
+
+// selfFlushImage drains hop i's own store via its loopback QP.
+func (c *channel) selfFlushImage(i int, o *op) []byte {
+	if !o.durable {
+		return nopImage()
+	}
+	return (&rdma.WQE{
+		Opcode: rdma.OpRead, Signaled: true, HWOwned: true,
+		RKey: c.g.replicas[i].Store.RKey(),
+	}).EncodeImage()
+}
+
+// casImage is hop i's local compare-and-swap (or NOP when the execute map
+// skips it). The original value scatters into the hop's staging result
+// field so the chain accumulates the result map (§4.2, Figure 6).
+func (c *channel) casImage(i int, o *op, k int) []byte {
+	if !o.exec.Has(i) {
+		return nopImage()
+	}
+	self := c.g.replicas[i]
+	resOff := c.stagingOff(i, k) + c.resultFieldOff(i)
+	return (&rdma.WQE{
+		Opcode: rdma.OpCompSwap, Signaled: true, HWOwned: true, WRID: uint64(k),
+		RKey: self.Store.RKey(), RAddr: uint64(o.off),
+		Imm: o.casOld, Swap: o.casNew,
+		SGEs: []rdma.SGE{{LKey: c.hops[i].staging.LKey(), Offset: uint64(resOff), Length: 8}},
+	}).EncodeImage()
+}
+
+// resultFieldOff locates replica i's result slot within its staging area:
+// after the images it forwards, 8 bytes per preceding replica.
+func (c *channel) resultFieldOff(i int) int {
+	n := len(c.hops)
+	return (n-1-i)*c.manipLen + 8*i
+}
+
+// memcpyImage is hop i's NIC-local copy from srcOff to dstOff within its
+// own store, issued over the loopback QP (§4.2, Figure 7).
+func (c *channel) memcpyImage(i int, o *op, k int) []byte {
+	self := c.g.replicas[i]
+	return (&rdma.WQE{
+		Opcode: rdma.OpWrite, Signaled: true, HWOwned: true, WRID: uint64(k),
+		RKey: self.Store.RKey(), RAddr: uint64(o.off),
+		SGEs: []rdma.SGE{{LKey: self.Store.LKey(), Offset: uint64(o.src), Length: uint32(o.size)}},
+	}).EncodeImage()
+}
+
+func nopImage() []byte {
+	return (&rdma.WQE{Opcode: rdma.OpNop, Signaled: true, HWOwned: true}).EncodeImage()
+}

@@ -1,0 +1,214 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (§2.2 motivation and §6): the same workloads, parameter
+// sweeps, baselines, and reported statistics, over the simulated cluster.
+// Each experiment is a plain function returning rows, shared by the cmd/
+// binaries, the root benchmark suite, and EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+
+	"hyperloop/internal/cluster"
+	"hyperloop/internal/core"
+	"hyperloop/internal/cpusched"
+	"hyperloop/internal/naive"
+	"hyperloop/internal/sim"
+	"hyperloop/internal/stats"
+)
+
+// System selects a datapath implementation.
+type System int
+
+// Systems under comparison.
+const (
+	HyperLoop    System = iota // NIC-offloaded group primitives
+	NaiveEvent                 // replica CPUs, event-driven completion handling
+	NaivePolling               // replica CPUs, co-located busy-pollers
+	NaivePinned                // replica CPUs, pollers on dedicated cores
+)
+
+func (s System) String() string {
+	switch s {
+	case HyperLoop:
+		return "HyperLoop"
+	case NaiveEvent:
+		return "Naive-Event"
+	case NaivePolling:
+		return "Naive-Polling"
+	case NaivePinned:
+		return "Naive-Pinned"
+	default:
+		return fmt.Sprintf("system(%d)", int(s))
+	}
+}
+
+// groupAPI is the uniform primitive surface over both implementations.
+type groupAPI interface {
+	GWrite(off, size int, durable bool, done func(error)) error
+	GMemcpy(dst, src, size int, durable bool, done func(error)) error
+	GCAS(off int, old, new uint64, done func(error)) error
+	Failed() error
+	Close()
+}
+
+type coreAPI struct{ g *core.Group }
+
+func (a coreAPI) GWrite(off, size int, durable bool, done func(error)) error {
+	return a.g.GWrite(off, size, durable, func(r core.Result) { done(r.Err) })
+}
+func (a coreAPI) GMemcpy(dst, src, size int, durable bool, done func(error)) error {
+	return a.g.GMemcpy(dst, src, size, durable, func(r core.Result) { done(r.Err) })
+}
+func (a coreAPI) GCAS(off int, old, new uint64, done func(error)) error {
+	return a.g.GCAS(off, old, new, core.AllReplicas(a.g.GroupSize()), func(r core.Result) { done(r.Err) })
+}
+func (a coreAPI) Failed() error { return a.g.Failed() }
+func (a coreAPI) Close()        { a.g.Close() }
+
+type naiveAPI struct {
+	g *naive.Group
+	n int
+}
+
+func (a naiveAPI) GWrite(off, size int, durable bool, done func(error)) error {
+	return a.g.GWrite(off, size, durable, func(r naive.Result) { done(r.Err) })
+}
+func (a naiveAPI) GMemcpy(dst, src, size int, durable bool, done func(error)) error {
+	return a.g.GMemcpy(dst, src, size, durable, func(r naive.Result) { done(r.Err) })
+}
+func (a naiveAPI) GCAS(off int, old, new uint64, done func(error)) error {
+	return a.g.GCAS(off, old, new, ^uint64(0), func(r naive.Result) { done(r.Err) })
+}
+func (a naiveAPI) Failed() error { return a.g.Failed() }
+func (a naiveAPI) Close()        { a.g.Close() }
+
+// MicroParams configures a microbenchmark run (§6.1's setup: group of
+// replicas, stress-ng style co-located CPU load, fixed message size).
+type MicroParams struct {
+	System    System
+	GroupSize int // replicas in the chain (default 3)
+	MsgSize   int // bytes per op (default 1024)
+	Ops       int // measured operations (default 10000, as in the paper)
+	Pipeline  int // concurrent ops (default 1: closed loop, latency mode)
+	// TenantsPerCore is the co-located CPU-hog multiplier (default 10,
+	// the paper's 10:1 process-to-core ratio; 0 disables).
+	TenantsPerCore int
+	Durable        bool // interleave gFLUSH
+	// NoWakeupBonus disables the CFS sleeper-fairness model on every host
+	// (pure FIFO behind tenants) — ablation knob.
+	NoWakeupBonus bool
+	Seed          int64
+}
+
+func (p *MicroParams) fill() {
+	if p.GroupSize <= 0 {
+		p.GroupSize = 3
+	}
+	if p.MsgSize <= 0 {
+		p.MsgSize = 1024
+	}
+	if p.Ops <= 0 {
+		p.Ops = 10000
+	}
+	if p.Pipeline <= 0 {
+		p.Pipeline = 1
+	}
+	if p.TenantsPerCore < 0 {
+		p.TenantsPerCore = 0
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+}
+
+// microRig is a cluster plus a group of the selected system with background
+// load applied to every replica host.
+type microRig struct {
+	eng   *sim.Engine
+	cl    *cluster.Cluster
+	api   groupAPI
+	stops []func()
+}
+
+func newMicroRig(p MicroParams) *microRig {
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, cluster.Config{
+		Nodes:     p.GroupSize + 1,
+		StoreSize: 16 << 20,
+		Host:      cpusched.Config{NoWakeupBonus: p.NoWakeupBonus, Seed: p.Seed},
+		Seed:      p.Seed,
+	})
+	r := &microRig{eng: eng, cl: cl}
+	// Co-located tenant load on replica hosts (the client is the dedicated
+	// measurement machine, as in §6.1).
+	if p.TenantsPerCore > 0 {
+		for _, rep := range cl.Replicas() {
+			stop := cpusched.AddTenants(eng, rep.Host, p.TenantsPerCore*rep.Host.Cores(),
+				cpusched.TenantConfig{AlwaysOn: true}, cl.Rand.Fork())
+			r.stops = append(r.stops, stop)
+		}
+	}
+	switch p.System {
+	case HyperLoop:
+		r.api = coreAPI{g: core.New(cl, core.Config{Depth: 2048, MaxInflight: 256})}
+	case NaiveEvent:
+		r.api = naiveAPI{g: naive.New(cl, naive.Config{Mode: naive.Event, MaxInflight: 256}), n: p.GroupSize}
+	case NaivePolling:
+		r.api = naiveAPI{g: naive.New(cl, naive.Config{Mode: naive.Polling, MaxInflight: 256}), n: p.GroupSize}
+	case NaivePinned:
+		r.api = naiveAPI{g: naive.New(cl, naive.Config{Mode: naive.Polling, PinCore: true, MaxInflight: 256}), n: p.GroupSize}
+	}
+	return r
+}
+
+func (r *microRig) close() {
+	r.api.Close()
+	for _, s := range r.stops {
+		s()
+	}
+}
+
+// runOps drives `ops` operations with `pipeline` in flight, recording
+// per-op latency; issue builds op i and must invoke the callback exactly
+// once on completion.
+func (r *microRig) runOps(ops, pipeline int, deadline sim.Duration,
+	issue func(i int, done func(error))) (*stats.Histogram, error) {
+	hist := stats.NewHistogram()
+	completed := 0
+	launched := 0
+	var firstErr error
+	var launch func()
+	launch = func() {
+		if launched >= ops || firstErr != nil {
+			return
+		}
+		i := launched
+		launched++
+		start := r.eng.Now()
+		issue(i, func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+				return
+			}
+			hist.Record(r.eng.Now().Sub(start))
+			completed++
+			launch()
+		})
+	}
+	for k := 0; k < pipeline && k < ops; k++ {
+		launch()
+	}
+	r.eng.RunUntil(func() bool {
+		return completed >= ops || firstErr != nil || r.api.Failed() != nil
+	}, r.eng.Now().Add(deadline))
+	if r.api.Failed() != nil {
+		return hist, r.api.Failed()
+	}
+	if firstErr != nil {
+		return hist, firstErr
+	}
+	if completed < ops {
+		return hist, fmt.Errorf("experiments: only %d/%d ops completed by deadline", completed, ops)
+	}
+	return hist, nil
+}

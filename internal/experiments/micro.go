@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hyperloop/internal/sim"
+	"hyperloop/internal/stats"
+)
+
+// MsgSizesLatency is the x-axis of Figures 8 and 10.
+var MsgSizesLatency = []int{128, 256, 512, 1024, 2048, 4096, 8192}
+
+// MsgSizesThroughput is the x-axis of Figure 9.
+var MsgSizesThroughput = []int{1024, 2048, 4096, 8192, 16384, 32768, 65536}
+
+// GWriteLatency measures gWRITE latency (closed loop) — one cell of
+// Figure 8(a) / Figure 10.
+func GWriteLatency(p MicroParams) (stats.Summary, error) {
+	p.fill()
+	r := newMicroRig(p)
+	defer r.close()
+	r.cl.Client().StoreWrite(0, make([]byte, p.MsgSize))
+	hist, err := r.runOps(p.Ops, p.Pipeline, budget(p), func(i int, done func(error)) {
+		if err := r.api.GWrite(0, p.MsgSize, p.Durable, done); err != nil {
+			done(err)
+		}
+	})
+	return hist.Summarize(), err
+}
+
+// GMemcpyLatency measures gMEMCPY latency — one cell of Figure 8(b).
+func GMemcpyLatency(p MicroParams) (stats.Summary, error) {
+	p.fill()
+	r := newMicroRig(p)
+	defer r.close()
+	r.cl.Client().StoreWrite(0, make([]byte, p.MsgSize))
+	dst := 1 << 20
+	hist, err := r.runOps(p.Ops, p.Pipeline, budget(p), func(i int, done func(error)) {
+		if err := r.api.GMemcpy(dst, 0, p.MsgSize, p.Durable, done); err != nil {
+			done(err)
+		}
+	})
+	return hist.Summarize(), err
+}
+
+// GCASLatency measures gCAS latency — Table 2.
+func GCASLatency(p MicroParams) (stats.Summary, error) {
+	p.fill()
+	r := newMicroRig(p)
+	defer r.close()
+	hist, err := r.runOps(p.Ops, 1, budget(p), func(i int, done func(error)) {
+		// Alternate the lock word so every CAS succeeds.
+		old, new := uint64(0), uint64(1)
+		if i%2 == 1 {
+			old, new = 1, 0
+		}
+		if err := r.api.GCAS(0, old, new, done); err != nil {
+			done(err)
+		}
+	})
+	return hist.Summarize(), err
+}
+
+// budget sizes the simulation budget generously for a run. Without the
+// wakeup bonus every hop waits a full scheduling round (~10ms), so the
+// ablation needs the larger budget.
+func budget(p MicroParams) sim.Duration {
+	per := 25 * sim.Millisecond
+	if p.NoWakeupBonus {
+		per = 80 * sim.Millisecond
+	}
+	d := sim.Duration(p.Ops) * per
+	if d < 10*sim.Second {
+		d = 10 * sim.Second
+	}
+	return d
+}
+
+// LatencyRow is one sweep point comparing systems.
+type LatencyRow struct {
+	MsgSize int
+	ByName  map[string]stats.Summary
+}
+
+// LatencySweep runs a primitive across message sizes and systems —
+// Figure 8(a) and 8(b).
+func LatencySweep(prim string, sizes []int, systems []System, base MicroParams) ([]LatencyRow, error) {
+	var rows []LatencyRow
+	for _, sz := range sizes {
+		row := LatencyRow{MsgSize: sz, ByName: make(map[string]stats.Summary)}
+		for _, sys := range systems {
+			p := base
+			p.System = sys
+			p.MsgSize = sz
+			var s stats.Summary
+			var err error
+			switch prim {
+			case "gwrite":
+				s, err = GWriteLatency(p)
+			case "gmemcpy":
+				s, err = GMemcpyLatency(p)
+			case "gcas":
+				s, err = GCASLatency(p)
+			default:
+				return nil, fmt.Errorf("experiments: unknown primitive %q", prim)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("%s/%v/%dB: %w", prim, sys, sz, err)
+			}
+			row.ByName[sys.String()] = s
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ThroughputPoint is one Figure 9 cell: ops rate plus critical-path CPU.
+type ThroughputPoint struct {
+	MsgSize int
+	KopsSec float64
+	// CPUCorePct is replica-host CPU consumed during the run, in percent
+	// of one core (the paper's Figure 9 right axis).
+	CPUCorePct float64
+}
+
+// Throughput pushes totalBytes of gWRITEs at the given message size with a
+// deep pipeline and measures rate and replica CPU — Figure 9. No background
+// tenants: the CPU axis isolates the datapath's own consumption.
+func Throughput(sys System, msgSize, totalBytes int, seed int64) (ThroughputPoint, error) {
+	p := MicroParams{
+		System:         sys,
+		MsgSize:        msgSize,
+		Ops:            totalBytes / msgSize,
+		Pipeline:       64,
+		TenantsPerCore: 0,
+		Seed:           seed,
+	}
+	p.fill()
+	r := newMicroRig(p)
+	defer r.close()
+	r.cl.Client().StoreWrite(0, make([]byte, p.MsgSize))
+	for _, rep := range r.cl.Replicas() {
+		rep.Host.ResetAccounting()
+	}
+	start := r.eng.Now()
+	_, err := r.runOps(p.Ops, p.Pipeline, 120*sim.Second, func(i int, done func(error)) {
+		if err := r.api.GWrite(0, p.MsgSize, false, done); err != nil {
+			done(err)
+		}
+	})
+	if err != nil {
+		return ThroughputPoint{}, err
+	}
+	elapsed := r.eng.Now().Sub(start)
+	var cpu float64
+	for _, rep := range r.cl.Replicas() {
+		cpu += rep.Host.Utilization() * float64(rep.Host.Cores())
+	}
+	cpu /= float64(len(r.cl.Replicas())) // avg per replica, in cores
+	return ThroughputPoint{
+		MsgSize:    msgSize,
+		KopsSec:    float64(p.Ops) / elapsed.Seconds() / 1e3,
+		CPUCorePct: cpu * 100,
+	}, nil
+}
+
+// GroupScalingRow is one Figure 10 cell.
+type GroupScalingRow struct {
+	GroupSize int
+	MsgSize   int
+	P99       sim.Duration
+	Mean      sim.Duration
+}
+
+// GroupScaling measures gWRITE tail latency across group sizes — Figure 10.
+func GroupScaling(sys System, groupSizes, msgSizes []int, base MicroParams) ([]GroupScalingRow, error) {
+	var rows []GroupScalingRow
+	for _, g := range groupSizes {
+		for _, m := range msgSizes {
+			p := base
+			p.System = sys
+			p.GroupSize = g
+			p.MsgSize = m
+			s, err := GWriteLatency(p)
+			if err != nil {
+				return nil, fmt.Errorf("group %d size %d: %w", g, m, err)
+			}
+			rows = append(rows, GroupScalingRow{GroupSize: g, MsgSize: m, P99: s.P99, Mean: s.Mean})
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,576 @@
+// Package kvstore is the repository's RocksDB analogue (§5.1): a persistent
+// key-value store with an in-memory ordered table, a replicated write-ahead
+// log, and a self-describing NVM data region. All replication happens
+// through wal.Replicator, so the same store runs over the HyperLoop
+// datapath or the Naïve-RDMA baseline unchanged — mirroring how the paper
+// swapped RocksDB's log/NVM interface for HyperLoop APIs in 120 lines.
+//
+// Write path (a put):
+//
+//  1. allocate (or reuse) the key's slot in the data region;
+//  2. append a redo record to the WAL — gWRITE+gFLUSH down the chain; the
+//     user ack fires here, once every replica holds the record in NVM;
+//  3. update the memtable (read-your-writes);
+//  4. later, off the user's critical path, commit the record with
+//     ExecuteAndAdvance — gMEMCPY+gFLUSH per entry plus a durable head
+//     advance — so replicas' data regions converge.
+package kvstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"hyperloop/internal/cluster"
+	"hyperloop/internal/memtable"
+	"hyperloop/internal/rdma"
+	"hyperloop/internal/sim"
+	"hyperloop/internal/wal"
+)
+
+// Errors.
+var (
+	ErrClosed      = errors.New("kvstore: closed")
+	ErrNotFound    = errors.New("kvstore: key not found")
+	ErrStale       = errors.New("kvstore: key not yet committed on this replica")
+	ErrKeyTooLarge = errors.New("kvstore: key exceeds 255 bytes")
+	ErrOutOfSpace  = errors.New("kvstore: data region full")
+	ErrCorruptSlot = errors.New("kvstore: corrupt data slot")
+)
+
+// Slot layout in the data region (self-describing, so recovery can rebuild
+// the index by scanning):
+//
+//	magic u16 | flags u8 | keyLen u8 | valCap u32 | valLen u32 | crcless pad u32
+//	key bytes | value bytes (valCap reserved)
+const (
+	slotHdr    = 16
+	slotMagic  = 0x4b56 // "KV"
+	flagValid  = 1 << 0
+	flagDead   = 1 << 1 // tombstone
+	maxKeyLen  = 255
+	slotRound  = 16 // allocation granularity
+	defaultCap = 1024
+)
+
+// Config sizes a store within the shared NVM window.
+type Config struct {
+	LogBase  int // WAL region offset (default 0)
+	LogSize  int // WAL region size (default 4 MiB)
+	DataBase int // data region offset (default LogBase+LogSize)
+	DataSize int // data region size (default 8 MiB)
+	// CommitEvery triggers ExecuteAndAdvance after this many appends
+	// (default 1: commit continuously, off the ack path).
+	CommitEvery int
+	// Volatile skips the per-write gFLUSH interleave: acks mean replicated
+	// but not power-failure durable — the paper's §7 RAMCloud-like mode.
+	// Durability can still be forced wholesale via the group's gFLUSH.
+	Volatile bool
+	// Seed feeds the memtable's deterministic level generator.
+	Seed int64
+}
+
+func (c *Config) fill() {
+	if c.LogSize <= 0 {
+		c.LogSize = 4 << 20
+	}
+	if c.DataBase <= 0 {
+		c.DataBase = c.LogBase + c.LogSize
+	}
+	if c.DataSize <= 0 {
+		c.DataSize = 8 << 20
+	}
+	if c.CommitEvery <= 0 {
+		c.CommitEvery = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// slotRef locates a key's slot.
+type slotRef struct {
+	off int
+	cap int // value capacity
+}
+
+// DB is a replicated key-value store instance (the chain's head / client).
+type DB struct {
+	store wal.Store
+	log   *wal.Log
+	cfg   Config
+
+	mem   *memtable.Skiplist
+	index map[string]slotRef
+	next  int // bump allocator within the data region
+
+	sinceCommit   int
+	committing    bool
+	closed        bool
+	commitWaiters []func(error)
+	readers       []*replicaReader
+
+	puts, gets, dels, scans uint64
+}
+
+// Open formats a store. done fires when the (empty) log header is durable
+// on all replicas.
+func Open(store wal.Store, rep wal.Replicator, cfg Config, done func(error)) *DB {
+	cfg.fill()
+	db := &DB{
+		store: store,
+		cfg:   cfg,
+		mem:   memtable.New(sim.NewRand(cfg.Seed)),
+		index: make(map[string]slotRef),
+		next:  cfg.DataBase,
+	}
+	db.log = wal.New(store, rep, cfg.LogBase, cfg.LogSize, done)
+	return db
+}
+
+// Stats returns operation counters (puts, gets, deletes, scans).
+func (db *DB) Stats() (uint64, uint64, uint64, uint64) {
+	return db.puts, db.gets, db.dels, db.scans
+}
+
+// PendingCommits returns WAL records not yet executed.
+func (db *DB) PendingCommits() int { return db.log.Pending() }
+
+// Close marks the store closed.
+func (db *DB) Close() { db.closed = true }
+
+// encodeSlot builds a slot image.
+func encodeSlot(key string, value []byte, vcap int, flags byte) []byte {
+	buf := make([]byte, slotHdr+len(key)+vcap)
+	binary.LittleEndian.PutUint16(buf[0:], slotMagic)
+	buf[2] = flags
+	buf[3] = byte(len(key))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(vcap))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(len(value)))
+	copy(buf[slotHdr:], key)
+	copy(buf[slotHdr+len(key):], value)
+	return buf
+}
+
+// decodeSlot parses a slot at buf, returning key, value, capacity, flags,
+// and total size.
+func decodeSlot(buf []byte) (string, []byte, int, byte, int, error) {
+	if len(buf) < slotHdr {
+		return "", nil, 0, 0, 0, ErrCorruptSlot
+	}
+	if binary.LittleEndian.Uint16(buf[0:]) != slotMagic {
+		return "", nil, 0, 0, 0, ErrCorruptSlot
+	}
+	flags := buf[2]
+	kl := int(buf[3])
+	vcap := int(binary.LittleEndian.Uint32(buf[4:]))
+	vl := int(binary.LittleEndian.Uint32(buf[8:]))
+	total := slotHdr + kl + vcap
+	if vl > vcap || total > len(buf) {
+		return "", nil, 0, 0, 0, ErrCorruptSlot
+	}
+	key := string(buf[slotHdr : slotHdr+kl])
+	val := make([]byte, vl)
+	copy(val, buf[slotHdr+kl:slotHdr+kl+vl])
+	return key, val, vcap, flags, total, nil
+}
+
+// slotSize returns the rounded allocation size for a key/capacity pair.
+func slotSize(keyLen, vcap int) int {
+	n := slotHdr + keyLen + vcap
+	return (n + slotRound - 1) &^ (slotRound - 1)
+}
+
+// allocate finds or creates a slot for key able to hold valLen bytes.
+func (db *DB) allocate(key string, valLen int) (slotRef, error) {
+	if ref, ok := db.index[key]; ok && valLen <= ref.cap {
+		return ref, nil
+	}
+	vcap := defaultCap
+	if valLen > vcap {
+		vcap = (valLen + slotRound - 1) &^ (slotRound - 1)
+	}
+	sz := slotSize(len(key), vcap)
+	if db.next+sz > db.cfg.DataBase+db.cfg.DataSize {
+		return slotRef{}, ErrOutOfSpace
+	}
+	ref := slotRef{off: db.next, cap: vcap}
+	db.next += sz
+	db.index[key] = ref
+	return ref, nil
+}
+
+// Put stores key=value on all replicas. done fires when the redo record is
+// durable everywhere (the RocksDB ack point). The commit to the data region
+// happens asynchronously via the WAL executor.
+func (db *DB) Put(key string, value []byte, done func(error)) error {
+	if db.closed {
+		return ErrClosed
+	}
+	if len(key) > maxKeyLen {
+		return ErrKeyTooLarge
+	}
+	ref, err := db.allocate(key, len(value))
+	if err != nil {
+		return err
+	}
+	img := encodeSlot(key, value, ref.cap, flagValid)
+	if err := db.append([]wal.Entry{{Offset: ref.off, Data: img}}, done); err != nil {
+		return err
+	}
+	db.puts++
+	val := make([]byte, len(value))
+	copy(val, value)
+	db.mem.Put(key, val)
+	return nil
+}
+
+// append routes a record through the WAL with the configured durability.
+func (db *DB) append(entries []wal.Entry, done func(error)) error {
+	return db.log.AppendMode(entries, !db.cfg.Volatile, db.ackWrap(done))
+}
+
+// WriteBatch applies several puts and deletes as one atomic unit: a single
+// redo record, so recovery sees all or none of the batch (RocksDB's
+// WriteBatch semantics over the replicated log).
+type WriteBatch struct {
+	db      *DB
+	entries []wal.Entry
+	mem     []func()
+	err     error
+}
+
+// Batch starts an empty write batch.
+func (db *DB) Batch() *WriteBatch { return &WriteBatch{db: db} }
+
+// Put adds a key write to the batch.
+func (b *WriteBatch) Put(key string, value []byte) *WriteBatch {
+	if b.err != nil {
+		return b
+	}
+	if len(key) > maxKeyLen {
+		b.err = ErrKeyTooLarge
+		return b
+	}
+	ref, err := b.db.allocate(key, len(value))
+	if err != nil {
+		b.err = err
+		return b
+	}
+	img := encodeSlot(key, value, ref.cap, flagValid)
+	b.entries = append(b.entries, wal.Entry{Offset: ref.off, Data: img})
+	val := make([]byte, len(value))
+	copy(val, value)
+	b.mem = append(b.mem, func() { b.db.mem.Put(key, val); b.db.puts++ })
+	return b
+}
+
+// Delete adds a key removal to the batch.
+func (b *WriteBatch) Delete(key string) *WriteBatch {
+	if b.err != nil {
+		return b
+	}
+	ref, ok := b.db.index[key]
+	if !ok {
+		return b // deleting a missing key is a no-op
+	}
+	img := encodeSlot(key, nil, ref.cap, flagDead)
+	b.entries = append(b.entries, wal.Entry{Offset: ref.off, Data: img})
+	b.mem = append(b.mem, func() {
+		b.db.mem.Del(key)
+		delete(b.db.index, key)
+		b.db.dels++
+	})
+	return b
+}
+
+// Len returns the number of operations in the batch.
+func (b *WriteBatch) Len() int { return len(b.entries) }
+
+// Commit replicates the batch atomically; done fires at the durability
+// point. An empty batch acks immediately.
+func (b *WriteBatch) Commit(done func(error)) error {
+	if b.db.closed {
+		return ErrClosed
+	}
+	if b.err != nil {
+		return b.err
+	}
+	if len(b.entries) == 0 {
+		if done != nil {
+			done(nil)
+		}
+		return nil
+	}
+	if err := b.db.append(b.entries, done); err != nil {
+		return err
+	}
+	for _, apply := range b.mem {
+		apply()
+	}
+	b.entries, b.mem = nil, nil
+	return nil
+}
+
+// ackWrap chains the commit policy onto the replication ack: records become
+// committable only once every replica holds them, so the executor is driven
+// from here rather than from the issue path.
+func (db *DB) ackWrap(done func(error)) func(error) {
+	return func(err error) {
+		if err == nil {
+			db.maybeCommit()
+		}
+		if done != nil {
+			done(err)
+		}
+	}
+}
+
+// Get reads a key from the head's memtable.
+func (db *DB) Get(key string) ([]byte, bool) {
+	db.gets++
+	return db.mem.Get(key)
+}
+
+// replicaReader is the one-sided read path to one replica.
+type replicaReader struct {
+	qp   *rdma.QP
+	node *cluster.Node
+	buf  *rdma.MemoryRegion
+	busy bool
+	q    []func()
+}
+
+// EnableReplicaReads wires a one-sided RDMA read path from the head to each
+// replica, enabling GetFromReplica. Reads observe the replica's committed
+// data region, so they are eventually consistent with respect to the head
+// (§5.1: "reads from other replicas in our RocksDB implementation are
+// eventually consistent").
+func (db *DB) EnableReplicaReads(client *cluster.Node, replicas []*cluster.Node) {
+	for _, rep := range replicas {
+		q, _ := cluster.ConnectPair(client, rep, 64, 1)
+		q.SendCQ().SetAutoDrain(true)
+		db.readers = append(db.readers, &replicaReader{
+			qp:   q,
+			node: rep,
+			buf:  client.NIC.RegisterRAM(slotHdr+maxKeyLen+4096, rdma.AccessLocalWrite),
+		})
+	}
+}
+
+// GetFromReplica reads key's committed value from replica r's NVM via a
+// one-sided RDMA READ — no replica CPU. Keys whose latest write has not yet
+// been committed there (or that never existed) report ErrStale / not found.
+func (db *DB) GetFromReplica(key string, r int, done func([]byte, error)) {
+	if db.closed {
+		done(nil, ErrClosed)
+		return
+	}
+	if r < 0 || r >= len(db.readers) {
+		done(nil, fmt.Errorf("kvstore: no read path to replica %d", r))
+		return
+	}
+	ref, ok := db.index[key]
+	if !ok {
+		done(nil, ErrNotFound)
+		return
+	}
+	rd := db.readers[r]
+	db.gets++
+	size := slotHdr + len(key) + ref.cap
+	if size > rd.buf.Len() {
+		size = rd.buf.Len()
+	}
+	run := func() {
+		rd.busy = true
+		rd.qp.SendCQ().SetCallback(func(e rdma.CQE) {
+			rd.qp.SendCQ().SetCallback(nil)
+			buf := make([]byte, size)
+			rd.buf.Backing().ReadAt(0, buf)
+			rd.busy = false
+			if len(rd.q) > 0 {
+				next := rd.q[0]
+				rd.q = rd.q[1:]
+				next()
+			}
+			if e.Status != rdma.StatusSuccess {
+				done(nil, fmt.Errorf("kvstore: replica read %v", e.Status))
+				return
+			}
+			gotKey, val, _, flags, _, err := decodeSlot(buf)
+			switch {
+			case err != nil || gotKey != key:
+				// Slot not committed on this replica yet.
+				done(nil, ErrStale)
+			case flags&flagDead != 0:
+				done(nil, ErrNotFound)
+			default:
+				done(val, nil)
+			}
+		})
+		if _, err := rd.qp.PostSend(rdma.WQE{
+			Opcode: rdma.OpRead, Signaled: true,
+			RKey: rd.node.Store.RKey(), RAddr: uint64(ref.off),
+			SGEs: []rdma.SGE{{LKey: rd.buf.LKey(), Offset: 0, Length: uint32(size)}},
+		}); err != nil {
+			rd.busy = false
+			done(nil, err)
+		}
+	}
+	if rd.busy {
+		rd.q = append(rd.q, run)
+		return
+	}
+	run()
+}
+
+// Delete removes a key (a durable tombstone slot image in the WAL).
+func (db *DB) Delete(key string, done func(error)) error {
+	if db.closed {
+		return ErrClosed
+	}
+	ref, ok := db.index[key]
+	if !ok {
+		if done != nil {
+			done(nil)
+		}
+		return nil
+	}
+	img := encodeSlot(key, nil, ref.cap, flagDead)
+	if err := db.append([]wal.Entry{{Offset: ref.off, Data: img}}, done); err != nil {
+		return err
+	}
+	db.dels++
+	db.mem.Del(key)
+	delete(db.index, key)
+	return nil
+}
+
+// Scan returns up to limit pairs with key >= start.
+func (db *DB) Scan(start string, limit int) []memtable.KV {
+	db.scans++
+	return db.mem.Scan(start, limit)
+}
+
+// Size returns the number of live keys.
+func (db *DB) Size() int { return db.mem.Len() }
+
+// maybeCommit drains the WAL executor per the commit policy. Commits chain:
+// only one ExecuteAndAdvance is outstanding at a time.
+func (db *DB) maybeCommit() {
+	db.sinceCommit++
+	if db.sinceCommit < db.cfg.CommitEvery {
+		return
+	}
+	db.sinceCommit = 0
+	db.drain()
+}
+
+// Commit requests execution of all pending WAL records; done fires once the
+// log is fully drained (including records whose replication ack is still in
+// flight).
+func (db *DB) Commit(done func(error)) {
+	if db.log.Pending() == 0 && !db.committing {
+		if done != nil {
+			done(nil)
+		}
+		return
+	}
+	if done != nil {
+		db.commitWaiters = append(db.commitWaiters, done)
+	}
+	db.drain()
+}
+
+func (db *DB) notifyCommitWaiters(err error) {
+	if err == nil && (db.log.Pending() > 0 || db.committing) {
+		return
+	}
+	ws := db.commitWaiters
+	db.commitWaiters = nil
+	for _, w := range ws {
+		w(err)
+	}
+}
+
+// drain executes replicated records one at a time, off the put ack path. It
+// pauses at a record whose replication is still in flight and resumes from
+// the next ack (ackWrap → maybeCommit → drain).
+func (db *DB) drain() {
+	if db.committing {
+		return
+	}
+	var step func(error)
+	run := func() {
+		if db.log.Pending() == 0 || !db.log.Ready() {
+			db.committing = false
+			db.notifyCommitWaiters(nil)
+			return
+		}
+		if err := db.log.ExecuteAndAdvance(step); err != nil {
+			db.committing = false
+			db.notifyCommitWaiters(err)
+		}
+	}
+	step = func(err error) {
+		if err != nil {
+			db.committing = false
+			db.notifyCommitWaiters(err)
+			return
+		}
+		run()
+	}
+	db.committing = true
+	run()
+}
+
+// Rebuild reconstructs the store's contents from a (typically durable,
+// post-crash) image of the shared window: the data region is scanned for
+// valid slots, then unexecuted WAL records are replayed over it — exactly
+// what a new chain member does before joining (§5.1, RocksDB recovery).
+func Rebuild(read func(off, size int) []byte, cfg Config) (map[string][]byte, error) {
+	cfg.fill()
+	out := make(map[string][]byte)
+
+	// Pass 1: scan data slots.
+	off := cfg.DataBase
+	end := cfg.DataBase + cfg.DataSize
+	for off+slotHdr <= end {
+		hdr := read(off, slotHdr)
+		if binary.LittleEndian.Uint16(hdr[0:]) != slotMagic {
+			break // end of allocated space
+		}
+		kl := int(hdr[3])
+		vcap := int(binary.LittleEndian.Uint32(hdr[4:]))
+		total := slotSize(kl, vcap)
+		buf := read(off, slotHdr+kl+vcap)
+		key, val, _, flags, _, err := decodeSlot(buf)
+		if err != nil {
+			return nil, fmt.Errorf("slot at %d: %w", off, err)
+		}
+		if flags&flagValid != 0 && flags&flagDead == 0 {
+			out[key] = val
+		}
+		off += total
+	}
+
+	// Pass 2: replay unexecuted WAL records.
+	rec, err := wal.Recover(read, cfg.LogBase, cfg.LogSize)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rec.Records {
+		for _, e := range r.Entries {
+			key, val, _, flags, _, err := decodeSlot(e.Data)
+			if err != nil {
+				return nil, fmt.Errorf("wal record seq %d: %w", r.Seq, err)
+			}
+			if flags&flagDead != 0 {
+				delete(out, key)
+			} else {
+				out[key] = val
+			}
+		}
+	}
+	return out, nil
+}

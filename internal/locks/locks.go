@@ -1,0 +1,293 @@
+// Package locks implements HyperLoop's group locking (§4.2, §5 "Locking
+// and Isolation"): single-writer/multiple-reader locks whose state lives in
+// each replica's NVM and is manipulated exclusively with gCAS — so lock
+// acquisition and release never involve replica CPUs.
+//
+// Lock-word layout (8 bytes, little endian):
+//
+//	bit 63      writer bit
+//	bits 48-62  writer id (15 bits)
+//	bits 0-47   reader count
+//
+// A writer acquires by CAS(0 → writerBit|id) on every replica; a partial
+// acquisition (some replicas already locked) is undone via the execute map,
+// exactly the paper's undo idiom. A reader registers on one replica only
+// (the one it will read from), incrementing that replica's reader count
+// with a CAS retry loop.
+package locks
+
+import (
+	"errors"
+	"fmt"
+
+	"hyperloop/internal/core"
+	"hyperloop/internal/sim"
+)
+
+// Lock-word fields.
+const (
+	writerBit   = uint64(1) << 63
+	writerShift = 48
+	readerMask  = (uint64(1) << writerShift) - 1
+)
+
+// Word composes a lock word.
+func Word(writer uint64, readers uint64) uint64 {
+	if writer != 0 {
+		return writerBit | (writer&0x7fff)<<writerShift | (readers & readerMask)
+	}
+	return readers & readerMask
+}
+
+// HasWriter reports whether a lock word carries the writer bit.
+func HasWriter(w uint64) bool { return w&writerBit != 0 }
+
+// Readers extracts the reader count.
+func Readers(w uint64) uint64 { return w & readerMask }
+
+// Errors.
+var (
+	ErrNotHeld  = errors.New("locks: lock not held by this owner")
+	ErrGaveUp   = errors.New("locks: acquisition retries exhausted")
+	ErrBadOwner = errors.New("locks: owner id must be in [1, 32767]")
+)
+
+// CASer is the group-CAS surface the manager needs (satisfied by
+// *core.Group).
+type CASer interface {
+	GCAS(off int, old, new uint64, exec core.ExecuteMap, done func(core.Result)) error
+	GroupSize() int
+}
+
+// Config tunes retry behaviour.
+type Config struct {
+	// MaxRetries bounds acquisition attempts (default 64).
+	MaxRetries int
+	// Backoff is the initial retry delay, doubled per attempt up to 64×
+	// (default 5µs).
+	Backoff sim.Duration
+}
+
+func (c *Config) fill() {
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 64
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 5 * sim.Microsecond
+	}
+}
+
+// Manager coordinates locks stored at lockBase + 8*lock within the shared
+// store window.
+type Manager struct {
+	g        CASer
+	eng      *sim.Engine
+	cfg      Config
+	lockBase int
+
+	acquires uint64
+	retries  uint64
+	undos    uint64
+}
+
+// New creates a lock manager over a group. Lock i's word lives at
+// lockBase + 8*i in every store.
+func New(g CASer, eng *sim.Engine, lockBase int, cfg Config) *Manager {
+	cfg.fill()
+	return &Manager{g: g, eng: eng, cfg: cfg, lockBase: lockBase}
+}
+
+// Stats returns (acquisitions, retries, undo operations).
+func (m *Manager) Stats() (uint64, uint64, uint64) { return m.acquires, m.retries, m.undos }
+
+func (m *Manager) off(lock int) int { return m.lockBase + 8*lock }
+
+// WrLock acquires the group-wide exclusive write lock for owner (a nonzero
+// id < 2^15). done receives nil on success.
+func (m *Manager) WrLock(lock int, owner uint64, done func(error)) {
+	if owner == 0 || owner > 0x7fff {
+		done(ErrBadOwner)
+		return
+	}
+	all := core.AllReplicas(m.g.GroupSize())
+	want := Word(owner, 0)
+	attempt := 0
+	backoff := m.cfg.Backoff
+
+	var try func(exec core.ExecuteMap)
+	try = func(exec core.ExecuteMap) {
+		err := m.g.GCAS(m.off(lock), 0, want, exec, func(res core.Result) {
+			if res.Err != nil {
+				done(res.Err)
+				return
+			}
+			// Which replicas did we just acquire?
+			var won core.ExecuteMap
+			allWon := true
+			for i, orig := range res.CASOld {
+				if !exec.Has(i) {
+					continue
+				}
+				if orig == 0 {
+					won |= 1 << uint(i)
+				} else {
+					allWon = false
+				}
+			}
+			if allWon {
+				m.acquires++
+				done(nil)
+				return
+			}
+			// Partial acquisition: undo the won subset, back off, retry
+			// on all replicas (the paper's execute-map undo).
+			proceed := func() {
+				attempt++
+				if attempt >= m.cfg.MaxRetries {
+					done(ErrGaveUp)
+					return
+				}
+				m.retries++
+				d := backoff
+				if attempt < 7 {
+					d = backoff << uint(attempt)
+				} else {
+					d = backoff << 6
+				}
+				m.eng.Schedule(d, func() { try(all) })
+			}
+			if won == 0 {
+				proceed()
+				return
+			}
+			m.undos++
+			uerr := m.g.GCAS(m.off(lock), want, 0, won, func(ur core.Result) {
+				if ur.Err != nil {
+					done(ur.Err)
+					return
+				}
+				proceed()
+			})
+			if uerr != nil {
+				done(uerr)
+			}
+		})
+		if err != nil {
+			done(err)
+		}
+	}
+	try(all)
+}
+
+// WrUnlock releases the write lock held by owner on all replicas.
+func (m *Manager) WrUnlock(lock int, owner uint64, done func(error)) {
+	want := Word(owner, 0)
+	all := core.AllReplicas(m.g.GroupSize())
+	err := m.g.GCAS(m.off(lock), want, 0, all, func(res core.Result) {
+		if res.Err != nil {
+			done(res.Err)
+			return
+		}
+		for _, orig := range res.CASOld {
+			if orig != want {
+				done(fmt.Errorf("%w: word=%x", ErrNotHeld, orig))
+				return
+			}
+		}
+		done(nil)
+	})
+	if err != nil {
+		done(err)
+	}
+}
+
+// RdLock registers a reader on a single replica, allowing a consistent
+// read from that replica while writers are excluded there. Readers on
+// different replicas proceed concurrently — that is how HyperLoop lets all
+// replicas serve reads (§5).
+func (m *Manager) RdLock(lock, replica int, done func(error)) {
+	m.casLoopOnReplica(lock, replica, func(cur uint64) (uint64, bool) {
+		if HasWriter(cur) {
+			return 0, false // writer active: back off and retry
+		}
+		return cur + 1, true
+	}, done)
+}
+
+// RdUnlock drops a reader registration on a replica.
+func (m *Manager) RdUnlock(lock, replica int, done func(error)) {
+	m.casLoopOnReplica(lock, replica, func(cur uint64) (uint64, bool) {
+		if Readers(cur) == 0 {
+			return 0, false
+		}
+		return cur - 1, true
+	}, done)
+}
+
+// casLoopOnReplica retries CAS on one replica until update succeeds. update
+// maps the current word to the desired word, or reports not-ready (retry
+// after backoff).
+func (m *Manager) casLoopOnReplica(lock, replica int, update func(uint64) (uint64, bool), done func(error)) {
+	exec := core.ExecuteMap(1) << uint(replica)
+	attempt := 0
+	expected := uint64(0)
+
+	var try func()
+	try = func() {
+		next, ready := update(expected)
+		if !ready {
+			attempt++
+			if attempt >= m.cfg.MaxRetries {
+				done(ErrGaveUp)
+				return
+			}
+			m.retries++
+			// Re-probe by attempting a no-change CAS to learn the word.
+			m.eng.Schedule(m.cfg.Backoff<<uint(minInt(attempt, 6)), func() {
+				probe := m.g.GCAS(m.off(lock), expected, expected, exec, func(res core.Result) {
+					if res.Err != nil {
+						done(res.Err)
+						return
+					}
+					expected = res.CASOld[replica]
+					try()
+				})
+				if probe != nil {
+					done(probe)
+				}
+			})
+			return
+		}
+		err := m.g.GCAS(m.off(lock), expected, next, exec, func(res core.Result) {
+			if res.Err != nil {
+				done(res.Err)
+				return
+			}
+			orig := res.CASOld[replica]
+			if orig == expected {
+				done(nil)
+				return
+			}
+			// Lost a race: adopt the observed value and retry.
+			attempt++
+			if attempt >= m.cfg.MaxRetries {
+				done(ErrGaveUp)
+				return
+			}
+			m.retries++
+			expected = orig
+			try()
+		})
+		if err != nil {
+			done(err)
+		}
+	}
+	try()
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

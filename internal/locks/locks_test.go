@@ -1,0 +1,308 @@
+package locks
+
+import (
+	"testing"
+
+	"hyperloop/internal/cluster"
+	"hyperloop/internal/core"
+	"hyperloop/internal/fabric"
+	"hyperloop/internal/sim"
+)
+
+const lockBase = 512 << 10
+
+func setup(t *testing.T, n int) (*sim.Engine, *core.Group, *Manager) {
+	t.Helper()
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, cluster.Config{
+		Nodes: n + 1, StoreSize: 1 << 20, Fabric: fabric.Config{JitterFrac: -1},
+	})
+	g := core.New(cl, core.Config{Depth: 128})
+	m := New(g, eng, lockBase, Config{})
+	return eng, g, m
+}
+
+func await(t *testing.T, eng *sim.Engine, done *bool) {
+	t.Helper()
+	if !eng.RunUntil(func() bool { return *done }, eng.Now().Add(10*sim.Second)) {
+		t.Fatal("lock operation never completed")
+	}
+}
+
+func word(g *core.Group, replica, lock int) uint64 {
+	b := g.Replica(replica).StoreBytes(lockBase+8*lock, 8)
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+func TestWordHelpers(t *testing.T) {
+	w := Word(5, 3)
+	if !HasWriter(w) || Readers(w) != 3 {
+		t.Fatalf("word %x", w)
+	}
+	if HasWriter(Word(0, 7)) || Readers(Word(0, 7)) != 7 {
+		t.Fatal("reader-only word wrong")
+	}
+}
+
+func TestWrLockUnlock(t *testing.T) {
+	eng, g, m := setup(t, 3)
+	done := false
+	m.WrLock(0, 7, func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		done = true
+	})
+	await(t, eng, &done)
+	for i := 0; i < 3; i++ {
+		if w := word(g, i, 0); !HasWriter(w) {
+			t.Fatalf("replica %d lock word %x after WrLock", i, w)
+		}
+	}
+	done = false
+	m.WrUnlock(0, 7, func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		done = true
+	})
+	await(t, eng, &done)
+	for i := 0; i < 3; i++ {
+		if w := word(g, i, 0); w != 0 {
+			t.Fatalf("replica %d lock word %x after WrUnlock", i, w)
+		}
+	}
+	acq, _, _ := m.Stats()
+	if acq != 1 {
+		t.Fatalf("acquires = %d", acq)
+	}
+}
+
+func TestWrUnlockWrongOwner(t *testing.T) {
+	eng, _, m := setup(t, 2)
+	done := false
+	m.WrLock(0, 3, func(error) { done = true })
+	await(t, eng, &done)
+	done = false
+	var got error
+	m.WrUnlock(0, 4, func(err error) { got = err; done = true })
+	await(t, eng, &done)
+	if got == nil {
+		t.Fatal("unlock by wrong owner succeeded")
+	}
+}
+
+func TestWrLockContention(t *testing.T) {
+	// Two writers race; both must eventually hold the lock exactly once,
+	// serialized.
+	eng, g, m := setup(t, 3)
+	holds := 0
+	concurrent := 0
+	finished := 0
+	acquire := func(owner uint64) {
+		m.WrLock(1, owner, func(err error) {
+			if err != nil {
+				t.Errorf("owner %d: %v", owner, err)
+				finished = 2
+				return
+			}
+			concurrent++
+			if concurrent > 1 {
+				t.Error("two writers held the lock at once")
+			}
+			holds++
+			// Hold briefly, then release.
+			eng.Schedule(20*sim.Microsecond, func() {
+				concurrent--
+				m.WrUnlock(1, owner, func(err error) {
+					if err != nil {
+						t.Errorf("unlock %d: %v", owner, err)
+					}
+					finished++
+				})
+			})
+		})
+	}
+	acquire(1)
+	acquire(2)
+	if !eng.RunUntil(func() bool { return finished >= 2 }, eng.Now().Add(10*sim.Second)) {
+		t.Fatalf("contended locking stalled (holds=%d finished=%d)", holds, finished)
+	}
+	if holds != 2 {
+		t.Fatalf("holds = %d, want 2", holds)
+	}
+	for i := 0; i < 3; i++ {
+		if w := word(g, i, 1); w != 0 {
+			t.Fatalf("replica %d lock leaked: %x", i, w)
+		}
+	}
+}
+
+func TestPartialAcquisitionUndone(t *testing.T) {
+	// Pre-lock replica 1 by a foreign owner directly; a group WrLock must
+	// undo its partial wins and keep retrying (then give up cleanly).
+	eng, g, m := setup(t, 3)
+	m.cfg.MaxRetries = 3
+	foreign := Word(99, 0)
+	b := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(foreign >> (8 * i))
+	}
+	g.Replica(1).StoreWrite(lockBase, b)
+
+	done := false
+	var got error
+	m.WrLock(0, 5, func(err error) { got = err; done = true })
+	await(t, eng, &done)
+	if got != ErrGaveUp {
+		t.Fatalf("expected ErrGaveUp, got %v", got)
+	}
+	// Replicas 0 and 2 must have been undone.
+	if w := word(g, 0, 0); w != 0 {
+		t.Fatalf("replica 0 not undone: %x", w)
+	}
+	if w := word(g, 2, 0); w != foreign+0 && w != foreign {
+		_ = w
+	}
+	if w := word(g, 2, 0); w != 0 {
+		t.Fatalf("replica 2 not undone: %x", w)
+	}
+	if w := word(g, 1, 0); w != foreign {
+		t.Fatalf("foreign lock disturbed: %x", w)
+	}
+	_, _, undos := m.Stats()
+	if undos == 0 {
+		t.Fatal("no undo recorded")
+	}
+}
+
+func TestRdLockConcurrentReaders(t *testing.T) {
+	eng, g, m := setup(t, 3)
+	done := 0
+	for i := 0; i < 3; i++ {
+		i := i
+		m.RdLock(0, i%3, func(err error) {
+			if err != nil {
+				t.Errorf("reader %d: %v", i, err)
+			}
+			done++
+		})
+	}
+	if !eng.RunUntil(func() bool { return done >= 3 }, eng.Now().Add(10*sim.Second)) {
+		t.Fatal("readers stalled")
+	}
+	for i := 0; i < 3; i++ {
+		if r := Readers(word(g, i, 0)); r != 1 {
+			t.Fatalf("replica %d readers = %d", i, r)
+		}
+	}
+}
+
+func TestRdLockBlocksWriter(t *testing.T) {
+	eng, _, m := setup(t, 2)
+	m.cfg.MaxRetries = 4
+	done := false
+	m.RdLock(0, 0, func(error) { done = true })
+	await(t, eng, &done)
+
+	done = false
+	var got error
+	m.WrLock(0, 6, func(err error) { got = err; done = true })
+	await(t, eng, &done)
+	if got != ErrGaveUp {
+		t.Fatalf("writer should block behind reader: %v", got)
+	}
+
+	// Release the reader; the writer can now acquire.
+	done = false
+	m.RdUnlock(0, 0, func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		done = true
+	})
+	await(t, eng, &done)
+	done = false
+	m.WrLock(0, 6, func(err error) { got = err; done = true })
+	await(t, eng, &done)
+	if got != nil {
+		t.Fatalf("writer blocked after reader left: %v", got)
+	}
+}
+
+func TestWriterBlocksReader(t *testing.T) {
+	eng, _, m := setup(t, 2)
+	m.cfg.MaxRetries = 4
+	done := false
+	m.WrLock(0, 9, func(error) { done = true })
+	await(t, eng, &done)
+
+	done = false
+	var got error
+	m.RdLock(0, 1, func(err error) { got = err; done = true })
+	await(t, eng, &done)
+	if got != ErrGaveUp {
+		t.Fatalf("reader should block behind writer: %v", got)
+	}
+
+	done = false
+	m.WrUnlock(0, 9, func(error) { done = true })
+	await(t, eng, &done)
+	done = false
+	m.RdLock(0, 1, func(err error) { got = err; done = true })
+	await(t, eng, &done)
+	if got != nil {
+		t.Fatalf("reader blocked after writer left: %v", got)
+	}
+}
+
+func TestRdUnlockWithoutReaders(t *testing.T) {
+	eng, _, m := setup(t, 2)
+	m.cfg.MaxRetries = 3
+	done := false
+	var got error
+	m.RdUnlock(0, 0, func(err error) { got = err; done = true })
+	await(t, eng, &done)
+	if got != ErrGaveUp {
+		t.Fatalf("unlock with zero readers: %v", got)
+	}
+}
+
+func TestBadOwnerRejected(t *testing.T) {
+	_, _, m := setup(t, 2)
+	var got error
+	m.WrLock(0, 0, func(err error) { got = err })
+	if got != ErrBadOwner {
+		t.Fatalf("owner 0: %v", got)
+	}
+	m.WrLock(0, 1<<20, func(err error) { got = err })
+	if got != ErrBadOwner {
+		t.Fatalf("oversized owner: %v", got)
+	}
+}
+
+func TestManyLocksIndependent(t *testing.T) {
+	eng, g, m := setup(t, 2)
+	done := 0
+	for i := 0; i < 16; i++ {
+		i := i
+		m.WrLock(i, uint64(i+1), func(err error) {
+			if err != nil {
+				t.Errorf("lock %d: %v", i, err)
+			}
+			done++
+		})
+	}
+	if !eng.RunUntil(func() bool { return done >= 16 }, eng.Now().Add(10*sim.Second)) {
+		t.Fatal("parallel locks stalled")
+	}
+	for i := 0; i < 16; i++ {
+		if w := word(g, 0, i); !HasWriter(w) {
+			t.Fatalf("lock %d not held: %x", i, w)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package memtable
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"hyperloop/internal/sim"
+)
+
+func TestBasic(t *testing.T) {
+	s := New(sim.NewRand(1))
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("empty list returned a value")
+	}
+	if !s.Put("b", []byte("2")) {
+		t.Fatal("fresh insert reported as replace")
+	}
+	if s.Put("b", []byte("22")) {
+		t.Fatal("replace reported as insert")
+	}
+	s.Put("a", []byte("1"))
+	s.Put("c", []byte("3"))
+	if v, ok := s.Get("b"); !ok || string(v) != "22" {
+		t.Fatalf("get b = %q %v", v, ok)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if !s.Del("b") || s.Del("b") {
+		t.Fatal("delete semantics wrong")
+	}
+	if _, ok := s.Get("b"); ok {
+		t.Fatal("deleted key still present")
+	}
+}
+
+func TestOrderedScan(t *testing.T) {
+	s := New(sim.NewRand(2))
+	for i := 99; i >= 0; i-- {
+		s.Put(fmt.Sprintf("key%03d", i), []byte{byte(i)})
+	}
+	out := s.Scan("key010", 5)
+	if len(out) != 5 {
+		t.Fatalf("scan returned %d", len(out))
+	}
+	for i, kv := range out {
+		want := fmt.Sprintf("key%03d", 10+i)
+		if kv.Key != want {
+			t.Fatalf("scan[%d] = %s, want %s", i, kv.Key, want)
+		}
+	}
+	if got := s.Scan("key999", 5); len(got) != 0 {
+		t.Fatalf("scan past end returned %d", len(got))
+	}
+}
+
+func TestScanFromEmptyPrefix(t *testing.T) {
+	s := New(sim.NewRand(4))
+	s.Put("b", []byte("x"))
+	out := s.Scan("", 10)
+	if len(out) != 1 || out[0].Key != "b" {
+		t.Fatalf("scan from empty prefix: %+v", out)
+	}
+}
+
+func TestPropertyMatchesMap(t *testing.T) {
+	f := func(ops []struct {
+		Key byte
+		Del bool
+	}) bool {
+		s := New(sim.NewRand(3))
+		shadow := map[string][]byte{}
+		for i, op := range ops {
+			k := fmt.Sprintf("k%d", op.Key%32)
+			if op.Del {
+				s.Del(k)
+				delete(shadow, k)
+			} else {
+				v := []byte{byte(i)}
+				s.Put(k, v)
+				shadow[k] = v
+			}
+		}
+		if s.Len() != len(shadow) {
+			return false
+		}
+		for k, v := range shadow {
+			got, ok := s.Get(k)
+			if !ok || !bytes.Equal(got, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyScanIsSorted(t *testing.T) {
+	f := func(keys []uint16) bool {
+		s := New(sim.NewRand(5))
+		for _, k := range keys {
+			s.Put(fmt.Sprintf("%05d", k), []byte("v"))
+		}
+		out := s.Scan("", len(keys)+1)
+		for i := 1; i < len(out); i++ {
+			if out[i-1].Key >= out[i].Key {
+				return false
+			}
+		}
+		return len(out) == s.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

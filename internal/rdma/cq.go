@@ -1,0 +1,86 @@
+package rdma
+
+// CQE is a completion-queue entry.
+type CQE struct {
+	WRID    uint64
+	Opcode  Opcode
+	Status  Status
+	QPN     uint32 // queue pair the completion belongs to
+	Imm     uint64 // immediate data (WRITE_IMM / SEND), or CAS original value
+	ByteLen int    // bytes transferred
+}
+
+// CQ is a completion queue. Completions can be consumed three ways, all of
+// which the evaluation exercises:
+//
+//   - Poll, by a busy-polling CPU thread (the Naïve-Polling baseline);
+//   - a callback, modelling a completion-channel event that wakes a host
+//     thread (the Naïve-Event baseline and the client library);
+//   - WAIT work requests on other queues (the HyperLoop datapath), which
+//     observe only the monotone completion counter and consume nothing.
+type CQ struct {
+	id        uint32
+	nic       *NIC
+	entries   []CQE
+	total     uint64 // completions ever pushed (monotone; WAIT watches this)
+	cb        func(CQE)
+	waiters   []func() // queues stalled on a WAIT against this CQ
+	autoDrain bool
+}
+
+// SetAutoDrain configures the CQ to discard entries instead of retaining
+// them for Poll. The monotone counter (what WAIT observes) and the callback
+// still fire. HyperLoop marks its chain CQs auto-drain: no host ever polls
+// them — that is the whole point — so retaining entries would just leak.
+func (c *CQ) SetAutoDrain(v bool) { c.autoDrain = v }
+
+// ID returns the CQ identifier WAIT WQEs reference.
+func (c *CQ) ID() uint32 { return c.id }
+
+// Completions returns the monotone count of completions ever delivered.
+func (c *CQ) Completions() uint64 { return c.total }
+
+// Depth returns the number of unpolled entries.
+func (c *CQ) Depth() int { return len(c.entries) }
+
+// SetCallback installs fn to run on every future completion. Passing nil
+// removes the callback. The callback runs on the simulation goroutine at
+// completion time; event-driven consumers are expected to model their host
+// wakeup cost themselves (that cost is the paper's whole subject).
+func (c *CQ) SetCallback(fn func(CQE)) { c.cb = fn }
+
+// Poll removes and returns up to max entries.
+func (c *CQ) Poll(max int) []CQE {
+	if max <= 0 || len(c.entries) == 0 {
+		return nil
+	}
+	if max > len(c.entries) {
+		max = len(c.entries)
+	}
+	out := make([]CQE, max)
+	copy(out, c.entries[:max])
+	c.entries = c.entries[max:]
+	return out
+}
+
+// push delivers a completion: appends, notifies the callback, and re-kicks
+// any queues whose head WAIT watches this CQ.
+func (c *CQ) push(e CQE) {
+	if !c.autoDrain {
+		c.entries = append(c.entries, e)
+	}
+	c.total++
+	if c.cb != nil {
+		c.cb(e)
+	}
+	if len(c.waiters) > 0 {
+		ws := c.waiters
+		c.waiters = nil
+		for _, w := range ws {
+			w()
+		}
+	}
+}
+
+// addWaiter registers a re-kick callback for a queue blocked on this CQ.
+func (c *CQ) addWaiter(fn func()) { c.waiters = append(c.waiters, fn) }

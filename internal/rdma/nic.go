@@ -1,0 +1,679 @@
+package rdma
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hyperloop/internal/fabric"
+	"hyperloop/internal/sim"
+)
+
+// packetKind discriminates NIC-to-NIC messages.
+type packetKind uint8
+
+const (
+	pkSend packetKind = iota + 1
+	pkWrite
+	pkWriteImm
+	pkRead
+	pkCAS
+	pkAck      // completes SEND/WRITE/WRITE_IMM at the requester
+	pkReadResp // carries READ data back
+	pkCASResp  // carries the original value back
+)
+
+// packet is the simulation's wire unit. Payloads travel by reference; the
+// fabric charges serialization time for the declared size.
+type packet struct {
+	kind    packetKind
+	srcQPN  uint32
+	dstQPN  uint32
+	rkey    uint32
+	raddr   uint64
+	data    []byte
+	imm     uint64
+	compare uint64
+	swap    uint64
+	readLen int
+	reqID   uint64
+	status  Status
+}
+
+// TraceEvent is one NIC-level action, emitted to an attached Tracer. The
+// stream narrates exactly what the hardware does per operation — which is
+// the paper's §4 argument made visible.
+type TraceEvent struct {
+	At   sim.Time
+	Node fabric.NodeID
+	Kind string // "exec", "wait", "stall", "rx", "cqe"
+	QPN  uint32
+	Op   Opcode
+	WRID uint64
+	Info string
+}
+
+// Tracer receives trace events. Implementations must be cheap; tracing is
+// disabled when no tracer is attached.
+type Tracer func(TraceEvent)
+
+// Counters aggregates NIC activity for the evaluation's CPU/offload
+// accounting.
+type Counters struct {
+	WQEsExecuted uint64
+	SendsRx      uint64
+	WritesRx     uint64
+	ReadsRx      uint64
+	AtomicsRx    uint64
+	CacheFlushes uint64
+	RNRs         uint64
+	AccessFaults uint64
+}
+
+// NIC is one RDMA-capable network adapter: it owns memory registrations,
+// queue pairs, and completion queues, executes work queues autonomously,
+// and responds to inbound verbs — all without any cpusched involvement,
+// which is precisely the property HyperLoop exploits.
+type NIC struct {
+	eng  *sim.Engine
+	cfg  Config
+	net  *fabric.Network
+	node fabric.NodeID
+
+	mrsByLKey map[uint32]*MemoryRegion
+	mrsByRKey map[uint32]*MemoryRegion
+	qps       map[uint32]*QP
+	cqs       map[uint32]*CQ
+	nextKey   uint32
+	nextQPN   uint32
+	nextCQID  uint32
+
+	counters Counters
+	tracer   Tracer
+}
+
+// SetTracer attaches fn to receive NIC-level trace events (nil detaches).
+func (n *NIC) SetTracer(fn Tracer) { n.tracer = fn }
+
+func (n *NIC) trace(kind string, qpn uint32, op Opcode, wrid uint64, info string) {
+	if n.tracer != nil {
+		n.tracer(TraceEvent{At: n.eng.Now(), Node: n.node, Kind: kind, QPN: qpn, Op: op, WRID: wrid, Info: info})
+	}
+}
+
+// NewNIC attaches a NIC to the network.
+func NewNIC(eng *sim.Engine, net *fabric.Network, cfg Config) *NIC {
+	cfg.fill()
+	n := &NIC{
+		eng:       eng,
+		cfg:       cfg,
+		net:       net,
+		mrsByLKey: make(map[uint32]*MemoryRegion),
+		mrsByRKey: make(map[uint32]*MemoryRegion),
+		qps:       make(map[uint32]*QP),
+		cqs:       make(map[uint32]*CQ),
+	}
+	n.node = net.Attach(n.handleMessage)
+	return n
+}
+
+// Node returns the NIC's fabric address.
+func (n *NIC) Node() fabric.NodeID { return n.node }
+
+// Engine returns the simulation engine driving this NIC.
+func (n *NIC) Engine() *sim.Engine { return n.eng }
+
+// Counters returns a snapshot of activity counters.
+func (n *NIC) Counters() Counters { return n.counters }
+
+// RegisterMemory registers backing with the given access rights and returns
+// the memory region.
+func (n *NIC) RegisterMemory(backing Backing, access Access) *MemoryRegion {
+	n.nextKey++
+	mr := &MemoryRegion{
+		lkey:    n.nextKey,
+		rkey:    n.nextKey | 0x8000_0000,
+		access:  access,
+		backing: backing,
+	}
+	n.mrsByLKey[mr.lkey] = mr
+	n.mrsByRKey[mr.rkey] = mr
+	return mr
+}
+
+// RegisterRAM is shorthand for registering a fresh volatile buffer.
+func (n *NIC) RegisterRAM(size int, access Access) *MemoryRegion {
+	return n.RegisterMemory(NewRAMBacking(size), access)
+}
+
+// CreateCQ allocates a completion queue.
+func (n *NIC) CreateCQ() *CQ {
+	n.nextCQID++
+	cq := &CQ{id: n.nextCQID, nic: n}
+	n.cqs[cq.id] = cq
+	return cq
+}
+
+// LookupCQ resolves a CQ id (used by WAIT execution).
+func (n *NIC) LookupCQ(id uint32) *CQ { return n.cqs[id] }
+
+// CreateQP allocates a queue pair with sqSlots send and rqSlots receive
+// slots. The queues live in registered memory; writes into the send table
+// re-kick the queue so remotely-granted ownership takes effect.
+func (n *NIC) CreateQP(sendCQ, recvCQ *CQ, sqSlots, rqSlots int) *QP {
+	if sqSlots <= 0 {
+		sqSlots = n.cfg.MaxInlineWQ
+	}
+	if rqSlots <= 0 {
+		rqSlots = n.cfg.MaxInlineWQ
+	}
+	n.nextQPN++
+	qp := &QP{
+		qpn:          n.nextQPN,
+		nic:          n,
+		sendCQ:       sendCQ,
+		recvCQ:       recvCQ,
+		waitConsumed: make(map[uint32]uint64),
+		pending:      make(map[uint64]pendingReq),
+	}
+	sqMR := n.RegisterRAM(sqSlots*SlotSize, AccessLocalWrite|AccessRemoteWrite)
+	rqMR := n.RegisterRAM(rqSlots*SlotSize, AccessLocalWrite|AccessRemoteWrite)
+	qp.sq = newWQETable(sqMR, sqSlots)
+	qp.rq = newWQETable(rqMR, rqSlots)
+	// Any write landing in the send table may have granted ownership of a
+	// stalled descriptor: re-evaluate the queue.
+	sqMR.onWrite = func(off, len int) { n.kick(qp) }
+	n.qps[qp.qpn] = qp
+	return qp
+}
+
+// Connect wires two QPs (reliable connected semantics). Both ends must
+// belong to NICs on the same fabric.
+func Connect(a, b *QP) {
+	a.peerNode, a.peerQPN = b.nic.node, b.qpn
+	b.peerNode, b.peerQPN = a.nic.node, a.qpn
+	a.loopback = a.nic == b.nic && a.qpn == b.qpn
+	b.loopback = a.loopback
+	a.state, b.state = QPReady, QPReady
+}
+
+// ConnectLoopback wires a QP to itself, giving the NIC a channel for local
+// DMA operations — the paper's "local RDMA" used by gMEMCPY and gCAS (§4.2).
+func ConnectLoopback(q *QP) {
+	q.peerNode, q.peerQPN = q.nic.node, q.qpn
+	q.loopback = true
+	q.state = QPReady
+}
+
+// kick prompts the NIC to (re)evaluate a QP's send queue.
+func (n *NIC) kick(q *QP) {
+	if q.sqBusy || q.state != QPReady {
+		return
+	}
+	n.advanceSQ(q)
+}
+
+// advanceSQ drains the send queue head: consumes satisfied WAITs, stalls on
+// unsatisfied ones or host-owned slots, and initiates executable WQEs.
+func (n *NIC) advanceSQ(q *QP) {
+	for {
+		wqe, ok := q.sq.peek()
+		if !ok || q.state != QPReady {
+			return
+		}
+		if !wqe.HWOwned {
+			n.trace("stall", q.qpn, wqe.Opcode, wqe.WRID, "host-owned")
+			return // host-owned: wait for doorbell or remote grant
+		}
+		switch wqe.Opcode {
+		case OpWait:
+			cq := n.cqs[wqe.WaitCQ]
+			if cq == nil {
+				q.enterError()
+				return
+			}
+			need := q.waitConsumed[wqe.WaitCQ] + uint64(wqe.WaitCount)
+			if cq.total < need {
+				if !q.waiting {
+					q.waiting = true
+					cq.addWaiter(func() {
+						q.waiting = false
+						n.kick(q)
+					})
+				}
+				return
+			}
+			n.trace("wait", q.qpn, OpWait, wqe.WRID, fmt.Sprintf("fired cq=%d count=%d", wqe.WaitCQ, wqe.WaitCount))
+			q.waitConsumed[wqe.WaitCQ] = need
+			q.sq.advance()
+			if wqe.Signaled {
+				seq := q.execSeq
+				q.execSeq++
+				wqe := wqe
+				q.deliverInOrder(seq, func() {
+					q.sendCQ.push(CQE{WRID: wqe.WRID, Opcode: OpWait, Status: StatusSuccess, QPN: q.qpn})
+				})
+			}
+			continue
+		case OpNop:
+			q.sq.advance()
+			seq := q.execSeq
+			q.execSeq++
+			wqe := wqe
+			q.deliverInOrder(seq, func() {
+				if wqe.Signaled {
+					q.sendCQ.push(CQE{WRID: wqe.WRID, Opcode: OpNop, Status: StatusSuccess, QPN: q.qpn})
+				}
+			})
+			continue
+		default:
+			n.trace("exec", q.qpn, wqe.Opcode, wqe.WRID,
+				fmt.Sprintf("raddr=%d len=%d", wqe.RAddr, totalSGELen(wqe.SGEs)))
+			q.sq.advance()
+			q.sqBusy = true
+			n.counters.WQEsExecuted++
+			gatherLen := 0
+			for _, sge := range wqe.SGEs {
+				gatherLen += int(sge.Length)
+			}
+			cost := n.cfg.WQEProcess + n.cfg.dmaTime(gatherLen)
+			wqeCopy := wqe
+			seq := q.execSeq
+			q.execSeq++
+			n.eng.Schedule(cost, func() {
+				q.sqBusy = false
+				n.initiate(q, wqeCopy, seq)
+				n.advanceSQ(q)
+			})
+			return
+		}
+	}
+}
+
+// gather concatenates the WQE's scatter/gather entries from local MRs.
+func (n *NIC) gather(q *QP, w WQE) ([]byte, Status) {
+	var out []byte
+	for _, sge := range w.SGEs {
+		mr := n.mrsByLKey[sge.LKey]
+		if mr == nil {
+			return nil, StatusLocalProtErr
+		}
+		if !mr.contains(int(sge.Offset), int(sge.Length)) {
+			return nil, StatusLocalProtErr
+		}
+		buf := make([]byte, sge.Length)
+		mr.read(int(sge.Offset), buf)
+		out = append(out, buf...)
+	}
+	return out, StatusSuccess
+}
+
+// initiate launches one non-WAIT WQE onto the wire (or loopback path). seq
+// is the WQE's execution order for in-order completion delivery.
+func (n *NIC) initiate(q *QP, w WQE, seq uint64) {
+	fail := func(st Status) {
+		q.deliverInOrder(seq, func() {
+			if w.Signaled {
+				q.sendCQ.push(CQE{WRID: w.WRID, Opcode: w.Opcode, Status: st, QPN: q.qpn})
+			}
+		})
+		q.enterError()
+	}
+	q.nextReqID++
+	reqID := q.nextReqID
+	pkt := &packet{srcQPN: q.qpn, dstQPN: q.peerQPN, reqID: reqID}
+	switch w.Opcode {
+	case OpSend:
+		data, st := n.gather(q, w)
+		if st != StatusSuccess {
+			fail(st)
+			return
+		}
+		pkt.kind, pkt.data, pkt.imm = pkSend, data, w.Imm
+	case OpWrite, OpWriteImm:
+		data, st := n.gather(q, w)
+		if st != StatusSuccess {
+			fail(st)
+			return
+		}
+		pkt.kind, pkt.data, pkt.rkey, pkt.raddr, pkt.imm = pkWrite, data, w.RKey, w.RAddr, w.Imm
+		if w.Opcode == OpWriteImm {
+			pkt.kind = pkWriteImm
+		}
+	case OpRead:
+		length := 0
+		for _, sge := range w.SGEs {
+			length += int(sge.Length)
+		}
+		pkt.kind, pkt.rkey, pkt.raddr, pkt.readLen = pkRead, w.RKey, w.RAddr, length
+	case OpCompSwap:
+		pkt.kind, pkt.rkey, pkt.raddr, pkt.compare, pkt.swap = pkCAS, w.RKey, w.RAddr, w.Imm, w.Swap
+	default:
+		fail(StatusLocalProtErr)
+		return
+	}
+	q.pending[reqID] = pendingReq{wqe: w, seq: seq}
+	q.inFlight++
+	n.transmit(q, pkt, len(pkt.data))
+}
+
+// transmit sends pkt toward q's peer, bypassing the fabric for loopback.
+func (n *NIC) transmit(q *QP, pkt *packet, size int) {
+	if q.loopback {
+		// Local DMA path: charge receive-side processing without wire time.
+		n.eng.Schedule(n.cfg.RxProcess, func() {
+			n.handlePacket(pkt)
+		})
+		return
+	}
+	n.net.Send(fabric.Message{From: n.node, To: q.peerNode, Size: size, Payload: pkt})
+}
+
+// handleMessage is the fabric delivery hook.
+func (n *NIC) handleMessage(m fabric.Message) {
+	pkt, ok := m.Payload.(*packet)
+	if !ok {
+		panic(fmt.Sprintf("rdma: non-packet payload %T", m.Payload))
+	}
+	n.handlePacket(pkt)
+}
+
+// handlePacket dispatches an inbound packet after charging Rx processing
+// plus payload DMA, serialized per destination QP so requests execute in
+// arrival order.
+func (n *NIC) handlePacket(pkt *packet) {
+	cost := n.cfg.RxProcess + n.cfg.dmaTime(len(pkt.data))
+	start := n.eng.Now()
+	q := n.qps[pkt.dstQPN]
+	if q != nil && q.rxFree > start {
+		start = q.rxFree
+	}
+	end := start.Add(cost)
+	if q != nil {
+		q.rxFree = end
+	}
+	n.eng.ScheduleAt(end, func() { n.process(pkt) })
+}
+
+func (n *NIC) process(pkt *packet) {
+	q := n.qps[pkt.dstQPN]
+	if q == nil {
+		return // stale packet to a destroyed QP
+	}
+	n.trace("rx", pkt.dstQPN, 0, 0, fmt.Sprintf("%s %dB raddr=%d", pktKindName(pkt.kind), len(pkt.data), pkt.raddr))
+	switch pkt.kind {
+	case pkSend:
+		n.counters.SendsRx++
+		n.recvConsume(q, pkt, pkt.data, false)
+		return
+	case pkWrite:
+		n.counters.WritesRx++
+		st := n.remoteWrite(pkt)
+		n.respond(q, &packet{kind: pkAck, dstQPN: pkt.srcQPN, reqID: pkt.reqID, status: st}, 0)
+		if st != StatusSuccess {
+			q.enterError()
+		}
+	case pkWriteImm:
+		n.counters.WritesRx++
+		st := n.remoteWrite(pkt)
+		if st != StatusSuccess {
+			n.respond(q, &packet{kind: pkAck, dstQPN: pkt.srcQPN, reqID: pkt.reqID, status: st}, 0)
+			q.enterError()
+			return
+		}
+		// WRITE_IMM additionally consumes a RECV to deliver the immediate.
+		n.recvConsume(q, pkt, nil, true)
+	case pkRead:
+		n.counters.ReadsRx++
+		mr := n.mrsByRKey[pkt.rkey]
+		resp := &packet{kind: pkReadResp, dstQPN: pkt.srcQPN, reqID: pkt.reqID}
+		switch {
+		case mr == nil:
+			resp.status = StatusRemoteInvalidRkey
+		case mr.access&AccessRemoteRead == 0:
+			resp.status = StatusRemoteAccessErr
+		case !mr.contains(int(pkt.raddr), pkt.readLen):
+			resp.status = StatusRemoteAccessErr
+		default:
+			// A READ drains the NIC's volatile cache for the region before
+			// data is returned — the property gFLUSH (a 0-byte READ) is
+			// built on (§4.2, "Group RDMA flush").
+			n.counters.CacheFlushes++
+			if pkt.readLen == 0 {
+				mr.backing.Flush(0, mr.backing.Len())
+			} else {
+				mr.backing.Flush(int(pkt.raddr), pkt.readLen)
+			}
+			resp.data = make([]byte, pkt.readLen)
+			mr.read(int(pkt.raddr), resp.data)
+			resp.status = StatusSuccess
+		}
+		if resp.status != StatusSuccess {
+			n.counters.AccessFaults++
+		}
+		// Flush cost is charged before the response leaves.
+		n.eng.Schedule(n.cfg.CacheFlush, func() {
+			n.respond(q, resp, len(resp.data))
+		})
+	case pkCAS:
+		n.counters.AtomicsRx++
+		mr := n.mrsByRKey[pkt.rkey]
+		resp := &packet{kind: pkCASResp, dstQPN: pkt.srcQPN, reqID: pkt.reqID}
+		switch {
+		case mr == nil:
+			resp.status = StatusRemoteInvalidRkey
+		case mr.access&AccessRemoteAtomic == 0:
+			resp.status = StatusRemoteAccessErr
+		case !mr.contains(int(pkt.raddr), 8):
+			resp.status = StatusRemoteAccessErr
+		default:
+			var cur [8]byte
+			mr.read(int(pkt.raddr), cur[:])
+			orig := le64(cur[:])
+			if orig == pkt.compare {
+				var nv [8]byte
+				putLE64(nv[:], pkt.swap)
+				mr.write(int(pkt.raddr), nv[:])
+			}
+			resp.imm = orig
+			resp.status = StatusSuccess
+		}
+		if resp.status != StatusSuccess {
+			n.counters.AccessFaults++
+		}
+		n.eng.Schedule(n.cfg.AtomicOp, func() {
+			n.respond(q, resp, 8)
+		})
+	case pkAck:
+		n.completeRequest(q, pkt, nil)
+	case pkReadResp:
+		n.completeRequest(q, pkt, pkt.data)
+	case pkCASResp:
+		var orig [8]byte
+		putLE64(orig[:], pkt.imm)
+		n.completeRequest(q, pkt, orig[:])
+	}
+}
+
+// remoteWrite applies an inbound WRITE and returns its status.
+func (n *NIC) remoteWrite(pkt *packet) Status {
+	mr := n.mrsByRKey[pkt.rkey]
+	switch {
+	case mr == nil:
+		n.counters.AccessFaults++
+		return StatusRemoteInvalidRkey
+	case mr.access&AccessRemoteWrite == 0:
+		n.counters.AccessFaults++
+		return StatusRemoteAccessErr
+	case !mr.contains(int(pkt.raddr), len(pkt.data)):
+		n.counters.AccessFaults++
+		return StatusRemoteAccessErr
+	}
+	mr.write(int(pkt.raddr), pkt.data)
+	return StatusSuccess
+}
+
+// recvConsume consumes a RECV WQE — from the QP's private queue or its
+// attached shared receive queue — for an inbound SEND (scattering data) or
+// WRITE_IMM (immediate only).
+func (n *NIC) recvConsume(q *QP, pkt *packet, data []byte, immOnly bool) {
+	rq := q.rq
+	if q.srq != nil {
+		rq = q.srq.rq
+	}
+	rwqe, ok := rq.peek()
+	if !ok {
+		n.counters.RNRs++
+		n.respond(q, &packet{kind: pkAck, dstQPN: pkt.srcQPN, reqID: pkt.reqID, status: StatusRNR}, 0)
+		q.enterError()
+		return
+	}
+	rq.advance()
+	status := StatusSuccess
+	if !immOnly {
+		remaining := data
+		for _, sge := range rwqe.SGEs {
+			if len(remaining) == 0 {
+				break
+			}
+			mr := n.mrsByLKey[sge.LKey]
+			if mr == nil || !mr.contains(int(sge.Offset), min(int(sge.Length), len(remaining))) {
+				status = StatusLocalProtErr
+				break
+			}
+			chunk := remaining
+			if len(chunk) > int(sge.Length) {
+				chunk = chunk[:sge.Length]
+			}
+			mr.write(int(sge.Offset), chunk)
+			remaining = remaining[len(chunk):]
+		}
+		if status == StatusSuccess && len(remaining) > 0 {
+			status = StatusLengthErr
+		}
+	}
+	byteLen := len(data)
+	if immOnly {
+		byteLen = len(pkt.data)
+	}
+	q.recvCQ.push(CQE{
+		WRID:    rwqe.WRID,
+		Opcode:  OpRecv,
+		Status:  status,
+		QPN:     q.qpn,
+		Imm:     pkt.imm,
+		ByteLen: byteLen,
+	})
+	n.respond(q, &packet{kind: pkAck, dstQPN: pkt.srcQPN, reqID: pkt.reqID, status: status}, 0)
+	if status != StatusSuccess {
+		q.enterError()
+	}
+}
+
+// respond sends a response packet back toward the requester.
+func (n *NIC) respond(q *QP, pkt *packet, size int) {
+	n.transmit(q, pkt, size)
+}
+
+// completeRequest matches a response to its pending request and raises the
+// requester-side completion.
+func (n *NIC) completeRequest(q *QP, pkt *packet, scatter []byte) {
+	p, ok := q.pending[pkt.reqID]
+	if !ok {
+		return // duplicate or post-error response
+	}
+	delete(q.pending, pkt.reqID)
+	q.inFlight--
+	q.deliverInOrder(p.seq, func() {
+		st := pkt.status
+		if st == StatusSuccess && scatter != nil && len(p.wqe.SGEs) > 0 {
+			remaining := scatter
+			for _, sge := range p.wqe.SGEs {
+				if len(remaining) == 0 {
+					break
+				}
+				mr := n.mrsByLKey[sge.LKey]
+				if mr == nil || !mr.contains(int(sge.Offset), min(int(sge.Length), len(remaining))) {
+					st = StatusLocalProtErr
+					break
+				}
+				chunk := remaining
+				if len(chunk) > int(sge.Length) {
+					chunk = chunk[:sge.Length]
+				}
+				mr.write(int(sge.Offset), chunk)
+				remaining = remaining[len(chunk):]
+			}
+		}
+		if p.wqe.Signaled {
+			cqe := CQE{WRID: p.wqe.WRID, Opcode: p.wqe.Opcode, Status: st, QPN: q.qpn, ByteLen: len(scatter)}
+			if p.wqe.Opcode == OpCompSwap && len(scatter) == 8 {
+				cqe.Imm = le64(scatter)
+			}
+			q.sendCQ.push(cqe)
+		}
+		if st != StatusSuccess {
+			q.enterError()
+		}
+	})
+}
+
+func totalSGELen(sges []SGE) int {
+	n := 0
+	for _, s := range sges {
+		n += int(s.Length)
+	}
+	return n
+}
+
+func pktKindName(k packetKind) string {
+	switch k {
+	case pkSend:
+		return "SEND"
+	case pkWrite:
+		return "WRITE"
+	case pkWriteImm:
+		return "WRITE_IMM"
+	case pkRead:
+		return "READ"
+	case pkCAS:
+		return "CAS"
+	case pkAck:
+		return "ACK"
+	case pkReadResp:
+		return "READ_RESP"
+	case pkCASResp:
+		return "CAS_RESP"
+	default:
+		return "?"
+	}
+}
+
+func le64(b []byte) uint64       { return binary.LittleEndian.Uint64(b) }
+func putLE64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }
+
+// DebugQPState reports internal queue state for diagnostics: head opcode,
+// ownership, wait bookkeeping. Test scaffolding only.
+func (q *QP) DebugQPState() string {
+	wqe, ok := q.sq.peek()
+	if !ok {
+		return fmt.Sprintf("sq empty, waiting=%v", q.waiting)
+	}
+	cq := q.nic.cqs[wqe.WaitCQ]
+	total := uint64(0)
+	if cq != nil {
+		total = cq.total
+	}
+	return fmt.Sprintf("head=%v owned=%v waitCQ=%d count=%d consumed=%d cqTotal=%d waiting=%v sqBusy=%v",
+		wqe.Opcode, wqe.HWOwned, wqe.WaitCQ, wqe.WaitCount, q.waitConsumed[wqe.WaitCQ], total, q.waiting, q.sqBusy)
+}
+
+// DestroyQP tears a queue pair down: pending work flushes with errors,
+// future posts fail, and late inbound packets are dropped. The chain
+// manager uses this when decommissioning a failed member's connections.
+func (n *NIC) DestroyQP(q *QP) {
+	if q == nil || n.qps[q.qpn] != q {
+		return
+	}
+	q.enterError()
+	delete(n.qps, q.qpn)
+}

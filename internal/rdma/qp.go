@@ -1,0 +1,214 @@
+package rdma
+
+import (
+	"fmt"
+
+	"hyperloop/internal/fabric"
+	"hyperloop/internal/sim"
+)
+
+// QPState tracks queue-pair health.
+type QPState uint8
+
+// Queue pair states (reduced from the verbs state machine: a created QP is
+// ready once connected, and any protection or RNR fault moves it to error).
+const (
+	QPCreated QPState = iota
+	QPReady
+	QPError
+)
+
+func (s QPState) String() string {
+	switch s {
+	case QPCreated:
+		return "created"
+	case QPReady:
+		return "ready"
+	case QPError:
+		return "error"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// pendingReq tracks an initiated request awaiting its remote response.
+type pendingReq struct {
+	wqe WQE
+	seq uint64 // execution order for in-order completion delivery
+}
+
+// QP is a queue pair. Its send and receive queues are WQETables whose slots
+// live in registered memory; HyperLoop group setup shares the send table's
+// rkey so that upstream nodes can rewrite pre-posted descriptors.
+type QP struct {
+	qpn    uint32
+	nic    *NIC
+	sq     *WQETable
+	rq     *WQETable
+	sendCQ *CQ
+	recvCQ *CQ
+	state  QPState
+
+	peerNode fabric.NodeID
+	peerQPN  uint32
+	loopback bool
+	srq      *SRQ // if set, inbound SEND/WRITE_IMM consume from the shared pool
+
+	sqBusy       bool
+	waiting      bool              // head WAIT registered with a CQ
+	waitConsumed map[uint32]uint64 // cumulative completions consumed per CQ
+	pending      map[uint64]pendingReq
+	nextReqID    uint64
+	inFlight     int
+
+	// Send-side completions are delivered strictly in WQE order, as real
+	// RC queue pairs guarantee: a fast op (NOP, local atomic) posted after
+	// a slower in-flight one must not surface its CQE first — HyperLoop's
+	// WAIT chains depend on this.
+	execSeq    uint64
+	deliverSeq uint64
+	reorder    map[uint64]func()
+
+	// rxFree serializes responder-side processing: inbound requests on a
+	// QP execute in arrival (PSN) order, so a cheap request (0-byte READ)
+	// cannot overtake an expensive one (large WRITE DMA) — gFLUSH's
+	// flush-after-write guarantee depends on this.
+	rxFree sim.Time
+}
+
+// deliverInOrder runs fn once all earlier send-side completions of this QP
+// have been delivered.
+func (q *QP) deliverInOrder(seq uint64, fn func()) {
+	if q.reorder == nil {
+		q.reorder = make(map[uint64]func())
+	}
+	q.reorder[seq] = fn
+	for {
+		next, ok := q.reorder[q.deliverSeq]
+		if !ok {
+			return
+		}
+		delete(q.reorder, q.deliverSeq)
+		q.deliverSeq++
+		next()
+	}
+}
+
+// QPN returns the queue pair number.
+func (q *QP) QPN() uint32 { return q.qpn }
+
+// State returns the queue pair state.
+func (q *QP) State() QPState { return q.state }
+
+// SendCQ returns the CQ receiving send-side completions.
+func (q *QP) SendCQ() *CQ { return q.sendCQ }
+
+// RecvCQ returns the CQ receiving receive-side completions.
+func (q *QP) RecvCQ() *CQ { return q.recvCQ }
+
+// SQTable exposes the send queue's slot table (registered memory) for
+// HyperLoop's descriptor manipulation.
+func (q *QP) SQTable() *WQETable { return q.sq }
+
+// RQTable exposes the receive queue's slot table.
+func (q *QP) RQTable() *WQETable { return q.rq }
+
+// NIC returns the owning NIC.
+func (q *QP) NIC() *NIC { return q.nic }
+
+// PostOption modifies posting behaviour.
+type PostOption uint8
+
+// Posting options.
+const (
+	// HoldOwnership posts the WQE host-owned: the NIC stalls at it until
+	// ownership is granted — either locally via Doorbell or remotely by a
+	// write that sets the ownership flag (HyperLoop metadata scatter).
+	// This models the paper's libmlx4 modification (§4.1).
+	HoldOwnership PostOption = 1 << iota
+)
+
+// PostSend appends a work request to the send queue and kicks the NIC.
+// It returns the absolute slot index (use SQTable().SlotOffset to derive
+// the byte offset remote manipulators must target).
+func (q *QP) PostSend(w WQE, opts ...PostOption) (int, error) {
+	if q.state == QPError {
+		return 0, ErrQPState
+	}
+	if len(w.SGEs) > MaxSGE {
+		return 0, ErrTooManySGEs
+	}
+	w.HWOwned = true
+	for _, o := range opts {
+		if o&HoldOwnership != 0 {
+			w.HWOwned = false
+		}
+	}
+	idx, err := q.sq.post(&w)
+	if err != nil {
+		return 0, err
+	}
+	q.nic.kick(q)
+	return idx, nil
+}
+
+// PostRecv appends a receive request. Its SGEs say where inbound SEND
+// payloads scatter — in HyperLoop, directly into WQE table slots and
+// metadata staging regions.
+func (q *QP) PostRecv(w WQE) (int, error) {
+	if q.state == QPError {
+		return 0, ErrQPState
+	}
+	if len(w.SGEs) > MaxSGE {
+		return 0, ErrTooManySGEs
+	}
+	w.Opcode = OpRecv
+	w.HWOwned = true
+	return q.rq.post(&w)
+}
+
+// Doorbell grants NIC ownership of the send-queue slot at absolute index
+// idx (sets the ownership flag in the encoded image) and kicks the queue.
+// This is what the modified driver does after the host finishes editing a
+// held descriptor.
+func (q *QP) Doorbell(idx int) {
+	off := q.sq.SlotOffset(idx) + offFlags
+	var b [1]byte
+	q.sq.mr.backing.ReadAt(off, b[:])
+	b[0] |= flagHWOwned
+	q.sq.mr.backing.WriteAt(off, b[:])
+	q.nic.kick(q)
+}
+
+// enterError transitions the QP to error state and flushes outstanding
+// work with StatusFlushErr completions.
+func (q *QP) enterError() {
+	if q.state == QPError {
+		return
+	}
+	q.state = QPError
+	for id, p := range q.pending {
+		delete(q.pending, id)
+		if p.wqe.Signaled {
+			q.sendCQ.push(CQE{WRID: p.wqe.WRID, Opcode: p.wqe.Opcode, Status: StatusFlushErr, QPN: q.qpn})
+		}
+	}
+	for {
+		wqe, ok := q.sq.peek()
+		if !ok {
+			break
+		}
+		q.sq.advance()
+		if wqe.Signaled {
+			q.sendCQ.push(CQE{WRID: wqe.WRID, Opcode: wqe.Opcode, Status: StatusFlushErr, QPN: q.qpn})
+		}
+	}
+	for {
+		wqe, ok := q.rq.peek()
+		if !ok {
+			break
+		}
+		q.rq.advance()
+		q.recvCQ.push(CQE{WRID: wqe.WRID, Opcode: OpRecv, Status: StatusFlushErr, QPN: q.qpn})
+	}
+}

@@ -1,0 +1,50 @@
+package rdma
+
+// SRQ is a shared receive queue: one pool of RECV work requests consumed by
+// inbound SENDs on any attached QP. The paper points to SRQs as the path to
+// multi-client HyperLoop groups ("multiple clients can be supported in the
+// future using shared receive queues on the first replica", §5): every
+// client connects its own QP to the head replica, and all of them consume
+// from one pre-posted pool, so the replica does not need per-client rings.
+//
+// Like ordinary receive queues, the SRQ's WQE slots live in registered
+// memory and completions are delivered to each consuming QP's recv CQ.
+type SRQ struct {
+	nic *NIC
+	rq  *WQETable
+}
+
+// CreateSRQ allocates a shared receive queue with the given slot count.
+func (n *NIC) CreateSRQ(slots int) *SRQ {
+	if slots <= 0 {
+		slots = n.cfg.MaxInlineWQ
+	}
+	mr := n.RegisterRAM(slots*SlotSize, AccessLocalWrite|AccessRemoteWrite)
+	return &SRQ{nic: n, rq: newWQETable(mr, slots)}
+}
+
+// PostRecv adds a receive request to the shared pool.
+func (s *SRQ) PostRecv(w WQE) (int, error) {
+	if len(w.SGEs) > MaxSGE {
+		return 0, ErrTooManySGEs
+	}
+	w.Opcode = OpRecv
+	w.HWOwned = true
+	return s.rq.post(&w)
+}
+
+// Posted returns the number of un-consumed receives in the pool.
+func (s *SRQ) Posted() int { return s.rq.Posted() }
+
+// Table exposes the slot table (registered memory).
+func (s *SRQ) Table() *WQETable { return s.rq }
+
+// AttachSRQ makes q consume receives from srq instead of its private
+// receive queue. Must be called before any inbound traffic; both must live
+// on the same NIC.
+func (q *QP) AttachSRQ(srq *SRQ) {
+	if srq.nic != q.nic {
+		panic("rdma: SRQ and QP on different NICs")
+	}
+	q.srq = srq
+}

@@ -1,0 +1,169 @@
+// Package rdma emulates the subset of InfiniBand/RoCE verbs that HyperLoop
+// builds on, at the level of NIC behaviour rather than wire format: memory
+// regions with lkey/rkey protection, queue pairs whose work queues live in
+// registered (and therefore remotely writable) memory, completion queues,
+// one-sided READ/WRITE/atomic operations, two-sided SEND/RECV, and the
+// CORE-Direct style WAIT operation that lets one queue's progress trigger
+// another's without host involvement.
+//
+// Two deliberate departures from stock verbs implement the paper's §4
+// driver modifications:
+//
+//   - Work-queue entries are plain bytes in a registerable region
+//     (WQETable), so a remote node can rewrite a pre-posted WQE's memory
+//     descriptor — the paper's "remote work request manipulation".
+//   - PostSend can withhold the hardware-ownership bit (HoldOwnership), so
+//     a pre-posted WQE stays inert until some other write — local doorbell
+//     or remote metadata scatter — grants ownership.
+//
+// Timing: every NIC action is charged on the shared discrete-event engine
+// (per-WQE processing, DMA at a configured rate, wire time via fabric), so
+// latency distributions emerge from the model rather than being scripted.
+package rdma
+
+import (
+	"errors"
+	"fmt"
+
+	"hyperloop/internal/sim"
+)
+
+// Opcode identifies a work-request type.
+type Opcode uint8
+
+// Work-request opcodes. OpWait is the CORE-Direct cross-queue trigger; the
+// paper repurposes it for chain forwarding (§4.1). OpNop occupies a slot
+// without any effect — gCAS uses it to skip replicas excluded by the
+// execute map (§4.2).
+const (
+	OpInvalid  Opcode = iota
+	OpSend            // two-sided send, consumes a remote RECV
+	OpRecv            // receive buffer posting
+	OpWrite           // one-sided RDMA write
+	OpWriteImm        // RDMA write with immediate; consumes a remote RECV
+	OpRead            // one-sided RDMA read (0-byte READ doubles as gFLUSH)
+	OpCompSwap        // 8-byte compare-and-swap atomic
+	OpWait            // wait for N completions on a CQ, then proceed
+	OpNop             // no-op placeholder
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpSend:
+		return "SEND"
+	case OpRecv:
+		return "RECV"
+	case OpWrite:
+		return "WRITE"
+	case OpWriteImm:
+		return "WRITE_IMM"
+	case OpRead:
+		return "READ"
+	case OpCompSwap:
+		return "CMP_SWAP"
+	case OpWait:
+		return "WAIT"
+	case OpNop:
+		return "NOP"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Access flags gate what remote peers may do to a memory region.
+type Access uint8
+
+// Memory region access permissions, mirroring IBV_ACCESS_*.
+const (
+	AccessLocalWrite Access = 1 << iota
+	AccessRemoteWrite
+	AccessRemoteRead
+	AccessRemoteAtomic
+)
+
+// Status is a completion status code.
+type Status uint8
+
+// Completion statuses, mirroring ibv_wc_status values we model.
+const (
+	StatusSuccess Status = iota
+	StatusLocalProtErr
+	StatusRemoteAccessErr
+	StatusRemoteInvalidRkey
+	StatusLengthErr
+	StatusRNR        // responder had no RECV posted
+	StatusFlushErr   // WQE flushed because the QP entered error state
+	StatusAtomicMiss // CAS compare failed (reported, not an error state)
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusSuccess:
+		return "success"
+	case StatusLocalProtErr:
+		return "local-protection-error"
+	case StatusRemoteAccessErr:
+		return "remote-access-error"
+	case StatusRemoteInvalidRkey:
+		return "remote-invalid-rkey"
+	case StatusLengthErr:
+		return "length-error"
+	case StatusRNR:
+		return "receiver-not-ready"
+	case StatusFlushErr:
+		return "flushed"
+	case StatusAtomicMiss:
+		return "atomic-compare-miss"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// Errors returned by posting and registration.
+var (
+	ErrQPState     = errors.New("rdma: queue pair not in a postable state")
+	ErrQueueFull   = errors.New("rdma: work queue full")
+	ErrBadSGE      = errors.New("rdma: scatter/gather entry outside memory region")
+	ErrBadKey      = errors.New("rdma: unknown or mismatched memory key")
+	ErrTooManySGEs = errors.New("rdma: too many scatter/gather entries")
+)
+
+// Config holds NIC timing parameters. Zero values take defaults calibrated
+// to a ConnectX-3-class NIC.
+type Config struct {
+	WQEProcess  sim.Duration // per-WQE fetch/decode/initiate cost (default 150ns)
+	RxProcess   sim.Duration // per inbound message processing cost (default 150ns)
+	DMAGbps     float64      // host-memory DMA rate (default 200)
+	AtomicOp    sim.Duration // execution cost of an atomic op (default 250ns)
+	CacheFlush  sim.Duration // NVM NIC-cache drain cost per flush (default 900ns)
+	MaxInlineWQ int          // WQE slots per queue (default 1024)
+}
+
+func (c *Config) fill() {
+	if c.WQEProcess <= 0 {
+		c.WQEProcess = 150
+	}
+	if c.RxProcess <= 0 {
+		c.RxProcess = 150
+	}
+	if c.DMAGbps <= 0 {
+		c.DMAGbps = 200
+	}
+	if c.AtomicOp <= 0 {
+		c.AtomicOp = 250
+	}
+	if c.CacheFlush <= 0 {
+		c.CacheFlush = 900
+	}
+	if c.MaxInlineWQ <= 0 {
+		c.MaxInlineWQ = 1024
+	}
+}
+
+// dmaTime returns the DMA transfer time for n bytes.
+func (c *Config) dmaTime(n int) sim.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return sim.Duration(float64(n*8) / c.DMAGbps)
+}

@@ -1,0 +1,192 @@
+package rdma
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// WQE slot geometry. Descriptors are fixed 128-byte images in a registered
+// ring, encoded little-endian, so that a remote WRITE or a RECV scatter can
+// rewrite any field of a pre-posted request — the mechanism behind the
+// paper's remote work request manipulation (§4.1, Figure 5).
+const (
+	SlotSize = 128
+	MaxSGE   = 4
+
+	offOpcode    = 0
+	offFlags     = 1
+	offNumSGE    = 2
+	offRKey      = 4
+	offRAddr     = 8
+	offImm       = 16 // immediate data / CAS compare value
+	offSwap      = 24 // CAS swap value
+	offWRID      = 32
+	offWaitCQ    = 40
+	offWaitCount = 44
+	offSGEs      = 48
+	sgeSize      = 16 // lkey u32, length u32, addr u64
+)
+
+// WQE flag bits.
+const (
+	flagSignaled = 1 << 0 // generate a CQE on completion
+	flagHWOwned  = 1 << 1 // NIC may execute; clear = host-owned (inert)
+)
+
+// SGE is a scatter/gather entry addressing (lkey, region-relative offset,
+// length).
+type SGE struct {
+	LKey   uint32
+	Offset uint64
+	Length uint32
+}
+
+// WQE is the decoded form of a work-queue entry. The encoded 128-byte image
+// in the queue's registered ring is authoritative; this struct is only a
+// convenience for building and for the NIC's execution step.
+type WQE struct {
+	Opcode    Opcode
+	Signaled  bool
+	HWOwned   bool
+	RKey      uint32
+	RAddr     uint64
+	Imm       uint64 // immediate data, or CAS compare value
+	Swap      uint64 // CAS swap value
+	WRID      uint64
+	WaitCQ    uint32 // for OpWait: target CQ id
+	WaitCount uint32 // for OpWait: completions to consume
+	SGEs      []SGE
+}
+
+// Encode serializes the WQE into a 128-byte slot image.
+func (w *WQE) Encode(dst []byte) {
+	if len(dst) < SlotSize {
+		panic(fmt.Sprintf("rdma: encode into %d bytes, need %d", len(dst), SlotSize))
+	}
+	if len(w.SGEs) > MaxSGE {
+		panic(ErrTooManySGEs)
+	}
+	for i := range dst[:SlotSize] {
+		dst[i] = 0
+	}
+	dst[offOpcode] = byte(w.Opcode)
+	var flags byte
+	if w.Signaled {
+		flags |= flagSignaled
+	}
+	if w.HWOwned {
+		flags |= flagHWOwned
+	}
+	dst[offFlags] = flags
+	dst[offNumSGE] = byte(len(w.SGEs))
+	binary.LittleEndian.PutUint32(dst[offRKey:], w.RKey)
+	binary.LittleEndian.PutUint64(dst[offRAddr:], w.RAddr)
+	binary.LittleEndian.PutUint64(dst[offImm:], w.Imm)
+	binary.LittleEndian.PutUint64(dst[offSwap:], w.Swap)
+	binary.LittleEndian.PutUint64(dst[offWRID:], w.WRID)
+	binary.LittleEndian.PutUint32(dst[offWaitCQ:], w.WaitCQ)
+	binary.LittleEndian.PutUint32(dst[offWaitCount:], w.WaitCount)
+	for i, sge := range w.SGEs {
+		base := offSGEs + i*sgeSize
+		binary.LittleEndian.PutUint32(dst[base:], sge.LKey)
+		binary.LittleEndian.PutUint32(dst[base+4:], sge.Length)
+		binary.LittleEndian.PutUint64(dst[base+8:], sge.Offset)
+	}
+}
+
+// DecodeWQE parses a 128-byte slot image.
+func DecodeWQE(src []byte) WQE {
+	if len(src) < SlotSize {
+		panic(fmt.Sprintf("rdma: decode from %d bytes, need %d", len(src), SlotSize))
+	}
+	w := WQE{
+		Opcode:    Opcode(src[offOpcode]),
+		Signaled:  src[offFlags]&flagSignaled != 0,
+		HWOwned:   src[offFlags]&flagHWOwned != 0,
+		RKey:      binary.LittleEndian.Uint32(src[offRKey:]),
+		RAddr:     binary.LittleEndian.Uint64(src[offRAddr:]),
+		Imm:       binary.LittleEndian.Uint64(src[offImm:]),
+		Swap:      binary.LittleEndian.Uint64(src[offSwap:]),
+		WRID:      binary.LittleEndian.Uint64(src[offWRID:]),
+		WaitCQ:    binary.LittleEndian.Uint32(src[offWaitCQ:]),
+		WaitCount: binary.LittleEndian.Uint32(src[offWaitCount:]),
+	}
+	n := int(src[offNumSGE])
+	if n > MaxSGE {
+		n = MaxSGE
+	}
+	for i := 0; i < n; i++ {
+		base := offSGEs + i*sgeSize
+		w.SGEs = append(w.SGEs, SGE{
+			LKey:   binary.LittleEndian.Uint32(src[base:]),
+			Length: binary.LittleEndian.Uint32(src[base+4:]),
+			Offset: binary.LittleEndian.Uint64(src[base+8:]),
+		})
+	}
+	return w
+}
+
+// EncodeImage returns the WQE as a fresh slot image — what a HyperLoop
+// client precomputes as per-replica metadata.
+func (w *WQE) EncodeImage() []byte {
+	img := make([]byte, SlotSize)
+	w.Encode(img)
+	return img
+}
+
+// WQETable is a ring of WQE slots living in a registered memory region.
+// The region uses RAM backing: queues are host memory even on NVM nodes.
+type WQETable struct {
+	mr    *MemoryRegion
+	slots int
+	head  int // next slot the NIC will consider (consumer)
+	tail  int // next free slot for posting (producer)
+}
+
+func newWQETable(mr *MemoryRegion, slots int) *WQETable {
+	return &WQETable{mr: mr, slots: slots}
+}
+
+// MR returns the registered region holding the slots; its rkey is what a
+// HyperLoop group shares so peers can manipulate descriptors.
+func (t *WQETable) MR() *MemoryRegion { return t.mr }
+
+// Slots returns the ring capacity.
+func (t *WQETable) Slots() int { return t.slots }
+
+// SlotOffset returns the byte offset of slot i within the table's region.
+func (t *WQETable) SlotOffset(i int) int { return (i % t.slots) * SlotSize }
+
+// Tail returns the producer index (the absolute index of the next post).
+func (t *WQETable) Tail() int { return t.tail }
+
+// Posted returns the number of WQEs posted and not yet consumed.
+func (t *WQETable) Posted() int { return t.tail - t.head }
+
+func (t *WQETable) full() bool { return t.tail-t.head >= t.slots }
+
+// post encodes w into the tail slot and returns the absolute slot index.
+func (t *WQETable) post(w *WQE) (int, error) {
+	if t.full() {
+		return 0, ErrQueueFull
+	}
+	idx := t.tail
+	buf := make([]byte, SlotSize)
+	w.Encode(buf)
+	t.mr.backing.WriteAt(t.SlotOffset(idx), buf)
+	t.tail++
+	return idx, nil
+}
+
+// peek decodes the head slot without consuming it.
+func (t *WQETable) peek() (WQE, bool) {
+	if t.head >= t.tail {
+		return WQE{}, false
+	}
+	buf := make([]byte, SlotSize)
+	t.mr.backing.ReadAt(t.SlotOffset(t.head), buf)
+	return DecodeWQE(buf), true
+}
+
+// advance consumes the head slot.
+func (t *WQETable) advance() { t.head++ }

@@ -1,0 +1,203 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All HyperLoop components — NICs, the network fabric, host CPU schedulers,
+// NVM devices, and the storage applications — are actors driven by a single
+// Engine. Virtual time is measured in nanoseconds (Time). Events scheduled
+// for the same instant fire in the order they were scheduled, which makes
+// every run bit-for-bit reproducible for a given RNG seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the run.
+type Time int64
+
+// Duration is a span of virtual time, in nanoseconds. It converts directly
+// from time.Duration (also nanoseconds).
+type Duration int64
+
+// Common durations, mirroring the time package for readable constants.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Forever is a Time later than any reachable instant; Run(Forever) drains
+// the event queue completely.
+const Forever Time = math.MaxInt64
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the span between t and earlier instant u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Std converts a virtual duration to a time.Duration for printing.
+func (d Duration) Std() time.Duration { return time.Duration(d) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+func (d Duration) String() string { return time.Duration(d).String() }
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Event is a scheduled callback. The zero Event is invalid.
+type Event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	index  int // heap index; -1 once fired or canceled
+	engine *Engine
+}
+
+// Canceled reports whether the event was canceled or has already fired.
+func (e *Event) Canceled() bool { return e == nil || e.index < 0 }
+
+// Time returns the instant the event is scheduled for.
+func (e *Event) Time() Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation executive. It is not safe for
+// concurrent use: the entire simulation runs on one goroutine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	fired   uint64
+	running bool
+}
+
+// NewEngine returns an Engine positioned at time zero with an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the total number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events currently scheduled.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule runs fn after delay d. A negative delay is treated as zero.
+// It returns an Event handle that can be passed to Cancel.
+func (e *Engine) Schedule(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.ScheduleAt(e.now.Add(d), fn)
+}
+
+// ScheduleAt runs fn at instant t. Scheduling in the past panics: in a
+// deterministic simulation that is always a bug in the caller.
+func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: schedule nil func")
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn, engine: e}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Cancel removes a pending event. Canceling a fired or already-canceled
+// event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 || ev.engine != e {
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+}
+
+// Step fires the single earliest pending event, advancing the clock to it.
+// It reports whether an event was fired.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run fires events in order until the queue is empty or the next event lies
+// beyond deadline. The clock is left at the last fired event (or moved to
+// deadline if that is later and finite).
+func (e *Engine) Run(deadline Time) {
+	if e.running {
+		panic("sim: re-entrant Run")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+	}
+	if deadline != Forever && e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor advances the simulation by d from the current instant.
+func (e *Engine) RunFor(d Duration) { e.Run(e.now.Add(d)) }
+
+// Drain runs the simulation until no events remain.
+func (e *Engine) Drain() { e.Run(Forever) }
+
+// RunUntil fires events until pred returns true or the queue empties or the
+// hard deadline passes; it reports whether pred was satisfied. pred is
+// checked after every event.
+func (e *Engine) RunUntil(pred func() bool, deadline Time) bool {
+	if pred() {
+		return true
+	}
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+		if pred() {
+			return true
+		}
+	}
+	return false
+}

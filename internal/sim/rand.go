@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Rand wraps a seeded PRNG with the distributions the workloads and device
+// models need. It exists (rather than using *rand.Rand directly) so every
+// distribution used in an experiment is named, seedable, and testable.
+type Rand struct {
+	src *rand.Rand
+}
+
+// NewRand returns a Rand seeded deterministically.
+func NewRand(seed int64) *Rand {
+	return &Rand{src: rand.New(rand.NewSource(seed))}
+}
+
+// Int63n returns a uniform integer in [0, n). n must be > 0.
+func (r *Rand) Int63n(n int64) int64 { return r.src.Int63n(n) }
+
+// Intn returns a uniform integer in [0, n). n must be > 0.
+func (r *Rand) Intn(n int) int { return r.src.Intn(n) }
+
+// Float64 returns a uniform float in [0, 1).
+func (r *Rand) Float64() float64 { return r.src.Float64() }
+
+// Uint64 returns a uniform 64-bit value.
+func (r *Rand) Uint64() uint64 { return r.src.Uint64() }
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int { return r.src.Perm(n) }
+
+// Exp returns an exponentially distributed duration with the given mean.
+// Used for background-tenant burst lengths and arrival gaps.
+func (r *Rand) Exp(mean Duration) Duration {
+	if mean <= 0 {
+		return 0
+	}
+	return Duration(r.src.ExpFloat64() * float64(mean))
+}
+
+// Pareto returns a Pareto(shape)-distributed duration with the given minimum.
+// Heavy-tailed service demands: shape in (1, 2] yields the bursty tenant
+// behaviour that produces millisecond scheduling tails.
+func (r *Rand) Pareto(min Duration, shape float64) Duration {
+	if min <= 0 {
+		return 0
+	}
+	u := r.src.Float64()
+	for u == 0 {
+		u = r.src.Float64()
+	}
+	return Duration(float64(min) / math.Pow(u, 1.0/shape))
+}
+
+// Normal returns a normally distributed duration clamped at zero.
+func (r *Rand) Normal(mean, stddev Duration) Duration {
+	v := float64(mean) + r.src.NormFloat64()*float64(stddev)
+	if v < 0 {
+		v = 0
+	}
+	return Duration(v)
+}
+
+// Jitter returns d scaled by a uniform factor in [1-frac, 1+frac].
+func (r *Rand) Jitter(d Duration, frac float64) Duration {
+	if frac <= 0 {
+		return d
+	}
+	f := 1 + frac*(2*r.src.Float64()-1)
+	return Duration(float64(d) * f)
+}
+
+// Fork derives an independent child generator; use one per component so
+// adding draws in one component does not perturb another.
+func (r *Rand) Fork() *Rand {
+	return NewRand(int64(r.src.Uint64()))
+}
+
+// Zipf generates zipfian-distributed integers in [0, n) with exponent theta,
+// matching the YCSB generator (theta 0.99 by default). It supports growing n
+// incrementally (for insert-heavy workloads) by recomputing zeta lazily.
+type Zipf struct {
+	r     *Rand
+	n     int64
+	theta float64
+	zetan float64
+	zeta2 float64
+	alpha float64
+	eta   float64
+}
+
+// NewZipf returns a zipfian generator over [0, n).
+func NewZipf(r *Rand, n int64, theta float64) *Zipf {
+	if n <= 0 {
+		panic("sim: zipf over empty range")
+	}
+	z := &Zipf{r: r, theta: theta}
+	z.zeta2 = zetaStatic(2, theta)
+	z.grow(n)
+	return z
+}
+
+func zetaStatic(n int64, theta float64) float64 {
+	s := 0.0
+	for i := int64(1); i <= n; i++ {
+		s += 1 / math.Pow(float64(i), theta)
+	}
+	return s
+}
+
+func (z *Zipf) grow(n int64) {
+	// Incrementally extend zeta(n) rather than recomputing from scratch.
+	if n <= z.n {
+		return
+	}
+	for i := z.n + 1; i <= n; i++ {
+		z.zetan += 1 / math.Pow(float64(i), z.theta)
+	}
+	z.n = n
+	z.alpha = 1 / (1 - z.theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-z.theta)) / (1 - z.zeta2/z.zetan)
+}
+
+// Next returns the next zipfian value in [0, n).
+func (z *Zipf) Next() int64 {
+	u := z.r.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return int64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// Grow extends the item space to n (used after inserts).
+func (z *Zipf) Grow(n int64) { z.grow(n) }
+
+// N returns the current item-space size.
+func (z *Zipf) N() int64 { return z.n }

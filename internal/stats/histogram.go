@@ -1,0 +1,323 @@
+// Package stats provides the measurement plumbing for every experiment:
+// log-bucketed latency histograms with percentile queries, throughput
+// counters, and CPU-utilization accounting. The layout mirrors what the
+// paper reports — average, 95th, and 99th percentile latency, Kops/s, and
+// per-core busy fractions.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"hyperloop/internal/sim"
+)
+
+// Histogram records durations in logarithmic buckets (HDR-style: a fixed
+// number of linear sub-buckets per power of two). Memory is constant and
+// percentile error is bounded by the sub-bucket resolution (<1.6% with 64
+// sub-buckets), which is far below run-to-run variance.
+type Histogram struct {
+	counts []uint64
+	total  uint64
+	sum    float64
+	min    sim.Duration
+	max    sim.Duration
+}
+
+const (
+	subBucketBits  = 6 // 64 linear sub-buckets per octave
+	subBucketCount = 1 << subBucketBits
+	octaves        = 59 // covers the full positive int64 range
+)
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{
+		counts: make([]uint64, octaves*subBucketCount),
+		min:    math.MaxInt64,
+	}
+}
+
+// bucketIndex maps v to its bucket. Values below subBucketCount get exact
+// unit buckets; octave o >= 1 covers [subBucketCount<<(o-1),
+// subBucketCount<<o) with subBucketCount linear sub-buckets of width
+// 1<<(o-1).
+func bucketIndex(v sim.Duration) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < subBucketCount {
+		return int(v)
+	}
+	hi := 63 - leadingZeros(uint64(v))
+	octave := hi - subBucketBits + 1
+	sub := int(uint64(v)>>uint(octave-1)) - subBucketCount
+	idx := octave*subBucketCount + sub
+	if idx >= octaves*subBucketCount {
+		idx = octaves*subBucketCount - 1
+	}
+	return idx
+}
+
+// bucketValue returns the midpoint of bucket idx.
+func bucketValue(idx int) sim.Duration {
+	if idx < subBucketCount {
+		return sim.Duration(idx)
+	}
+	octave := idx / subBucketCount
+	sub := idx % subBucketCount
+	lo := (uint64(sub) + subBucketCount) << uint(octave-1)
+	width := uint64(1) << uint(octave-1)
+	return sim.Duration(lo + width/2)
+}
+
+func leadingZeros(x uint64) int {
+	n := 0
+	if x == 0 {
+		return 64
+	}
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(v sim.Duration) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)]++
+	h.total++
+	h.sum += float64(v)
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the average observation, or 0 if empty.
+func (h *Histogram) Mean() sim.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return sim.Duration(h.sum / float64(h.total))
+}
+
+// Min returns the smallest observation, or 0 if empty.
+func (h *Histogram) Min() sim.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation, or 0 if empty.
+func (h *Histogram) Max() sim.Duration { return h.max }
+
+// Percentile returns the p-th percentile (0 < p <= 100), or 0 if empty.
+// Exact extremes are returned for p at or beyond the recorded range.
+func (h *Histogram) Percentile(p float64) sim.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if p >= 100 {
+		return h.max
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(h.total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			v := bucketValue(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// P50, P95, P99 are the percentiles the paper reports.
+func (h *Histogram) P50() sim.Duration { return h.Percentile(50) }
+func (h *Histogram) P95() sim.Duration { return h.Percentile(95) }
+func (h *Histogram) P99() sim.Duration { return h.Percentile(99) }
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.total > 0 {
+		if other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+	}
+}
+
+// Reset clears all observations.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total = 0
+	h.sum = 0
+	h.min = math.MaxInt64
+	h.max = 0
+}
+
+// Summary is a snapshot of the distribution statistics the paper reports.
+type Summary struct {
+	Count uint64
+	Mean  sim.Duration
+	P50   sim.Duration
+	P95   sim.Duration
+	P99   sim.Duration
+	Min   sim.Duration
+	Max   sim.Duration
+}
+
+// Summarize captures the current statistics.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count: h.total,
+		Mean:  h.Mean(),
+		P50:   h.P50(),
+		P95:   h.P95(),
+		P99:   h.P99(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d avg=%v p50=%v p95=%v p99=%v max=%v",
+		s.Count, s.Mean, s.P50, s.P95, s.P99, s.Max)
+}
+
+// Exact computes exact statistics from a raw sample slice. Used in tests to
+// bound the histogram's approximation error and in small experiments where
+// exactness is cheap.
+func Exact(samples []sim.Duration) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	sorted := make([]sim.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum float64
+	for _, v := range sorted {
+		sum += float64(v)
+	}
+	at := func(p float64) sim.Duration {
+		rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		if rank >= len(sorted) {
+			rank = len(sorted) - 1
+		}
+		return sorted[rank]
+	}
+	return Summary{
+		Count: uint64(len(sorted)),
+		Mean:  sim.Duration(sum / float64(len(sorted))),
+		P50:   at(50),
+		P95:   at(95),
+		P99:   at(99),
+		Min:   sorted[0],
+		Max:   sorted[len(sorted)-1],
+	}
+}
+
+// Table renders aligned rows for experiment output. Each row is a label plus
+// cells; widths adapt to content. It is deliberately dependency-free so cmd
+// binaries can print paper-style tables.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// CSV renders the table as comma-separated values for plotting tools.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strings.ReplaceAll(c, ",", ";"))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, hdr := range t.header {
+		widths[i] = len(hdr)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,238 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hyperloop/internal/sim"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.P99() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram returned nonzero stats: %+v", h.Summarize())
+	}
+}
+
+func TestSingleValue(t *testing.T) {
+	h := NewHistogram()
+	h.Record(12345)
+	s := h.Summarize()
+	if s.Count != 1 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	for _, v := range []sim.Duration{s.Mean, s.P50, s.P95, s.P99, s.Min, s.Max} {
+		if v != 12345 {
+			t.Fatalf("single-value stats not exact: %+v", s)
+		}
+	}
+}
+
+func TestSmallExactValues(t *testing.T) {
+	// Values under 64ns land in exact buckets.
+	h := NewHistogram()
+	for i := sim.Duration(0); i < 64; i++ {
+		h.Record(i)
+	}
+	if h.Min() != 0 || h.Max() != 63 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	if p := h.Percentile(50); p != 31 && p != 32 {
+		t.Fatalf("p50 = %v, want 31 or 32", p)
+	}
+}
+
+func TestPercentileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	var raw []sim.Duration
+	r := sim.NewRand(11)
+	for i := 0; i < 50000; i++ {
+		v := r.Pareto(1000, 1.2) // heavy tail, like our latency data
+		h.Record(v)
+		raw = append(raw, v)
+	}
+	exact := Exact(raw)
+	approx := h.Summarize()
+	check := func(name string, a, e sim.Duration) {
+		if e == 0 {
+			return
+		}
+		rel := math.Abs(float64(a-e)) / float64(e)
+		if rel > 0.02 {
+			t.Errorf("%s: approx %v vs exact %v (rel err %.3f)", name, a, e, rel)
+		}
+	}
+	check("mean", approx.Mean, exact.Mean)
+	check("p50", approx.P50, exact.P50)
+	check("p95", approx.P95, exact.P95)
+	check("p99", approx.P99, exact.P99)
+	if approx.Min != exact.Min || approx.Max != exact.Max {
+		t.Errorf("min/max not exact: %v/%v vs %v/%v", approx.Min, approx.Max, exact.Min, exact.Max)
+	}
+}
+
+func TestNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-100)
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("negative observation not clamped: %+v", h.Summarize())
+	}
+}
+
+func TestHugeValue(t *testing.T) {
+	h := NewHistogram()
+	h.Record(sim.Duration(math.MaxInt64 / 2))
+	if h.Count() != 1 {
+		t.Fatal("huge value dropped")
+	}
+	if h.P99() != h.Max() {
+		t.Fatalf("p99 of single huge value should clamp to max")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 0; i < 1000; i++ {
+		a.Record(sim.Duration(i))
+		b.Record(sim.Duration(i + 5000))
+	}
+	a.Merge(b)
+	if a.Count() != 2000 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Min() != 0 || a.Max() != 5999 {
+		t.Fatalf("merged min/max = %v/%v", a.Min(), a.Max())
+	}
+	mean := a.Mean()
+	if mean < 2990 || mean > 3010 {
+		t.Fatalf("merged mean = %v, want ≈2999", mean)
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Record(10)
+	a.Merge(b) // merging empty must not disturb min
+	if a.Min() != 10 {
+		t.Fatalf("min corrupted by empty merge: %v", a.Min())
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := NewHistogram()
+	h.Record(100)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("reset did not clear histogram")
+	}
+	h.Record(7)
+	if h.Min() != 7 || h.Max() != 7 {
+		t.Fatal("histogram unusable after reset")
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	f := func(vals []uint32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, v := range vals {
+			h.Record(sim.Duration(v))
+		}
+		prev := sim.Duration(0)
+		for _, p := range []float64{1, 10, 25, 50, 75, 90, 95, 99, 99.9, 100} {
+			v := h.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return h.Percentile(100) == h.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentileWithinRange(t *testing.T) {
+	f := func(vals []uint32, p uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, v := range vals {
+			h.Record(sim.Duration(v))
+		}
+		pf := float64(p%100) + 1
+		v := h.Percentile(pf)
+		return v >= h.Min() && v <= h.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactEmpty(t *testing.T) {
+	if s := Exact(nil); s.Count != 0 {
+		t.Fatal("Exact(nil) nonzero")
+	}
+}
+
+func TestExactKnown(t *testing.T) {
+	s := Exact([]sim.Duration{5, 1, 3, 2, 4})
+	if s.Min != 1 || s.Max != 5 || s.P50 != 3 || s.Mean != 3 {
+		t.Fatalf("exact stats wrong: %+v", s)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	h := NewHistogram()
+	h.Record(sim.Duration(5 * sim.Microsecond))
+	s := h.Summarize().String()
+	if !strings.Contains(s, "n=1") || !strings.Contains(s, "5µs") {
+		t.Fatalf("summary string unhelpful: %q", s)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("size", "avg", "p99")
+	tb.AddRow("128", "2µs", "3µs")
+	tb.AddRow("8192", "10µs", "14µs")
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "size") || !strings.Contains(lines[3], "8192") {
+		t.Fatalf("table misrendered:\n%s", out)
+	}
+}
+
+func TestBucketRoundTrip(t *testing.T) {
+	// bucketValue(bucketIndex(v)) must be within the bucket's resolution of v.
+	for _, v := range []sim.Duration{0, 1, 63, 64, 65, 1000, 4096, 123456, 1 << 30, 1 << 40} {
+		idx := bucketIndex(v)
+		mid := bucketValue(idx)
+		var width float64
+		if v < subBucketCount {
+			width = 1
+		} else {
+			width = float64(v) / subBucketCount
+		}
+		if math.Abs(float64(mid-v)) > width {
+			t.Errorf("round trip %d -> bucket %d -> %d (width %.0f)", v, idx, mid, width)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("1,5", "2")
+	got := tb.CSV()
+	if got != "a,b\n1;5,2\n" {
+		t.Fatalf("csv: %q", got)
+	}
+}

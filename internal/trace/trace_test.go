@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"hyperloop/internal/cluster"
+	"hyperloop/internal/core"
+	"hyperloop/internal/fabric"
+	"hyperloop/internal/sim"
+)
+
+func TestCollectorTimeline(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, cluster.Config{Nodes: 4, StoreSize: 1 << 20, Fabric: fabric.Config{JitterFrac: -1}})
+	g := core.New(cl, core.Config{Depth: 16})
+	defer g.Close()
+	eng.RunFor(sim.Millisecond) // let setup traffic drain
+
+	c := NewCollector(0)
+	c.AttachAll(cl)
+	cl.Client().StoreWrite(0, []byte("trace-me"))
+	start := eng.Now()
+	done := false
+	g.GWrite(0, 8, true, func(core.Result) { done = true })
+	eng.RunUntil(func() bool { return done }, eng.Now().Add(sim.Second))
+	if !done {
+		t.Fatal("op stalled")
+	}
+	if c.Len() == 0 {
+		t.Fatal("no events collected")
+	}
+	// The chain's anatomy must be visible: execs on the client, rx + wait
+	// on every replica.
+	sawClientExec, sawWait := false, false
+	replicasSeen := map[string]bool{}
+	for _, e := range c.Events() {
+		name := c.Name(e)
+		if name == "client" && e.Kind == "exec" {
+			sawClientExec = true
+		}
+		if e.Kind == "wait" {
+			sawWait = true
+		}
+		if strings.HasPrefix(name, "replica") && e.Kind == "rx" {
+			replicasSeen[name] = true
+		}
+	}
+	if !sawClientExec || !sawWait || len(replicasSeen) != 3 {
+		t.Fatalf("anatomy incomplete: clientExec=%v wait=%v replicas=%d",
+			sawClientExec, sawWait, len(replicasSeen))
+	}
+
+	out := c.Render(c.Window(start, eng.Now().Add(1)), start)
+	if !strings.Contains(out, "WRITE") || !strings.Contains(out, "replica2") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+
+	// Reset and detach stop collection.
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	for _, n := range cl.Nodes {
+		c.Detach(n)
+	}
+	done = false
+	g.GWrite(0, 8, false, func(core.Result) { done = true })
+	eng.RunUntil(func() bool { return done }, eng.Now().Add(sim.Second))
+	if c.Len() != 0 {
+		t.Fatal("detached collector still collecting")
+	}
+}
+
+func TestCollectorLimit(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, cluster.Config{Nodes: 3, StoreSize: 1 << 20})
+	g := core.New(cl, core.Config{Depth: 16})
+	defer g.Close()
+	c := NewCollector(5)
+	c.AttachAll(cl)
+	cl.Client().StoreWrite(0, []byte("x"))
+	done := 0
+	for i := 0; i < 10; i++ {
+		g.GWrite(0, 1, false, func(core.Result) { done++ })
+	}
+	eng.RunUntil(func() bool { return done >= 10 }, eng.Now().Add(sim.Second))
+	if c.Len() != 5 {
+		t.Fatalf("limit not enforced: %d", c.Len())
+	}
+}

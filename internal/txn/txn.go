@@ -1,0 +1,300 @@
+// Package txn implements the replicated ACID transactions of §2.1 over the
+// HyperLoop building blocks: a transaction is a set of object writes that
+// must commit atomically on every replica.
+//
+// The protocol is the paper's Figure 1(c) pipeline, with every replica-side
+// step offloaded to NICs:
+//
+//	Atomicity   — all writes of a transaction form ONE redo-log record
+//	              (wal.Append = gWRITE+gFLUSH); recovery replays complete
+//	              records only (CRC + sequence), so partial transactions
+//	              never surface.
+//	Consistency — commits apply in log order via ExecuteAndAdvance
+//	              (gMEMCPY+gFLUSH per entry, then a durable head advance).
+//	Isolation   — a group write lock (gCAS) covers the objects during
+//	              commit; readers take per-replica read locks.
+//	Durability  — the commit point is the log-record ack: every replica
+//	              has the record in NVM before the client proceeds.
+package txn
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"hyperloop/internal/locks"
+	"hyperloop/internal/sim"
+	"hyperloop/internal/wal"
+)
+
+// Errors.
+var (
+	ErrTxnClosed   = errors.New("txn: transaction already committed or aborted")
+	ErrMgrClosed   = errors.New("txn: manager closed")
+	ErrEmptyTxn    = errors.New("txn: transaction has no writes")
+	ErrLockTimeout = errors.New("txn: could not acquire object locks")
+)
+
+// Manager coordinates transactions over a shared store window: a WAL for
+// redo records, a lock table for object isolation, and an object region the
+// committed values land in.
+type Manager struct {
+	eng   *sim.Engine
+	log   *wal.Log
+	store wal.Store
+	locks *locks.Manager
+	owner uint64
+
+	// lockStripes maps object offsets onto lock words.
+	lockStripes int
+
+	committed uint64
+	aborted   uint64
+	closed    bool
+}
+
+// Config sizes a Manager.
+type Config struct {
+	// LockStripes is the lock-table width; object offsets hash onto
+	// stripes (default 64).
+	LockStripes int
+	// Owner identifies this coordinator in lock words (default 1).
+	Owner uint64
+}
+
+// New creates a transaction manager. log must be an initialized replicated
+// WAL over store; lm covers a lock table of at least LockStripes words.
+func New(eng *sim.Engine, log *wal.Log, store wal.Store, lm *locks.Manager, cfg Config) *Manager {
+	if cfg.LockStripes <= 0 {
+		cfg.LockStripes = 64
+	}
+	if cfg.Owner == 0 {
+		cfg.Owner = 1
+	}
+	return &Manager{
+		eng:         eng,
+		log:         log,
+		store:       store,
+		locks:       lm,
+		owner:       cfg.Owner,
+		lockStripes: cfg.LockStripes,
+	}
+}
+
+// Stats returns (committed, aborted).
+func (m *Manager) Stats() (uint64, uint64) { return m.committed, m.aborted }
+
+// Close rejects further transactions.
+func (m *Manager) Close() { m.closed = true }
+
+// Txn is one in-flight transaction. Writes buffer locally; Commit makes
+// them atomic, isolated, and durable across the group.
+type Txn struct {
+	m      *Manager
+	writes []wal.Entry
+	read   map[int][]byte
+	closed bool
+}
+
+// Begin starts a transaction.
+func (m *Manager) Begin() (*Txn, error) {
+	if m.closed {
+		return nil, ErrMgrClosed
+	}
+	return &Txn{m: m, read: make(map[int][]byte)}, nil
+}
+
+// Write buffers a modification: data will be placed at offset in every
+// replica's store when the transaction commits. Overlapping writes within
+// one transaction apply in order.
+func (t *Txn) Write(offset int, data []byte) error {
+	if t.closed {
+		return ErrTxnClosed
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	t.writes = append(t.writes, wal.Entry{Offset: offset, Data: buf})
+	return nil
+}
+
+// WriteUint64 buffers an 8-byte little-endian value.
+func (t *Txn) WriteUint64(offset int, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return t.Write(offset, b[:])
+}
+
+// Read returns the transaction's view of [offset, offset+size): buffered
+// writes overlay the committed store (read-your-writes).
+func (t *Txn) Read(offset, size int) []byte {
+	out := t.m.store.ReadLocal(offset, size)
+	for _, w := range t.writes {
+		overlayInto(out, offset, w)
+	}
+	return out
+}
+
+// overlayInto applies the overlapping part of w onto out (which covers
+// [base, base+len(out))).
+func overlayInto(out []byte, base int, w wal.Entry) {
+	lo := w.Offset
+	hi := w.Offset + len(w.Data)
+	if hi <= base || lo >= base+len(out) {
+		return
+	}
+	src := 0
+	dst := lo - base
+	if dst < 0 {
+		src = -dst
+		dst = 0
+	}
+	copy(out[dst:], w.Data[src:min(len(w.Data), src+len(out)-dst)])
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// stripes returns the distinct, sorted lock stripes the transaction's
+// writes touch (sorted to avoid deadlocks between concurrent coordinators).
+func (t *Txn) stripes() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, w := range t.writes {
+		s := (w.Offset / 64) % t.m.lockStripes
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	// Insertion sort: stripe counts are tiny.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Abort discards the transaction (nothing was shared yet, so this is
+// purely local).
+func (t *Txn) Abort() {
+	if !t.closed {
+		t.closed = true
+		t.m.aborted++
+	}
+}
+
+// Commit makes the transaction durable and applied on every replica:
+//
+//  1. acquire the group write locks covering the touched objects (gCAS);
+//  2. append one redo record holding every write (gWRITE+gFLUSH) — the
+//     durability point: done's success means all-or-nothing recovery;
+//  3. execute the record (gMEMCPY+gFLUSH per write + head advance);
+//  4. release the locks.
+//
+// done fires after step 4 with the first error, if any. On lock failure
+// the transaction aborts without side effects.
+func (t *Txn) Commit(done func(error)) error {
+	if t.closed {
+		return ErrTxnClosed
+	}
+	if len(t.writes) == 0 {
+		return ErrEmptyTxn
+	}
+	t.closed = true
+	m := t.m
+	stripes := t.stripes()
+
+	finish := func(err error) {
+		if err == nil {
+			m.committed++
+		} else {
+			m.aborted++
+		}
+		if done != nil {
+			done(err)
+		}
+	}
+
+	// Step 4 (deferred): release in reverse order.
+	release := func(held int, after func(error)) {
+		var next func(i int, first error)
+		next = func(i int, first error) {
+			if i < 0 {
+				after(first)
+				return
+			}
+			m.locks.WrUnlock(stripes[i], m.owner, func(err error) {
+				if first == nil {
+					first = err
+				}
+				next(i-1, first)
+			})
+		}
+		next(held-1, nil)
+	}
+
+	// Steps 2+3 under the locks. ExecuteAndAdvance commits the oldest
+	// unexecuted record, which may belong to a concurrent disjoint
+	// transaction — that is safe (records apply in log order, and every
+	// record's owner still holds its stripes until its own commit
+	// completes) but means a head record whose replication ack is still in
+	// flight surfaces as ErrNotReady: retry shortly rather than abort.
+	var execute func()
+	execute = func() {
+		execErr := m.log.ExecuteAndAdvance(func(err error) {
+			release(len(stripes), func(uerr error) {
+				if err == nil {
+					err = uerr
+				}
+				finish(err)
+			})
+		})
+		switch execErr {
+		case nil:
+		case wal.ErrNotReady:
+			m.eng.Schedule(5*sim.Microsecond, execute)
+		case wal.ErrEmpty:
+			// A concurrent commit already executed our record.
+			release(len(stripes), func(uerr error) { finish(uerr) })
+		default:
+			release(len(stripes), func(error) { finish(execErr) })
+		}
+	}
+	applyAndRelease := func() {
+		err := m.log.Append(t.writes, func(err error) {
+			if err != nil {
+				release(len(stripes), func(error) { finish(err) })
+				return
+			}
+			execute()
+		})
+		if err != nil {
+			release(len(stripes), func(error) { finish(err) })
+		}
+	}
+
+	// Step 1: acquire stripes in order.
+	var acquire func(i int)
+	acquire = func(i int) {
+		if i >= len(stripes) {
+			applyAndRelease()
+			return
+		}
+		m.locks.WrLock(stripes[i], m.owner, func(err error) {
+			if err != nil {
+				release(i, func(error) {
+					finish(fmt.Errorf("%w: stripe %d: %v", ErrLockTimeout, stripes[i], err))
+				})
+				return
+			}
+			acquire(i + 1)
+		})
+	}
+	acquire(0)
+	return nil
+}

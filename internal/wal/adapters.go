@@ -1,0 +1,120 @@
+package wal
+
+import (
+	"hyperloop/internal/cluster"
+	"hyperloop/internal/core"
+	"hyperloop/internal/naive"
+)
+
+// CoreReplicator adapts a HyperLoop group to the Replicator interface.
+type CoreReplicator struct{ G *core.Group }
+
+// Write implements Replicator via gWRITE (+gFLUSH when durable).
+func (r CoreReplicator) Write(off, size int, durable bool, done func(error)) {
+	err := r.G.GWrite(off, size, durable, wrap(done))
+	if err != nil && done != nil {
+		done(err)
+	}
+}
+
+// Memcpy implements Replicator via gMEMCPY.
+func (r CoreReplicator) Memcpy(dst, src, size int, durable bool, done func(error)) {
+	err := r.G.GMemcpy(dst, src, size, durable, wrap(done))
+	if err != nil && done != nil {
+		done(err)
+	}
+}
+
+// Flush implements Replicator via gFLUSH.
+func (r CoreReplicator) Flush(done func(error)) {
+	err := r.G.GFlush(wrap(done))
+	if err != nil && done != nil {
+		done(err)
+	}
+}
+
+func wrap(done func(error)) func(core.Result) {
+	if done == nil {
+		return nil
+	}
+	return func(res core.Result) { done(res.Err) }
+}
+
+// NaiveReplicator adapts the baseline group.
+type NaiveReplicator struct{ G *naive.Group }
+
+// Write implements Replicator over the baseline datapath.
+func (r NaiveReplicator) Write(off, size int, durable bool, done func(error)) {
+	err := r.G.GWrite(off, size, durable, wrapNaive(done))
+	if err != nil && done != nil {
+		done(err)
+	}
+}
+
+// Memcpy implements Replicator over the baseline datapath.
+func (r NaiveReplicator) Memcpy(dst, src, size int, durable bool, done func(error)) {
+	err := r.G.GMemcpy(dst, src, size, durable, wrapNaive(done))
+	if err != nil && done != nil {
+		done(err)
+	}
+}
+
+// Flush implements Replicator over the baseline datapath.
+func (r NaiveReplicator) Flush(done func(error)) {
+	err := r.G.GFlush(wrapNaive(done))
+	if err != nil && done != nil {
+		done(err)
+	}
+}
+
+func wrapNaive(done func(error)) func(naive.Result) {
+	if done == nil {
+		return nil
+	}
+	return func(res naive.Result) { done(res.Err) }
+}
+
+// NodeStore adapts a cluster node to the Store interface.
+type NodeStore struct{ N *cluster.Node }
+
+// WriteLocal implements Store.
+func (s NodeStore) WriteLocal(off int, data []byte) { s.N.StoreWrite(off, data) }
+
+// ReadLocal implements Store.
+func (s NodeStore) ReadLocal(off, size int) []byte { return s.N.StoreBytes(off, size) }
+
+// LocalReplicator is a no-network Replicator for unreplicated setups and
+// unit tests: operations apply to the given local stores synchronously.
+type LocalReplicator struct {
+	Stores []Store
+}
+
+// Write implements Replicator by copying from the first store to the rest.
+func (r LocalReplicator) Write(off, size int, durable bool, done func(error)) {
+	if len(r.Stores) > 0 {
+		data := r.Stores[0].ReadLocal(off, size)
+		for _, s := range r.Stores[1:] {
+			s.WriteLocal(off, data)
+		}
+	}
+	if done != nil {
+		done(nil)
+	}
+}
+
+// Memcpy implements Replicator.
+func (r LocalReplicator) Memcpy(dst, src, size int, durable bool, done func(error)) {
+	for _, s := range r.Stores[1:] {
+		s.WriteLocal(dst, s.ReadLocal(src, size))
+	}
+	if done != nil {
+		done(nil)
+	}
+}
+
+// Flush implements Replicator (no-op: local stores are CPU-durable).
+func (r LocalReplicator) Flush(done func(error)) {
+	if done != nil {
+		done(nil)
+	}
+}

@@ -1,0 +1,209 @@
+// Package ycsb regenerates the Yahoo! Cloud Serving Benchmark workloads the
+// paper evaluates with (Table 3): the operation mixes of workloads A, B, D,
+// E, and F, zipfian/latest/uniform request distributions, and scan lengths.
+package ycsb
+
+import (
+	"fmt"
+
+	"hyperloop/internal/sim"
+)
+
+// OpType is a YCSB operation kind.
+type OpType int
+
+// Operation kinds.
+const (
+	Read OpType = iota
+	Update
+	Insert
+	Scan
+	ReadModifyWrite
+)
+
+func (t OpType) String() string {
+	switch t {
+	case Read:
+		return "read"
+	case Update:
+		return "update"
+	case Insert:
+		return "insert"
+	case Scan:
+		return "scan"
+	case ReadModifyWrite:
+		return "modify"
+	default:
+		return fmt.Sprintf("op(%d)", int(t))
+	}
+}
+
+// Distribution selects how keys are drawn.
+type Distribution int
+
+// Request distributions.
+const (
+	Zipfian Distribution = iota
+	Latest               // skewed toward recently inserted records (workload D)
+	Uniform
+)
+
+// Workload is a YCSB operation mix in percent (summing to 100), exactly the
+// rows of the paper's Table 3.
+type Workload struct {
+	Name    string
+	Read    int
+	Update  int
+	Insert  int
+	Modify  int // read-modify-write
+	Scan    int
+	Dist    Distribution
+	MaxScan int // maximum scan length (default 100)
+}
+
+// The paper's Table 3 workloads.
+var (
+	// WorkloadA: update heavy (50/50 read/update).
+	WorkloadA = Workload{Name: "A", Read: 50, Update: 50, Dist: Zipfian}
+	// WorkloadB: read mostly (95/5 read/update).
+	WorkloadB = Workload{Name: "B", Read: 95, Update: 5, Dist: Zipfian}
+	// WorkloadD: read latest (95/5 read/insert).
+	WorkloadD = Workload{Name: "D", Read: 95, Insert: 5, Dist: Latest}
+	// WorkloadE: short ranges (95/5 scan/insert).
+	WorkloadE = Workload{Name: "E", Insert: 5, Scan: 95, Dist: Zipfian}
+	// WorkloadF: read-modify-write (50/50 read/modify).
+	WorkloadF = Workload{Name: "F", Read: 50, Modify: 50, Dist: Zipfian}
+
+	// Workloads indexes the standard mixes by name.
+	Workloads = map[string]Workload{
+		"A": WorkloadA, "B": WorkloadB, "D": WorkloadD, "E": WorkloadE, "F": WorkloadF,
+	}
+)
+
+// Total returns the mix sum (must be 100).
+func (w Workload) Total() int { return w.Read + w.Update + w.Insert + w.Modify + w.Scan }
+
+// Op is one generated operation.
+type Op struct {
+	Type    OpType
+	Key     int64
+	ScanLen int
+}
+
+// KeyName renders a key the way YCSB does.
+func KeyName(k int64) string { return fmt.Sprintf("user%010d", k) }
+
+// Generator produces an operation stream for a workload.
+type Generator struct {
+	w       Workload
+	r       *sim.Rand
+	zipf    *sim.Zipf
+	records int64
+	inserts int64
+
+	counts map[OpType]int
+}
+
+// NewGenerator creates a generator over an initial keyspace of records
+// keys. Inserts grow the keyspace.
+func NewGenerator(w Workload, records int64, seed int64) *Generator {
+	if w.Total() != 100 {
+		panic(fmt.Sprintf("ycsb: workload %s mix sums to %d", w.Name, w.Total()))
+	}
+	if w.MaxScan <= 0 {
+		w.MaxScan = 100
+	}
+	if records <= 0 {
+		records = 1
+	}
+	r := sim.NewRand(seed)
+	return &Generator{
+		w:       w,
+		r:       r,
+		zipf:    sim.NewZipf(r.Fork(), records, 0.99),
+		records: records,
+		counts:  make(map[OpType]int),
+	}
+}
+
+// Records returns the current keyspace size.
+func (g *Generator) Records() int64 { return g.records }
+
+// Counts returns per-type operation counts generated so far.
+func (g *Generator) Counts() map[OpType]int {
+	out := make(map[OpType]int, len(g.counts))
+	for k, v := range g.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// nextKey draws a key per the workload distribution.
+func (g *Generator) nextKey() int64 {
+	switch g.w.Dist {
+	case Latest:
+		// Skew toward the most recent keys: latest = N-1 - zipf.
+		k := g.records - 1 - g.zipf.Next()
+		if k < 0 {
+			k = 0
+		}
+		return k
+	case Uniform:
+		return g.r.Int63n(g.records)
+	default:
+		return g.zipf.Next()
+	}
+}
+
+// Next generates one operation.
+func (g *Generator) Next() Op {
+	p := g.r.Intn(100)
+	var op Op
+	switch {
+	case p < g.w.Read:
+		op = Op{Type: Read, Key: g.nextKey()}
+	case p < g.w.Read+g.w.Update:
+		op = Op{Type: Update, Key: g.nextKey()}
+	case p < g.w.Read+g.w.Update+g.w.Insert:
+		op = Op{Type: Insert, Key: g.records}
+		g.records++
+		g.inserts++
+		g.zipf.Grow(g.records)
+	case p < g.w.Read+g.w.Update+g.w.Insert+g.w.Modify:
+		op = Op{Type: ReadModifyWrite, Key: g.nextKey()}
+	default:
+		op = Op{Type: Scan, Key: g.nextKey(), ScanLen: 1 + g.r.Intn(g.w.MaxScan)}
+	}
+	g.counts[op.Type]++
+	return op
+}
+
+// ValueGenerator produces record payloads of a fixed size with light
+// content variation (so stores cannot cheat via dedup).
+type ValueGenerator struct {
+	r    *sim.Rand
+	size int
+}
+
+// NewValueGenerator creates values of size bytes (the paper uses 1024-byte
+// values with 32-byte keys, §6.2).
+func NewValueGenerator(size int, seed int64) *ValueGenerator {
+	if size <= 0 {
+		size = 1024
+	}
+	return &ValueGenerator{r: sim.NewRand(seed), size: size}
+}
+
+// Next returns a fresh value.
+func (v *ValueGenerator) Next(key int64) []byte {
+	buf := make([]byte, v.size)
+	header := fmt.Sprintf("val:%d:%d:", key, v.r.Uint64())
+	copy(buf, header)
+	for i := len(header); i < len(buf); i++ {
+		buf[i] = byte('a' + (i+int(key))%26)
+	}
+	return buf
+}
+
+// Size returns the value size.
+func (v *ValueGenerator) Size() int { return v.size }

@@ -1,0 +1,171 @@
+package ycsb
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestWorkloadMixes verifies the generators reproduce Table 3's percentages.
+func TestWorkloadMixes(t *testing.T) {
+	want := map[string]map[OpType]int{
+		"A": {Read: 50, Update: 50},
+		"B": {Read: 95, Update: 5},
+		"D": {Read: 95, Insert: 5},
+		"E": {Insert: 5, Scan: 95},
+		"F": {Read: 50, ReadModifyWrite: 50},
+	}
+	const ops = 200000
+	for name, mix := range want {
+		g := NewGenerator(Workloads[name], 100000, 42)
+		for i := 0; i < ops; i++ {
+			g.Next()
+		}
+		counts := g.Counts()
+		for typ, pct := range mix {
+			got := 100 * float64(counts[typ]) / ops
+			if math.Abs(got-float64(pct)) > 0.5 {
+				t.Errorf("workload %s: %v = %.2f%%, want %d%%", name, typ, got, pct)
+			}
+		}
+		// No unexpected op types.
+		for typ, c := range counts {
+			if mix[typ] == 0 && c > 0 {
+				t.Errorf("workload %s generated unexpected %v ops", name, typ)
+			}
+		}
+	}
+}
+
+func TestMixMustSumTo100(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad mix accepted")
+		}
+	}()
+	NewGenerator(Workload{Name: "bad", Read: 50}, 100, 1)
+}
+
+func TestKeysInRange(t *testing.T) {
+	g := NewGenerator(WorkloadA, 1000, 7)
+	for i := 0; i < 50000; i++ {
+		op := g.Next()
+		if op.Key < 0 || op.Key >= g.Records() {
+			t.Fatalf("key %d outside [0, %d)", op.Key, g.Records())
+		}
+	}
+}
+
+func TestZipfianSkewOnReads(t *testing.T) {
+	g := NewGenerator(WorkloadB, 10000, 9)
+	counts := make(map[int64]int)
+	for i := 0; i < 100000; i++ {
+		op := g.Next()
+		if op.Type == Read {
+			counts[op.Key]++
+		}
+	}
+	hot := 0
+	for k := int64(0); k < 100; k++ {
+		hot += counts[k]
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if float64(hot)/float64(total) < 0.3 {
+		t.Fatalf("top-100 keys got %.1f%% of reads; zipfian skew missing", 100*float64(hot)/float64(total))
+	}
+}
+
+func TestInsertsGrowKeyspace(t *testing.T) {
+	g := NewGenerator(WorkloadD, 1000, 11)
+	start := g.Records()
+	inserted := int64(0)
+	for i := 0; i < 50000; i++ {
+		op := g.Next()
+		if op.Type == Insert {
+			if op.Key != start+inserted {
+				t.Fatalf("insert key %d, want sequential %d", op.Key, start+inserted)
+			}
+			inserted++
+		}
+	}
+	if g.Records() != start+inserted {
+		t.Fatalf("records = %d, want %d", g.Records(), start+inserted)
+	}
+	if inserted == 0 {
+		t.Fatal("workload D produced no inserts")
+	}
+}
+
+func TestLatestDistributionSkewsRecent(t *testing.T) {
+	g := NewGenerator(WorkloadD, 100000, 13)
+	recent, older := 0, 0
+	for i := 0; i < 50000; i++ {
+		op := g.Next()
+		if op.Type != Read {
+			continue
+		}
+		if op.Key >= g.Records()*9/10 {
+			recent++
+		} else {
+			older++
+		}
+	}
+	if recent < older {
+		t.Fatalf("latest distribution not recent-skewed: recent=%d older=%d", recent, older)
+	}
+}
+
+func TestScanLengths(t *testing.T) {
+	g := NewGenerator(WorkloadE, 10000, 17)
+	seen := false
+	for i := 0; i < 10000; i++ {
+		op := g.Next()
+		if op.Type != Scan {
+			continue
+		}
+		seen = true
+		if op.ScanLen < 1 || op.ScanLen > 100 {
+			t.Fatalf("scan length %d outside [1, 100]", op.ScanLen)
+		}
+	}
+	if !seen {
+		t.Fatal("workload E produced no scans")
+	}
+}
+
+func TestDeterministicStream(t *testing.T) {
+	a := NewGenerator(WorkloadA, 1000, 23)
+	b := NewGenerator(WorkloadA, 1000, 23)
+	for i := 0; i < 10000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestKeyName(t *testing.T) {
+	if KeyName(42) != "user0000000042" {
+		t.Fatalf("KeyName = %q", KeyName(42))
+	}
+}
+
+func TestValueGenerator(t *testing.T) {
+	v := NewValueGenerator(1024, 3)
+	a := v.Next(1)
+	b := v.Next(1)
+	if len(a) != 1024 || len(b) != 1024 {
+		t.Fatalf("value sizes %d/%d", len(a), len(b))
+	}
+	if string(a) == string(b) {
+		t.Fatal("values not varied")
+	}
+	if !strings.HasPrefix(string(a), "val:1:") {
+		t.Fatalf("value header: %q", a[:16])
+	}
+	if v.Size() != 1024 {
+		t.Fatal("Size")
+	}
+}
