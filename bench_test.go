@@ -31,16 +31,14 @@ const (
 // context switches vs co-located replica-set count.
 func BenchmarkFigure2a(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		few, err := experiments.Motivation(experiments.MotivationParams{
-			ReplicaSets: 9, OpsPerSet: 300, Records: 100, Seed: benchSeed})
+		rs, err := experiments.MotivationSweep([]experiments.MotivationParams{
+			{ReplicaSets: 9, OpsPerSet: 300, Records: 100, Seed: benchSeed},
+			{ReplicaSets: 27, OpsPerSet: 300, Records: 100, Seed: benchSeed},
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
-		many, err := experiments.Motivation(experiments.MotivationParams{
-			ReplicaSets: 27, OpsPerSet: 300, Records: 100, Seed: benchSeed})
-		if err != nil {
-			b.Fatal(err)
-		}
+		few, many := rs[0], rs[1]
 		b.ReportMetric(float64(few.Latency.P99), "sets9-p99-ns")
 		b.ReportMetric(float64(many.Latency.P99), "sets27-p99-ns")
 		b.ReportMetric(float64(many.ContextSwitches)/float64(few.ContextSwitches), "ctxsw-growth")
@@ -51,16 +49,14 @@ func BenchmarkFigure2a(b *testing.B) {
 // 18 replica-sets.
 func BenchmarkFigure2b(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		small, err := experiments.Motivation(experiments.MotivationParams{
-			ReplicaSets: 18, Cores: 4, OpsPerSet: 200, Records: 100, Seed: benchSeed})
+		rs, err := experiments.MotivationSweep([]experiments.MotivationParams{
+			{ReplicaSets: 18, Cores: 4, OpsPerSet: 200, Records: 100, Seed: benchSeed},
+			{ReplicaSets: 18, Cores: 16, OpsPerSet: 200, Records: 100, Seed: benchSeed},
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
-		large, err := experiments.Motivation(experiments.MotivationParams{
-			ReplicaSets: 18, Cores: 16, OpsPerSet: 200, Records: 100, Seed: benchSeed})
-		if err != nil {
-			b.Fatal(err)
-		}
+		small, large := rs[0], rs[1]
 		b.ReportMetric(float64(small.Latency.Mean), "cores4-avg-ns")
 		b.ReportMetric(float64(large.Latency.Mean), "cores16-avg-ns")
 	}
@@ -70,18 +66,13 @@ func BenchmarkFigure2b(b *testing.B) {
 // HyperLoop vs Naïve-RDMA under 10:1 co-location.
 func BenchmarkFigure8aGWrite(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		hl, err := experiments.GWriteLatency(experiments.MicroParams{
-			System: experiments.HyperLoop, MsgSize: 1024, Ops: benchOps,
-			TenantsPerCore: benchHogs, Durable: true, Seed: benchSeed})
+		rows, err := experiments.LatencySweep("gwrite", []int{1024},
+			[]experiments.System{experiments.HyperLoop, experiments.NaiveEvent},
+			experiments.MicroParams{Ops: benchOps, TenantsPerCore: benchHogs, Durable: true, Seed: benchSeed})
 		if err != nil {
 			b.Fatal(err)
 		}
-		nv, err := experiments.GWriteLatency(experiments.MicroParams{
-			System: experiments.NaiveEvent, MsgSize: 1024, Ops: benchOps,
-			TenantsPerCore: benchHogs, Durable: true, Seed: benchSeed})
-		if err != nil {
-			b.Fatal(err)
-		}
+		hl, nv := rows[0].ByName["HyperLoop"], rows[0].ByName["Naive-Event"]
 		b.ReportMetric(float64(hl.P99), "hl-p99-ns")
 		b.ReportMetric(float64(nv.P99), "nv-p99-ns")
 		b.ReportMetric(float64(nv.P99)/float64(hl.P99), "p99-ratio")
@@ -91,18 +82,13 @@ func BenchmarkFigure8aGWrite(b *testing.B) {
 // BenchmarkFigure8bGMemcpy regenerates Figure 8(b): gMEMCPY latency.
 func BenchmarkFigure8bGMemcpy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		hl, err := experiments.GMemcpyLatency(experiments.MicroParams{
-			System: experiments.HyperLoop, MsgSize: 1024, Ops: benchOps,
-			TenantsPerCore: benchHogs, Durable: true, Seed: benchSeed})
+		rows, err := experiments.LatencySweep("gmemcpy", []int{1024},
+			[]experiments.System{experiments.HyperLoop, experiments.NaiveEvent},
+			experiments.MicroParams{Ops: benchOps, TenantsPerCore: benchHogs, Durable: true, Seed: benchSeed})
 		if err != nil {
 			b.Fatal(err)
 		}
-		nv, err := experiments.GMemcpyLatency(experiments.MicroParams{
-			System: experiments.NaiveEvent, MsgSize: 1024, Ops: benchOps,
-			TenantsPerCore: benchHogs, Durable: true, Seed: benchSeed})
-		if err != nil {
-			b.Fatal(err)
-		}
+		hl, nv := rows[0].ByName["HyperLoop"], rows[0].ByName["Naive-Event"]
 		b.ReportMetric(float64(hl.P99), "hl-p99-ns")
 		b.ReportMetric(float64(nv.P99), "nv-p99-ns")
 		b.ReportMetric(float64(nv.P99)/float64(hl.P99), "p99-ratio")
@@ -134,14 +120,13 @@ func BenchmarkTable2GCAS(b *testing.B) {
 // replica CPU.
 func BenchmarkFigure9Throughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		hl, err := experiments.Throughput(experiments.HyperLoop, 4096, 8<<20, benchSeed)
+		rows, err := experiments.ThroughputSweep(
+			[]experiments.System{experiments.HyperLoop, experiments.NaiveEvent},
+			[]int{4096}, 8<<20, benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
-		nv, err := experiments.Throughput(experiments.NaiveEvent, 4096, 8<<20, benchSeed)
-		if err != nil {
-			b.Fatal(err)
-		}
+		hl, nv := rows[0].ByName["HyperLoop"], rows[0].ByName["Naive-Event"]
 		b.ReportMetric(hl.KopsSec, "hl-kops")
 		b.ReportMetric(nv.KopsSec, "nv-kops")
 		b.ReportMetric(hl.CPUCorePct, "hl-cpu-pct")
@@ -168,18 +153,17 @@ func BenchmarkFigure10GroupScaling(b *testing.B) {
 // latency, three variants.
 func BenchmarkFigure11RocksDB(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		run := func(sys experiments.System) experiments.RocksDBResult {
-			r, err := experiments.RocksDB(experiments.AppParams{
-				System: sys, Records: benchRecs, Ops: benchAppOps,
-				TenantsPerCore: benchHogs, Seed: benchSeed})
-			if err != nil {
-				b.Fatal(err)
-			}
-			return r
+		mk := func(sys experiments.System) experiments.AppParams {
+			return experiments.AppParams{System: sys, Records: benchRecs, Ops: benchAppOps,
+				TenantsPerCore: benchHogs, Seed: benchSeed}
 		}
-		hl := run(experiments.HyperLoop)
-		ev := run(experiments.NaiveEvent)
-		pl := run(experiments.NaivePolling)
+		rs, err := experiments.RocksDBSweep([]experiments.AppParams{
+			mk(experiments.HyperLoop), mk(experiments.NaiveEvent), mk(experiments.NaivePolling),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		hl, ev, pl := rs[0], rs[1], rs[2]
 		b.ReportMetric(float64(hl.Latency.P99), "hl-p99-ns")
 		b.ReportMetric(float64(ev.Latency.P99)/float64(hl.Latency.P99), "event-ratio")
 		b.ReportMetric(float64(pl.Latency.P99)/float64(hl.Latency.P99), "polling-ratio")
@@ -190,18 +174,16 @@ func BenchmarkFigure11RocksDB(b *testing.B) {
 // sweeps all five workloads).
 func BenchmarkFigure12MongoDB(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		hl, err := experiments.MongoDB(experiments.AppParams{
-			System: experiments.HyperLoop, Workload: ycsb.WorkloadA,
-			Records: benchRecs, Ops: benchAppOps, TenantsPerCore: benchHogs, Seed: benchSeed})
+		rs, err := experiments.MongoDBSweep([]experiments.AppParams{
+			{System: experiments.HyperLoop, Workload: ycsb.WorkloadA,
+				Records: benchRecs, Ops: benchAppOps, TenantsPerCore: benchHogs, Seed: benchSeed},
+			{System: experiments.NaivePolling, Workload: ycsb.WorkloadA,
+				Records: benchRecs, Ops: benchAppOps, TenantsPerCore: benchHogs, Seed: benchSeed},
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
-		nv, err := experiments.MongoDB(experiments.AppParams{
-			System: experiments.NaivePolling, Workload: ycsb.WorkloadA,
-			Records: benchRecs, Ops: benchAppOps, TenantsPerCore: benchHogs, Seed: benchSeed})
-		if err != nil {
-			b.Fatal(err)
-		}
+		hl, nv := rs[0], rs[1]
 		b.ReportMetric(100*(1-float64(hl.Latency.Mean)/float64(nv.Latency.Mean)), "avg-reduction-pct")
 		gapRatio := float64(hl.Latency.P99-hl.Latency.Mean) / float64(nv.Latency.P99-nv.Latency.Mean)
 		b.ReportMetric(100*(1-gapRatio), "gap-reduction-pct")

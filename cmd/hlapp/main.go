@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	hlapp [-exp all|fig11|fig12] [-quick] [-seed N]
+//	hlapp [-exp all|fig11|fig12] [-quick] [-seed N] [-parallel N]
 package main
 
 import (
@@ -21,14 +21,16 @@ import (
 var (
 	expFlag = flag.String("exp", "all", "experiment: all, fig11, fig12")
 	quick   = flag.Bool("quick", false, "reduced op counts for a fast run")
-	csv     = flag.Bool("csv", false, "emit tables as CSV")
-	seed    = flag.Int64("seed", 1, "simulation seed")
+	csv      = flag.Bool("csv", false, "emit tables as CSV")
+	seed     = flag.Int64("seed", 1, "simulation seed")
+	parallel = flag.Int("parallel", 0, "sweep worker count (0 = all cores, 1 = serial)")
 )
 
 func ms(d sim.Duration) string { return fmt.Sprintf("%.3fms", float64(d)/1e6) }
 
 func main() {
 	flag.Parse()
+	experiments.SetParallelism(*parallel)
 	records, ops := int64(2000), 20000
 	if *quick {
 		records, ops = 300, 3000
@@ -50,20 +52,21 @@ func main() {
 
 func fig11(records int64, ops int) error {
 	fmt.Println("=== Figure 11: replicated RocksDB, YCSB-A updates, 10:1 co-location ===")
-	t := stats.NewTable("system", "avg", "p95", "p99", "p99-vs-HL")
-	var hlP99 sim.Duration
+	var ps []experiments.AppParams
 	for _, sys := range []experiments.System{
 		experiments.HyperLoop, experiments.NaiveEvent, experiments.NaivePolling,
 	} {
-		r, err := experiments.RocksDB(experiments.AppParams{
+		ps = append(ps, experiments.AppParams{
 			System: sys, Records: records, Ops: ops, TenantsPerCore: 10, Seed: *seed,
 		})
-		if err != nil {
-			return err
-		}
-		if sys == experiments.HyperLoop {
-			hlP99 = r.Latency.P99
-		}
+	}
+	results, err := experiments.RocksDBSweep(ps)
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable("system", "avg", "p95", "p99", "p99-vs-HL")
+	hlP99 := results[0].Latency.P99
+	for _, r := range results {
 		t.AddRow(r.System, ms(r.Latency.Mean), ms(r.Latency.P95), ms(r.Latency.P99),
 			fmt.Sprintf("%.1fx", float64(r.Latency.P99)/float64(hlP99)))
 	}
@@ -73,22 +76,23 @@ func fig11(records int64, ops int) error {
 
 func fig12(records int64, ops int) error {
 	fmt.Println("=== Figure 12: MongoDB-style store, YCSB A/B/D/E/F, native vs HyperLoop ===")
+	names := []string{"A", "B", "D", "E", "F"}
+	var ps []experiments.AppParams
+	for _, name := range names {
+		for _, sys := range []experiments.System{experiments.NaivePolling, experiments.HyperLoop} {
+			ps = append(ps, experiments.AppParams{
+				System: sys, Workload: ycsb.Workloads[name],
+				Records: records, Ops: ops, TenantsPerCore: 10, Seed: *seed,
+			})
+		}
+	}
+	results, err := experiments.MongoDBSweep(ps)
+	if err != nil {
+		return err
+	}
 	t := stats.NewTable("workload", "native-avg", "native-p99", "HL-avg", "HL-p99", "avg-cut", "gap-cut")
-	for _, name := range []string{"A", "B", "D", "E", "F"} {
-		nv, err := experiments.MongoDB(experiments.AppParams{
-			System: experiments.NaivePolling, Workload: ycsb.Workloads[name],
-			Records: records, Ops: ops, TenantsPerCore: 10, Seed: *seed,
-		})
-		if err != nil {
-			return fmt.Errorf("workload %s native: %w", name, err)
-		}
-		hl, err := experiments.MongoDB(experiments.AppParams{
-			System: experiments.HyperLoop, Workload: ycsb.Workloads[name],
-			Records: records, Ops: ops, TenantsPerCore: 10, Seed: *seed,
-		})
-		if err != nil {
-			return fmt.Errorf("workload %s hyperloop: %w", name, err)
-		}
+	for ni, name := range names {
+		nv, hl := results[2*ni], results[2*ni+1]
 		avgCut := 100 * (1 - float64(hl.Latency.Mean)/float64(nv.Latency.Mean))
 		gapNV := float64(nv.Latency.P99 - nv.Latency.Mean)
 		gapHL := float64(hl.Latency.P99 - hl.Latency.Mean)

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	hlmicro [-exp all|fig8a|fig8b|table2|fig9|fig10|ablations] [-quick] [-seed N]
+//	hlmicro [-exp all|fig8a|fig8b|table2|fig9|fig10|ablations] [-quick] [-seed N] [-parallel N]
 package main
 
 import (
@@ -19,12 +19,14 @@ import (
 var (
 	expFlag = flag.String("exp", "all", "experiment: all, fig8a, fig8b, table2, fig9, fig10, multigroup, ablations")
 	quick   = flag.Bool("quick", false, "reduced op counts for a fast run")
-	csv     = flag.Bool("csv", false, "emit tables as CSV")
-	seed    = flag.Int64("seed", 1, "simulation seed")
+	csv      = flag.Bool("csv", false, "emit tables as CSV")
+	seed     = flag.Int64("seed", 1, "simulation seed")
+	parallel = flag.Int("parallel", 0, "sweep worker count (0 = all cores, 1 = serial)")
 )
 
 func main() {
 	flag.Parse()
+	experiments.SetParallelism(*parallel)
 	ops := 10000
 	totalBytes := 256 << 20
 	sizes := experiments.MsgSizesLatency
@@ -95,14 +97,13 @@ func latencySweep(title, prim string, sizes []int, base experiments.MicroParams)
 
 func table2(base experiments.MicroParams) error {
 	fmt.Println("=== Table 2: gCAS latency (group=3, 10:1 co-location) ===")
-	hl, err := experiments.GCASLatency(withSystem(base, experiments.HyperLoop))
+	rows, err := experiments.LatencySweep("gcas", []int{1024},
+		[]experiments.System{experiments.HyperLoop, experiments.NaiveEvent}, base)
 	if err != nil {
 		return err
 	}
-	nv, err := experiments.GCASLatency(withSystem(base, experiments.NaiveEvent))
-	if err != nil {
-		return err
-	}
+	hl := rows[0].ByName["HyperLoop"]
+	nv := rows[0].ByName["Naive-Event"]
 	t := stats.NewTable("system", "avg", "p95", "p99")
 	t.AddRow("Naive-RDMA", us(nv.Mean), us(nv.P95), us(nv.P99))
 	t.AddRow("HyperLoop", us(hl.Mean), us(hl.P95), us(hl.P99))
@@ -114,24 +115,18 @@ func table2(base experiments.MicroParams) error {
 	return nil
 }
 
-func withSystem(p experiments.MicroParams, s experiments.System) experiments.MicroParams {
-	p.System = s
-	return p
-}
-
 func fig9(sizes []int, totalBytes int) error {
 	fmt.Printf("=== Figure 9: gWRITE throughput + replica CPU (%d MB total) ===\n", totalBytes>>20)
+	rows, err := experiments.ThroughputSweep(
+		[]experiments.System{experiments.HyperLoop, experiments.NaiveEvent}, sizes, totalBytes, *seed)
+	if err != nil {
+		return err
+	}
 	t := stats.NewTable("size", "HL-kops/s", "HL-cpu%core", "Naive-kops/s", "Naive-cpu%core")
-	for _, sz := range sizes {
-		hl, err := experiments.Throughput(experiments.HyperLoop, sz, totalBytes, *seed)
-		if err != nil {
-			return err
-		}
-		nv, err := experiments.Throughput(experiments.NaiveEvent, sz, totalBytes, *seed)
-		if err != nil {
-			return err
-		}
-		t.AddRow(fmt.Sprint(sz),
+	for _, r := range rows {
+		hl := r.ByName["HyperLoop"]
+		nv := r.ByName["Naive-Event"]
+		t.AddRow(fmt.Sprint(r.MsgSize),
 			fmt.Sprintf("%.0f", hl.KopsSec), fmt.Sprintf("%.1f", hl.CPUCorePct),
 			fmt.Sprintf("%.0f", nv.KopsSec), fmt.Sprintf("%.1f", nv.CPUCorePct))
 	}
@@ -172,16 +167,18 @@ func fig10(sizes []int, base experiments.MicroParams) error {
 // the multi-tenant deployment study (extension beyond the paper's figures).
 func multigroup(ops int) error {
 	fmt.Println("=== Multi-group co-location: probe-group gWRITE latency ===")
+	counts := []int{1, 16, 64}
+	systems := []experiments.System{experiments.HyperLoop, experiments.NaiveEvent}
+	pts, err := experiments.RunParallel(experiments.Parallelism(), len(counts)*len(systems),
+		func(i int) (experiments.MultiGroupPoint, error) {
+			return experiments.MultiGroupCoLocation(systems[i%len(systems)], counts[i/len(systems)], ops/4, *seed)
+		})
+	if err != nil {
+		return err
+	}
 	t := stats.NewTable("groups", "HL-avg", "HL-p99", "Naive-avg", "Naive-p99")
-	for _, n := range []int{1, 16, 64} {
-		hl, err := experiments.MultiGroupCoLocation(experiments.HyperLoop, n, ops/4, *seed)
-		if err != nil {
-			return err
-		}
-		nv, err := experiments.MultiGroupCoLocation(experiments.NaiveEvent, n, ops/4, *seed)
-		if err != nil {
-			return err
-		}
+	for ci, n := range counts {
+		hl, nv := pts[ci*len(systems)], pts[ci*len(systems)+1]
 		t.AddRow(fmt.Sprint(n), us(hl.Probe.Mean), us(hl.Probe.P99), us(nv.Probe.Mean), us(nv.Probe.P99))
 	}
 	printTable(t)

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	hlmotivation [-exp all|fig2a|fig2b] [-quick] [-seed N]
+//	hlmotivation [-exp all|fig2a|fig2b] [-quick] [-seed N] [-parallel N]
 package main
 
 import (
@@ -21,14 +21,16 @@ import (
 var (
 	expFlag = flag.String("exp", "all", "experiment: all, fig2a, fig2b")
 	quick   = flag.Bool("quick", false, "reduced op counts for a fast run")
-	csv     = flag.Bool("csv", false, "emit tables as CSV")
-	seed    = flag.Int64("seed", 1, "simulation seed")
+	csv      = flag.Bool("csv", false, "emit tables as CSV")
+	seed     = flag.Int64("seed", 1, "simulation seed")
+	parallel = flag.Int("parallel", 0, "sweep worker count (0 = all cores, 1 = serial)")
 )
 
 func ms(d sim.Duration) string { return fmt.Sprintf("%.3fms", float64(d)/1e6) }
 
 func main() {
 	flag.Parse()
+	experiments.SetParallelism(*parallel)
 	opsPerSet := 2000
 	if *quick {
 		opsPerSet = 400
@@ -53,16 +55,16 @@ func fig2a(opsPerSet int) error {
 	if *quick {
 		sets = []int{9, 18, 27}
 	}
-	var results []experiments.MotivationResult
-	var maxSw uint64
+	var ps []experiments.MotivationParams
 	for _, n := range sets {
-		r, err := experiments.Motivation(experiments.MotivationParams{
-			ReplicaSets: n, OpsPerSet: opsPerSet, Seed: *seed,
-		})
-		if err != nil {
-			return err
-		}
-		results = append(results, r)
+		ps = append(ps, experiments.MotivationParams{ReplicaSets: n, OpsPerSet: opsPerSet, Seed: *seed})
+	}
+	results, err := experiments.MotivationSweep(ps)
+	if err != nil {
+		return err
+	}
+	var maxSw uint64
+	for _, r := range results {
 		if r.ContextSwitches > maxSw {
 			maxSw = r.ContextSwitches
 		}
@@ -84,16 +86,16 @@ func fig2b(opsPerSet int) error {
 	if *quick {
 		cores = []int{4, 8, 16}
 	}
-	var results []experiments.MotivationResult
-	var maxSw uint64
+	var ps []experiments.MotivationParams
 	for _, c := range cores {
-		r, err := experiments.Motivation(experiments.MotivationParams{
-			ReplicaSets: 18, Cores: c, OpsPerSet: opsPerSet, Seed: *seed,
-		})
-		if err != nil {
-			return err
-		}
-		results = append(results, r)
+		ps = append(ps, experiments.MotivationParams{ReplicaSets: 18, Cores: c, OpsPerSet: opsPerSet, Seed: *seed})
+	}
+	results, err := experiments.MotivationSweep(ps)
+	if err != nil {
+		return err
+	}
+	var maxSw uint64
+	for _, r := range results {
 		if r.ContextSwitches > maxSw {
 			maxSw = r.ContextSwitches
 		}

@@ -48,7 +48,7 @@ type op struct {
 	exec    ExecuteMap
 	done    func(Result)
 	issued  sim.Time
-	timeout *sim.Event
+	timeout sim.EventID
 }
 
 // hop is one replica's wiring for a channel.
@@ -474,9 +474,7 @@ func (c *channel) failAll(reason error) {
 }
 
 func (c *channel) finish(o *op, err error) {
-	if o.timeout != nil {
-		c.g.eng.Cancel(o.timeout)
-	}
+	c.g.eng.Cancel(o.timeout) // no-op for ops without a timeout
 	res := Result{
 		Seq:       o.seq,
 		Issued:    o.issued,

@@ -248,9 +248,7 @@ func (g *FanoutGroup) onAck(e rdma.CQE) {
 		g.fail(err)
 		return
 	}
-	if o.timeout != nil {
-		g.eng.Cancel(o.timeout)
-	}
+	g.eng.Cancel(o.timeout) // no-op for ops without a timeout
 	if o.done != nil {
 		o.done(Result{
 			Seq: o.seq, Issued: o.issued, Completed: g.eng.Now(),

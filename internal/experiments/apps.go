@@ -59,6 +59,15 @@ type RocksDBResult struct {
 	BackupCPU float64
 }
 
+// RocksDBSweep runs RocksDB for every parameter set (e.g. the three
+// Figure 11 system variants), fanning the runs out over the configured
+// worker pool. Results come back in input order.
+func RocksDBSweep(ps []AppParams) ([]RocksDBResult, error) {
+	return RunParallel(Parallelism(), len(ps), func(i int) (RocksDBResult, error) {
+		return RocksDB(ps[i])
+	})
+}
+
 // RocksDB runs the Figure 11 experiment: a replicated key-value store under
 // YCSB (update operations measured), with co-located background load, for
 // one system variant.
@@ -202,6 +211,15 @@ type MongoResult struct {
 	System    string
 	Latency   stats.Summary
 	BackupCPU float64
+}
+
+// MongoDBSweep runs MongoDB for every parameter set (the Figure 12
+// workload × system grid), fanning the runs out over the configured worker
+// pool. Results come back in input order.
+func MongoDBSweep(ps []AppParams) ([]MongoResult, error) {
+	return RunParallel(Parallelism(), len(ps), func(i int) (MongoResult, error) {
+		return MongoDB(ps[i])
+	})
 }
 
 // MongoDB runs the Figure 12 experiment: the document store under a YCSB

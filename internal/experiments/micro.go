@@ -83,31 +83,41 @@ type LatencyRow struct {
 }
 
 // LatencySweep runs a primitive across message sizes and systems —
-// Figure 8(a) and 8(b).
+// Figure 8(a) and 8(b). The (size, system) grid fans out over the
+// configured worker pool; every cell is an independent simulation, so the
+// assembled rows are identical to a serial run.
 func LatencySweep(prim string, sizes []int, systems []System, base MicroParams) ([]LatencyRow, error) {
-	var rows []LatencyRow
-	for _, sz := range sizes {
-		row := LatencyRow{MsgSize: sz, ByName: make(map[string]stats.Summary)}
-		for _, sys := range systems {
+	var cell func(MicroParams) (stats.Summary, error)
+	switch prim {
+	case "gwrite":
+		cell = GWriteLatency
+	case "gmemcpy":
+		cell = GMemcpyLatency
+	case "gcas":
+		cell = GCASLatency
+	default:
+		return nil, fmt.Errorf("experiments: unknown primitive %q", prim)
+	}
+	cells, err := RunParallel(Parallelism(), len(sizes)*len(systems),
+		func(i int) (stats.Summary, error) {
+			sz, sys := sizes[i/len(systems)], systems[i%len(systems)]
 			p := base
 			p.System = sys
 			p.MsgSize = sz
-			var s stats.Summary
-			var err error
-			switch prim {
-			case "gwrite":
-				s, err = GWriteLatency(p)
-			case "gmemcpy":
-				s, err = GMemcpyLatency(p)
-			case "gcas":
-				s, err = GCASLatency(p)
-			default:
-				return nil, fmt.Errorf("experiments: unknown primitive %q", prim)
-			}
+			s, err := cell(p)
 			if err != nil {
-				return nil, fmt.Errorf("%s/%v/%dB: %w", prim, sys, sz, err)
+				return s, fmt.Errorf("%s/%v/%dB: %w", prim, sys, sz, err)
 			}
-			row.ByName[sys.String()] = s
+			return s, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var rows []LatencyRow
+	for si, sz := range sizes {
+		row := LatencyRow{MsgSize: sz, ByName: make(map[string]stats.Summary)}
+		for yi, sys := range systems {
+			row.ByName[sys.String()] = cells[si*len(systems)+yi]
 		}
 		rows = append(rows, row)
 	}
@@ -173,20 +183,52 @@ type GroupScalingRow struct {
 }
 
 // GroupScaling measures gWRITE tail latency across group sizes — Figure 10.
+// The (group, size) grid fans out over the configured worker pool.
 func GroupScaling(sys System, groupSizes, msgSizes []int, base MicroParams) ([]GroupScalingRow, error) {
-	var rows []GroupScalingRow
-	for _, g := range groupSizes {
-		for _, m := range msgSizes {
+	return RunParallel(Parallelism(), len(groupSizes)*len(msgSizes),
+		func(i int) (GroupScalingRow, error) {
+			g, m := groupSizes[i/len(msgSizes)], msgSizes[i%len(msgSizes)]
 			p := base
 			p.System = sys
 			p.GroupSize = g
 			p.MsgSize = m
 			s, err := GWriteLatency(p)
 			if err != nil {
-				return nil, fmt.Errorf("group %d size %d: %w", g, m, err)
+				return GroupScalingRow{}, fmt.Errorf("group %d size %d: %w", g, m, err)
 			}
-			rows = append(rows, GroupScalingRow{GroupSize: g, MsgSize: m, P99: s.P99, Mean: s.Mean})
+			return GroupScalingRow{GroupSize: g, MsgSize: m, P99: s.P99, Mean: s.Mean}, nil
+		})
+}
+
+// ThroughputRow is one Figure 9 sweep row across systems.
+type ThroughputRow struct {
+	MsgSize int
+	ByName  map[string]ThroughputPoint
+}
+
+// ThroughputSweep runs Throughput across message sizes and systems —
+// Figure 9 — fanning the (size, system) grid out over the configured
+// worker pool.
+func ThroughputSweep(systems []System, sizes []int, totalBytes int, seed int64) ([]ThroughputRow, error) {
+	cells, err := RunParallel(Parallelism(), len(sizes)*len(systems),
+		func(i int) (ThroughputPoint, error) {
+			sz, sys := sizes[i/len(systems)], systems[i%len(systems)]
+			pt, err := Throughput(sys, sz, totalBytes, seed)
+			if err != nil {
+				return pt, fmt.Errorf("throughput/%v/%dB: %w", sys, sz, err)
+			}
+			return pt, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var rows []ThroughputRow
+	for si, sz := range sizes {
+		row := ThroughputRow{MsgSize: sz, ByName: make(map[string]ThroughputPoint)}
+		for yi, sys := range systems {
+			row.ByName[sys.String()] = cells[si*len(systems)+yi]
 		}
+		rows = append(rows, row)
 	}
 	return rows, nil
 }

@@ -61,6 +61,15 @@ const (
 	mongoHandler = 25 * sim.Microsecond
 )
 
+// MotivationSweep runs Motivation for every parameter set, fanning the
+// points out over the configured worker pool — the Figure 2(a)/2(b)
+// sweeps. Results come back in input order, identical to a serial run.
+func MotivationSweep(ps []MotivationParams) ([]MotivationResult, error) {
+	return RunParallel(Parallelism(), len(ps), func(i int) (MotivationResult, error) {
+		return Motivation(ps[i])
+	})
+}
+
 // Motivation reproduces Figure 2: native (replica-CPU) replication with R
 // replica-sets sharing 3 servers. Latency and context switches grow with R
 // (2a) and shrink with added cores (2b).

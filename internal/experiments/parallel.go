@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Every sweep point (system, message size, group size, seed) is an
+// independent deterministic simulation: each job builds its own sim.Engine,
+// cluster, and seeded RNGs, shares nothing with its neighbours, and its
+// result depends only on its parameters. That makes sweeps embarrassingly
+// parallel — RunParallel fans them out over a worker pool while keeping the
+// assembled output bit-for-bit identical to a serial run.
+
+// parallelism holds the configured worker count: 0 selects
+// runtime.GOMAXPROCS, 1 forces the serial path, n>1 caps the pool at n.
+var parallelism atomic.Int32
+
+// SetParallelism configures the worker count used by the sweep helpers
+// (LatencySweep, GroupScaling, ThroughputSweep, MotivationSweep,
+// RocksDBSweep, MongoDBSweep). n <= 0 selects GOMAXPROCS; 1 runs sweeps
+// serially on the calling goroutine. Safe to call concurrently.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelism.Store(int32(n))
+}
+
+// Parallelism returns the effective worker count (resolving 0 to
+// GOMAXPROCS).
+func Parallelism() int {
+	n := int(parallelism.Load())
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// RunParallel runs n independent jobs on a pool of `workers` goroutines and
+// returns their results in input order. workers <= 0 selects GOMAXPROCS;
+// workers == 1 (or n == 1) runs every job inline on the calling goroutine,
+// which is the exact serial semantics sweeps had before the pool existed.
+//
+// Jobs must be self-contained: each builds its own engine and RNGs and
+// touches no shared mutable state. If any job fails, the error of the
+// lowest-indexed failing job is returned — the same error a serial
+// front-to-back run would have surfaced first — alongside the results of
+// the jobs that did complete.
+func RunParallel[T any](workers, n int, job func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			out[i], errs[i] = job(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					out[i], errs[i] = job(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"hyperloop/internal/stats"
+)
+
+func TestRunParallelOrderAndErrors(t *testing.T) {
+	// Results come back in input order regardless of worker count.
+	for _, workers := range []int{1, 3, 16} {
+		got, err := RunParallel(workers, 10, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+
+	// Zero jobs is a no-op.
+	if out, err := RunParallel(4, 0, func(i int) (int, error) { return 0, nil }); err != nil || out != nil {
+		t.Fatalf("n=0: out=%v err=%v", out, err)
+	}
+
+	// The lowest-indexed failure wins — the same error a serial run hits
+	// first — no matter which worker sees it.
+	bad := func(i int) (int, error) {
+		if i == 3 || i == 7 {
+			return 0, fmt.Errorf("job %d failed", i)
+		}
+		return i, nil
+	}
+	for _, workers := range []int{1, 8} {
+		_, err := RunParallel(workers, 10, bad)
+		if err == nil || err.Error() != "job 3 failed" {
+			t.Fatalf("workers=%d: err = %v, want job 3's", workers, err)
+		}
+	}
+}
+
+func TestSetParallelism(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(3)
+	if Parallelism() != 3 {
+		t.Fatalf("Parallelism() = %d after SetParallelism(3)", Parallelism())
+	}
+	SetParallelism(0)
+	if Parallelism() < 1 {
+		t.Fatalf("auto parallelism %d < 1", Parallelism())
+	}
+	SetParallelism(-5) // clamped to auto
+	if Parallelism() < 1 {
+		t.Fatalf("negative parallelism not clamped: %d", Parallelism())
+	}
+}
+
+// TestParallelMatchesSerial is the determinism regression test: a Figure
+// 8(a)-style sweep fanned out over a pool must produce rows byte-identical
+// to the serial path for the same seeds. Every sweep point owns a private
+// engine and RNG chain, so scheduling order across workers must not leak
+// into results.
+func TestParallelMatchesSerial(t *testing.T) {
+	base := MicroParams{Ops: 300, TenantsPerCore: 2, Durable: true, Seed: 11}
+	sizes := []int{128, 1024}
+	systems := []System{HyperLoop, NaiveEvent}
+
+	defer SetParallelism(0)
+	SetParallelism(1)
+	serial, err := LatencySweep("gwrite", sizes, systems, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetParallelism(4)
+	par, err := LatencySweep("gwrite", sizes, systems, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatalf("parallel sweep diverged from serial:\nserial: %+v\nparallel: %+v", serial, par)
+	}
+	// Byte-for-byte on the rendered form too (fmt sorts map keys).
+	if s, p := fmt.Sprintf("%+v", serial), fmt.Sprintf("%+v", par); s != p {
+		t.Fatalf("rendered rows differ:\nserial: %s\nparallel: %s", s, p)
+	}
+
+	// Same property for a parameter-list sweep.
+	ps := []MotivationParams{
+		{ReplicaSets: 9, OpsPerSet: 100, Records: 50, Seed: 11},
+		{ReplicaSets: 12, OpsPerSet: 100, Records: 50, Seed: 11},
+	}
+	SetParallelism(1)
+	mSerial, err := MotivationSweep(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetParallelism(4)
+	mPar, err := MotivationSweep(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mSerial, mPar) {
+		t.Fatalf("motivation sweep diverged:\nserial: %+v\nparallel: %+v", mSerial, mPar)
+	}
+}
+
+// TestSeedReproducibleTables pins the -seed contract the cmd binaries rely
+// on: two runs with the same seed render identical tables, byte for byte.
+func TestSeedReproducibleTables(t *testing.T) {
+	render := func() string {
+		rows, err := LatencySweep("gwrite", []int{1024}, []System{HyperLoop, NaiveEvent},
+			MicroParams{Ops: 250, TenantsPerCore: 2, Durable: true, Seed: 17})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb := stats.NewTable("size", "HL-avg", "HL-p99", "Naive-avg", "Naive-p99")
+		for _, r := range rows {
+			hl, nv := r.ByName["HyperLoop"], r.ByName["Naive-Event"]
+			tb.AddRow(fmt.Sprint(r.MsgSize),
+				fmt.Sprint(hl.Mean), fmt.Sprint(hl.P99),
+				fmt.Sprint(nv.Mean), fmt.Sprint(nv.P99))
+		}
+		return tb.CSV()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("same seed produced different tables:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestSweepErrorPropagation: a failing cell surfaces its error (not a
+// panic, not a zero row) through the pool.
+func TestSweepErrorPropagation(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(4)
+	sentinel := errors.New("boom")
+	_, err := RunParallel(Parallelism(), 5, func(i int) (int, error) {
+		if i == 2 {
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if _, err := LatencySweep("nosuch", []int{128}, []System{HyperLoop}, MicroParams{}); err == nil {
+		t.Fatal("unknown primitive accepted")
+	}
+}

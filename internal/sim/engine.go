@@ -8,7 +8,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -49,63 +48,52 @@ func (d Duration) String() string { return time.Duration(d).String() }
 // Seconds returns the duration as a floating-point number of seconds.
 func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
 
-// Event is a scheduled callback. The zero Event is invalid.
-type Event struct {
-	at     Time
-	seq    uint64
-	fn     func()
-	index  int // heap index; -1 once fired or canceled
-	engine *Engine
+// EventID is a generation-tagged handle to a scheduled event. The zero
+// EventID is invalid and safe to Cancel (a no-op). Handles are only
+// meaningful on the Engine that issued them; once the event fires or is
+// canceled the handle goes stale and every Engine method treats it as a
+// no-op, even after the underlying slot is reused.
+type EventID struct {
+	slot int32
+	gen  uint32
 }
 
-// Canceled reports whether the event was canceled or has already fired.
-func (e *Event) Canceled() bool { return e == nil || e.index < 0 }
+// Valid reports whether the handle was ever issued by an engine (it does
+// not say whether the event is still pending — see Engine.Active).
+func (id EventID) Valid() bool { return id.gen != 0 }
 
-// Time returns the instant the event is scheduled for.
-func (e *Event) Time() Time { return e.at }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+// eventSlot is one slab cell. Slots are recycled through a free list; gen
+// increments on every release so stale EventIDs can never touch a reused
+// slot.
+type eventSlot struct {
+	at      Time
+	seq     uint64
+	fn      func()
+	gen     uint32
+	heapIdx int32 // index into Engine.heap; -1 when not queued
+	next    int32 // free-list link, meaningful only while free
 }
 
 // Engine is a discrete-event simulation executive. It is not safe for
 // concurrent use: the entire simulation runs on one goroutine.
+//
+// The pending queue is an index-based 4-ary min-heap over a slab of event
+// slots: Schedule/Step allocate nothing in steady state (the slab and heap
+// arrays are recycled), and comparisons read the slab directly instead of
+// bouncing through container/heap interface calls.
 type Engine struct {
-	now     Time
-	seq     uint64
-	queue   eventHeap
-	fired   uint64
-	running bool
+	now      Time
+	seq      uint64
+	slots    []eventSlot
+	freeHead int32   // head of the free-slot list, -1 when empty
+	heap     []int32 // slot indices ordered as a 4-ary min-heap by (at, seq)
+	fired    uint64
+	running  bool
 }
 
 // NewEngine returns an Engine positioned at time zero with an empty queue.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{freeHead: -1}
 }
 
 // Now returns the current virtual time.
@@ -115,11 +103,84 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending returns the number of events currently scheduled.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// less orders slot a before slot b by (time, schedule sequence). seq is
+// unique per event, so this is a strict total order: any heap shape pops
+// events in exactly one possible sequence, keeping runs reproducible.
+func (e *Engine) less(a, b int32) bool {
+	sa, sb := &e.slots[a], &e.slots[b]
+	if sa.at != sb.at {
+		return sa.at < sb.at
+	}
+	return sa.seq < sb.seq
+}
+
+// siftUp moves heap[i] toward the root; returns the final heap index.
+func (e *Engine) siftUp(i int) int {
+	si := e.heap[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !e.less(si, e.heap[p]) {
+			break
+		}
+		e.heap[i] = e.heap[p]
+		e.slots[e.heap[i]].heapIdx = int32(i)
+		i = p
+	}
+	e.heap[i] = si
+	e.slots[si].heapIdx = int32(i)
+	return i
+}
+
+// siftDown moves heap[i] toward the leaves; returns the final heap index.
+func (e *Engine) siftDown(i int) int {
+	si := e.heap[i]
+	n := len(e.heap)
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if e.less(e.heap[j], e.heap[best]) {
+				best = j
+			}
+		}
+		if !e.less(e.heap[best], si) {
+			break
+		}
+		e.heap[i] = e.heap[best]
+		e.slots[e.heap[i]].heapIdx = int32(i)
+		i = best
+	}
+	e.heap[i] = si
+	e.slots[si].heapIdx = int32(i)
+	return i
+}
+
+// release returns a slot to the free list and invalidates outstanding
+// handles to it.
+func (e *Engine) release(si int32) {
+	s := &e.slots[si]
+	s.fn = nil
+	s.heapIdx = -1
+	s.gen++
+	if s.gen == 0 { // skip 0 on wrap: gen 0 marks the invalid zero EventID
+		s.gen = 1
+	}
+	s.next = e.freeHead
+	e.freeHead = si
+}
 
 // Schedule runs fn after delay d. A negative delay is treated as zero.
-// It returns an Event handle that can be passed to Cancel.
-func (e *Engine) Schedule(d Duration, fn func()) *Event {
+// It returns an EventID handle that can be passed to Cancel.
+func (e *Engine) Schedule(d Duration, fn func()) EventID {
 	if d < 0 {
 		d = 0
 	}
@@ -128,7 +189,7 @@ func (e *Engine) Schedule(d Duration, fn func()) *Event {
 
 // ScheduleAt runs fn at instant t. Scheduling in the past panics: in a
 // deterministic simulation that is always a bug in the caller.
-func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
+func (e *Engine) ScheduleAt(t Time, fn func()) EventID {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
 	}
@@ -136,30 +197,90 @@ func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
 		panic("sim: schedule nil func")
 	}
 	e.seq++
-	ev := &Event{at: t, seq: e.seq, fn: fn, engine: e}
-	heap.Push(&e.queue, ev)
-	return ev
+	var si int32
+	if e.freeHead >= 0 {
+		si = e.freeHead
+		e.freeHead = e.slots[si].next
+	} else {
+		e.slots = append(e.slots, eventSlot{gen: 1})
+		si = int32(len(e.slots) - 1)
+	}
+	s := &e.slots[si]
+	s.at, s.seq, s.fn = t, e.seq, fn
+	i := len(e.heap)
+	e.heap = append(e.heap, si)
+	s.heapIdx = int32(i)
+	e.siftUp(i)
+	return EventID{slot: si, gen: s.gen}
 }
 
-// Cancel removes a pending event. Canceling a fired or already-canceled
-// event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.index < 0 || ev.engine != e {
+// Cancel removes a pending event. Canceling a fired, already-canceled, or
+// zero EventID is a no-op.
+func (e *Engine) Cancel(id EventID) {
+	if id.gen == 0 || id.slot < 0 || int(id.slot) >= len(e.slots) {
 		return
 	}
-	heap.Remove(&e.queue, ev.index)
+	s := &e.slots[id.slot]
+	if s.gen != id.gen || s.heapIdx < 0 {
+		return
+	}
+	i := int(s.heapIdx)
+	last := len(e.heap) - 1
+	if i != last {
+		e.heap[i] = e.heap[last]
+		e.heap = e.heap[:last]
+		e.slots[e.heap[i]].heapIdx = int32(i)
+		if e.siftDown(i) == i {
+			e.siftUp(i)
+		}
+	} else {
+		e.heap = e.heap[:last]
+	}
+	e.release(id.slot)
+}
+
+// Active reports whether the event is still pending (scheduled, not yet
+// fired or canceled).
+func (e *Engine) Active(id EventID) bool {
+	if id.gen == 0 || id.slot < 0 || int(id.slot) >= len(e.slots) {
+		return false
+	}
+	s := &e.slots[id.slot]
+	return s.gen == id.gen && s.heapIdx >= 0
+}
+
+// EventTime returns the instant a pending event is scheduled for; ok is
+// false for fired, canceled, or zero handles.
+func (e *Engine) EventTime(id EventID) (at Time, ok bool) {
+	if !e.Active(id) {
+		return 0, false
+	}
+	return e.slots[id.slot].at, true
 }
 
 // Step fires the single earliest pending event, advancing the clock to it.
 // It reports whether an event was fired.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	if len(e.heap) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
-	e.now = ev.at
+	si := e.heap[0]
+	s := &e.slots[si]
+	at, fn := s.at, s.fn
+	last := len(e.heap) - 1
+	e.heap[0] = e.heap[last]
+	e.heap = e.heap[:last]
+	if last > 0 {
+		e.slots[e.heap[0]].heapIdx = 0
+		e.siftDown(0)
+	}
+	// Release before invoking fn: the handle is already stale inside the
+	// callback (as before the slab rewrite), and fn's own scheduling can
+	// recycle the slot immediately.
+	e.release(si)
+	e.now = at
 	e.fired++
-	ev.fn()
+	fn()
 	return true
 }
 
@@ -172,7 +293,7 @@ func (e *Engine) Run(deadline Time) {
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+	for len(e.heap) > 0 && e.slots[e.heap[0]].at <= deadline {
 		e.Step()
 	}
 	if deadline != Forever && e.now < deadline {
@@ -188,16 +309,21 @@ func (e *Engine) Drain() { e.Run(Forever) }
 
 // RunUntil fires events until pred returns true or the queue empties or the
 // hard deadline passes; it reports whether pred was satisfied. pred is
-// checked after every event.
+// checked after every event. On a false return the clock is advanced to the
+// deadline (when finite), mirroring Run's deadline semantics, so virtual
+// time never sits before an instant the engine has already given up on.
 func (e *Engine) RunUntil(pred func() bool, deadline Time) bool {
 	if pred() {
 		return true
 	}
-	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+	for len(e.heap) > 0 && e.slots[e.heap[0]].at <= deadline {
 		e.Step()
 		if pred() {
 			return true
 		}
+	}
+	if deadline != Forever && e.now < deadline {
+		e.now = deadline
 	}
 	return false
 }

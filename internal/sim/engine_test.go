@@ -60,12 +60,12 @@ func TestCancel(t *testing.T) {
 	e := NewEngine()
 	fired := false
 	ev := e.Schedule(10, func() { fired = true })
-	if ev.Canceled() {
-		t.Fatal("event reported canceled before firing")
+	if !e.Active(ev) {
+		t.Fatal("event reported inactive before firing")
 	}
 	e.Cancel(ev)
-	if !ev.Canceled() {
-		t.Fatal("event not reported canceled")
+	if e.Active(ev) {
+		t.Fatal("event still active after cancel")
 	}
 	e.Drain()
 	if fired {
@@ -73,14 +73,14 @@ func TestCancel(t *testing.T) {
 	}
 	// Double cancel is a no-op.
 	e.Cancel(ev)
-	// Cancel of nil is a no-op.
-	e.Cancel(nil)
+	// Cancel of the zero EventID is a no-op.
+	e.Cancel(EventID{})
 }
 
 func TestCancelMiddleOfHeap(t *testing.T) {
 	e := NewEngine()
 	var got []int
-	var evs []*Event
+	var evs []EventID
 	for i := 0; i < 20; i++ {
 		i := i
 		evs = append(evs, e.Schedule(Duration(i), func() { got = append(got, i) }))
@@ -370,8 +370,8 @@ func TestDeterminism(t *testing.T) {
 func TestEventTimeAndPending(t *testing.T) {
 	e := NewEngine()
 	ev := e.Schedule(25, func() {})
-	if ev.Time() != 25 {
-		t.Fatalf("event time %v", ev.Time())
+	if at, ok := e.EventTime(ev); !ok || at != 25 {
+		t.Fatalf("event time %v ok=%v", at, ok)
 	}
 	if e.Pending() != 1 {
 		t.Fatalf("pending %d", e.Pending())
@@ -379,6 +379,151 @@ func TestEventTimeAndPending(t *testing.T) {
 	e.Drain()
 	if e.Pending() != 0 {
 		t.Fatalf("pending after drain %d", e.Pending())
+	}
+	if _, ok := e.EventTime(ev); ok {
+		t.Fatal("fired event still reports a time")
+	}
+}
+
+// A handle must go stale the moment its event fires, and stay stale even
+// after the underlying slab slot is recycled by a new event.
+func TestStaleHandleAfterSlotReuse(t *testing.T) {
+	e := NewEngine()
+	first := e.Schedule(1, func() {})
+	e.Drain()
+	if e.Active(first) {
+		t.Fatal("fired event still active")
+	}
+	fired := false
+	second := e.Schedule(5, func() { fired = true }) // recycles first's slot
+	e.Cancel(first)                                  // stale: must not cancel second
+	e.Drain()
+	if !fired {
+		t.Fatal("stale handle canceled a recycled slot's event")
+	}
+	if e.Active(second) {
+		t.Fatal("fired event still active")
+	}
+}
+
+// Canceling and rescheduling under churn must preserve (time, seq) firing
+// order exactly.
+func TestCancelRescheduleChurn(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	var ids []EventID
+	for i := 0; i < 100; i++ {
+		i := i
+		ids = append(ids, e.Schedule(Duration(100+i), func() { got = append(got, i) }))
+	}
+	// Cancel every third, then schedule replacements at earlier instants.
+	for i := 0; i < 100; i += 3 {
+		e.Cancel(ids[i])
+	}
+	var early []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(Duration(i), func() { early = append(early, i) })
+	}
+	e.Drain()
+	for i, v := range early {
+		if v != i {
+			t.Fatalf("early events out of order: %v", early)
+		}
+	}
+	want := 0
+	for _, v := range got {
+		if v%3 == 0 {
+			t.Fatalf("canceled event %d fired", v)
+		}
+		if v < want {
+			t.Fatalf("late events out of order: %v", got)
+		}
+		want = v
+	}
+}
+
+// RunUntil must advance the clock to the deadline when it gives up
+// (mirroring Run), and leave the clock at the satisfying event otherwise.
+func TestRunUntilDeadlineAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.Schedule(10, func() { n++ })
+	e.Schedule(20*Microsecond, func() { n++ })
+	// Pred satisfied: clock stays at the satisfying event.
+	if !e.RunUntil(func() bool { return n >= 1 }, Time(Microsecond)) {
+		t.Fatal("pred not satisfied")
+	}
+	if e.Now() != 10 {
+		t.Fatalf("clock = %v after satisfied pred, want 10ns", e.Now())
+	}
+	// Pred not satisfied by deadline: clock advances to the deadline.
+	if e.RunUntil(func() bool { return n >= 2 }, Time(Microsecond)) {
+		t.Fatal("pred unexpectedly satisfied")
+	}
+	if e.Now() != Time(Microsecond) {
+		t.Fatalf("clock = %v after missed deadline, want 1µs", e.Now())
+	}
+	// The later event still fires afterwards.
+	e.Drain()
+	if n != 2 || e.Now() != Time(20*Microsecond) {
+		t.Fatalf("n=%d now=%v after drain", n, e.Now())
+	}
+	// Forever deadline with an empty queue must not teleport the clock.
+	if e.RunUntil(func() bool { return false }, Forever) {
+		t.Fatal("pred satisfied on empty queue")
+	}
+	if e.Now() != Time(20*Microsecond) {
+		t.Fatalf("clock moved on Forever deadline: %v", e.Now())
+	}
+}
+
+// BenchmarkEngineScheduleFire pins the zero-allocation claim for the
+// steady-state schedule→fire cycle: the slab and heap arrays must be fully
+// recycled, so allocs/op reported here must be 0.
+func BenchmarkEngineScheduleFire(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(1, fn)
+		e.Step()
+	}
+	if e.Fired() != uint64(b.N) {
+		b.Fatalf("fired %d/%d", e.Fired(), b.N)
+	}
+}
+
+// BenchmarkEngineScheduleFireDeep exercises the same cycle with a deep
+// standing queue so sifts traverse several heap levels.
+func BenchmarkEngineScheduleFireDeep(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 4096; i++ {
+		e.Schedule(Duration(1+i%64), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(64, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkEngineCancel pins schedule→cancel: canceling from the middle of
+// the heap must not allocate either.
+func BenchmarkEngineCancel(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		e.Schedule(Duration(1+i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := e.Schedule(Duration(1+i%512), fn)
+		e.Cancel(id)
 	}
 }
 
