@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	hlmicro [-exp all|fig8a|fig8b|table2|fig9|fig10|ablations] [-quick] [-seed N] [-parallel N]
+//	hlmicro [-exp all|fig8a|fig8b|table2|fig9|fig10|ablations] [-quick] [-seed N] [-parallel N] [-bench-json FILE]
 package main
 
 import (
@@ -17,12 +17,17 @@ import (
 )
 
 var (
-	expFlag = flag.String("exp", "all", "experiment: all, fig8a, fig8b, table2, fig9, fig10, multigroup, ablations")
-	quick   = flag.Bool("quick", false, "reduced op counts for a fast run")
-	csv      = flag.Bool("csv", false, "emit tables as CSV")
-	seed     = flag.Int64("seed", 1, "simulation seed")
-	parallel = flag.Int("parallel", 0, "sweep worker count (0 = all cores, 1 = serial)")
+	expFlag   = flag.String("exp", "all", "experiment: all, fig8a, fig8b, table2, fig9, fig10, multigroup, ablations")
+	quick     = flag.Bool("quick", false, "reduced op counts for a fast run")
+	csv       = flag.Bool("csv", false, "emit tables as CSV")
+	seed      = flag.Int64("seed", 1, "simulation seed")
+	parallel  = flag.Int("parallel", 0, "sweep worker count (0 = all cores, 1 = serial)")
+	benchJSON = flag.String("bench-json", "", "write machine-readable benchmark results to this file")
 )
+
+// bench collects results for -bench-json; recording is cheap enough to do
+// unconditionally and only the final write is gated on the flag.
+var bench = experiments.NewBenchRecorder()
 
 func main() {
 	flag.Parse()
@@ -38,8 +43,8 @@ func main() {
 	base := experiments.MicroParams{Ops: ops, TenantsPerCore: 10, Durable: true, Seed: *seed}
 
 	run := map[string]func() error{
-		"fig8a": func() error { return latencySweep("Figure 8(a): gWRITE latency", "gwrite", sizes, base) },
-		"fig8b": func() error { return latencySweep("Figure 8(b): gMEMCPY latency", "gmemcpy", sizes, base) },
+		"fig8a": func() error { return latencySweep("fig8a", "Figure 8(a): gWRITE latency", "gwrite", sizes, base) },
+		"fig8b": func() error { return latencySweep("fig8b", "Figure 8(b): gMEMCPY latency", "gmemcpy", sizes, base) },
 		"table2": func() error {
 			return table2(base)
 		},
@@ -73,11 +78,18 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *benchJSON != "" {
+		if err := bench.WriteJSON(*benchJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote benchmark results to %s\n", *benchJSON)
+	}
 }
 
 func us(d sim.Duration) string { return fmt.Sprintf("%.1fus", float64(d)/1000) }
 
-func latencySweep(title, prim string, sizes []int, base experiments.MicroParams) error {
+func latencySweep(id, title, prim string, sizes []int, base experiments.MicroParams) error {
 	fmt.Printf("=== %s (group=3, 10:1 co-location, durable) ===\n", title)
 	rows, err := experiments.LatencySweep(prim, sizes,
 		[]experiments.System{experiments.HyperLoop, experiments.NaiveEvent}, base)
@@ -88,6 +100,8 @@ func latencySweep(title, prim string, sizes []int, base experiments.MicroParams)
 	for _, r := range rows {
 		hl := r.ByName["HyperLoop"]
 		nv := r.ByName["Naive-Event"]
+		bench.RecordSummary(id, map[string]any{"size": r.MsgSize, "system": "HyperLoop"}, hl)
+		bench.RecordSummary(id, map[string]any{"size": r.MsgSize, "system": "Naive-Event"}, nv)
 		t.AddRow(fmt.Sprint(r.MsgSize), us(hl.Mean), us(hl.P99), us(nv.Mean), us(nv.P99),
 			fmt.Sprintf("%.0fx", float64(nv.P99)/float64(hl.P99)))
 	}
@@ -104,6 +118,8 @@ func table2(base experiments.MicroParams) error {
 	}
 	hl := rows[0].ByName["HyperLoop"]
 	nv := rows[0].ByName["Naive-Event"]
+	bench.RecordSummary("table2", map[string]any{"size": 1024, "system": "HyperLoop"}, hl)
+	bench.RecordSummary("table2", map[string]any{"size": 1024, "system": "Naive-Event"}, nv)
 	t := stats.NewTable("system", "avg", "p95", "p99")
 	t.AddRow("Naive-RDMA", us(nv.Mean), us(nv.P95), us(nv.P99))
 	t.AddRow("HyperLoop", us(hl.Mean), us(hl.P95), us(hl.P99))
@@ -126,6 +142,16 @@ func fig9(sizes []int, totalBytes int) error {
 	for _, r := range rows {
 		hl := r.ByName["HyperLoop"]
 		nv := r.ByName["Naive-Event"]
+		for _, p := range []struct {
+			name string
+			pt   experiments.ThroughputPoint
+		}{{"HyperLoop", hl}, {"Naive-Event", nv}} {
+			bench.Add(experiments.BenchResult{
+				Experiment: "fig9",
+				Params:     map[string]any{"size": r.MsgSize, "system": p.name},
+				Extra:      map[string]float64{"kops_sec": p.pt.KopsSec, "cpu_core_pct": p.pt.CPUCorePct},
+			})
+		}
 		t.AddRow(fmt.Sprint(r.MsgSize),
 			fmt.Sprintf("%.0f", hl.KopsSec), fmt.Sprintf("%.1f", hl.CPUCorePct),
 			fmt.Sprintf("%.0f", nv.KopsSec), fmt.Sprintf("%.1f", nv.CPUCorePct))
@@ -146,6 +172,18 @@ func fig10(sizes []int, base experiments.MicroParams) error {
 	if err != nil {
 		return err
 	}
+	record := func(sys string, rows []experiments.GroupScalingRow) {
+		for _, r := range rows {
+			bench.Add(experiments.BenchResult{
+				Experiment: "fig10",
+				Params:     map[string]any{"group": r.GroupSize, "size": r.MsgSize, "system": sys},
+				AvgNs:      int64(r.Mean),
+				P99Ns:      int64(r.P99),
+			})
+		}
+	}
+	record("HyperLoop", hl)
+	record("Naive-Event", nv)
 	at := func(rows []experiments.GroupScalingRow, g, m int) sim.Duration {
 		for _, r := range rows {
 			if r.GroupSize == g && r.MsgSize == m {
@@ -179,6 +217,8 @@ func multigroup(ops int) error {
 	t := stats.NewTable("groups", "HL-avg", "HL-p99", "Naive-avg", "Naive-p99")
 	for ci, n := range counts {
 		hl, nv := pts[ci*len(systems)], pts[ci*len(systems)+1]
+		bench.RecordSummary("multigroup", map[string]any{"groups": n, "system": "HyperLoop"}, hl.Probe)
+		bench.RecordSummary("multigroup", map[string]any{"groups": n, "system": "Naive-Event"}, nv.Probe)
 		t.AddRow(fmt.Sprint(n), us(hl.Probe.Mean), us(hl.Probe.P99), us(nv.Probe.Mean), us(nv.Probe.P99))
 	}
 	printTable(t)

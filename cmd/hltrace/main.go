@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	hltrace [-size N] [-durable=true]
+//	hltrace [-size N] [-durable=true] [-seed N]
 package main
 
 import (
@@ -18,6 +18,7 @@ import (
 	"hyperloop"
 	"hyperloop/internal/cluster"
 	"hyperloop/internal/core"
+	"hyperloop/internal/cpusched"
 	"hyperloop/internal/sim"
 	"hyperloop/internal/trace"
 )
@@ -25,12 +26,18 @@ import (
 var (
 	size    = flag.Int("size", 256, "payload bytes")
 	durable = flag.Bool("durable", true, "interleave gFLUSH")
+	seed    = flag.Int64("seed", 1, "simulation seed")
 )
 
 func main() {
 	flag.Parse()
 	eng := sim.NewEngine()
-	cl := cluster.New(eng, cluster.Config{Nodes: 4, StoreSize: 1 << 20})
+	cl := cluster.New(eng, cluster.Config{
+		Nodes:     4,
+		StoreSize: 1 << 20,
+		Seed:      *seed,
+		Host:      cpusched.Config{Seed: *seed},
+	})
 	g := core.New(cl, core.Config{Depth: 16})
 	defer g.Close()
 

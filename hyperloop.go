@@ -29,11 +29,13 @@ package hyperloop
 
 import (
 	"hyperloop/internal/chain"
+	"hyperloop/internal/check"
 	"hyperloop/internal/cluster"
 	"hyperloop/internal/core"
 	"hyperloop/internal/cpusched"
 	"hyperloop/internal/docstore"
 	"hyperloop/internal/fabric"
+	"hyperloop/internal/faults"
 	"hyperloop/internal/kvstore"
 	"hyperloop/internal/locks"
 	"hyperloop/internal/naive"
@@ -140,6 +142,25 @@ type (
 	Summary = stats.Summary
 )
 
+// Chaos-testing types: the deterministic fault-injection plane and the
+// post-recovery invariant checkers (see cmd/hlchaos).
+type (
+	// FaultPlane schedules seeded fault scenarios against a live cluster.
+	FaultPlane = faults.Plane
+	// FaultClass enumerates the scenario classes of the fault matrix.
+	FaultClass = faults.Class
+	// FaultSpec is one planned scenario instance (class, victim, timing).
+	FaultSpec = faults.Spec
+	// FaultEvent is one recorded fault-timeline action.
+	FaultEvent = faults.Event
+	// CheckImage is read-only named access to a node's store bytes.
+	CheckImage = check.Image
+	// CheckResult is one invariant checker's verdict.
+	CheckResult = check.Result
+	// CheckReport is an ordered list of checker results.
+	CheckReport = check.Report
+)
+
 // Re-exported constructors and helpers.
 var (
 	// NewEngine creates a fresh virtual-time executive.
@@ -174,6 +195,12 @@ var (
 	AllReplicas = core.AllReplicas
 	// AddTenants applies background multi-tenant CPU load to a host.
 	AddTenants = cpusched.AddTenants
+	// NewFaultPlane creates a seeded fault-injection plane over a cluster.
+	NewFaultPlane = faults.NewPlane
+	// PlanFault derives a deterministic fault scenario from (class, seed).
+	PlanFault = faults.Plan
+	// FaultClasses lists every fault-scenario class in matrix order.
+	FaultClasses = faults.Classes
 )
 
 // Common virtual-time units.

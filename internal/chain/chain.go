@@ -73,10 +73,12 @@ type Manager struct {
 	members []*member
 	spares  []*cluster.Node
 
-	paused    bool
-	halted    bool
-	failedIdx int
-	onFailure func(failed *cluster.Node, survivors []*cluster.Node)
+	paused       bool
+	halted       bool
+	failedIdx    int
+	lastDetectAt sim.Time
+	haveDetect   bool
+	onFailure    func(failed *cluster.Node, survivors []*cluster.Node)
 
 	probes    uint64
 	replies   uint64
@@ -159,6 +161,20 @@ func (m *Manager) Paused() bool { return m.paused }
 // Failovers counts completed detections.
 func (m *Manager) Failovers() uint64 { return m.failovers }
 
+// LastDetection returns the virtual time of the most recent failure
+// detection; ok is false if no failure has ever been detected. Checkers use
+// this to verify detection landed within the configured bound
+// (MissedThreshold × HeartbeatEvery plus probe-grid slack).
+func (m *Manager) LastDetection() (at sim.Time, ok bool) {
+	return m.lastDetectAt, m.haveDetect
+}
+
+// DetectionBound returns the configured failure-detection deadline:
+// a member is declared failed once no reply has been seen for this long.
+func (m *Manager) DetectionBound() sim.Duration {
+	return sim.Duration(m.cfg.MissedThreshold) * m.cfg.HeartbeatEvery
+}
+
 // Halt stops probing permanently.
 func (m *Manager) Halt() { m.halted = true }
 
@@ -202,6 +218,8 @@ func (m *Manager) check() {
 		m.paused = true
 		m.failedIdx = i
 		m.failovers++
+		m.lastDetectAt = m.eng.Now()
+		m.haveDetect = true
 		failed := mem.node
 		var survivors []*cluster.Node
 		for j, other := range m.members {

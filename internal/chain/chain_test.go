@@ -6,6 +6,7 @@ import (
 
 	"hyperloop/internal/cluster"
 	"hyperloop/internal/core"
+	"hyperloop/internal/cpusched"
 	"hyperloop/internal/fabric"
 	"hyperloop/internal/sim"
 )
@@ -127,6 +128,89 @@ func TestCatchUpCopiesState(t *testing.T) {
 	newNode.Dev.PowerFail()
 	if got := newNode.StoreBytes(100, len(payload)); !bytes.Equal(got, payload) {
 		t.Fatal("caught-up state not durable")
+	}
+}
+
+// tenantLoadCluster builds a cluster whose hosts have one core and the given
+// round-robin slice, so a single always-on hog delays every heartbeat reply
+// by up to one slice — a dial for probing the detection threshold exactly.
+func tenantLoadCluster(t *testing.T, slice sim.Duration) (*sim.Engine, *cluster.Cluster) {
+	t.Helper()
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, cluster.Config{
+		Nodes: 4, StoreSize: 1 << 20, Fabric: fabric.Config{JitterFrac: -1},
+		Host: cpusched.Config{Cores: 1, TimeSlice: slice},
+	})
+	return eng, cl
+}
+
+// TestTenantDelayJustUnderThreshold pins the detection edge from below: with
+// a 2ms scheduling slice, heartbeat replies from a hogged single-core host
+// burst at slice boundaries, delayed well under the 5ms detection bound —
+// the manager must not declare a failure.
+func TestTenantDelayJustUnderThreshold(t *testing.T) {
+	eng, cl := tenantLoadCluster(t, 2*sim.Millisecond)
+	failures := 0
+	m := NewManager(eng, cl.Client(), cl.Replicas(), nil,
+		Config{HeartbeatEvery: sim.Millisecond, MissedThreshold: 5},
+		func(*cluster.Node, []*cluster.Node) { failures++ })
+	cl.Replicas()[1].Host.StartLoop("hog", nil)
+	eng.RunFor(100 * sim.Millisecond)
+	if failures != 0 {
+		t.Fatalf("sub-threshold tenant load caused %d false failovers", failures)
+	}
+	if m.Paused() {
+		t.Fatal("chain paused under sub-threshold load")
+	}
+}
+
+// TestTenantDelayJustOverThreshold pins the edge from above: an 8ms slice
+// holds heartbeat replies past the 5ms bound, so the loaded member must be
+// declared failed even though its links and NIC are perfectly healthy.
+func TestTenantDelayJustOverThreshold(t *testing.T) {
+	eng, cl := tenantLoadCluster(t, 8*sim.Millisecond)
+	var failedNode *cluster.Node
+	m := NewManager(eng, cl.Client(), cl.Replicas(), nil,
+		Config{HeartbeatEvery: sim.Millisecond, MissedThreshold: 5},
+		func(f *cluster.Node, _ []*cluster.Node) { failedNode = f })
+	victim := cl.Replicas()[1]
+	victim.Host.StartLoop("hog", nil)
+	if !eng.RunUntil(func() bool { return failedNode != nil }, eng.Now().Add(sim.Second)) {
+		t.Fatal("over-threshold tenant load never triggered detection")
+	}
+	if failedNode != victim {
+		t.Fatalf("declared node %d failed, want loaded node %d", failedNode.Index, victim.Index)
+	}
+	if at, ok := m.LastDetection(); !ok || at.Sub(sim.Time(0)) > 100*sim.Millisecond {
+		t.Fatalf("detection landed at %v ok=%v", at, ok)
+	}
+}
+
+// TestFailoverWithoutSpare exercises the repair path when the spare pool is
+// empty: detection still fires and pauses writes, TakeSpare reports
+// ErrNoSpare, and the chain stays paused (no bogus resume).
+func TestFailoverWithoutSpare(t *testing.T) {
+	eng, cl := testCluster(t, 4)
+	var spareErr error
+	var m *Manager
+	m = NewManager(eng, cl.Client(), cl.Replicas(), nil, Config{},
+		func(*cluster.Node, []*cluster.Node) {
+			_, spareErr = m.TakeSpare()
+		})
+	victim := cl.Replicas()[0]
+	cl.Net.Isolate(victim.NIC.Node())
+	if !eng.RunUntil(func() bool { return spareErr != nil }, eng.Now().Add(sim.Second)) {
+		t.Fatal("failure never detected")
+	}
+	if spareErr != ErrNoSpare {
+		t.Fatalf("TakeSpare error = %v, want ErrNoSpare", spareErr)
+	}
+	eng.RunFor(50 * sim.Millisecond)
+	if !m.Paused() {
+		t.Fatal("chain resumed without a repaired membership")
+	}
+	if m.Failovers() != 1 {
+		t.Fatalf("failovers = %d, want 1", m.Failovers())
 	}
 }
 

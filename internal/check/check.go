@@ -1,0 +1,326 @@
+// Package check implements the invariant checkers run during and after a
+// fault scenario: WAL recovery soundness, durable-prefix consistency across
+// replica logs, lock-table quiescence, store convergence, transaction
+// atomicity/visibility, and chain-membership convergence within the
+// detection bound. Checkers consume read-only images of node state (live or
+// durable), return structured Results, and never mutate anything — the
+// fault matrix assembles their Reports into per-scenario verdicts.
+package check
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"hyperloop/internal/locks"
+	"hyperloop/internal/sim"
+	"hyperloop/internal/wal"
+)
+
+// Image is named, read-only access to a node's store bytes — live
+// (volatile-coherent) or durable (what a reboot would find), the caller
+// decides which view it hands in.
+type Image struct {
+	Name string
+	Read func(off, size int) []byte
+}
+
+// Result is one checker's verdict.
+type Result struct {
+	Name   string
+	Err    error  // nil = pass
+	Detail string // human-readable evidence, deterministic per seed
+}
+
+// Pass reports whether the check succeeded.
+func (r Result) Pass() bool { return r.Err == nil }
+
+func (r Result) String() string {
+	if r.Pass() {
+		return fmt.Sprintf("PASS %s (%s)", r.Name, r.Detail)
+	}
+	return fmt.Sprintf("FAIL %s: %v", r.Name, r.Err)
+}
+
+// Report is an ordered list of checker results.
+type Report []Result
+
+// AllPass reports whether every check passed.
+func (rs Report) AllPass() bool {
+	for _, r := range rs {
+		if !r.Pass() {
+			return false
+		}
+	}
+	return true
+}
+
+// Summary renders "k/n" plus the names of any failing checks.
+func (rs Report) Summary() string {
+	pass := 0
+	var failed []string
+	for _, r := range rs {
+		if r.Pass() {
+			pass++
+		} else {
+			failed = append(failed, r.Name)
+		}
+	}
+	s := fmt.Sprintf("%d/%d", pass, len(rs))
+	if len(failed) > 0 {
+		s += " (" + strings.Join(failed, ",") + ")"
+	}
+	return s
+}
+
+// WALSoundness verifies that every image's log region recovers cleanly
+// (CRC-valid, sequence-contiguous records; no scan error). This is the
+// recovery-soundness invariant: whatever a fault left behind, the durable
+// log must parse as a valid (possibly truncated) redo history.
+func WALSoundness(imgs []Image, base, size int) Result {
+	res := Result{Name: "wal-soundness"}
+	var counts []string
+	for _, img := range imgs {
+		rec, err := wal.Recover(img.Read, base, size)
+		if err != nil {
+			res.Err = fmt.Errorf("%s: %w", img.Name, err)
+			return res
+		}
+		counts = append(counts, fmt.Sprintf("%s:%d@%d", img.Name, len(rec.Records), rec.Seq))
+	}
+	res.Detail = strings.Join(counts, " ")
+	return res
+}
+
+// WALPrefix verifies durable-prefix consistency: all images agree on the
+// log head, and their recovered record sequences are prefixes of one
+// another (chain replication admits a downstream replica lagging by a
+// suffix, never diverging).
+func WALPrefix(imgs []Image, base, size int) Result {
+	res := Result{Name: "wal-prefix"}
+	type recovered struct {
+		name string
+		rec  wal.Recovered
+	}
+	var all []recovered
+	for _, img := range imgs {
+		rec, err := wal.Recover(img.Read, base, size)
+		if err != nil {
+			res.Err = fmt.Errorf("%s: %w", img.Name, err)
+			return res
+		}
+		all = append(all, recovered{img.Name, rec})
+	}
+	if len(all) == 0 {
+		res.Detail = "no images"
+		return res
+	}
+	ref := all[0]
+	maxLen := 0
+	for _, a := range all[1:] {
+		if a.rec.Head != ref.rec.Head || a.rec.Seq != ref.rec.Seq {
+			res.Err = fmt.Errorf("%s header (head=%d seq=%d) != %s header (head=%d seq=%d)",
+				a.name, a.rec.Head, a.rec.Seq, ref.name, ref.rec.Head, ref.rec.Seq)
+			return res
+		}
+		n := len(a.rec.Records)
+		if len(ref.rec.Records) < n {
+			n = len(ref.rec.Records)
+		}
+		for i := 0; i < n; i++ {
+			if err := sameRecord(a.rec.Records[i], ref.rec.Records[i]); err != nil {
+				res.Err = fmt.Errorf("%s vs %s record %d: %w", a.name, ref.name, i, err)
+				return res
+			}
+		}
+		if n > maxLen {
+			maxLen = n
+		}
+	}
+	res.Detail = fmt.Sprintf("%d images, common prefix ≥ %d records", len(all), maxLen)
+	return res
+}
+
+func sameRecord(a, b wal.Record) error {
+	if a.Seq != b.Seq {
+		return fmt.Errorf("seq %d != %d", a.Seq, b.Seq)
+	}
+	if len(a.Entries) != len(b.Entries) {
+		return fmt.Errorf("entry count %d != %d", len(a.Entries), len(b.Entries))
+	}
+	for i := range a.Entries {
+		if a.Entries[i].Offset != b.Entries[i].Offset || !bytes.Equal(a.Entries[i].Data, b.Entries[i].Data) {
+			return fmt.Errorf("entry %d differs", i)
+		}
+	}
+	return nil
+}
+
+// LocksFree verifies the lock table holds no writer bits or reader counts
+// on any image — after quiesce plus repair, every lock taken across the
+// fault must have been released or reset (group-lock safety).
+func LocksFree(imgs []Image, lockBase, stripes int) Result {
+	res := Result{Name: "locks-free"}
+	for _, img := range imgs {
+		buf := img.Read(lockBase, 8*stripes)
+		for s := 0; s < stripes; s++ {
+			w := binary.LittleEndian.Uint64(buf[8*s:])
+			if w != 0 {
+				held := "readers"
+				if locks.HasWriter(w) {
+					held = "writer"
+				}
+				res.Err = fmt.Errorf("%s stripe %d leaked (%s, word=%#x)", img.Name, s, held, w)
+				return res
+			}
+		}
+	}
+	res.Detail = fmt.Sprintf("%d stripes clear on %d images", stripes, len(imgs))
+	return res
+}
+
+// RegionEqual verifies [off, off+size) is byte-identical between ref and
+// every other image — e.g. object-region convergence of all members onto
+// the client's committed state, or a member's durable view matching its
+// volatile view after a final flush.
+func RegionEqual(name string, ref Image, imgs []Image, off, size int) Result {
+	res := Result{Name: name}
+	want := ref.Read(off, size)
+	for _, img := range imgs {
+		got := img.Read(off, size)
+		if !bytes.Equal(got, want) {
+			for i := range want {
+				if got[i] != want[i] {
+					res.Err = fmt.Errorf("%s diverges from %s at offset %d (%#x != %#x)",
+						img.Name, ref.Name, off+i, got[i], want[i])
+					return res
+				}
+			}
+		}
+	}
+	res.Detail = fmt.Sprintf("%dB identical across %d images", size, len(imgs))
+	return res
+}
+
+// TxnRecord is the workload's account of one transaction: the slots it
+// stamped with its ID, and how its commit concluded. Acked means the commit
+// callback reported success (durability promised); Err records a failed
+// commit — such transactions are *indeterminate* across a fault: the record
+// may or may not have been durably logged and replayed.
+type TxnRecord struct {
+	ID    uint64
+	Slots []int
+	Acked bool
+	Err   error
+}
+
+// TxnAtomicity verifies per-image transaction integrity over an object
+// region of nSlots 8-byte slots stamped with writer IDs:
+//
+//   - validity: every slot holds 0 or the ID of a transaction that
+//     actually wrote it (no corruption, no misdirected writes);
+//   - acked visibility: a slot whose writers ALL acked is non-zero;
+//   - atomicity: for each transaction, its *exclusive* slots (written by
+//     no other transaction) are either all stamped or none — an acked
+//     transaction must have all of them stamped; an indeterminate one may
+//     be fully applied or fully absent, but never partial.
+func TxnAtomicity(img Image, objBase, nSlots int, txns []TxnRecord) Result {
+	res := Result{Name: "txn-atomicity:" + img.Name}
+	writers := make(map[int][]int) // slot -> txn indexes
+	for ti, tx := range txns {
+		for _, s := range tx.Slots {
+			writers[s] = append(writers[s], ti)
+		}
+	}
+	buf := img.Read(objBase, 8*nSlots)
+	value := func(s int) uint64 { return binary.LittleEndian.Uint64(buf[8*s:]) }
+
+	byID := make(map[uint64]bool, len(txns))
+	for _, tx := range txns {
+		byID[tx.ID] = true
+	}
+	for s := 0; s < nSlots; s++ {
+		v := value(s)
+		if v == 0 {
+			continue
+		}
+		if !byID[v] {
+			res.Err = fmt.Errorf("slot %d holds %d, written by no transaction", s, v)
+			return res
+		}
+		wroteHere := false
+		for _, ti := range writers[s] {
+			if txns[ti].ID == v {
+				wroteHere = true
+				break
+			}
+		}
+		if !wroteHere {
+			res.Err = fmt.Errorf("slot %d holds %d, whose transaction never wrote it", s, v)
+			return res
+		}
+	}
+
+	exclTotal := 0
+	for _, tx := range txns {
+		var excl []int
+		for _, s := range tx.Slots {
+			if len(writers[s]) == 1 {
+				excl = append(excl, s)
+			}
+		}
+		if len(excl) == 0 {
+			continue
+		}
+		exclTotal += len(excl)
+		stamped := 0
+		for _, s := range excl {
+			if value(s) == tx.ID {
+				stamped++
+			}
+		}
+		switch {
+		case tx.Acked && stamped != len(excl):
+			res.Err = fmt.Errorf("acked txn %d visible on %d/%d exclusive slots", tx.ID, stamped, len(excl))
+			return res
+		case !tx.Acked && stamped != 0 && stamped != len(excl):
+			res.Err = fmt.Errorf("txn %d (indeterminate) partially applied: %d/%d exclusive slots", tx.ID, stamped, len(excl))
+			return res
+		}
+	}
+	res.Detail = fmt.Sprintf("%d txns, %d exclusive slots", len(txns), exclTotal)
+	return res
+}
+
+// Membership verifies the chain converged as the scenario demanded: the
+// expected number of failovers happened, the manager is unpaused with a
+// full membership, and — when a failover was expected — detection landed
+// within the configured bound (plus one probe period of scan granularity
+// and one of scheduling slack).
+func Membership(failovers uint64, expectFailover bool, paused bool, members, wantMembers int,
+	detectDelay, bound, probeEvery sim.Duration) Result {
+	res := Result{Name: "membership"}
+	wantFailovers := uint64(0)
+	if expectFailover {
+		wantFailovers = 1
+	}
+	switch {
+	case failovers != wantFailovers:
+		res.Err = fmt.Errorf("failovers=%d want %d", failovers, wantFailovers)
+	case paused:
+		res.Err = fmt.Errorf("chain still paused after recovery window")
+	case members != wantMembers:
+		res.Err = fmt.Errorf("membership=%d want %d", members, wantMembers)
+	case expectFailover && detectDelay > bound+2*probeEvery:
+		res.Err = fmt.Errorf("detection took %v, bound %v (+%v slack)", detectDelay, bound, 2*probeEvery)
+	}
+	if res.Err == nil {
+		if expectFailover {
+			res.Detail = fmt.Sprintf("1 failover, detected in %v (bound %v)", detectDelay, bound)
+		} else {
+			res.Detail = "no failover (as expected)"
+		}
+	}
+	return res
+}

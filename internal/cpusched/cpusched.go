@@ -175,6 +175,25 @@ func (h *Host) Utilization() float64 {
 	return float64(busy) / (float64(window) * float64(len(h.cores)))
 }
 
+// CrashReset models the machine losing its OS state (crash or hard reboot):
+// every queued and running task is stopped — completion callbacks never
+// fire, loop tasks are not requeued — and the run queue is discarded.
+// In-flight slice timers drain harmlessly. Pinned tasks are NOT touched
+// (their owners hold handles and must Stop them explicitly). Whatever the
+// node should run after reboot must be resubmitted by the application.
+func (h *Host) CrashReset() {
+	for _, t := range h.runq {
+		t.stopped = true
+		t.queued = false
+	}
+	h.runq = h.runq[:0]
+	for _, c := range h.schedulableCores() {
+		if c.busy && c.lastTask != nil {
+			c.lastTask.stopped = true
+		}
+	}
+}
+
 // ResetAccounting zeroes context-switch and utilization counters; call at
 // the start of a measurement window.
 func (h *Host) ResetAccounting() {
@@ -343,11 +362,14 @@ func (h *Host) sliceDone(c *coreState, t *Task, served sim.Duration) {
 
 	if !t.loop {
 		t.remaining -= served
-		if t.remaining <= 0 {
+		switch {
+		case t.stopped:
+			// Stopped (or crashed) mid-service: discard without firing done.
+		case t.remaining <= 0:
 			if t.done != nil {
 				t.done()
 			}
-		} else {
+		default:
 			h.requeueOrContinue(c, t)
 			return
 		}

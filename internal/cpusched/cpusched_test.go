@@ -399,3 +399,41 @@ func TestDebtProbabilityRespected(t *testing.T) {
 		t.Fatalf("debt fraction %.2f, want ≈0.5", frac)
 	}
 }
+
+func TestCrashResetDropsQueuedAndRunning(t *testing.T) {
+	eng := sim.NewEngine()
+	h := newHost(eng, 1)
+	ranLoop := 0
+	h.StartLoop("victim-loop", func() { ranLoop++ })
+	fired := false
+	h.Submit("victim-oneshot", 10*sim.Millisecond, func() { fired = true })
+	eng.RunFor(100 * sim.Microsecond) // let the loop occupy the core
+	h.CrashReset()
+	eng.RunFor(50 * sim.Millisecond)
+	if fired {
+		t.Fatal("one-shot completion fired after CrashReset")
+	}
+	if h.RunQueueLen() != 0 {
+		t.Fatalf("run queue not empty after crash: %d", h.RunQueueLen())
+	}
+	loopRunsAtCrash := ranLoop
+	eng.RunFor(10 * sim.Millisecond)
+	if ranLoop != loopRunsAtCrash {
+		t.Fatal("loop task kept running after CrashReset")
+	}
+}
+
+func TestCrashResetThenResubmit(t *testing.T) {
+	eng := sim.NewEngine()
+	h := newHost(eng, 2)
+	h.Submit("pre-crash", 5*sim.Millisecond, func() { t.Fatal("pre-crash task survived") })
+	eng.RunFor(50 * sim.Microsecond)
+	h.CrashReset()
+	// The rebooted node accepts fresh work.
+	done := false
+	h.Submit("post-crash", sim.Microsecond, func() { done = true })
+	eng.RunFor(20 * sim.Millisecond)
+	if !done {
+		t.Fatal("host dead after CrashReset")
+	}
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+
+	"hyperloop/internal/stats"
+)
+
+// BenchResult is one benchmark measurement in machine-readable form, for
+// regression tracking across commits: which experiment, at which sweep
+// point, with the latency profile in plain nanoseconds.
+type BenchResult struct {
+	Experiment string             `json:"experiment"`
+	Params     map[string]any     `json:"params,omitempty"`
+	AvgNs      int64              `json:"avg_ns"`
+	P95Ns      int64              `json:"p95_ns,omitempty"`
+	P99Ns      int64              `json:"p99_ns,omitempty"`
+	Extra      map[string]float64 `json:"extra,omitempty"`
+}
+
+// BenchRecorder accumulates BenchResults across experiments (safe for
+// concurrent Add from sweep workers) and serializes them as an indented JSON
+// array. Map keys marshal in sorted order, so the file is deterministic for
+// a given run sequence.
+type BenchRecorder struct {
+	mu      sync.Mutex
+	results []BenchResult
+}
+
+// NewBenchRecorder creates an empty recorder.
+func NewBenchRecorder() *BenchRecorder { return &BenchRecorder{} }
+
+// Add appends one result.
+func (b *BenchRecorder) Add(r BenchResult) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.results = append(b.results, r)
+}
+
+// RecordSummary adds a latency summary under the given experiment id and
+// sweep-point parameters.
+func (b *BenchRecorder) RecordSummary(experiment string, params map[string]any, s stats.Summary) {
+	b.Add(BenchResult{
+		Experiment: experiment,
+		Params:     params,
+		AvgNs:      int64(s.Mean),
+		P95Ns:      int64(s.P95),
+		P99Ns:      int64(s.P99),
+	})
+}
+
+// Results returns a copy of everything recorded so far.
+func (b *BenchRecorder) Results() []BenchResult {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]BenchResult, len(b.results))
+	copy(out, b.results)
+	return out
+}
+
+// WriteJSON writes the recorded results to path as an indented JSON array.
+func (b *BenchRecorder) WriteJSON(path string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	data, err := json.MarshalIndent(b.results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

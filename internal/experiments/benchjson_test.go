@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hyperloop/internal/sim"
+	"hyperloop/internal/stats"
+)
+
+func TestBenchRecorderRoundTrip(t *testing.T) {
+	b := NewBenchRecorder()
+	b.RecordSummary("fig8a", map[string]any{"size": 128, "system": "HyperLoop"},
+		stats.Summary{Mean: 8 * sim.Microsecond, P95: 9 * sim.Microsecond, P99: 10 * sim.Microsecond})
+	b.Add(BenchResult{Experiment: "fig9", Extra: map[string]float64{"kops_sec": 512}})
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := b.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []BenchResult
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("round-tripped %d results, want 2", len(got))
+	}
+	if got[0].Experiment != "fig8a" || got[0].AvgNs != 8000 || got[0].P99Ns != 10000 {
+		t.Fatalf("first result mangled: %+v", got[0])
+	}
+	if got[1].Extra["kops_sec"] != 512 {
+		t.Fatalf("extra metrics mangled: %+v", got[1])
+	}
+
+	// Same recording sequence, byte-identical file.
+	b2 := NewBenchRecorder()
+	b2.RecordSummary("fig8a", map[string]any{"size": 128, "system": "HyperLoop"},
+		stats.Summary{Mean: 8 * sim.Microsecond, P95: 9 * sim.Microsecond, P99: 10 * sim.Microsecond})
+	b2.Add(BenchResult{Experiment: "fig9", Extra: map[string]float64{"kops_sec": 512}})
+	path2 := filepath.Join(t.TempDir(), "bench2.json")
+	if err := b2.WriteJSON(path2); err != nil {
+		t.Fatal(err)
+	}
+	data2, _ := os.ReadFile(path2)
+	if string(data) != string(data2) {
+		t.Fatal("bench JSON not deterministic across identical runs")
+	}
+}

@@ -1,0 +1,377 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"hyperloop/internal/chain"
+	"hyperloop/internal/check"
+	"hyperloop/internal/cluster"
+	"hyperloop/internal/core"
+	"hyperloop/internal/faults"
+	"hyperloop/internal/locks"
+	"hyperloop/internal/sim"
+	"hyperloop/internal/txn"
+	"hyperloop/internal/wal"
+)
+
+// FaultMatrix: every fault-scenario class from the faults package, run
+// against a full replicated-transaction stack (cluster + chain manager +
+// WAL + group locks + txn coordinator), with the check package's invariant
+// checkers delivering the verdict. Each (class, seed) cell is one
+// self-contained deterministic simulation, fanned out over RunParallel like
+// every other sweep; results are assembled in input order so the verdict
+// table is bit-for-bit reproducible for a given base seed.
+
+// Store layout for fault scenarios (well under the 1 MiB store):
+// lock table at 0, object slots at 4 KiB, WAL at 64 KiB.
+const (
+	fmMembers     = 3
+	fmLockBase    = 0
+	fmLockStripes = 64
+	fmObjBase     = 4096
+	fmObjSlots    = 2048
+	fmLogBase     = 64 << 10
+	fmLogSize     = 192 << 10
+	fmStoreSize   = 1 << 20
+)
+
+// Workload shape: a closed loop of small multi-slot transactions that runs
+// through the fault and keeps going after repair.
+const (
+	fmPipeline  = 4
+	fmThinkMean = 400 * sim.Microsecond
+	fmStopAt    = 70 * sim.Millisecond
+	fmDeadline  = 400 * sim.Millisecond
+)
+
+// FaultParams selects one cell of the fault matrix.
+type FaultParams struct {
+	Class faults.Class
+	Seed  int64
+}
+
+// FaultVerdict is the outcome of one scenario run.
+type FaultVerdict struct {
+	Params    FaultParams
+	Spec      faults.Spec
+	Timeline  []faults.Event
+	Committed int          // transactions whose commit acked
+	Errored   int          // transactions whose commit failed (indeterminate)
+	Failovers uint64       // chain failovers observed
+	DetectIn  sim.Duration // fault-to-detection delay (0 when no failover)
+	Checks    check.Report
+}
+
+// Pass reports whether every invariant check passed.
+func (v FaultVerdict) Pass() bool { return v.Checks.AllPass() }
+
+// switchGroup lets the WAL and lock manager survive a group rebuild: it
+// implements wal.Replicator and locks.CASer by delegating to the current
+// group, which the repair path swaps out underneath them.
+type switchGroup struct{ g *core.Group }
+
+func (s *switchGroup) do(err error, done func(error)) {
+	if err != nil && done != nil {
+		done(err)
+	}
+}
+
+func (s *switchGroup) Write(off, size int, durable bool, done func(error)) {
+	s.do(s.g.GWrite(off, size, durable, resWrap(done)), done)
+}
+
+func (s *switchGroup) Memcpy(dst, src, size int, durable bool, done func(error)) {
+	s.do(s.g.GMemcpy(dst, src, size, durable, resWrap(done)), done)
+}
+
+func (s *switchGroup) Flush(done func(error)) {
+	s.do(s.g.GFlush(resWrap(done)), done)
+}
+
+func (s *switchGroup) GCAS(off int, old, new uint64, exec core.ExecuteMap, done func(core.Result)) error {
+	return s.g.GCAS(off, old, new, exec, done)
+}
+
+func (s *switchGroup) GroupSize() int { return s.g.GroupSize() }
+
+func resWrap(done func(error)) func(core.Result) {
+	if done == nil {
+		return nil
+	}
+	return func(res core.Result) { done(res.Err) }
+}
+
+// RunFaultScenario builds a fresh cluster (client + 3 chain members + 1
+// spare), runs a transaction workload through the planned fault, repairs the
+// chain if the fault is detected (spare promotion + catch-up + WAL reattach
+// + lock reset), quiesces, and runs every invariant checker. Same params,
+// same verdict — byte for byte.
+func RunFaultScenario(p FaultParams) FaultVerdict {
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, cluster.Config{
+		Nodes:     2 + fmMembers, // client + members + spare
+		StoreSize: fmStoreSize,
+		Seed:      p.Seed*2 + 1,
+	})
+	client := cl.Client()
+	members := cl.Replicas()[:fmMembers]
+	spare := cl.Replicas()[fmMembers]
+
+	chainCfg := chain.Config{HeartbeatEvery: sim.Millisecond, MissedThreshold: 5}
+	coreCfg := core.Config{Depth: 512, OpTimeout: 25 * sim.Millisecond}
+
+	sw := &switchGroup{g: core.NewWithNodes(eng, client, members, coreCfg)}
+	log := wal.New(wal.NodeStore{N: client}, sw, fmLogBase, fmLogSize, nil)
+	lm := locks.New(sw, eng, fmLockBase, locks.Config{})
+	tm := txn.New(eng, log, wal.NodeStore{N: client}, lm, txn.Config{LockStripes: fmLockStripes})
+
+	// Plan and install the fault before anything runs, so the fault timeline
+	// depends only on (class, seed).
+	detectBound := sim.Duration(chainCfg.MissedThreshold) * chainCfg.HeartbeatEvery
+	spec := faults.Plan(p.Class, p.Seed, fmMembers, detectBound)
+	plane := faults.NewPlane(eng, cl, p.Seed^0x5EED)
+	spec.Install(plane, members)
+
+	// Chain repair: tear down the failed group, reset the lock table, promote
+	// the spare, catch it up from the client's store, rebuild the group over
+	// survivors + spare, reattach the WAL (re-replicating unexecuted
+	// records), and re-replicate the lock reset durably before resuming.
+	var mgr *chain.Manager
+	var repairErr error
+	fail := func(err error) {
+		if repairErr == nil {
+			repairErr = err
+		}
+		mgr.Halt()
+	}
+	onFailure := func(failed *cluster.Node, survivors []*cluster.Node) {
+		sw.g.Close()
+		client.StoreWrite(fmLockBase, make([]byte, 8*fmLockStripes))
+		sp, err := mgr.TakeSpare()
+		if err != nil {
+			fail(err)
+			return
+		}
+		mgr.CatchUp(sp, 0, fmStoreSize, func(err error) {
+			if err != nil {
+				fail(err)
+				return
+			}
+			newMembers := append(append([]*cluster.Node{}, survivors...), sp)
+			sw.g = core.NewWithNodes(eng, client, newMembers, coreCfg)
+			log.Reattach(sw, func(err error) {
+				if err != nil {
+					fail(fmt.Errorf("reattach: %w", err))
+				}
+			})
+			sw.Write(fmLockBase, 8*fmLockStripes, true, func(err error) {
+				if err != nil {
+					fail(fmt.Errorf("lock reset: %w", err))
+					return
+				}
+				mgr.Resume(newMembers)
+			})
+		})
+	}
+	mgr = chain.NewManager(eng, client, members, []*cluster.Node{spare}, chainCfg, onFailure)
+
+	// Closed-loop workload: fmPipeline strands, each committing transactions
+	// of 1–3 distinct slots stamped with the transaction ID, thinking an
+	// exponential gap between commits, holding off while the chain is paused.
+	wr := sim.NewRand(p.Seed + 0x7777)
+	stopAt := sim.Time(0).Add(fmStopAt)
+	var recs []*check.TxnRecord
+	nextID := uint64(1)
+	inflight := 0
+	var issue func()
+	think := func() { eng.Schedule(wr.Exp(fmThinkMean), issue) }
+	issue = func() {
+		if eng.Now() >= stopAt {
+			return
+		}
+		if mgr.Paused() || sw.g.Failed() != nil {
+			eng.Schedule(200*sim.Microsecond, issue)
+			return
+		}
+		t, err := tm.Begin()
+		if err != nil {
+			return
+		}
+		n := 1 + wr.Intn(3)
+		slots := make([]int, 0, n)
+		seen := map[int]bool{}
+		for len(slots) < n {
+			s := wr.Intn(fmObjSlots)
+			if !seen[s] {
+				seen[s] = true
+				slots = append(slots, s)
+			}
+		}
+		rec := &check.TxnRecord{ID: nextID, Slots: slots}
+		nextID++
+		recs = append(recs, rec)
+		for _, s := range slots {
+			t.WriteUint64(fmObjBase+8*s, rec.ID)
+		}
+		inflight++
+		err = t.Commit(func(err error) {
+			inflight--
+			if err == nil {
+				rec.Acked = true
+			} else {
+				rec.Err = err
+			}
+			think()
+		})
+		if err != nil {
+			inflight--
+			rec.Err = err
+			think()
+		}
+	}
+	for i := 0; i < fmPipeline; i++ {
+		eng.Schedule(sim.Duration(i)*50*sim.Microsecond, issue)
+	}
+
+	// Run the workload through fault and repair, then quiesce: no commit in
+	// flight and the chain unpaused (or the repair definitively failed).
+	deadline := sim.Time(0).Add(fmDeadline)
+	eng.RunFor(fmStopAt)
+	quiesced := eng.RunUntil(func() bool {
+		return inflight == 0 && (!mgr.Paused() || repairErr != nil)
+	}, deadline)
+
+	// Drain: replay any still-pending durably-logged records (from
+	// indeterminate commits interrupted by the fault) so the object region
+	// reaches its final converged state, then flush everything.
+	var drainErr error
+	for drainErr == nil && log.Pending() > 0 {
+		if !eng.RunUntil(log.Ready, deadline) {
+			drainErr = errors.New("drain: record never became ready")
+			break
+		}
+		replayDone, replayErr := false, error(nil)
+		if err := log.ExecuteAndAdvance(func(err error) { replayDone, replayErr = true, err }); err != nil {
+			drainErr = fmt.Errorf("drain: %w", err)
+			break
+		}
+		if !eng.RunUntil(func() bool { return replayDone }, deadline) {
+			drainErr = errors.New("drain: replay stalled")
+		} else if replayErr != nil {
+			drainErr = fmt.Errorf("drain replay: %w", replayErr)
+		}
+	}
+	if repairErr == nil && drainErr == nil {
+		flushed, flushErr := false, error(nil)
+		sw.Flush(func(err error) { flushed, flushErr = true, err })
+		if !eng.RunUntil(func() bool { return flushed }, deadline) {
+			drainErr = errors.New("final flush stalled")
+		} else if flushErr != nil {
+			drainErr = fmt.Errorf("final flush: %w", flushErr)
+		}
+	}
+	mgr.Halt()
+	plane.StopAll()
+
+	// Assemble the verdict.
+	v := FaultVerdict{
+		Params:    p,
+		Spec:      spec,
+		Timeline:  plane.Timeline(),
+		Failovers: mgr.Failovers(),
+	}
+	for _, r := range recs {
+		if r.Acked {
+			v.Committed++
+		} else {
+			v.Errored++
+		}
+	}
+	if at, ok := mgr.LastDetection(); ok {
+		v.DetectIn = at.Sub(sim.Time(0).Add(spec.FaultAt))
+	}
+
+	live := func(n *cluster.Node) check.Image {
+		return check.Image{Name: fmt.Sprintf("n%d", n.Index), Read: n.StoreBytes}
+	}
+	durable := func(n *cluster.Node) check.Image {
+		return check.Image{Name: fmt.Sprintf("n%d-durable", n.Index), Read: n.Dev.DurableRead}
+	}
+	final := mgr.Members()
+	liveAll := []check.Image{live(client)}
+	for _, m := range final {
+		liveAll = append(liveAll, live(m))
+	}
+
+	v.Checks = append(v.Checks,
+		check.Result{Name: "repair", Err: repairErr, Detail: "chain repair path clean"},
+		quiesceResult(quiesced, drainErr, v.Committed, v.Errored),
+		check.WALSoundness(liveAll, fmLogBase, fmLogSize),
+		check.WALPrefix(liveAll, fmLogBase, fmLogSize),
+		check.LocksFree(liveAll, fmLockBase, fmLockStripes),
+		check.RegionEqual("object-converge", live(client), liveAll[1:], fmObjBase, 8*fmObjSlots),
+		check.TxnAtomicity(live(client), fmObjBase, fmObjSlots, derefRecs(recs)),
+		check.Membership(v.Failovers, spec.ExpectFailover, mgr.Paused(),
+			len(final), fmMembers, v.DetectIn, detectBound, chainCfg.HeartbeatEvery),
+	)
+	// Every surviving member's durable image must match its live view after
+	// the final flush — nothing the client was promised lives only in a
+	// volatile cache.
+	for _, m := range final {
+		v.Checks = append(v.Checks, check.RegionEqual(
+			fmt.Sprintf("durable=live:n%d", m.Index), live(m),
+			[]check.Image{durable(m)}, 0, fmStoreSize))
+	}
+	// Victim post-mortem for hard faults: whatever the crash (or power
+	// failure) left on the victim's durable media must still recover as a
+	// valid log — possibly truncated, never corrupt.
+	if spec.ExpectFailover {
+		victim := members[spec.VictimIdx]
+		pm := check.WALSoundness([]check.Image{durable(victim)}, fmLogBase, fmLogSize)
+		pm.Name = "wal-soundness-victim"
+		v.Checks = append(v.Checks, pm)
+	}
+	return v
+}
+
+func quiesceResult(quiesced bool, drainErr error, committed, errored int) check.Result {
+	res := check.Result{
+		Name:   "quiesce",
+		Detail: fmt.Sprintf("%d committed, %d indeterminate", committed, errored),
+	}
+	switch {
+	case !quiesced:
+		res.Err = errors.New("workload did not quiesce before deadline")
+	case drainErr != nil:
+		res.Err = drainErr
+	case committed == 0:
+		res.Err = errors.New("no transaction committed")
+	}
+	return res
+}
+
+func derefRecs(recs []*check.TxnRecord) []check.TxnRecord {
+	out := make([]check.TxnRecord, len(recs))
+	for i, r := range recs {
+		out[i] = *r
+	}
+	return out
+}
+
+// FaultMatrix runs seedsPerClass scenarios of every class in classes,
+// seeding cell (class, i) with baseSeed+i, fanned over the configured worker
+// pool. Verdicts come back in matrix order (class-major), independent of
+// worker interleaving.
+func FaultMatrix(classes []faults.Class, baseSeed int64, seedsPerClass int) []FaultVerdict {
+	params := make([]FaultParams, 0, len(classes)*seedsPerClass)
+	for _, c := range classes {
+		for i := 0; i < seedsPerClass; i++ {
+			params = append(params, FaultParams{Class: c, Seed: baseSeed + int64(i)})
+		}
+	}
+	out, _ := RunParallel(Parallelism(), len(params), func(i int) (FaultVerdict, error) {
+		return RunFaultScenario(params[i]), nil
+	})
+	return out
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"hyperloop/internal/faults"
+)
+
+// renderVerdict flattens everything a verdict table would show — spec, fault
+// timeline, workload counts, and each check result — for byte comparison.
+func renderVerdict(v FaultVerdict) string {
+	out := fmt.Sprintf("%v failovers=%d detect=%v committed=%d errored=%d\n",
+		v.Spec, v.Failovers, v.DetectIn, v.Committed, v.Errored)
+	for _, e := range v.Timeline {
+		out += "  " + e.String() + "\n"
+	}
+	for _, r := range v.Checks {
+		out += "  " + r.String() + "\n"
+	}
+	return out
+}
+
+func TestFaultScenarioDeterministic(t *testing.T) {
+	p := FaultParams{Class: faults.CrashReplace, Seed: 3}
+	a := renderVerdict(RunFaultScenario(p))
+	b := renderVerdict(RunFaultScenario(p))
+	if a != b {
+		t.Fatalf("verdicts diverged:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+}
+
+// TestFaultMatrixAllClassesPass is the acceptance gate: one seed per class,
+// every invariant checker green.
+func TestFaultMatrixAllClassesPass(t *testing.T) {
+	verdicts := FaultMatrix(faults.Classes, 1, 1)
+	if len(verdicts) != len(faults.Classes) {
+		t.Fatalf("got %d verdicts, want %d", len(verdicts), len(faults.Classes))
+	}
+	for _, v := range verdicts {
+		if !v.Pass() {
+			t.Errorf("scenario failed:\n%s", renderVerdict(v))
+		} else if testing.Verbose() {
+			t.Logf("\n%s", renderVerdict(v))
+		}
+	}
+}
+
+func TestFaultMatrixOrderStable(t *testing.T) {
+	SetParallelism(4)
+	defer SetParallelism(0)
+	a := FaultMatrix([]faults.Class{faults.Partition, faults.NICStall}, 5, 2)
+	SetParallelism(1)
+	b := FaultMatrix([]faults.Class{faults.Partition, faults.NICStall}, 5, 2)
+	if len(a) != len(b) {
+		t.Fatalf("length mismatch: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		ra, rb := renderVerdict(a[i]), renderVerdict(b[i])
+		if ra != rb {
+			t.Fatalf("verdict %d differs between parallel and serial runs:\n--- parallel ---\n%s--- serial ---\n%s", i, ra, rb)
+		}
+	}
+}

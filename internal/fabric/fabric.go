@@ -162,6 +162,28 @@ func (n *Network) CutBoth(a, b NodeID) {
 // Heal restores the directed link a→b.
 func (n *Network) Heal(a, b NodeID) { delete(n.cut, [2]NodeID{a, b}) }
 
+// Isolate severs every link to and from id — the whole-node partition a
+// switch-port failure or machine crash produces, as opposed to the
+// single-link Cut. In-flight messages involving id are dropped at delivery
+// time like any cut link.
+func (n *Network) Isolate(id NodeID) {
+	for other := NodeID(0); int(other) < len(n.ports); other++ {
+		if other != id {
+			n.CutBoth(id, other)
+		}
+	}
+}
+
+// Rejoin removes every cut involving id, undoing Isolate (and any directed
+// Cut that touches id).
+func (n *Network) Rejoin(id NodeID) {
+	for pair := range n.cut {
+		if pair[0] == id || pair[1] == id {
+			delete(n.cut, pair)
+		}
+	}
+}
+
 // HealBoth restores both directions.
 func (n *Network) HealBoth(a, b NodeID) {
 	n.Heal(a, b)

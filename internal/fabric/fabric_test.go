@@ -164,6 +164,47 @@ func TestCutBothDirections(t *testing.T) {
 	}
 }
 
+func TestIsolateAndRejoin(t *testing.T) {
+	eng := sim.NewEngine()
+	net := newNet(eng)
+	counts := make([]int, 3)
+	var ids []NodeID
+	for i := 0; i < 3; i++ {
+		i := i
+		ids = append(ids, net.Attach(func(Message) { counts[i]++ }))
+	}
+	net.Isolate(ids[1])
+	net.Send(Message{From: ids[0], To: ids[1], Size: 1})
+	net.Send(Message{From: ids[1], To: ids[2], Size: 1})
+	net.Send(Message{From: ids[0], To: ids[2], Size: 1})
+	eng.Drain()
+	if counts[1] != 0 || counts[2] != 1 {
+		t.Fatalf("isolate: counts=%v", counts)
+	}
+	net.Rejoin(ids[1])
+	net.Send(Message{From: ids[0], To: ids[1], Size: 1})
+	net.Send(Message{From: ids[1], To: ids[2], Size: 1})
+	eng.Drain()
+	if counts[1] != 1 || counts[2] != 2 {
+		t.Fatalf("rejoin: counts=%v", counts)
+	}
+}
+
+func TestRejoinClearsDirectedCuts(t *testing.T) {
+	eng := sim.NewEngine()
+	net := newNet(eng)
+	got := 0
+	a := net.Attach(func(Message) { got++ })
+	b := net.Attach(func(Message) { got++ })
+	net.Cut(a, b)
+	net.Rejoin(b)
+	net.Send(Message{From: a, To: b, Size: 1})
+	eng.Drain()
+	if got != 1 {
+		t.Fatal("Rejoin left a directed cut in place")
+	}
+}
+
 func TestByteAccounting(t *testing.T) {
 	eng := sim.NewEngine()
 	net := newNet(eng)

@@ -1,0 +1,154 @@
+// Package faults is the deterministic fault-injection plane: seeded,
+// composable fault scenarios scheduled on the simulation engine against a
+// live cluster. Every injected action is drawn from a seeded RNG and
+// recorded in a timeline, so the same seed always produces the same fault
+// sequence — and, downstream, the same invariant-checker verdicts. The
+// paper leaves failure handling "application specific" (§5); this package
+// is the systematic adversary that exercises whatever the application
+// builds, composing the primitive hooks the device models already expose:
+// fabric partitions, cpusched crash-resets, nvm power failures, NIC
+// stalls/slowdowns, and tenant CPU bursts that delay heartbeat replies.
+package faults
+
+import (
+	"fmt"
+
+	"hyperloop/internal/cluster"
+	"hyperloop/internal/cpusched"
+	"hyperloop/internal/sim"
+)
+
+// Event is one recorded fault action.
+type Event struct {
+	At   sim.Time
+	What string
+}
+
+func (e Event) String() string { return fmt.Sprintf("%v %s", e.At, e.What) }
+
+// Plane schedules faults against a cluster and records what it did. All
+// randomness flows through the plane's own forked RNG, so fault timing
+// never perturbs (and is never perturbed by) workload or device draws.
+type Plane struct {
+	eng      *sim.Engine
+	cl       *cluster.Cluster
+	r        *sim.Rand
+	timeline []Event
+	stops    []func() // tenant-burst stops still pending
+}
+
+// NewPlane creates a fault plane over cl, seeded independently of the
+// cluster's own RNG.
+func NewPlane(eng *sim.Engine, cl *cluster.Cluster, seed int64) *Plane {
+	return &Plane{eng: eng, cl: cl, r: sim.NewRand(seed)}
+}
+
+// Rand exposes the plane's RNG for scenario planning.
+func (p *Plane) Rand() *sim.Rand { return p.r }
+
+// Timeline returns the recorded fault actions in injection order.
+func (p *Plane) Timeline() []Event {
+	out := make([]Event, len(p.timeline))
+	copy(out, p.timeline)
+	return out
+}
+
+// note records an action at the current virtual time.
+func (p *Plane) note(format string, args ...any) {
+	p.timeline = append(p.timeline, Event{At: p.eng.Now(), What: fmt.Sprintf(format, args...)})
+}
+
+// at schedules fn after d and records what with the fire-time timestamp.
+func (p *Plane) at(d sim.Duration, what string, fn func()) {
+	p.eng.Schedule(d, func() {
+		p.note("%s", what)
+		fn()
+	})
+}
+
+// PartitionNode severs every link to and from victim at `at`, healing after
+// healAfter (measured from the partition, 0 = never) — a switch-port flap.
+func (p *Plane) PartitionNode(at sim.Duration, victim *cluster.Node, healAfter sim.Duration) {
+	p.at(at, fmt.Sprintf("partition node %d", victim.Index), func() {
+		p.cl.Net.Isolate(victim.NIC.Node())
+		if healAfter > 0 {
+			p.at(healAfter, fmt.Sprintf("heal node %d", victim.Index), func() {
+				p.cl.Net.Rejoin(victim.NIC.Node())
+			})
+		}
+	})
+}
+
+// CrashNode crashes victim at `at`: its links drop, its host loses all
+// scheduled work (cpusched.CrashReset), and — with powerFail — its NVM
+// device reverts to the durable image, exactly what a power loss leaves
+// behind. restartAfter > 0 rejoins the (rebooted, idle) node to the fabric
+// after that delay; the application decides what, if anything, to run on it.
+func (p *Plane) CrashNode(at sim.Duration, victim *cluster.Node, powerFail bool, restartAfter sim.Duration) {
+	kind := "crash"
+	if powerFail {
+		kind = "power-fail crash"
+	}
+	p.at(at, fmt.Sprintf("%s node %d", kind, victim.Index), func() {
+		p.cl.Net.Isolate(victim.NIC.Node())
+		victim.Host.CrashReset()
+		if powerFail {
+			victim.Dev.PowerFail()
+		}
+		if restartAfter > 0 {
+			p.at(restartAfter, fmt.Sprintf("restart node %d", victim.Index), func() {
+				p.cl.Net.Rejoin(victim.NIC.Node())
+			})
+		}
+	})
+}
+
+// PowerFailNVM reverts victim's NVM to its durable image at `at` without
+// touching links or CPU — an NVDIMM brown-out with the node staying up.
+func (p *Plane) PowerFailNVM(at sim.Duration, victim *cluster.Node) {
+	p.at(at, fmt.Sprintf("nvm power-fail node %d", victim.Index), func() {
+		victim.Dev.PowerFail()
+	})
+}
+
+// NICStall freezes victim's NIC pipelines for length starting at `at` — a
+// firmware hiccup long enough to stretch op latencies but (if shorter than
+// the detection bound) not to trigger failover.
+func (p *Plane) NICStall(at sim.Duration, victim *cluster.Node, length sim.Duration) {
+	p.at(at, fmt.Sprintf("nic stall node %d for %v", victim.Index, length), func() {
+		victim.NIC.StallFor(length)
+	})
+}
+
+// NICSlowdown scales victim's NIC processing costs by factor for length
+// starting at `at`, then restores full speed.
+func (p *Plane) NICSlowdown(at sim.Duration, victim *cluster.Node, factor float64, length sim.Duration) {
+	p.at(at, fmt.Sprintf("nic slowdown node %d x%.1f for %v", victim.Index, factor, length), func() {
+		victim.NIC.SetSlowdown(factor)
+		p.at(length, fmt.Sprintf("nic restore node %d", victim.Index), func() {
+			victim.NIC.SetSlowdown(1)
+		})
+	})
+}
+
+// TenantBurst floods victim's host with perCore always-on hog processes for
+// length starting at `at` — the multi-tenant CPU interference that delays
+// anything riding the host CPU, heartbeat handlers included.
+func (p *Plane) TenantBurst(at sim.Duration, victim *cluster.Node, perCore int, length sim.Duration) {
+	p.at(at, fmt.Sprintf("tenant burst node %d (%d/core) for %v", victim.Index, perCore, length), func() {
+		stop := cpusched.AddTenants(p.eng, victim.Host, perCore*victim.Host.Cores(),
+			cpusched.TenantConfig{AlwaysOn: true}, p.r.Fork())
+		p.stops = append(p.stops, stop)
+		p.at(length, fmt.Sprintf("tenant burst ends node %d", victim.Index), func() {
+			stop()
+		})
+	})
+}
+
+// StopAll halts any still-running tenant bursts (end-of-scenario cleanup).
+func (p *Plane) StopAll() {
+	for _, stop := range p.stops {
+		stop()
+	}
+	p.stops = nil
+}

@@ -1,0 +1,102 @@
+package faults
+
+import (
+	"fmt"
+	"testing"
+
+	"hyperloop/internal/cluster"
+	"hyperloop/internal/rdma"
+	"hyperloop/internal/sim"
+)
+
+func TestPlanDeterministic(t *testing.T) {
+	for _, c := range Classes {
+		a := Plan(c, 42, 3, 5*sim.Millisecond)
+		b := Plan(c, 42, 3, 5*sim.Millisecond)
+		if a != b {
+			t.Fatalf("%v: plans diverged: %v vs %v", c, a, b)
+		}
+	}
+}
+
+func TestPlanVariesAcrossSeeds(t *testing.T) {
+	seen := map[sim.Duration]bool{}
+	for seed := int64(1); seed <= 8; seed++ {
+		seen[Plan(Partition, seed, 3, 5*sim.Millisecond).FaultAt] = true
+	}
+	if len(seen) < 4 {
+		t.Fatalf("fault times collapsed across seeds: %d distinct of 8", len(seen))
+	}
+}
+
+func TestParseClassRoundTrip(t *testing.T) {
+	for _, c := range Classes {
+		got, err := ParseClass(c.String())
+		if err != nil || got != c {
+			t.Fatalf("round trip %v: got %v err %v", c, got, err)
+		}
+	}
+	if _, err := ParseClass("nope"); err == nil {
+		t.Fatal("ParseClass accepted garbage")
+	}
+}
+
+// TestTimelineDeterministic runs the same scenario twice against fresh
+// clusters and requires byte-identical recorded timelines — the plane's
+// core contract.
+func TestTimelineDeterministic(t *testing.T) {
+	run := func() string {
+		eng := sim.NewEngine()
+		cl := cluster.New(eng, cluster.Config{Nodes: 4, StoreSize: 1 << 16})
+		p := NewPlane(eng, cl, 7)
+		spec := Plan(CrashReplace, 7, 3, 5*sim.Millisecond)
+		spec.Install(p, cl.Replicas())
+		p.NICSlowdown(40*sim.Millisecond, cl.Replicas()[0], 4, 5*sim.Millisecond)
+		eng.RunFor(100 * sim.Millisecond)
+		p.StopAll()
+		out := ""
+		for _, e := range p.Timeline() {
+			out += fmt.Sprintln(e)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("timelines diverged:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+	if a == "" {
+		t.Fatal("no events recorded")
+	}
+}
+
+func TestPartitionCutsAndHeals(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, cluster.Config{Nodes: 3, StoreSize: 1 << 16})
+	p := NewPlane(eng, cl, 1)
+	victim := cl.Replicas()[0]
+	to, toPeer := cluster.ConnectPair(cl.Client(), victim, 8, 8)
+	got := 0
+	toPeer.RecvCQ().SetAutoDrain(true)
+	toPeer.RecvCQ().SetCallback(func(e rdma.CQE) {
+		got++
+		toPeer.PostRecv(rdma.WQE{})
+	})
+	to.SendCQ().SetAutoDrain(true)
+	for i := 0; i < 8; i++ {
+		toPeer.PostRecv(rdma.WQE{})
+	}
+
+	p.PartitionNode(sim.Millisecond, victim, 2*sim.Millisecond)
+	eng.RunFor(1200 * sim.Microsecond) // inside the partition window
+	to.PostSend(rdma.WQE{Opcode: rdma.OpSend})
+	eng.RunFor(sim.Millisecond)
+	if got != 0 {
+		t.Fatal("partitioned node received traffic")
+	}
+	eng.RunFor(2 * sim.Millisecond) // past the heal
+	to.PostSend(rdma.WQE{Opcode: rdma.OpSend})
+	eng.RunFor(sim.Millisecond)
+	if got != 1 {
+		t.Fatalf("healed node got %d messages, want 1", got)
+	}
+}

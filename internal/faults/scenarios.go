@@ -1,0 +1,131 @@
+package faults
+
+import (
+	"fmt"
+
+	"hyperloop/internal/cluster"
+	"hyperloop/internal/sim"
+)
+
+// Class enumerates the scenario classes the fault matrix covers. Each class
+// exercises a different failure surface of the replicated datapath.
+type Class int
+
+const (
+	// Partition isolates one chain member's links; the chain must detect,
+	// replace, and resume. The victim heals later as a lame-duck node.
+	Partition Class = iota
+	// CrashReplace crashes a member (links + CPU state) and restarts it
+	// after repair; its replacement must carry the chain.
+	CrashReplace
+	// PowerFailMidChain crashes a member AND reverts its NVM to the durable
+	// image — the post-mortem durable log must still recover cleanly.
+	PowerFailMidChain
+	// NICStall freezes a member's NIC for less than the detection bound:
+	// latencies stretch but no failover may trigger.
+	NICStall
+	// TenantBurst floods a member's host CPU with hogs, delaying heartbeat
+	// replies (which ride the host) close to — but not past — the bound.
+	TenantBurst
+)
+
+// Classes lists every scenario class in matrix order.
+var Classes = []Class{Partition, CrashReplace, PowerFailMidChain, NICStall, TenantBurst}
+
+func (c Class) String() string {
+	switch c {
+	case Partition:
+		return "partition"
+	case CrashReplace:
+		return "crash-replace"
+	case PowerFailMidChain:
+		return "powerfail-midchain"
+	case NICStall:
+		return "nic-stall"
+	case TenantBurst:
+		return "tenant-burst"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// ParseClass resolves a class name (as produced by String).
+func ParseClass(s string) (Class, error) {
+	for _, c := range Classes {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("faults: unknown class %q", s)
+}
+
+// Spec is one planned scenario instance: which fault, against whom, when.
+// Specs are pure data — Plan derives one deterministically from (class,
+// seed), and Install schedules it on a plane — so a verdict can always name
+// the exact timeline that produced it.
+type Spec struct {
+	Class     Class
+	Seed      int64
+	VictimIdx int          // index into the chain membership (0 = head)
+	FaultAt   sim.Duration // injection time
+	RecoverAt sim.Duration // heal / restart / stall-end / burst-end (absolute)
+	// ExpectFailover: whether the chain manager should declare a failure
+	// (true for hard faults, false for sub-threshold degradations).
+	ExpectFailover bool
+}
+
+func (s Spec) String() string {
+	return fmt.Sprintf("%s seed=%d victim=r%d fault@%v recover@%v",
+		s.Class, s.Seed, s.VictimIdx, s.FaultAt, s.RecoverAt)
+}
+
+// Plan draws a scenario deterministically from (class, seed): victim choice
+// and fault timing come from a seeded RNG, with windows sized relative to
+// the chain's detection bound. members is the chain width; detectBound is
+// MissedThreshold × HeartbeatEvery.
+func Plan(class Class, seed int64, members int, detectBound sim.Duration) Spec {
+	// Mix the class into the seed so the same seed yields independent
+	// timings per class.
+	r := sim.NewRand(seed ^ (int64(class)+1)*0x1E3779B97F4A7C15)
+	s := Spec{
+		Class:     class,
+		Seed:      seed,
+		VictimIdx: r.Intn(members),
+		// Fault lands once the workload is warmed up, jittered across a
+		// 10ms window so scenarios don't all align on one phase.
+		FaultAt: 15*sim.Millisecond + r.Exp(4*sim.Millisecond),
+	}
+	switch class {
+	case Partition, CrashReplace, PowerFailMidChain:
+		// Heal/restart well after detection (bound) + repair have finished.
+		s.RecoverAt = s.FaultAt + 6*detectBound
+		s.ExpectFailover = true
+	case NICStall:
+		// A stall at 3/5 of the bound stretches latency without tripping
+		// the detector.
+		s.RecoverAt = s.FaultAt + detectBound*3/5
+	case TenantBurst:
+		s.RecoverAt = s.FaultAt + 4*detectBound
+	}
+	return s
+}
+
+// Install schedules the spec's fault actions on the plane against the given
+// chain membership.
+func (s Spec) Install(p *Plane, members []*cluster.Node) {
+	victim := members[s.VictimIdx]
+	switch s.Class {
+	case Partition:
+		p.PartitionNode(s.FaultAt, victim, s.RecoverAt-s.FaultAt)
+	case CrashReplace:
+		p.CrashNode(s.FaultAt, victim, false, s.RecoverAt-s.FaultAt)
+	case PowerFailMidChain:
+		p.CrashNode(s.FaultAt, victim, true, s.RecoverAt-s.FaultAt)
+	case NICStall:
+		p.NICStall(s.FaultAt, victim, s.RecoverAt-s.FaultAt)
+	case TenantBurst:
+		p.TenantBurst(s.FaultAt, victim, 10, s.RecoverAt-s.FaultAt)
+	default:
+		panic(fmt.Sprintf("faults: unknown class %v", s.Class))
+	}
+}

@@ -89,6 +89,49 @@ type NIC struct {
 
 	counters Counters
 	tracer   Tracer
+
+	// Fault-injection state: stallUntil freezes pipeline starts until the
+	// given instant; slowdown (>1) scales per-unit processing costs.
+	stallUntil sim.Time
+	slowdown   float64
+}
+
+// StallFor freezes the NIC's processing pipelines for d from now: work
+// already in flight completes, but no queued WQE initiates and no inbound
+// packet begins Rx processing until the stall window passes. Models a
+// firmware hiccup or PFC pause storm; repeated calls extend the window
+// monotonically.
+func (n *NIC) StallFor(d sim.Duration) {
+	until := n.eng.Now().Add(d)
+	if until > n.stallUntil {
+		n.stallUntil = until
+	}
+}
+
+// SetSlowdown scales every subsequent processing cost (WQE initiation, Rx
+// processing, DMA) by factor. Values <= 1 restore full speed. Models a
+// degraded NIC (thermal throttling, cache thrash) for fault scenarios.
+func (n *NIC) SetSlowdown(factor float64) {
+	if factor <= 1 {
+		factor = 0
+	}
+	n.slowdown = factor
+}
+
+// scaledCost applies the configured slowdown to a processing cost.
+func (n *NIC) scaledCost(c sim.Duration) sim.Duration {
+	if n.slowdown > 1 {
+		c = sim.Duration(float64(c) * n.slowdown)
+	}
+	return c
+}
+
+// stallStart clamps a pipeline start time to the end of any stall window.
+func (n *NIC) stallStart(t sim.Time) sim.Time {
+	if n.stallUntil > t {
+		return n.stallUntil
+	}
+	return t
 }
 
 // SetTracer attaches fn to receive NIC-level trace events (nil detaches).
@@ -275,11 +318,11 @@ func (n *NIC) advanceSQ(q *QP) {
 			for _, sge := range wqe.SGEs {
 				gatherLen += int(sge.Length)
 			}
-			cost := n.cfg.WQEProcess + n.cfg.dmaTime(gatherLen)
+			cost := n.scaledCost(n.cfg.WQEProcess + n.cfg.dmaTime(gatherLen))
 			wqeCopy := wqe
 			seq := q.execSeq
 			q.execSeq++
-			n.eng.Schedule(cost, func() {
+			n.eng.ScheduleAt(n.stallStart(n.eng.Now()).Add(cost), func() {
 				q.sqBusy = false
 				n.initiate(q, wqeCopy, seq)
 				n.advanceSQ(q)
@@ -381,8 +424,8 @@ func (n *NIC) handleMessage(m fabric.Message) {
 // plus payload DMA, serialized per destination QP so requests execute in
 // arrival order.
 func (n *NIC) handlePacket(pkt *packet) {
-	cost := n.cfg.RxProcess + n.cfg.dmaTime(len(pkt.data))
-	start := n.eng.Now()
+	cost := n.scaledCost(n.cfg.RxProcess + n.cfg.dmaTime(len(pkt.data)))
+	start := n.stallStart(n.eng.Now())
 	q := n.qps[pkt.dstQPN]
 	if q != nil && q.rxFree > start {
 		start = q.rxFree

@@ -905,3 +905,96 @@ func TestWaitOnUnknownCQErrorsQP(t *testing.T) {
 		t.Fatalf("QP state %v after WAIT on unknown CQ", r.qa.State())
 	}
 }
+
+// writeLatency measures one signaled 8B WRITE end to end on a fresh drain.
+func writeLatency(t *testing.T, r *rig, src, dst *MemoryRegion) sim.Duration {
+	t.Helper()
+	start := r.eng.Now()
+	if _, err := r.qa.PostSend(WQE{Opcode: OpWrite, Signaled: true, WRID: 99,
+		RKey: dst.RKey(), RAddr: 0,
+		SGEs: []SGE{{LKey: src.LKey(), Offset: 0, Length: 8}}}); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Drain()
+	cqes := r.acq.Poll(10)
+	if len(cqes) != 1 || cqes[0].Status != StatusSuccess {
+		t.Fatalf("write completion: %+v", cqes)
+	}
+	return r.eng.Now().Sub(start)
+}
+
+func TestStallForDelaysExecution(t *testing.T) {
+	r := newRig(t)
+	src := r.na.RegisterRAM(64, 0)
+	dst := r.nb.RegisterRAM(64, AccessRemoteWrite)
+	base := writeLatency(t, r, src, dst)
+
+	stall := 500 * sim.Microsecond
+	r.na.StallFor(stall)
+	stalled := writeLatency(t, r, src, dst)
+	if stalled < stall || stalled > stall+2*base {
+		t.Fatalf("stalled write took %v, want ~stall(%v)+%v", stalled, stall, base)
+	}
+	// The window has passed: next op runs at full speed again.
+	after := writeLatency(t, r, src, dst)
+	if after != base {
+		t.Fatalf("post-stall write took %v, want %v", after, base)
+	}
+}
+
+func TestStallForDelaysInbound(t *testing.T) {
+	r := newRig(t)
+	src := r.na.RegisterRAM(64, 0)
+	dst := r.nb.RegisterRAM(64, AccessRemoteWrite)
+	base := writeLatency(t, r, src, dst)
+
+	// Stalling the RECEIVING NIC delays Rx processing of the request.
+	stall := 300 * sim.Microsecond
+	r.nb.StallFor(stall)
+	stalled := writeLatency(t, r, src, dst)
+	if stalled < stall-base || stalled > stall+2*base {
+		t.Fatalf("rx-stalled write took %v, want ~%v", stalled, stall)
+	}
+}
+
+func TestSetSlowdownScalesCosts(t *testing.T) {
+	r := newRig(t)
+	src := r.na.RegisterRAM(64, 0)
+	dst := r.nb.RegisterRAM(64, AccessRemoteWrite)
+	base := writeLatency(t, r, src, dst)
+
+	r.na.SetSlowdown(8)
+	r.nb.SetSlowdown(8)
+	slow := writeLatency(t, r, src, dst)
+	if slow <= base {
+		t.Fatalf("slowdown had no effect: %v vs %v", slow, base)
+	}
+	r.na.SetSlowdown(1)
+	r.nb.SetSlowdown(1)
+	restored := writeLatency(t, r, src, dst)
+	if restored != base {
+		t.Fatalf("slowdown did not restore: %v vs %v", restored, base)
+	}
+}
+
+func TestStallDeterministic(t *testing.T) {
+	run := func() sim.Duration {
+		eng := sim.NewEngine()
+		net := fabric.New(eng, fabric.Config{JitterFrac: -1}, sim.NewRand(7))
+		na, nb := NewNIC(eng, net, Config{}), NewNIC(eng, net, Config{})
+		acq := na.CreateCQ()
+		qa := na.CreateQP(acq, na.CreateCQ(), 8, 1)
+		qb := nb.CreateQP(nb.CreateCQ(), nb.CreateCQ(), 1, 8)
+		Connect(qa, qb)
+		src := na.RegisterRAM(64, 0)
+		dst := nb.RegisterRAM(64, AccessRemoteWrite)
+		na.StallFor(123 * sim.Microsecond)
+		qa.PostSend(WQE{Opcode: OpWrite, Signaled: true, RKey: dst.RKey(), RAddr: 0,
+			SGEs: []SGE{{LKey: src.LKey(), Offset: 0, Length: 8}}})
+		eng.Drain()
+		return sim.Duration(eng.Now())
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("stalled runs diverged: %v vs %v", a, b)
+	}
+}

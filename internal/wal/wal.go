@@ -53,12 +53,13 @@ type Record struct {
 
 // Errors.
 var (
-	ErrLogFull   = errors.New("wal: log full")
-	ErrCorrupt   = errors.New("wal: corrupt record")
-	ErrEmpty     = errors.New("wal: no records to execute")
-	ErrNotReady  = errors.New("wal: head record not yet replicated")
-	ErrTooLarge  = errors.New("wal: record larger than log")
-	ErrBadLayout = errors.New("wal: bad layout")
+	ErrLogFull    = errors.New("wal: log full")
+	ErrCorrupt    = errors.New("wal: corrupt record")
+	ErrEmpty      = errors.New("wal: no records to execute")
+	ErrNotReady   = errors.New("wal: head record not yet replicated")
+	ErrTooLarge   = errors.New("wal: record larger than log")
+	ErrBadLayout  = errors.New("wal: bad layout")
+	ErrRetargeted = errors.New("wal: log retargeted during operation")
 )
 
 // On-media layout:
@@ -98,7 +99,14 @@ type Log struct {
 	used    int    // bytes between head and tail
 	seq     uint64
 
-	pending []*pendingRec // appended, not yet executed
+	pending  []*pendingRec // appended, not yet executed
+	inflight []*pendingRec // popped by ExecuteAndAdvance, copies not yet done
+
+	// gen counts Reattach calls. Completion callbacks capture the gen they
+	// were issued under and become no-ops (beyond reporting ErrRetargeted)
+	// if the log has since been re-pointed at a rebuilt group — a stale
+	// group's late acks must not advance the head or duplicate records.
+	gen uint64
 
 	appends  uint64
 	executes uint64
@@ -294,51 +302,134 @@ func (l *Log) Ready() bool {
 // interleaved gFLUSH) per entry, copying payload bytes from the log ring to
 // their target offsets on every replica, then a durable head advance. done
 // fires after the head update is acknowledged (§5, "Log Processing").
+//
+// A record whose copies fail (group failure mid-execute) is NOT lost: it
+// returns to the pending queue and is replayed — by a later
+// ExecuteAndAdvance or by Reattach after chain repair — so a durably-logged
+// record can never be dropped from the client's redo path.
 func (l *Log) ExecuteAndAdvance(done func(error)) error {
 	if len(l.pending) == 0 {
 		return ErrEmpty
 	}
-	if !l.pending[0].acked {
+	pr := l.pending[0]
+	if !pr.acked {
 		return ErrNotReady
 	}
-	rec := l.pending[0].rec
+	rec := pr.rec
 	l.pending = l.pending[1:]
+	l.inflight = append(l.inflight, pr)
+	gen := l.gen
 
 	// Apply locally (client-side data region mirrors the replicas).
-	dataPos := rec.pos + recHdrSize
 	for _, e := range rec.Entries {
 		l.store.WriteLocal(e.Offset, e.Data)
-		dataPos += entryHdr + len(e.Data)
 	}
 
 	// Issue every entry's copy; the last completion gates the head update.
 	remaining := len(rec.Entries)
 	var failed error
-	advance := func() {
+	finishEntry := func(err error) {
+		if l.gen != gen {
+			// Reattach ran while this execute was in flight: the record is
+			// already back in pending for replay against the new group.
+			if failed == nil {
+				failed = ErrRetargeted
+			}
+		} else if err != nil && failed == nil {
+			failed = err
+		}
+		remaining--
+		if remaining != 0 {
+			return
+		}
+		if l.gen == gen {
+			l.removeInflight(pr)
+			if failed != nil {
+				l.reinstate(pr)
+			}
+		}
+		if failed != nil {
+			if done != nil {
+				done(failed)
+			}
+			return
+		}
 		l.advanceHead(rec, done)
 	}
-	dataPos = rec.pos + recHdrSize
+	dataPos := rec.pos + recHdrSize
 	for _, e := range rec.Entries {
 		src := l.ring(dataPos + entryHdr)
-		e := e
-		l.rep.Memcpy(e.Offset, src, len(e.Data), true, func(err error) {
-			if err != nil && failed == nil {
-				failed = err
-			}
-			remaining--
-			if remaining == 0 {
-				if failed != nil {
-					if done != nil {
-						done(failed)
-					}
-					return
-				}
-				advance()
-			}
-		})
+		l.rep.Memcpy(e.Offset, src, len(e.Data), true, finishEntry)
 		dataPos += entryHdr + len(e.Data)
 	}
 	return nil
+}
+
+// removeInflight drops pr from the in-flight execute list.
+func (l *Log) removeInflight(pr *pendingRec) {
+	for i, p := range l.inflight {
+		if p == pr {
+			l.inflight = append(l.inflight[:i], l.inflight[i+1:]...)
+			return
+		}
+	}
+}
+
+// reinstate returns a popped record to the pending queue, keeping the queue
+// sorted by sequence (concurrent executes can fail out of order).
+func (l *Log) reinstate(pr *pendingRec) {
+	for _, p := range l.pending {
+		if p == pr {
+			return
+		}
+	}
+	i := 0
+	for i < len(l.pending) && l.pending[i].rec.Seq < pr.rec.Seq {
+		i++
+	}
+	l.pending = append(l.pending, nil)
+	copy(l.pending[i+1:], l.pending[i:])
+	l.pending[i] = pr
+}
+
+// Reattach points the log at rep — typically a replication group rebuilt
+// after chain repair (§5.1) — and re-replicates everything the new
+// membership must agree on: the current header and every pending record,
+// durably. In-flight executes interrupted by the failure return to the
+// pending queue for replay; their stale completions are ignored. Pending
+// records are (re)marked acked as their writes complete, so appends whose
+// acks were lost in the outage become executable again. done fires once
+// every re-write has completed, with the first error if any.
+func (l *Log) Reattach(rep Replicator, done func(error)) {
+	l.rep = rep
+	l.gen++
+	gen := l.gen
+	for len(l.inflight) > 0 {
+		l.reinstate(l.inflight[0])
+		l.inflight = l.inflight[1:]
+	}
+	writes := 1 + len(l.pending)
+	var firstErr error
+	finish := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		writes--
+		if writes == 0 && done != nil {
+			done(firstErr)
+		}
+	}
+	l.writeHeader()
+	rep.Write(l.base, headerSize, true, finish)
+	for _, pr := range l.pending {
+		pr := pr
+		rep.Write(l.ring(pr.rec.pos), pr.rec.size, true, func(err error) {
+			if err == nil && l.gen == gen {
+				pr.acked = true
+			}
+			finish(err)
+		})
+	}
 }
 
 // advanceHead truncates the executed record from the ring and replicates

@@ -334,3 +334,166 @@ func TestPropertyDecodeRobust(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// flakyReplicator wraps a Replicator and fails Memcpy while broken is set —
+// a stand-in for a group that lost a member mid-execute.
+type flakyReplicator struct {
+	inner  Replicator
+	broken bool
+}
+
+func (f *flakyReplicator) Write(off, size int, durable bool, done func(error)) {
+	f.inner.Write(off, size, durable, done)
+}
+
+func (f *flakyReplicator) Memcpy(dst, src, size int, durable bool, done func(error)) {
+	if f.broken {
+		if done != nil {
+			done(fmt.Errorf("flaky: group failed"))
+		}
+		return
+	}
+	f.inner.Memcpy(dst, src, size, durable, done)
+}
+
+func (f *flakyReplicator) Flush(done func(error)) { f.inner.Flush(done) }
+
+func TestFailedExecuteKeepsRecordReplayable(t *testing.T) {
+	client, rep1 := newMemStore(1<<16), newMemStore(1<<16)
+	flaky := &flakyReplicator{inner: LocalReplicator{Stores: []Store{client, rep1}}}
+	l := New(client, flaky, 0, 4096, nil)
+	if err := l.Append([]Entry{{Offset: 8192, Data: []byte("payload")}}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	flaky.broken = true
+	var execErr error
+	if err := l.ExecuteAndAdvance(func(err error) { execErr = err }); err != nil {
+		t.Fatal(err)
+	}
+	if execErr == nil {
+		t.Fatal("execute on a broken group reported success")
+	}
+	if l.Pending() != 1 {
+		t.Fatalf("failed record dropped from pending: %d", l.Pending())
+	}
+
+	// The group heals; the record replays and the head advances.
+	flaky.broken = false
+	execErr = fmt.Errorf("sentinel")
+	if err := l.ExecuteAndAdvance(func(err error) { execErr = err }); err != nil {
+		t.Fatal(err)
+	}
+	if execErr != nil {
+		t.Fatalf("replay failed: %v", execErr)
+	}
+	if l.Pending() != 0 {
+		t.Fatalf("pending after replay: %d", l.Pending())
+	}
+	if got := rep1.ReadLocal(8192, 7); string(got) != "payload" {
+		t.Fatalf("replica bytes = %q", got)
+	}
+}
+
+func TestReattachReplicatesPendingToNewGroup(t *testing.T) {
+	client, old, fresh := newMemStore(1<<16), newMemStore(1<<16), newMemStore(1<<16)
+	l := New(client, LocalReplicator{Stores: []Store{client, old}}, 0, 4096, nil)
+
+	// Two records: one acked on the old group, one whose ack "was lost"
+	// (simulate by clearing the flag, as an outage would leave it).
+	l.Append([]Entry{{Offset: 8192, Data: []byte("first")}}, nil)
+	l.Append([]Entry{{Offset: 8200, Data: []byte("second")}}, nil)
+	l.pending[1].acked = false
+
+	var attachErr error
+	attached := false
+	l.Reattach(LocalReplicator{Stores: []Store{client, fresh}}, func(err error) {
+		attachErr = err
+		attached = true
+	})
+	if !attached || attachErr != nil {
+		t.Fatalf("reattach: attached=%v err=%v", attached, attachErr)
+	}
+	// Every pending record is re-acked and the new store holds the log
+	// bytes, so recovery from the NEW member sees both records.
+	if !l.pending[0].acked || !l.pending[1].acked {
+		t.Fatal("reattach did not re-ack pending records")
+	}
+	rec, err := Recover(fresh.ReadLocal, 0, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != 2 {
+		t.Fatalf("new member recovered %d records, want 2", len(rec.Records))
+	}
+	// Replay drains onto the new group only.
+	for l.Ready() {
+		if err := l.ExecuteAndAdvance(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := fresh.ReadLocal(8192, 5); string(got) != "first" {
+		t.Fatalf("new member missing first: %q", got)
+	}
+	if got := fresh.ReadLocal(8200, 6); string(got) != "second" {
+		t.Fatalf("new member missing second: %q", got)
+	}
+	if got := old.ReadLocal(8192, 5); string(got) == "first" {
+		t.Fatal("replay leaked to the detached group")
+	}
+}
+
+// asyncReplicator defers Memcpy completions until released, so a Reattach
+// can interleave with an in-flight execute.
+type asyncReplicator struct {
+	inner   Replicator
+	pending []func()
+}
+
+func (a *asyncReplicator) Write(off, size int, durable bool, done func(error)) {
+	a.inner.Write(off, size, durable, done)
+}
+
+func (a *asyncReplicator) Memcpy(dst, src, size int, durable bool, done func(error)) {
+	a.pending = append(a.pending, func() {
+		a.inner.Memcpy(dst, src, size, durable, done)
+	})
+}
+
+func (a *asyncReplicator) Flush(done func(error)) { a.inner.Flush(done) }
+
+func TestReattachDuringInflightExecute(t *testing.T) {
+	client, old, fresh := newMemStore(1<<16), newMemStore(1<<16), newMemStore(1<<16)
+	async := &asyncReplicator{inner: LocalReplicator{Stores: []Store{client, old}}}
+	l := New(client, async, 0, 4096, nil)
+	l.Append([]Entry{{Offset: 8192, Data: []byte("inflight")}}, nil)
+
+	var execErr error
+	if err := l.ExecuteAndAdvance(func(err error) { execErr = err }); err != nil {
+		t.Fatal(err)
+	}
+	// The copy is in flight on the old group when the repair reattaches.
+	l.Reattach(LocalReplicator{Stores: []Store{client, fresh}}, nil)
+	if l.Pending() != 1 {
+		t.Fatalf("in-flight record not reinstated: pending=%d", l.Pending())
+	}
+	// The stale completion must not advance the head or dedupe the record.
+	for _, fire := range async.pending {
+		fire()
+	}
+	if execErr != ErrRetargeted {
+		t.Fatalf("stale execute reported %v, want ErrRetargeted", execErr)
+	}
+	if l.Pending() != 1 {
+		t.Fatalf("stale completion disturbed pending: %d", l.Pending())
+	}
+	if err := l.ExecuteAndAdvance(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := fresh.ReadLocal(8192, 8); string(got) != "inflight" {
+		t.Fatalf("replay after reattach: %q", got)
+	}
+	if l.Pending() != 0 {
+		t.Fatalf("pending after replay: %d", l.Pending())
+	}
+}
