@@ -1,0 +1,71 @@
+// Command hlverify runs the differential conformance oracle
+// (internal/oracle): every fast approximate model in the simulation stack
+// checked against an exact shadow implementation, plus the HyperLoop-vs-
+// Naïve end-to-end state equivalence run. It exits non-zero on any
+// divergence, so CI can gate on it.
+//
+// Usage:
+//
+//	hlverify [-seed N] [-n SAMPLES] [-seeds K]
+//
+// -n scales the per-check sample/op budgets; -seeds runs the suite at K
+// consecutive seeds starting from -seed (soak mode).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"hyperloop/internal/oracle"
+)
+
+var (
+	seed  = flag.Int64("seed", 1, "first oracle seed")
+	n     = flag.Int("n", 100000, "sample/op budget per check")
+	seeds = flag.Int("seeds", 1, "number of consecutive seeds to run")
+)
+
+func main() {
+	flag.Parse()
+	if *seeds < 1 {
+		*seeds = 1
+	}
+	ok := true
+	for s := *seed; s < *seed+int64(*seeds); s++ {
+		fmt.Printf("== oracle seed %d, n=%d ==\n", s, *n)
+		reports := oracle.RunAll(s, *n)
+		text, pass := oracle.Summarize(reports)
+		fmt.Print(text)
+		printMetrics(reports)
+		if !pass {
+			ok = false
+		}
+	}
+	if !ok {
+		fmt.Fprintln(os.Stderr, "hlverify: conformance divergence detected")
+		os.Exit(1)
+	}
+	fmt.Println("hlverify: all checks conformant")
+}
+
+// printMetrics dumps the measured statistics (error bounds, chi-square,
+// op counts) so soak runs leave a calibration trail.
+func printMetrics(reports []oracle.Report) {
+	for _, r := range reports {
+		if len(r.Metrics) == 0 {
+			continue
+		}
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Printf("   %s:", r.Name)
+		for _, k := range keys {
+			fmt.Printf(" %s=%.5g", k, r.Metrics[k])
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,163 @@
+package nvm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// shadowSet is the exact reference for intervalSet: one bool per byte.
+type shadowSet []bool
+
+func (s shadowSet) add(lo, hi int)    { s.set(lo, hi, true) }
+func (s shadowSet) remove(lo, hi int) { s.set(lo, hi, false) }
+func (s shadowSet) set(lo, hi int, v bool) {
+	for i := lo; i < hi && i < len(s); i++ {
+		if i >= 0 {
+			s[i] = v
+		}
+	}
+}
+func (s shadowSet) total() int {
+	n := 0
+	for _, b := range s {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// assertMatches checks the interval set against the shadow byte-for-byte and
+// verifies the sorted/disjoint/coalesced invariant.
+func assertMatches(t *testing.T, s *intervalSet, shadow shadowSet, step string) {
+	t.Helper()
+	covered := make(shadowSet, len(shadow))
+	prevHi := -1
+	for _, iv := range s.ivs {
+		if iv.lo >= iv.hi {
+			t.Fatalf("%s: empty interval [%d,%d)", step, iv.lo, iv.hi)
+		}
+		// Adjacent intervals must have been coalesced: prev.hi < lo strictly.
+		if iv.lo <= prevHi {
+			t.Fatalf("%s: intervals not disjoint/coalesced around %d (prev hi %d)", step, iv.lo, prevHi)
+		}
+		prevHi = iv.hi
+		covered.add(iv.lo, iv.hi)
+	}
+	for i := range shadow {
+		if shadow[i] != covered[i] {
+			t.Fatalf("%s: byte %d dirty=%v in shadow, %v in intervalSet (ivs=%v)",
+				step, i, shadow[i], covered[i], s.ivs)
+		}
+	}
+	if s.total() != shadow.total() {
+		t.Fatalf("%s: total %d vs shadow %d", step, s.total(), shadow.total())
+	}
+}
+
+// TestIntervalSetPropertyVsShadow drives random add/remove/overlap sequences
+// against the per-byte shadow.
+func TestIntervalSetPropertyVsShadow(t *testing.T) {
+	const space = 256
+	for seed := int64(1); seed <= 5; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		var s intervalSet
+		shadow := make(shadowSet, space)
+		for op := 0; op < 4000; op++ {
+			lo := r.Intn(space)
+			hi := lo + r.Intn(space-lo+1)
+			switch r.Intn(3) {
+			case 0:
+				s.add(lo, hi)
+				shadow.add(lo, hi)
+			case 1:
+				s.remove(lo, hi)
+				shadow.remove(lo, hi)
+			case 2:
+				got := 0
+				for _, iv := range s.overlap(lo, hi) {
+					if iv.lo < lo || iv.hi > hi {
+						t.Fatalf("seed %d op %d: overlap(%d,%d) not clipped: %v", seed, op, lo, hi, iv)
+					}
+					got += iv.hi - iv.lo
+				}
+				want := 0
+				for i := lo; i < hi; i++ {
+					if shadow[i] {
+						want++
+					}
+				}
+				if got != want {
+					t.Fatalf("seed %d op %d: overlap(%d,%d) covers %d bytes, shadow says %d",
+						seed, op, lo, hi, got, want)
+				}
+			}
+			assertMatches(t, &s, shadow, "after op")
+		}
+	}
+}
+
+// TestIntervalSetAdjacentCoalescing is the regression test for adjacency
+// around partial flushes: writes that abut each other (or abut the remnant
+// of a partially-flushed range) must merge into one interval, and a flush
+// cutting through the middle must leave exact remnants.
+func TestIntervalSetAdjacentCoalescing(t *testing.T) {
+	var s intervalSet
+	s.add(0, 10)
+	s.add(10, 20) // adjacent: must coalesce
+	if len(s.ivs) != 1 || s.ivs[0] != (interval{0, 20}) {
+		t.Fatalf("adjacent adds not coalesced: %v", s.ivs)
+	}
+	s.remove(5, 15) // partial flush through the middle
+	if len(s.ivs) != 2 || s.ivs[0] != (interval{0, 5}) || s.ivs[1] != (interval{15, 20}) {
+		t.Fatalf("partial remove remnants wrong: %v", s.ivs)
+	}
+	s.add(5, 15) // re-dirty the gap: everything merges back
+	if len(s.ivs) != 1 || s.ivs[0] != (interval{0, 20}) {
+		t.Fatalf("gap re-add not coalesced: %v", s.ivs)
+	}
+	// Abutting the left/right edges of an existing interval.
+	s.removeAll()
+	s.add(50, 60)
+	s.add(40, 50)
+	s.add(60, 70)
+	if len(s.ivs) != 1 || s.ivs[0] != (interval{40, 70}) {
+		t.Fatalf("edge-abutting adds not coalesced: %v", s.ivs)
+	}
+}
+
+// TestDeviceFlushPartialOverlapCoalescing exercises the same family through
+// the Device API: a Flush overlapping two coalesced writes persists exactly
+// the overlap and leaves the rest volatile.
+func TestDeviceFlushPartialOverlapCoalescing(t *testing.T) {
+	d := New(64)
+	a := []byte{1, 2, 3, 4}
+	b := []byte{5, 6, 7, 8}
+	d.Write(8, a)  // dirty [8,12)
+	d.Write(12, b) // adjacent: dirty [8,16)
+	if d.DirtyBytes() != 8 {
+		t.Fatalf("dirty bytes = %d, want 8", d.DirtyBytes())
+	}
+	if n := d.Flush(10, 4); n != 4 { // partial overlap [10,14)
+		t.Fatalf("flush persisted %d bytes, want 4", n)
+	}
+	if got := d.DurableRead(10, 4); got[0] != 3 || got[1] != 4 || got[2] != 5 || got[3] != 6 {
+		t.Fatalf("durable [10,14) = %v", got)
+	}
+	if d.IsDirty(10, 4) {
+		t.Fatal("flushed range still dirty")
+	}
+	if !d.IsDirty(8, 2) || !d.IsDirty(14, 2) {
+		t.Fatal("unflushed remnants lost their dirty state")
+	}
+	if d.DirtyBytes() != 4 {
+		t.Fatalf("dirty bytes after partial flush = %d, want 4", d.DirtyBytes())
+	}
+	d.PowerFail()
+	if got := d.Read(8, 8); got[2] != 3 || got[3] != 4 || got[4] != 5 || got[5] != 6 {
+		t.Fatalf("post-powerfail live view lost flushed bytes: %v", got)
+	}
+	if got := d.Read(8, 2); got[0] != 0 || got[1] != 0 {
+		t.Fatalf("post-powerfail unflushed bytes survived: %v", got)
+	}
+}

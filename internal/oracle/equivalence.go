@@ -1,0 +1,337 @@
+package oracle
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"hyperloop/internal/cluster"
+	"hyperloop/internal/core"
+	"hyperloop/internal/naive"
+	"hyperloop/internal/rdma"
+	"hyperloop/internal/sim"
+)
+
+// The equivalence check drives the HyperLoop datapath (internal/core:
+// NIC-offloaded WAIT-gated chains) and the Naïve-RDMA baseline
+// (internal/naive: replica-CPU handlers) with the same seed and the same
+// pre-generated operation stream, on identical clusters. The two
+// implementations share nothing above the cluster layer, so agreement is
+// strong evidence both compute the paper's semantics. Latency is expected
+// to differ — that is the paper's result — but state is not:
+//
+//   - every gCAS must return the same per-replica result map;
+//   - after each durable op, the just-written range must be durable with
+//     identical bytes on every replica (the two systems flush different
+//     supersets — core's 0-byte READ drains the whole store MR, naive
+//     flushes the exact range — so only the written range is comparable
+//     mid-stream);
+//   - after the full stream, replica volatile images must be
+//     byte-identical; after a terminal gFLUSH, durable images too.
+const (
+	eqGroupSize = 3
+	eqStoreSize = 1 << 16
+	eqWindow    = 1 << 14 // ops confined here so memcpy sources stay in range
+	eqMaxIO     = 256     // max bytes per write/memcpy
+)
+
+// Op kinds in the generated stream.
+const (
+	eqWrite = iota
+	eqCAS
+	eqMemcpy
+	eqFlush
+)
+
+var eqKindName = [...]string{"gWRITE", "gCAS", "gMEMCPY", "gFLUSH"}
+
+// eqOp is one pre-generated group operation, identical for both systems.
+type eqOp struct {
+	kind    int
+	off     int
+	src     int // memcpy source offset
+	size    int // bytes written (write/memcpy: payload or copy length; CAS: 8)
+	payload []byte
+	durable bool
+	casHit  bool   // old = current replicated value (succeeds) vs casConst (usually misses)
+	casConst uint64
+	casNew  uint64
+	exec    uint64 // gCAS execute bitmap over replicas
+}
+
+// eqArtifact is what one completed operation left behind in one system.
+type eqArtifact struct {
+	kind     int
+	errText  string
+	casOld   []uint64
+	volatile [][]byte // per replica: live bytes of the written range
+	durable  [][]byte // per replica: durable bytes of the written range (durable ops)
+}
+
+// eqDriver is the minimal uniform surface over both implementations,
+// exposing the CAS result map (which the experiments-layer adapter drops).
+type eqDriver interface {
+	GWrite(off, size int, durable bool, done func([]uint64, error)) error
+	GCAS(off int, old, new uint64, exec uint64, done func([]uint64, error)) error
+	GMemcpy(dst, src, size int, durable bool, done func([]uint64, error)) error
+	GFlush(done func([]uint64, error)) error
+	Failed() error
+	Close()
+}
+
+type coreDriver struct{ g *core.Group }
+
+func (d coreDriver) GWrite(off, size int, durable bool, done func([]uint64, error)) error {
+	return d.g.GWrite(off, size, durable, func(r core.Result) { done(r.CASOld, r.Err) })
+}
+func (d coreDriver) GCAS(off int, old, new uint64, exec uint64, done func([]uint64, error)) error {
+	return d.g.GCAS(off, old, new, core.ExecuteMap(exec), func(r core.Result) { done(r.CASOld, r.Err) })
+}
+func (d coreDriver) GMemcpy(dst, src, size int, durable bool, done func([]uint64, error)) error {
+	return d.g.GMemcpy(dst, src, size, durable, func(r core.Result) { done(r.CASOld, r.Err) })
+}
+func (d coreDriver) GFlush(done func([]uint64, error)) error {
+	return d.g.GFlush(func(r core.Result) { done(r.CASOld, r.Err) })
+}
+func (d coreDriver) Failed() error { return d.g.Failed() }
+func (d coreDriver) Close()        { d.g.Close() }
+
+type naiveDriver struct{ g *naive.Group }
+
+func (d naiveDriver) GWrite(off, size int, durable bool, done func([]uint64, error)) error {
+	return d.g.GWrite(off, size, durable, func(r naive.Result) { done(r.CASOld, r.Err) })
+}
+func (d naiveDriver) GCAS(off int, old, new uint64, exec uint64, done func([]uint64, error)) error {
+	return d.g.GCAS(off, old, new, exec, func(r naive.Result) { done(r.CASOld, r.Err) })
+}
+func (d naiveDriver) GMemcpy(dst, src, size int, durable bool, done func([]uint64, error)) error {
+	return d.g.GMemcpy(dst, src, size, durable, func(r naive.Result) { done(r.CASOld, r.Err) })
+}
+func (d naiveDriver) GFlush(done func([]uint64, error)) error {
+	return d.g.GFlush(func(r naive.Result) { done(r.CASOld, r.Err) })
+}
+func (d naiveDriver) Failed() error { return d.g.Failed() }
+func (d naiveDriver) Close()        { d.g.Close() }
+
+// CheckEquivalence generates ops operations and replays them through both
+// systems, comparing every observable result.
+func CheckEquivalence(seed int64, ops int) Report {
+	const name = "equivalence"
+	stream := generateOps(seed, ops)
+	detail := fmt.Sprintf("%d ops, %d replicas, HyperLoop vs Naive-Event", len(stream), eqGroupSize)
+	metrics := map[string]float64{"ops": float64(len(stream))}
+
+	hl, err := replayStream("HyperLoop", seed, stream, func(cl *cluster.Cluster) eqDriver {
+		return coreDriver{g: core.New(cl, core.Config{Depth: 1024, MaxInflight: 64})}
+	})
+	if err != nil {
+		return failf(name, detail, metrics, "HyperLoop run: %v", err)
+	}
+	nv, err := replayStream("Naive-Event", seed, stream, func(cl *cluster.Cluster) eqDriver {
+		return naiveDriver{g: naive.New(cl, naive.Config{Mode: naive.Event, MaxInflight: 64})}
+	})
+	if err != nil {
+		return failf(name, detail, metrics, "Naive-Event run: %v", err)
+	}
+
+	for i := range hl.arts {
+		a, b := hl.arts[i], nv.arts[i]
+		if a.errText != b.errText {
+			return failf(name, detail, metrics, "op %d (%s): errors differ: %q vs %q",
+				i, eqKindName[a.kind], a.errText, b.errText)
+		}
+		if len(a.casOld) != len(b.casOld) {
+			return failf(name, detail, metrics, "op %d (%s): result-map sizes %d vs %d",
+				i, eqKindName[a.kind], len(a.casOld), len(b.casOld))
+		}
+		for rep := range a.casOld {
+			if a.casOld[rep] != b.casOld[rep] {
+				return failf(name, detail, metrics,
+					"op %d (%s): replica %d gCAS result %#x vs %#x",
+					i, eqKindName[a.kind], rep, a.casOld[rep], b.casOld[rep])
+			}
+		}
+		for rep := range a.volatile {
+			if !bytes.Equal(a.volatile[rep], b.volatile[rep]) {
+				return failf(name, detail, metrics,
+					"op %d (%s): replica %d live bytes diverge at +%d",
+					i, eqKindName[a.kind], rep, firstDiff(a.volatile[rep], b.volatile[rep]))
+			}
+		}
+		for rep := range a.durable {
+			if !bytes.Equal(a.durable[rep], b.durable[rep]) {
+				return failf(name, detail, metrics,
+					"op %d (%s, durable): replica %d durable bytes diverge at +%d",
+					i, eqKindName[a.kind], rep, firstDiff(a.durable[rep], b.durable[rep]))
+			}
+		}
+	}
+	for rep := 0; rep < eqGroupSize; rep++ {
+		if !bytes.Equal(hl.finalVolatile[rep], nv.finalVolatile[rep]) {
+			return failf(name, detail, metrics, "final live image: replica %d diverges at byte %d",
+				rep, firstDiff(hl.finalVolatile[rep], nv.finalVolatile[rep]))
+		}
+		if !bytes.Equal(hl.finalDurable[rep], nv.finalDurable[rep]) {
+			return failf(name, detail, metrics, "post-gFLUSH durable image: replica %d diverges at byte %d",
+				rep, firstDiff(hl.finalDurable[rep], nv.finalDurable[rep]))
+		}
+	}
+	metrics["cas_ops"] = countKind(stream, eqCAS)
+	metrics["durable_ops"] = countDurable(stream)
+	return Report{Name: name,
+		Detail:  fmt.Sprintf("%s: states and result maps identical", detail),
+		Metrics: metrics}
+}
+
+// generateOps builds the shared operation stream. A terminal gFLUSH is
+// always appended so full durable images are comparable at the end.
+func generateOps(seed int64, n int) []eqOp {
+	r := sim.NewRand(seed)
+	allMask := uint64(1)<<uint(eqGroupSize) - 1
+	ops := make([]eqOp, 0, n+1)
+	for i := 0; i < n; i++ {
+		var o eqOp
+		switch k := r.Intn(10); {
+		case k < 5:
+			o.kind = eqWrite
+			o.size = 1 + r.Intn(eqMaxIO)
+			o.off = r.Intn(eqWindow - o.size)
+			o.payload = make([]byte, o.size)
+			for j := range o.payload {
+				o.payload[j] = byte(r.Uint64())
+			}
+			o.durable = r.Intn(3) == 0
+		case k < 7:
+			o.kind = eqCAS
+			o.off = r.Intn(eqWindow/8-1) * 8
+			o.size = 8
+			o.casHit = r.Intn(2) == 0
+			o.casConst = r.Uint64()
+			o.casNew = r.Uint64()
+			o.exec = r.Uint64() & allMask
+			if o.exec == 0 {
+				o.exec = allMask
+			}
+		case k < 9:
+			o.kind = eqMemcpy
+			o.size = 1 + r.Intn(eqMaxIO)
+			o.off = r.Intn(eqWindow - o.size)
+			o.src = r.Intn(eqWindow - o.size)
+			o.durable = r.Intn(3) == 0
+		default:
+			o.kind = eqFlush
+		}
+		ops = append(ops, o)
+	}
+	ops = append(ops, eqOp{kind: eqFlush})
+	return ops
+}
+
+// eqRun is everything one system left behind.
+type eqRun struct {
+	arts          []eqArtifact
+	finalVolatile [][]byte
+	finalDurable  [][]byte
+}
+
+// replayStream drives the stream closed-loop (one op in flight, so
+// completion order is the stream order in both systems) and snapshots
+// observables at each completion.
+func replayStream(label string, seed int64, stream []eqOp, build func(*cluster.Cluster) eqDriver) (*eqRun, error) {
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, cluster.Config{Nodes: eqGroupSize + 1, StoreSize: eqStoreSize, Seed: seed})
+	drv := build(cl)
+	defer drv.Close()
+
+	run := &eqRun{}
+	completed := 0
+	var issueErr error
+	var issue func()
+	issue = func() {
+		if completed >= len(stream) || issueErr != nil {
+			return
+		}
+		o := stream[completed]
+		record := func(casOld []uint64, err error) {
+			art := eqArtifact{kind: o.kind, casOld: append([]uint64(nil), casOld...)}
+			if err != nil {
+				art.errText = err.Error()
+			}
+			if o.size > 0 {
+				for _, rep := range cl.Replicas() {
+					art.volatile = append(art.volatile, rep.StoreBytes(o.off, o.size))
+					if o.durable {
+						art.durable = append(art.durable, replicaDurable(rep, o.off, o.size))
+					}
+				}
+			}
+			run.arts = append(run.arts, art)
+			completed++
+			issue()
+		}
+		var err error
+		switch o.kind {
+		case eqWrite:
+			cl.Client().StoreWrite(o.off, o.payload)
+			err = drv.GWrite(o.off, o.size, o.durable, record)
+		case eqCAS:
+			old := o.casConst
+			if o.casHit {
+				old = binary.LittleEndian.Uint64(cl.Replicas()[0].StoreBytes(o.off, 8))
+			}
+			err = drv.GCAS(o.off, old, o.casNew, o.exec, record)
+		case eqMemcpy:
+			err = drv.GMemcpy(o.off, o.src, o.size, o.durable, record)
+		case eqFlush:
+			err = drv.GFlush(record)
+		}
+		if err != nil {
+			issueErr = fmt.Errorf("issue op %d (%s): %w", completed, eqKindName[o.kind], err)
+		}
+	}
+	issue()
+	deadline := eng.Now().Add(sim.Duration(len(stream)+1000) * sim.Millisecond)
+	eng.RunUntil(func() bool {
+		return completed >= len(stream) || issueErr != nil || drv.Failed() != nil
+	}, deadline)
+	if issueErr != nil {
+		return nil, issueErr
+	}
+	if err := drv.Failed(); err != nil {
+		return nil, fmt.Errorf("%s group failed: %w", label, err)
+	}
+	if completed < len(stream) {
+		return nil, fmt.Errorf("%s completed %d/%d ops by deadline", label, completed, len(stream))
+	}
+	for _, rep := range cl.Replicas() {
+		run.finalVolatile = append(run.finalVolatile, rep.StoreBytes(0, eqWindow))
+		run.finalDurable = append(run.finalDurable, replicaDurable(rep, 0, eqWindow))
+	}
+	return run, nil
+}
+
+// replicaDurable reads what recovery would see for a store-window range.
+func replicaDurable(n *cluster.Node, off, size int) []byte {
+	b := n.Store.Backing().(*rdma.NVMBacking)
+	return b.Device().DurableRead(b.Base()+off, size)
+}
+
+func countKind(ops []eqOp, kind int) float64 {
+	c := 0.0
+	for _, o := range ops {
+		if o.kind == kind {
+			c++
+		}
+	}
+	return c
+}
+
+func countDurable(ops []eqOp) float64 {
+	c := 0.0
+	for _, o := range ops {
+		if o.durable {
+			c++
+		}
+	}
+	return c
+}

@@ -1,0 +1,111 @@
+package oracle
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hyperloop/internal/sim"
+	"hyperloop/internal/stats"
+)
+
+// histMaxRelErr is the documented bound on the log-bucketed histogram's
+// percentile error: with 64 linear sub-buckets per octave the midpoint of a
+// bucket is at most half a bucket width from any value in it, i.e. 1/128 of
+// the value (<0.79%). The check asserts the looser ISSUE-level contract of
+// 1.6% so the bound has an octave of slack against future resolution
+// changes.
+const histMaxRelErr = 0.016
+
+// histPercentiles are the query points the check compares; they cover the
+// paper-reported points (50/95/99) plus the head and tail of the range.
+var histPercentiles = []float64{1, 5, 10, 25, 50, 75, 90, 95, 99, 99.9, 100}
+
+// CheckHistogram records n samples drawn from a deliberately awkward
+// mixture — unit-bucket values, an exponential body, and a Pareto tail
+// spanning many octaves — into both stats.Histogram and a raw slice, then
+// compares every percentile query against the exact sort-based answer.
+func CheckHistogram(seed int64, n int) Report {
+	const name = "histogram"
+	r := sim.NewRand(seed)
+	h := stats.NewHistogram()
+	samples := make([]sim.Duration, 0, n)
+	record := func(v sim.Duration) {
+		h.Record(v)
+		samples = append(samples, v)
+	}
+	for i := 0; i < n; i++ {
+		switch i % 5 {
+		case 0, 1: // unit-bucket region: must be exact
+			record(sim.Duration(r.Int63n(200)))
+		case 2, 3: // exponential body around typical RDMA latencies
+			record(r.Exp(50 * sim.Microsecond))
+		default: // heavy tail across octaves
+			record(r.Pareto(sim.Microsecond, 1.3))
+		}
+	}
+	// Exact octave boundaries are the historical failure sites.
+	for shift := uint(0); shift < 40; shift += 4 {
+		record(sim.Duration(1) << shift)
+	}
+
+	sorted := append([]sim.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	maxRel := 0.0
+	metrics := map[string]float64{"samples": float64(len(samples))}
+	detail := fmt.Sprintf("%d samples, %d percentile points", len(samples), len(histPercentiles))
+	for _, p := range histPercentiles {
+		got := h.Percentile(p)
+		want := exactPercentile(sorted, p)
+		var rel float64
+		if want == 0 {
+			// The zero bucket is unit-width: the histogram must be exact.
+			if got != 0 {
+				return failf(name, detail, metrics, "p%g = %d, exact is 0 (unit bucket must be exact)", p, got)
+			}
+		} else {
+			rel = math.Abs(float64(got)-float64(want)) / float64(want)
+		}
+		if rel > maxRel {
+			maxRel = rel
+		}
+		if rel > histMaxRelErr {
+			metrics["max_rel_err"] = maxRel
+			return failf(name, detail, metrics,
+				"p%g relative error %.4f exceeds bound %.4f (hist %d vs exact %d)",
+				p, rel, histMaxRelErr, got, want)
+		}
+	}
+	// Min/max are tracked exactly, independent of bucketing.
+	if h.Min() != sorted[0] || h.Max() != sorted[len(sorted)-1] {
+		return failf(name, detail, metrics, "min/max drifted: hist (%d,%d) vs exact (%d,%d)",
+			h.Min(), h.Max(), sorted[0], sorted[len(sorted)-1])
+	}
+	metrics["max_rel_err"] = maxRel
+	return Report{Name: name,
+		Detail:  fmt.Sprintf("%s, max rel err %.5f (bound %.3f)", detail, maxRel, histMaxRelErr),
+		Metrics: metrics}
+}
+
+// exactPercentile mirrors Histogram.Percentile's rank convention
+// (ceil(p/100 * n), 1-based) on a sorted sample.
+func exactPercentile(sorted []sim.Duration, p float64) sim.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

@@ -1,0 +1,101 @@
+package oracle
+
+import (
+	"bytes"
+	"fmt"
+
+	"hyperloop/internal/rdma"
+	"hyperloop/internal/sim"
+)
+
+// CheckWQE round-trips n randomly built WQEs and n arbitrary slot images
+// through the 128-byte codec. The structured direction must be the exact
+// identity (HyperLoop's remote work request manipulation rewrites encoded
+// descriptors in place, so any lossy field corrupts a pre-posted chain);
+// the raw direction must be a canonicalizing projection — decoding a
+// rewritten slot twice must mean the same thing. The host/HW ownership bit
+// gets dedicated coverage in both polarities: it is the single bit the
+// paper's WAIT-gated chains flip to arm a descriptor.
+func CheckWQE(seed int64, n int) Report {
+	const name = "wqe"
+	r := sim.NewRand(seed)
+	detail := fmt.Sprintf("%d structured + %d raw round-trips", n, n)
+	metrics := map[string]float64{"cases": float64(2 * n)}
+
+	opcodes := []rdma.Opcode{rdma.OpWrite, rdma.OpRead, rdma.OpSend,
+		rdma.OpCompSwap, rdma.OpWait, rdma.OpNop}
+	for i := 0; i < n; i++ {
+		w := rdma.WQE{
+			Opcode:    opcodes[r.Intn(len(opcodes))],
+			Signaled:  r.Intn(2) == 0,
+			HWOwned:   r.Intn(2) == 0,
+			RKey:      uint32(r.Uint64()),
+			RAddr:     r.Uint64(),
+			Imm:       r.Uint64(),
+			Swap:      r.Uint64(),
+			WRID:      r.Uint64(),
+			WaitCQ:    uint32(r.Uint64()),
+			WaitCount: uint32(r.Uint64()),
+		}
+		for s := r.Intn(rdma.MaxSGE + 1); s > 0; s-- {
+			w.SGEs = append(w.SGEs, rdma.SGE{
+				LKey:   uint32(r.Uint64()),
+				Offset: r.Uint64(),
+				Length: uint32(r.Uint64()),
+			})
+		}
+		got := rdma.DecodeWQE(w.EncodeImage())
+		if !wqeIdentical(w, got) {
+			return failf(name, detail, metrics,
+				"structured round-trip %d lost fields:\n posted  %+v\n decoded %+v", i, w, got)
+		}
+		// Flip ownership on the encoded image the way a remote WRITE does
+		// (single flag byte) and confirm only that bit changes meaning.
+		img := w.EncodeImage()
+		img[1] ^= 1 << 1 // flagHWOwned
+		flipped := rdma.DecodeWQE(img)
+		if flipped.HWOwned == got.HWOwned {
+			return failf(name, detail, metrics, "case %d: HWOwned bit flip not observed by decode", i)
+		}
+		flipped.HWOwned = got.HWOwned
+		if !wqeIdentical(got, flipped) {
+			return failf(name, detail, metrics,
+				"case %d: ownership flip perturbed other fields:\n %+v\n %+v", i, got, flipped)
+		}
+	}
+
+	raw := make([]byte, rdma.SlotSize)
+	for i := 0; i < n; i++ {
+		for j := range raw {
+			raw[j] = byte(r.Uint64())
+		}
+		w := rdma.DecodeWQE(raw)
+		img := w.EncodeImage()
+		again := rdma.DecodeWQE(img)
+		if !wqeIdentical(w, again) {
+			return failf(name, detail, metrics,
+				"raw case %d: decode∘encode not idempotent on %x", i, raw)
+		}
+		if img2 := again.EncodeImage(); !bytes.Equal(img, img2) {
+			return failf(name, detail, metrics, "raw case %d: encode not canonical", i)
+		}
+	}
+	return Report{Name: name, Detail: detail, Metrics: metrics}
+}
+
+// wqeIdentical compares WQEs treating nil and empty SGE lists as equal (the
+// codec cannot distinguish them: both encode numSGE = 0).
+func wqeIdentical(a, b rdma.WQE) bool {
+	if a.Opcode != b.Opcode || a.Signaled != b.Signaled || a.HWOwned != b.HWOwned ||
+		a.RKey != b.RKey || a.RAddr != b.RAddr || a.Imm != b.Imm || a.Swap != b.Swap ||
+		a.WRID != b.WRID || a.WaitCQ != b.WaitCQ || a.WaitCount != b.WaitCount ||
+		len(a.SGEs) != len(b.SGEs) {
+		return false
+	}
+	for i := range a.SGEs {
+		if a.SGEs[i] != b.SGEs[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,144 @@
+package oracle
+
+import (
+	"fmt"
+	"math"
+
+	"hyperloop/internal/sim"
+)
+
+// Zipf check tolerances. The generator is Gray et al.'s spline (as in
+// YCSB), which approximates the inverse CDF rather than inverting it
+// exactly, so the empirical frequencies carry a small systematic bias
+// (~0.02 total-variation over 100 items at theta 0.99) on top of sampling
+// noise. The two effects scale oppositely with sample count — noise decays
+// as 1/sqrt(ns) while the chi-square statistic accumulates the bias
+// linearly in ns — so both limits are functions of ns, calibrated against
+// measurements at seeds 1-10 (worst observed: chi2/dof 1.9 / TV 0.036 at
+// 20k draws; chi2/dof 6.8 / TV 0.020 at 200k — see EXPERIMENTS.md) and set
+// with ~3x headroom. A real frequency bug (a zeta mis-extension after
+// Grow, a swapped eta/alpha, a biased uniform source) blows through them
+// by an order of magnitude.
+const (
+	zipfItems      = 100
+	zipfTheta      = 0.99
+	zipfMaxSamples = 200000
+)
+
+// zipfChiSquareLimit bounds the pooled chi-square statistic for ns draws:
+// the noise-only expectation is ~dof, and the spline bias adds ~9e-5 per
+// sample at 3x the measured rate.
+func zipfChiSquareLimit(ns, dof int) float64 {
+	return float64(dof) * (3 + 9e-5*float64(ns))
+}
+
+// zipfTVLimit bounds the total-variation distance: the spline-bias floor
+// plus a multinomial-noise allowance.
+func zipfTVLimit(ns int) float64 {
+	return 0.025 + 5.0/math.Sqrt(float64(ns))
+}
+
+// CheckZipf draws from sim.Zipf and compares empirical item frequencies
+// against the analytic zipfian pmf, twice: once with a fresh generator
+// over zipfItems, and once with a generator grown from zipfItems/2 to
+// zipfItems — the incremental-zeta path insert-heavy workloads (YCSB-D)
+// exercise. Grown and fresh generators must match the same analytic
+// distribution.
+func CheckZipf(seed int64, n int) Report {
+	const name = "zipf"
+	ns := n
+	if ns > zipfMaxSamples {
+		ns = zipfMaxSamples
+	}
+	if ns < 2000 {
+		ns = 2000
+	}
+	metrics := map[string]float64{"samples": float64(ns)}
+	detail := fmt.Sprintf("%d draws x 2 generators, %d items, theta %g", ns, zipfItems, zipfTheta)
+
+	fresh := sim.NewZipf(sim.NewRand(seed), zipfItems, zipfTheta)
+	grown := sim.NewZipf(sim.NewRand(seed+1000), zipfItems/2, zipfTheta)
+	// Exercise the pre-grow range first so Grow extends live state, not a
+	// pristine generator.
+	for i := 0; i < 1000; i++ {
+		if v := grown.Next(); v < 0 || v >= zipfItems/2 {
+			return failf(name, detail, metrics, "pre-grow draw %d outside [0, %d)", v, zipfItems/2)
+		}
+	}
+	grown.Grow(zipfItems)
+
+	for gi, z := range []*sim.Zipf{fresh, grown} {
+		label := [...]string{"fresh", "grown"}[gi]
+		counts := make([]int, zipfItems)
+		for i := 0; i < ns; i++ {
+			v := z.Next()
+			if v < 0 || v >= zipfItems {
+				return failf(name, detail, metrics, "%s: draw %d outside [0, %d)", label, v, zipfItems)
+			}
+			counts[v]++
+		}
+		chi2, dof, tv := zipfGoodnessOfFit(counts, ns)
+		metrics["chi2_"+label] = chi2
+		metrics["dof_"+label] = float64(dof)
+		metrics["tv_"+label] = tv
+		if limit := zipfChiSquareLimit(ns, dof); chi2 > limit {
+			return failf(name, detail, metrics,
+				"%s generator: chi-square %.1f exceeds %.1f (dof %d, %d draws)", label, chi2, limit, dof, ns)
+		}
+		if limit := zipfTVLimit(ns); tv > limit {
+			return failf(name, detail, metrics,
+				"%s generator: total-variation distance %.4f exceeds %.4f (%d draws)", label, tv, limit, ns)
+		}
+		// Metamorphic rank property: the pmf is strictly decreasing, so rank 0
+		// must dominate and the head must outweigh the tail.
+		if counts[0] < counts[zipfItems-1] {
+			return failf(name, detail, metrics, "%s generator: rank 0 (%d) rarer than rank %d (%d)",
+				label, counts[0], zipfItems-1, counts[zipfItems-1])
+		}
+	}
+	return Report{Name: name,
+		Detail: fmt.Sprintf("%s; chi2/dof %.2f fresh %.2f grown, tv %.4f/%.4f",
+			detail,
+			metrics["chi2_fresh"]/metrics["dof_fresh"],
+			metrics["chi2_grown"]/metrics["dof_grown"],
+			metrics["tv_fresh"], metrics["tv_grown"]),
+		Metrics: metrics}
+}
+
+// zipfGoodnessOfFit computes a pooled chi-square statistic and the
+// total-variation distance between observed counts and the analytic
+// zipf(theta) pmf over len(counts) items. Tail cells with expected count
+// below 5 are pooled (standard chi-square practice) so sparse cells do not
+// dominate the statistic.
+func zipfGoodnessOfFit(counts []int, ns int) (chi2 float64, dof int, tv float64) {
+	items := len(counts)
+	zeta := 0.0
+	for i := 1; i <= items; i++ {
+		zeta += 1 / math.Pow(float64(i), zipfTheta)
+	}
+	var pooledObs, pooledExp float64
+	cells := 0
+	for i := 0; i < items; i++ {
+		p := 1 / (math.Pow(float64(i+1), zipfTheta) * zeta)
+		exp := p * float64(ns)
+		obs := float64(counts[i])
+		tv += math.Abs(obs/float64(ns) - p)
+		if exp < 5 {
+			pooledObs += obs
+			pooledExp += exp
+			continue
+		}
+		chi2 += (obs - exp) * (obs - exp) / exp
+		cells++
+	}
+	if pooledExp > 0 {
+		chi2 += (pooledObs - pooledExp) * (pooledObs - pooledExp) / pooledExp
+		cells++
+	}
+	tv /= 2
+	dof = cells - 1
+	if dof < 1 {
+		dof = 1
+	}
+	return chi2, dof, tv
+}

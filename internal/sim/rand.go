@@ -120,13 +120,25 @@ func (z *Zipf) grow(n int64) {
 		z.zetan += 1 / math.Pow(float64(i), z.theta)
 	}
 	z.n = n
-	z.alpha = 1 / (1 - z.theta)
-	z.eta = (1 - math.Pow(2/float64(n), 1-z.theta)) / (1 - z.zeta2/z.zetan)
+	// theta == 1 sits on the pole of alpha = 1/(1-theta); nudge just below
+	// it so alpha stays finite and eta well-defined. The distribution at
+	// 1-1e-9 is indistinguishable from the s=1 zipfian at any sample size
+	// we can draw.
+	theta := z.theta
+	if theta == 1 {
+		theta = 1 - 1e-9
+	}
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
 }
 
 // Next returns the next zipfian value in [0, n).
-func (z *Zipf) Next() int64 {
-	u := z.r.Float64()
+func (z *Zipf) Next() int64 { return z.nextU(z.r.Float64()) }
+
+// nextU maps one uniform draw u in [0, 1) to a zipfian value in [0, n) —
+// Gray et al.'s spline, as in the YCSB generator. Split from Next so the
+// boundary behaviour is directly testable.
+func (z *Zipf) nextU(u float64) int64 {
 	uz := u * z.zetan
 	if uz < 1 {
 		return 0
@@ -134,7 +146,14 @@ func (z *Zipf) Next() int64 {
 	if uz < 1+math.Pow(0.5, z.theta) {
 		return 1
 	}
-	return int64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	v := int64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	// For u close enough to 1, eta*u-eta+1 rounds to exactly 1.0 and the
+	// spline evaluates to n — one past the domain (the canonical YCSB
+	// generator off-by-one). Clamp to the last item.
+	if v >= z.n {
+		v = z.n - 1
+	}
+	return v
 }
 
 // Grow extends the item space to n (used after inserts).

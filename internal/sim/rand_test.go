@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestZipfUpperBoundClamped is the regression test for the generator
+// off-by-one: at u close enough to 1 the spline term eta*u-eta+1 rounds to
+// exactly 1.0, math.Pow returns 1, and the unclamped result is n — outside
+// [0, n). The ycsb "latest" distribution then computed records-1-n, a
+// negative key. Hammer the boundary directly through nextU.
+func TestZipfUpperBoundClamped(t *testing.T) {
+	for _, tc := range []struct {
+		n     int64
+		theta float64
+	}{
+		{2, 0.99}, {10, 0.99}, {1000, 0.99}, {1000, 0.5}, {1 << 20, 0.99},
+	} {
+		z := NewZipf(NewRand(1), tc.n, tc.theta)
+		// Walk u up to the largest float64 below 1, including the exact
+		// values Float64 can produce.
+		u := 1.0 - 1.0/float64(1<<20)
+		for u < 1 {
+			if v := z.nextU(u); v < 0 || v >= tc.n {
+				t.Fatalf("n=%d theta=%v: nextU(%v) = %d outside [0, %d)",
+					tc.n, tc.theta, u, v, tc.n)
+			}
+			u = math.Nextafter(u, 2)
+			// Exhaustive near 1, strided further out.
+			if 1-u > 1e-12 {
+				u += (1 - u) / 2
+			}
+		}
+		for _, u := range []float64{0, math.SmallestNonzeroFloat64, 0.5, 1 - 0x1p-53} {
+			if v := z.nextU(u); v < 0 || v >= tc.n {
+				t.Fatalf("n=%d theta=%v: nextU(%v) = %d outside [0, %d)",
+					tc.n, tc.theta, u, v, tc.n)
+			}
+		}
+	}
+}
+
+// TestZipfNextStaysInRange hammers the public API across sizes and thetas.
+func TestZipfNextStaysInRange(t *testing.T) {
+	for _, theta := range []float64{0.2, 0.5, 0.99} {
+		for _, n := range []int64{1, 2, 3, 100, 10000} {
+			z := NewZipf(NewRand(42), n, theta)
+			for i := 0; i < 20000; i++ {
+				if v := z.Next(); v < 0 || v >= n {
+					t.Fatalf("theta=%v n=%d: Next() = %d outside range", theta, n, v)
+				}
+			}
+		}
+	}
+}
+
+// TestZipfGrowBoundary checks the clamp holds after Grow (the insert-heavy
+// YCSB-D path recomputes eta/alpha incrementally).
+func TestZipfGrowBoundary(t *testing.T) {
+	z := NewZipf(NewRand(3), 10, 0.99)
+	for _, n := range []int64{11, 64, 1000, 5000} {
+		z.Grow(n)
+		if z.N() != n {
+			t.Fatalf("Grow(%d): N() = %d", n, z.N())
+		}
+		if v := z.nextU(1 - 0x1p-53); v < 0 || v >= n {
+			t.Fatalf("after Grow(%d): boundary value %d outside [0, %d)", n, v, n)
+		}
+		for i := 0; i < 5000; i++ {
+			if v := z.Next(); v < 0 || v >= n {
+				t.Fatalf("after Grow(%d): Next() = %d outside range", n, v)
+			}
+		}
+	}
+	// Shrinking is a no-op.
+	z.Grow(5)
+	if z.N() != 5000 {
+		t.Fatalf("Grow(5) shrank the range to %d", z.N())
+	}
+}
+
+// TestZipfThetaOneGuard: theta == 1 used to make alpha = 1/(1-theta) = +Inf
+// (and every spline draw NaN-prone); the guard nudges theta off the pole.
+func TestZipfThetaOneGuard(t *testing.T) {
+	z := NewZipf(NewRand(9), 100, 1.0)
+	if math.IsInf(z.alpha, 0) || math.IsNaN(z.alpha) {
+		t.Fatalf("alpha = %v with theta == 1", z.alpha)
+	}
+	if math.IsNaN(z.eta) || math.IsInf(z.eta, 0) {
+		t.Fatalf("eta = %v with theta == 1", z.eta)
+	}
+	for i := 0; i < 20000; i++ {
+		if v := z.Next(); v < 0 || v >= 100 {
+			t.Fatalf("theta=1: Next() = %d outside [0, 100)", v)
+		}
+	}
+	z.Grow(200)
+	for i := 0; i < 5000; i++ {
+		if v := z.Next(); v < 0 || v >= 200 {
+			t.Fatalf("theta=1 after Grow: Next() = %d outside [0, 200)", v)
+		}
+	}
+}
+
+// TestZipfZetaIncrementalMatchesDirect: the lazily-extended zeta must agree
+// with a from-scratch computation, or Grow would skew every frequency.
+func TestZipfZetaIncrementalMatchesDirect(t *testing.T) {
+	z := NewZipf(NewRand(1), 10, 0.99)
+	for _, n := range []int64{20, 100, 1000} {
+		z.Grow(n)
+		want := zetaStatic(n, 0.99)
+		if diff := math.Abs(z.zetan - want); diff > 1e-9 {
+			t.Fatalf("zeta(%d) incremental %v vs direct %v (diff %v)", n, z.zetan, want, diff)
+		}
+	}
+}
+
+// TestZipfSkewAfterClamp sanity-checks that low ranks dominate (it is still
+// a zipfian after the clamp).
+func TestZipfSkewAfterClamp(t *testing.T) {
+	z := NewZipf(NewRand(5), 1000, 0.99)
+	counts := make([]int, 1000)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[500]*10 {
+		t.Fatalf("rank 0 (%d) not dominating rank 500 (%d)", counts[0], counts[500])
+	}
+}

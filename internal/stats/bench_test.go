@@ -1,0 +1,44 @@
+package stats
+
+import (
+	"testing"
+
+	"hyperloop/internal/sim"
+)
+
+// Benchmark values span the bucket regimes: sub-64 exact buckets, small
+// octaves (typical µs latencies), and large octaves (ms tails).
+var benchValues = func() []sim.Duration {
+	vals := make([]sim.Duration, 1024)
+	r := sim.NewRand(7)
+	for i := range vals {
+		switch i % 4 {
+		case 0:
+			vals[i] = sim.Duration(r.Intn(64))
+		case 1:
+			vals[i] = sim.Duration(500 + r.Intn(5000))
+		case 2:
+			vals[i] = sim.Duration(100_000 + r.Intn(10_000_000))
+		default:
+			vals[i] = sim.Duration(r.Int63n(1 << 40))
+		}
+	}
+	return vals
+}()
+
+var sinkInt int
+
+func BenchmarkBucketIndex(b *testing.B) {
+	s := 0
+	for i := 0; i < b.N; i++ {
+		s += bucketIndex(benchValues[i%len(benchValues)])
+	}
+	sinkInt = s
+}
+
+func BenchmarkRecord(b *testing.B) {
+	h := NewHistogram()
+	for i := 0; i < b.N; i++ {
+		h.Record(benchValues[i%len(benchValues)])
+	}
+}

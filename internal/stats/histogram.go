@@ -8,6 +8,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"strings"
 
@@ -51,7 +52,7 @@ func bucketIndex(v sim.Duration) int {
 	if v < subBucketCount {
 		return int(v)
 	}
-	hi := 63 - leadingZeros(uint64(v))
+	hi := 63 - bits.LeadingZeros64(uint64(v))
 	octave := hi - subBucketBits + 1
 	sub := int(uint64(v)>>uint(octave-1)) - subBucketCount
 	idx := octave*subBucketCount + sub
@@ -61,7 +62,13 @@ func bucketIndex(v sim.Duration) int {
 	return idx
 }
 
-// bucketValue returns the midpoint of bucket idx.
+// bucketValue returns the midpoint of bucket idx. Unit-width buckets (the
+// sub-subBucketCount region and the first octave) report their exact value,
+// so values at octave boundaries like subBucketCount itself round-trip
+// exactly; wider buckets report lo + width/2, which bucketIndex maps back
+// into the same bucket (width/2 < width). The result is clamped to MaxInt64
+// so even the guard bucket at the top of the range cannot overflow into a
+// negative duration.
 func bucketValue(idx int) sim.Duration {
 	if idx < subBucketCount {
 		return sim.Duration(idx)
@@ -70,19 +77,11 @@ func bucketValue(idx int) sim.Duration {
 	sub := idx % subBucketCount
 	lo := (uint64(sub) + subBucketCount) << uint(octave-1)
 	width := uint64(1) << uint(octave-1)
-	return sim.Duration(lo + width/2)
-}
-
-func leadingZeros(x uint64) int {
-	n := 0
-	if x == 0 {
-		return 64
+	mid := lo + width/2
+	if mid > math.MaxInt64 {
+		mid = math.MaxInt64
 	}
-	for x&(1<<63) == 0 {
-		x <<= 1
-		n++
-	}
-	return n
+	return sim.Duration(mid)
 }
 
 // Record adds one observation.
@@ -123,11 +122,16 @@ func (h *Histogram) Min() sim.Duration {
 // Max returns the largest observation, or 0 if empty.
 func (h *Histogram) Max() sim.Duration { return h.max }
 
-// Percentile returns the p-th percentile (0 < p <= 100), or 0 if empty.
-// Exact extremes are returned for p at or beyond the recorded range.
+// Percentile returns the p-th percentile, or 0 if empty. p is clamped to
+// (0, 100]: p <= 0 returns the exact minimum and p >= 100 the exact maximum
+// (previously p <= 0 silently walked the buckets with rank 1, and a negative
+// p underflowed the rank conversion).
 func (h *Histogram) Percentile(p float64) sim.Duration {
 	if h.total == 0 {
 		return 0
+	}
+	if p <= 0 {
+		return h.min
 	}
 	if p >= 100 {
 		return h.max

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"sort"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -235,4 +236,111 @@ func TestTableCSV(t *testing.T) {
 	if got != "a,b\n1;5,2\n" {
 		t.Fatalf("csv: %q", got)
 	}
+}
+
+// TestPercentileEdgeArguments pins the documented clamping: p <= 0 returns
+// the exact minimum (a negative p previously underflowed the rank
+// conversion), p >= 100 the exact maximum.
+func TestPercentileEdgeArguments(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []sim.Duration{5, 100, 7000} {
+		h.Record(v)
+	}
+	for _, p := range []float64{-50, -0.0001, 0} {
+		if got := h.Percentile(p); got != 5 {
+			t.Fatalf("Percentile(%v) = %v, want min 5", p, got)
+		}
+	}
+	for _, p := range []float64{100, 1000} {
+		if got := h.Percentile(p); got != 7000 {
+			t.Fatalf("Percentile(%v) = %v, want max 7000", p, got)
+		}
+	}
+}
+
+// TestBoundaryValuesAgainstExact records the bucket-layout boundary values
+// the sub-bucket scheme pivots on and checks every reported percentile
+// against the sort-based reference within the documented 1.6% bound
+// (unit-width buckets must be exact).
+func TestBoundaryValuesAgainstExact(t *testing.T) {
+	boundary := []sim.Duration{
+		0, 1, subBucketCount - 1, subBucketCount, subBucketCount + 1,
+		2*subBucketCount - 1, 2 * subBucketCount,
+		1 << 10, 1<<10 + 1, 1 << 20, 1 << 30, 1 << 40, 1 << 62,
+		math.MaxInt64 - 1, math.MaxInt64,
+	}
+	h := NewHistogram()
+	var raw []sim.Duration
+	for _, v := range boundary {
+		h.Record(v)
+		raw = append(raw, v)
+	}
+	exact := Exact(raw)
+	for _, p := range []float64{1, 10, 25, 50, 75, 90, 95, 99, 100} {
+		a := h.Percentile(p)
+		e := exactPercentile(raw, p)
+		var rel float64
+		if e != 0 {
+			rel = math.Abs(float64(a-e)) / float64(e)
+		} else {
+			rel = math.Abs(float64(a - e))
+		}
+		if rel > 0.016 {
+			t.Errorf("p%.0f: approx %d vs exact %d (rel err %.4f)", p, a, e, rel)
+		}
+	}
+	if h.Min() != exact.Min || h.Max() != exact.Max {
+		t.Errorf("min/max: %v/%v vs %v/%v", h.Min(), h.Max(), exact.Min, exact.Max)
+	}
+	// Values below subBucketCount live in unit buckets: exact percentiles.
+	small := NewHistogram()
+	var sraw []sim.Duration
+	for v := sim.Duration(0); v < subBucketCount; v++ {
+		small.Record(v)
+		sraw = append(sraw, v)
+	}
+	for _, p := range []float64{1, 33, 50, 66, 99, 100} {
+		if a, e := small.Percentile(p), exactPercentile(sraw, p); a != e {
+			t.Errorf("sub-bucket region p%.0f: %v != exact %v", p, a, e)
+		}
+	}
+}
+
+// TestPowersOfTwoRoundTrip checks that every power of two — the octave
+// boundaries themselves — maps to a bucket whose reported value stays
+// within the sub-bucket error bound.
+func TestPowersOfTwoRoundTrip(t *testing.T) {
+	for shift := uint(0); shift < 63; shift++ {
+		v := sim.Duration(1) << shift
+		idx := bucketIndex(v)
+		bv := bucketValue(idx)
+		if bucketIndex(bv) != idx {
+			t.Fatalf("1<<%d: bucketValue %d maps to bucket %d, not %d", shift, bv, bucketIndex(bv), idx)
+		}
+		rel := math.Abs(float64(bv-v)) / float64(v)
+		if rel > 1.0/128 {
+			t.Fatalf("1<<%d: bucket value %d rel err %.5f > 1/128", shift, bv, rel)
+		}
+	}
+	// The guard bucket at the top of the range must not overflow into a
+	// negative duration.
+	top := octaves*subBucketCount - 1
+	if bucketValue(top) < 0 {
+		t.Fatalf("guard bucket value overflowed: %d", bucketValue(top))
+	}
+}
+
+// exactPercentile mirrors Exact's rank convention for one percentile.
+func exactPercentile(samples []sim.Duration, p float64) sim.Duration {
+	sorted := make([]sim.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
 }

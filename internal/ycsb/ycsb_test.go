@@ -169,3 +169,20 @@ func TestValueGenerator(t *testing.T) {
 		t.Fatal("Size")
 	}
 }
+
+// TestLatestKeysNeverNegative is the regression test for the zipf
+// upper-bound off-by-one: zipf.Next() returning n made nextKey compute
+// records-1-n = -1 for the "latest" distribution. With the fix every key —
+// including the boundary draw — lands in [0, records), even as inserts grow
+// the keyspace.
+func TestLatestKeysNeverNegative(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		g := NewGenerator(WorkloadD, 100, seed)
+		for i := 0; i < 50000; i++ {
+			op := g.Next()
+			if op.Key < 0 || op.Key >= g.Records() {
+				t.Fatalf("seed %d op %d: key %d outside [0, %d)", seed, i, op.Key, g.Records())
+			}
+		}
+	}
+}
