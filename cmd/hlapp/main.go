@@ -19,8 +19,8 @@ import (
 )
 
 var (
-	expFlag = flag.String("exp", "all", "experiment: all, fig11, fig12")
-	quick   = flag.Bool("quick", false, "reduced op counts for a fast run")
+	expFlag  = flag.String("exp", "all", "experiment: all, fig11, fig12")
+	quick    = flag.Bool("quick", false, "reduced op counts for a fast run")
 	csv      = flag.Bool("csv", false, "emit tables as CSV")
 	seed     = flag.Int64("seed", 1, "simulation seed")
 	parallel = flag.Int("parallel", 0, "sweep worker count (0 = all cores, 1 = serial)")

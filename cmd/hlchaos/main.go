@@ -1,7 +1,8 @@
 // Command hlchaos runs the deterministic fault matrix: every fault-scenario
 // class (link partition, crash+replace, power-fail mid-chain, NIC stall,
-// tenant CPU burst) injected into a live replicated-transaction cluster,
-// with post-recovery invariant checkers delivering a scenario-by-scenario
+// tenant CPU burst, and migration-inflight replica kills on the sharded
+// plane) injected into a live replicated-transaction cluster, with
+// post-recovery invariant checkers delivering a scenario-by-scenario
 // verdict. The same -seed always produces byte-identical output; the exit
 // status is 1 if any scenario fails a check.
 //
@@ -33,15 +34,26 @@ func main() {
 	flag.Parse()
 	experiments.SetParallelism(*parallel)
 
-	classes := faults.Classes
+	// migration-inflight scenarios run on the sharded plane and are judged
+	// by their own checker set, so they split off from the chain matrix.
+	requested := faults.AllClasses
 	if *classesStr != "all" {
-		classes = nil
+		requested = nil
 		for _, name := range strings.Split(*classesStr, ",") {
 			c, err := faults.ParseClass(strings.TrimSpace(name))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(2)
 			}
+			requested = append(requested, c)
+		}
+	}
+	var classes []faults.Class
+	migration := false
+	for _, c := range requested {
+		if c == faults.MigrationInflight {
+			migration = true
+		} else {
 			classes = append(classes, c)
 		}
 	}
@@ -81,9 +93,44 @@ func main() {
 		}
 	}
 
+	total := len(verdicts)
+	if migration {
+		mig := experiments.MigrationMatrix(*seed, *seedsPer)
+		total += len(mig)
+		fmt.Printf("=== Migration-inflight: %d scenarios (base seed %d) ===\n", len(mig), *seed)
+		mt := stats.NewTable("seed", "kill", "migrate@", "fault+", "puts ok/err", "migrated", "checks", "verdict")
+		for _, v := range mig {
+			verdict := "PASS"
+			if !v.Pass() {
+				verdict = "FAIL"
+				failed++
+			}
+			kill := fmt.Sprintf("source[%d]", v.Spec.VictimIdx)
+			if v.Spec.KillDest {
+				kill = fmt.Sprintf("dest[%d]", v.Spec.VictimIdx)
+			}
+			mt.AddRow(fmt.Sprint(v.Params.Seed), kill, fmt.Sprint(v.Spec.MigrateAt),
+				fmt.Sprint(v.Spec.FaultAfter), fmt.Sprintf("%d/%d", v.Acked, v.Errored),
+				fmt.Sprint(v.Migrated), v.Checks.Summary(), verdict)
+		}
+		fmt.Println(mt)
+		for _, v := range mig {
+			if !*verbose && v.Pass() {
+				continue
+			}
+			fmt.Printf("--- %v ---\n", v.Spec)
+			for _, e := range v.Timeline {
+				fmt.Printf("    %v  %s\n", e.At, e.What)
+			}
+			for _, r := range v.Checks {
+				fmt.Printf("    %v\n", r)
+			}
+		}
+	}
+
 	if failed > 0 {
-		fmt.Printf("%d of %d scenarios FAILED\n", failed, len(verdicts))
+		fmt.Printf("%d of %d scenarios FAILED\n", failed, total)
 		os.Exit(1)
 	}
-	fmt.Printf("all %d scenarios passed\n", len(verdicts))
+	fmt.Printf("all %d scenarios passed\n", total)
 }

@@ -1,0 +1,155 @@
+// Command hlshard exercises the sharded multi-group data plane: the
+// shard-count scaling curve (aggregate gWRITE throughput and per-shard p99
+// on a fixed 16-host pool) and the migration-inflight chaos matrix (live
+// gMEMCPY shard migration with a source or destination replica killed
+// mid-copy, judged by the sharded invariant checkers). The same -seed
+// always produces byte-identical output at any -parallel setting; the exit
+// status is 1 if any chaos scenario fails a check.
+//
+// Usage:
+//
+//	hlshard [-exp all|scaling|migrate] [-quick] [-seed N] [-seeds N] [-parallel N] [-csv] [-bench-json FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hyperloop/internal/experiments"
+	"hyperloop/internal/sim"
+	"hyperloop/internal/stats"
+)
+
+var (
+	expFlag   = flag.String("exp", "all", "experiment: all, scaling, migrate")
+	quick     = flag.Bool("quick", false, "reduced op counts for a fast run")
+	csv       = flag.Bool("csv", false, "emit tables as CSV")
+	seed      = flag.Int64("seed", 1, "simulation seed")
+	seeds     = flag.Int("seeds", 4, "migration-inflight scenarios to run")
+	parallel  = flag.Int("parallel", 0, "sweep worker count (0 = all cores, 1 = serial)")
+	benchJSON = flag.String("bench-json", "", "write machine-readable benchmark results to this file")
+)
+
+var bench = experiments.NewBenchRecorder()
+
+func main() {
+	flag.Parse()
+	experiments.SetParallelism(*parallel)
+
+	ok := true
+	switch *expFlag {
+	case "scaling":
+		scaling()
+	case "migrate":
+		ok = migrate()
+	case "all":
+		scaling()
+		ok = migrate()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *expFlag)
+		os.Exit(2)
+	}
+
+	if *benchJSON != "" {
+		if err := bench.WriteJSON(*benchJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote benchmark results to %s\n", *benchJSON)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func us(d sim.Duration) string { return fmt.Sprintf("%.1fus", float64(d)/1000) }
+
+// scaling prints the shard-count scaling curve on the fixed host pool.
+func scaling() {
+	ops := 400
+	if *quick {
+		ops = 150
+	}
+	fmt.Printf("=== Shard scaling: aggregate gWRITE throughput, 16-host pool, %d ops/shard ===\n", ops)
+	res := experiments.ShardScaling(nil, *seed, ops)
+	t := stats.NewTable("shards", "acked", "elapsed", "kops/s", "avg", "p99", "max-shard-p99")
+	for _, r := range res {
+		bench.Add(experiments.BenchResult{
+			Experiment: "shard-scaling",
+			Params:     map[string]any{"shards": r.Shards},
+			AvgNs:      int64(r.Lat.Mean),
+			P99Ns:      int64(r.Lat.P99),
+			Extra: map[string]float64{
+				"tput_kops":        r.TputKops,
+				"max_shard_p99_ns": float64(r.MaxShardP99),
+			},
+		})
+		t.AddRow(fmt.Sprint(r.Shards), fmt.Sprint(r.Acked), fmt.Sprint(r.Elapsed),
+			fmt.Sprintf("%.1f", r.TputKops), us(r.Lat.Mean), us(r.Lat.P99), us(r.MaxShardP99))
+	}
+	printTable(t)
+}
+
+// migrate runs the migration-inflight chaos matrix and narrates the first
+// scenario's migration timeline in full.
+func migrate() bool {
+	n := *seeds
+	if *quick && n > 2 {
+		n = 2
+	}
+	fmt.Printf("=== Migration-inflight chaos: %d scenarios (base seed %d) ===\n", n, *seed)
+	verdicts := experiments.MigrationMatrix(*seed, n)
+	t := stats.NewTable("seed", "kill", "migrate@", "fault+", "acked/err", "migrated", "checks", "verdict")
+	failed := 0
+	for _, v := range verdicts {
+		verdict := "PASS"
+		if !v.Pass() {
+			verdict = "FAIL"
+			failed++
+		}
+		kill := fmt.Sprintf("source[%d]", v.Spec.VictimIdx)
+		if v.Spec.KillDest {
+			kill = fmt.Sprintf("dest[%d]", v.Spec.VictimIdx)
+		}
+		t.AddRow(fmt.Sprint(v.Params.Seed), kill, fmt.Sprint(v.Spec.MigrateAt),
+			fmt.Sprint(v.Spec.FaultAfter), fmt.Sprintf("%d/%d", v.Acked, v.Errored),
+			fmt.Sprint(v.Migrated), v.Checks.Summary(), verdict)
+	}
+	printTable(t)
+
+	if len(verdicts) > 0 {
+		v := verdicts[0]
+		fmt.Printf("--- timeline, seed %d (%v) ---\n", v.Params.Seed, v.Spec)
+		for _, e := range v.Timeline {
+			fmt.Printf("    %10v  %s\n", e.At, e.What)
+		}
+		for _, e := range v.Faults {
+			fmt.Printf("    %v\n", e)
+		}
+	}
+
+	for _, v := range verdicts {
+		if v.Pass() {
+			continue
+		}
+		fmt.Printf("--- FAILED seed %d (%v) ---\n", v.Params.Seed, v.Spec)
+		for _, r := range v.Checks {
+			fmt.Printf("    %v\n", r)
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("%d of %d scenarios FAILED\n", failed, len(verdicts))
+		return false
+	}
+	fmt.Printf("all %d scenarios passed\n", len(verdicts))
+	return true
+}
+
+func printTable(t *stats.Table) {
+	if *csv {
+		fmt.Print(t.CSV())
+		return
+	}
+	fmt.Println(t)
+}

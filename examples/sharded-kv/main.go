@@ -1,0 +1,126 @@
+// Sharded key-value store: a keyspace routed across four HyperLoop groups
+// on a shared eight-host pool. A zipfian workload concentrates on one
+// shard, the hot-shard rebalancer notices the skewed per-host load, and a
+// live epoch-fenced gMEMCPY migration moves the hot shard onto the coolest
+// hosts — while every key stays readable.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"hyperloop"
+)
+
+func main() {
+	eng := hyperloop.NewEngine()
+	ready := false
+	plane := hyperloop.NewShardPlane(eng, hyperloop.ShardConfig{
+		Shards:     4,
+		Replicas:   3,
+		Hosts:      8,
+		RegionSize: 4 << 20,
+		LogSize:    1 << 20,
+		Seed:       7,
+	}, func(err error) {
+		if err != nil {
+			log.Fatalf("plane open: %v", err)
+		}
+		ready = true
+	})
+	eng.RunUntil(func() bool { return ready }, eng.Now().Add(hyperloop.Second))
+	if !ready {
+		log.Fatal("plane open stalled")
+	}
+	fmt.Println("placement before:")
+	for s := 0; s < plane.Shards(); s++ {
+		fmt.Printf("  shard %d on hosts %v\n", s, plane.Map.Placement(s))
+	}
+
+	reb := plane.StartRebalancer(hyperloop.RebalanceConfig{
+		Every:         200 * hyperloop.Microsecond,
+		MinOps:        32,
+		Imbalance:     1.5,
+		MaxMigrations: 1,
+	})
+
+	// Per-shard key pools (the router decides residency, so keys are
+	// rejection-sampled onto their shard).
+	keys := make([][]string, plane.Shards())
+	for s := range keys {
+		for i := 0; len(keys[s]) < 64; i++ {
+			k := fmt.Sprintf("item-%d-%04d", s, i)
+			if plane.Route(k).ID == s {
+				keys[s] = append(keys[s], k)
+			}
+		}
+	}
+
+	// Zipfian skew over shards: rank 0 (shard 0) absorbs most of the load.
+	const theta = 1.4
+	var cdf []float64
+	total := 0.0
+	for k := range keys {
+		total += 1 / math.Pow(float64(k+1), theta)
+		cdf = append(cdf, total)
+	}
+	r := hyperloop.NewRand(99)
+	pickShard := func() int {
+		u := r.Float64() * total
+		for s, c := range cdf {
+			if u <= c {
+				return s
+			}
+		}
+		return len(cdf) - 1
+	}
+
+	const puts = 600
+	perShard := make([]int, plane.Shards())
+	written := make(map[string]bool)
+	acked := 0
+	for i := 0; i < puts; i++ {
+		s := pickShard()
+		perShard[s]++
+		k := keys[s][r.Intn(len(keys[s]))]
+		written[k] = true
+		if _, err := plane.Put(k, []byte(fmt.Sprintf("v%06d", i)), func(err error) {
+			if err != nil {
+				log.Fatalf("put: %v", err)
+			}
+			acked++
+		}); err != nil {
+			log.Fatalf("put submit: %v", err)
+		}
+	}
+	fmt.Printf("zipfian burst: %d puts, per-shard %v\n", puts, perShard)
+
+	moved := func() bool { return reb.Moves() >= 1 && !plane.Shard(0).Migrating() }
+	if !eng.RunUntil(func() bool { return acked >= puts && moved() }, eng.Now().Add(10*hyperloop.Second)) {
+		log.Fatalf("rebalancer never triggered (acked=%d moves=%d)", acked, reb.Moves())
+	}
+	reb.Stop()
+
+	fmt.Println("rebalancer timeline:")
+	for _, e := range plane.Timeline() {
+		fmt.Printf("  %12v  %s\n", e.At, e.What)
+	}
+	fmt.Println("placement after:")
+	for s := 0; s < plane.Shards(); s++ {
+		fmt.Printf("  shard %d on hosts %v (epoch %d, %d migrations)\n",
+			s, plane.Map.Placement(s), plane.Shard(s).Epoch(), plane.Shard(s).Migrations())
+	}
+
+	// Every key written must still be readable after the move.
+	checked, missing := 0, 0
+	for k := range written {
+		if _, ok := plane.Get(k); ok {
+			checked++
+		} else {
+			missing++
+		}
+	}
+	fmt.Printf("post-migration read check: %d keys readable, %d missing\n", checked, missing)
+	plane.Close()
+}

@@ -40,6 +40,7 @@ import (
 	"hyperloop/internal/locks"
 	"hyperloop/internal/naive"
 	"hyperloop/internal/rdma"
+	"hyperloop/internal/shard"
 	"hyperloop/internal/sim"
 	"hyperloop/internal/stats"
 	"hyperloop/internal/txn"
@@ -161,6 +162,26 @@ type (
 	CheckReport = check.Report
 )
 
+// Sharded data-plane types: a keyspace routed across many HyperLoop groups
+// on a shared host pool, with live epoch-fenced shard migration and
+// hot-shard rebalancing (see cmd/hlshard).
+type (
+	// ShardPlane is the sharded front-end over per-shard KVStores.
+	ShardPlane = shard.Plane
+	// ShardConfig sizes a plane: shard count, replicas, host pool, regions.
+	ShardConfig = shard.Config
+	// ShardMap is the versioned key-routing + placement table.
+	ShardMap = shard.Map
+	// Shard is one shard's live state (group, store, epoch).
+	Shard = shard.Shard
+	// ShardEvent is one recorded plane-timeline entry.
+	ShardEvent = shard.Event
+	// Rebalancer watches per-host load and migrates hot shards.
+	Rebalancer = shard.Rebalancer
+	// RebalanceConfig tunes the rebalancer's trigger policy.
+	RebalanceConfig = shard.RebalanceConfig
+)
+
 // Re-exported constructors and helpers.
 var (
 	// NewEngine creates a fresh virtual-time executive.
@@ -199,8 +220,22 @@ var (
 	NewFaultPlane = faults.NewPlane
 	// PlanFault derives a deterministic fault scenario from (class, seed).
 	PlanFault = faults.Plan
-	// FaultClasses lists every fault-scenario class in matrix order.
+	// FaultClasses lists every chain fault-scenario class in matrix order.
 	FaultClasses = faults.Classes
+	// AllFaultClasses adds the sharded-plane classes (migration-inflight).
+	AllFaultClasses = faults.AllClasses
+	// PlanMigrationFault derives a deterministic migration-inflight
+	// scenario (victim side, timing) from a seed.
+	PlanMigrationFault = faults.PlanMigration
+	// NewShardPlane builds a sharded plane on its own fresh cluster.
+	NewShardPlane = shard.New
+	// OpenShardPlane builds a sharded plane over an existing cluster with
+	// an explicit placement.
+	OpenShardPlane = shard.Open
+	// NewHashShardMap builds a consistent-hash routing table.
+	NewHashShardMap = shard.NewHashMap
+	// NewRangeShardMap builds a range-boundary routing table.
+	NewRangeShardMap = shard.NewRangeMap
 )
 
 // Common virtual-time units.

@@ -1,0 +1,158 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Sharded-plane invariants: placement anti-affinity, key safety across a
+// migration (nothing lost, nothing duplicated), and epoch fencing (no read
+// served from a superseded owner). They consume pure data assembled by the
+// experiment — shard contents rebuilt from durable bytes, a client-side
+// key model, epoch words — keeping the checkers themselves store-agnostic.
+
+// ShardPlacement verifies the placement table: every shard has a full,
+// duplicate-free replica set (anti-affinity — one host never carries two
+// replicas of the same shard).
+func ShardPlacement(placements [][]int, replicas int) Result {
+	res := Result{Name: "shard-placement"}
+	hosts := make(map[int]bool)
+	for s, ps := range placements {
+		if len(ps) != replicas {
+			res.Err = fmt.Errorf("shard %d has %d replicas, want %d", s, len(ps), replicas)
+			return res
+		}
+		seen := make(map[int]bool, len(ps))
+		for _, h := range ps {
+			if seen[h] {
+				res.Err = fmt.Errorf("shard %d places two replicas on host %d", s, h)
+				return res
+			}
+			seen[h] = true
+			hosts[h] = true
+		}
+	}
+	res.Detail = fmt.Sprintf("%d shards x %d replicas on %d hosts", len(placements), replicas, len(hosts))
+	return res
+}
+
+// KeyModel is the client-side ground truth for one key: the highest
+// sequence number whose write was acked, and any sequence numbers whose
+// writes ended in an error after submission (indeterminate — the bytes may
+// or may not have landed; a chain fault mid-put admits either outcome).
+type KeyModel struct {
+	Acked uint64
+	Maybe []uint64
+}
+
+func (m KeyModel) admits(seq uint64) bool {
+	if seq == m.Acked {
+		return true
+	}
+	for _, s := range m.Maybe {
+		if seq == s && s > m.Acked {
+			return true
+		}
+	}
+	return false
+}
+
+// ShardedKeys verifies key safety after migrations: every key the model
+// acked is present in its owning shard at an admissible version (the acked
+// seq, or a newer indeterminate one), no key surfaces in a shard that does
+// not own it (duplication), and no shard holds a key the model never wrote.
+// route maps keys to owning shards; contents maps shard -> key -> recovered
+// seq (decoded from the durable value).
+func ShardedKeys(route func(string) int, contents map[int]map[string]uint64, model map[string]KeyModel) Result {
+	res := Result{Name: "sharded-keys"}
+	keys := make([]string, 0, len(model))
+	for k := range model {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	checked := 0
+	for _, k := range keys {
+		m := model[k]
+		owner := route(k)
+		seq, ok := contents[owner][k]
+		if !ok {
+			if m.Acked != 0 {
+				res.Err = fmt.Errorf("key %q lost: acked seq %d absent from shard %d", k, m.Acked, owner)
+				return res
+			}
+			continue // never acked, absence is fine
+		}
+		if !m.admits(seq) {
+			res.Err = fmt.Errorf("key %q on shard %d has seq %d, model admits acked=%d maybe=%v",
+				k, owner, seq, m.Acked, m.Maybe)
+			return res
+		}
+		checked++
+	}
+	shards := make([]int, 0, len(contents))
+	for s := range contents {
+		shards = append(shards, s)
+	}
+	sort.Ints(shards)
+	for _, s := range shards {
+		ks := make([]string, 0, len(contents[s]))
+		for k := range contents[s] {
+			ks = append(ks, k)
+		}
+		sort.Strings(ks)
+		for _, k := range ks {
+			if route(k) != s {
+				res.Err = fmt.Errorf("key %q duplicated: present on shard %d, owner is %d", k, s, route(k))
+				return res
+			}
+			if _, known := model[k]; !known {
+				res.Err = fmt.Errorf("shard %d holds unknown key %q", s, k)
+				return res
+			}
+		}
+	}
+	res.Detail = fmt.Sprintf("%d acked keys verified across %d shards", checked, len(contents))
+	return res
+}
+
+// EpochState is one shard's epoch view: the authoritative epoch, the epoch
+// words read from current owners and former owners, and how many replica
+// reads were actually served from a superseded epoch.
+type EpochState struct {
+	Shard       int
+	Epoch       uint64   // authoritative (front-end) epoch
+	Owners      []uint64 // epoch word on each current replica
+	Former      []uint64 // epoch word on each former owner host
+	StaleServes uint64   // reads delivered from a superseded epoch
+}
+
+// EpochFence verifies the cutover fence: every current owner of a shard
+// carries the authoritative epoch word, every former owner a strictly
+// older one, and no read was ever served from a superseded epoch.
+func EpochFence(states []EpochState) Result {
+	res := Result{Name: "epoch-fence"}
+	var detail []string
+	for _, st := range states {
+		for i, e := range st.Owners {
+			if e != st.Epoch {
+				res.Err = fmt.Errorf("shard %d owner %d has epoch %d, want %d", st.Shard, i, e, st.Epoch)
+				return res
+			}
+		}
+		for i, e := range st.Former {
+			if e >= st.Epoch {
+				res.Err = fmt.Errorf("shard %d former owner %d still carries epoch %d (current %d) — fence leaked",
+					st.Shard, i, e, st.Epoch)
+				return res
+			}
+		}
+		if st.StaleServes > 0 {
+			res.Err = fmt.Errorf("shard %d served %d reads from a superseded epoch", st.Shard, st.StaleServes)
+			return res
+		}
+		detail = append(detail, fmt.Sprintf("s%d@%d(+%d former)", st.Shard, st.Epoch, len(st.Former)))
+	}
+	res.Detail = strings.Join(detail, " ")
+	return res
+}

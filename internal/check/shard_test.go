@@ -1,0 +1,84 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestShardPlacement(t *testing.T) {
+	ok := ShardPlacement([][]int{{0, 1, 2}, {2, 3, 4}}, 3)
+	if !ok.Pass() {
+		t.Fatalf("valid placement failed: %v", ok.Err)
+	}
+	if ShardPlacement([][]int{{0, 1, 1}}, 3).Pass() {
+		t.Fatal("duplicate host passed anti-affinity")
+	}
+	if ShardPlacement([][]int{{0, 1}}, 3).Pass() {
+		t.Fatal("short replica set passed")
+	}
+}
+
+func routeBy(m map[string]int) func(string) int {
+	return func(k string) int { return m[k] }
+}
+
+func TestShardedKeys(t *testing.T) {
+	route := routeBy(map[string]int{"a": 0, "b": 0, "c": 1})
+	model := map[string]KeyModel{
+		"a": {Acked: 3},
+		"b": {Acked: 5, Maybe: []uint64{6}},
+		"c": {Acked: 2},
+	}
+	good := map[int]map[string]uint64{
+		0: {"a": 3, "b": 6}, // b surfaced at the indeterminate newer seq
+		1: {"c": 2},
+	}
+	if r := ShardedKeys(route, good, model); !r.Pass() {
+		t.Fatalf("good contents failed: %v", r.Err)
+	}
+
+	lost := map[int]map[string]uint64{0: {"b": 5}, 1: {"c": 2}}
+	if r := ShardedKeys(route, lost, model); r.Pass() || !strings.Contains(r.Err.Error(), "lost") {
+		t.Fatalf("lost key not caught: %v", r.Err)
+	}
+
+	stale := map[int]map[string]uint64{0: {"a": 2, "b": 5}, 1: {"c": 2}}
+	if r := ShardedKeys(route, stale, model); r.Pass() {
+		t.Fatal("stale seq admitted")
+	}
+
+	dup := map[int]map[string]uint64{0: {"a": 3, "b": 5}, 1: {"c": 2, "a": 3}}
+	if r := ShardedKeys(route, dup, model); r.Pass() || !strings.Contains(r.Err.Error(), "duplicated") {
+		t.Fatalf("duplicated key not caught: %v", r.Err)
+	}
+
+	// An indeterminate seq OLDER than the ack must not be admitted — the
+	// acked write cannot be rolled back by a failed earlier one.
+	model["b"] = KeyModel{Acked: 5, Maybe: []uint64{4}}
+	old := map[int]map[string]uint64{0: {"a": 3, "b": 4}, 1: {"c": 2}}
+	if r := ShardedKeys(route, old, model); r.Pass() {
+		t.Fatal("rollback below ack admitted")
+	}
+}
+
+func TestEpochFence(t *testing.T) {
+	good := []EpochState{
+		{Shard: 0, Epoch: 2, Owners: []uint64{2, 2, 2}, Former: []uint64{1, 0}},
+		{Shard: 1, Epoch: 0, Owners: []uint64{0, 0, 0}},
+	}
+	if r := EpochFence(good); !r.Pass() {
+		t.Fatalf("good fence failed: %v", r.Err)
+	}
+	lagOwner := []EpochState{{Shard: 0, Epoch: 2, Owners: []uint64{2, 1, 2}}}
+	if EpochFence(lagOwner).Pass() {
+		t.Fatal("lagging owner passed")
+	}
+	leak := []EpochState{{Shard: 0, Epoch: 2, Owners: []uint64{2}, Former: []uint64{2}}}
+	if EpochFence(leak).Pass() {
+		t.Fatal("former owner at current epoch passed")
+	}
+	served := []EpochState{{Shard: 0, Epoch: 1, Owners: []uint64{1}, StaleServes: 3}}
+	if EpochFence(served).Pass() {
+		t.Fatal("stale serves passed")
+	}
+}

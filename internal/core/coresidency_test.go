@@ -1,0 +1,118 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"hyperloop/internal/cluster"
+	"hyperloop/internal/fabric"
+	"hyperloop/internal/sim"
+)
+
+// TestCoResidentGroupsDoNotInterfere runs two independent HyperLoop groups
+// over the SAME three replica hosts, each confined to its own 64 KiB store
+// window — the §4.2 fixed-offset layout the sharded plane relies on when it
+// co-locates shard regions on one host. Both groups issue interleaved
+// mixed primitives concurrently; at the end every replica must hold each
+// group's window byte-for-byte per that group's shadow, and the guard band
+// between the windows must still be zero.
+func TestCoResidentGroupsDoNotInterfere(t *testing.T) {
+	const (
+		window = 64 << 10
+		baseA  = 0
+		baseB  = 128 << 10 // one window of guard band between the two
+		guard  = baseA + window
+	)
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, cluster.Config{
+		Nodes:     4,
+		StoreSize: 1 << 20,
+		Fabric:    fabric.Config{JitterFrac: -1},
+	})
+	replicas := cl.Replicas()
+	gA := NewWithNodes(eng, cl.Client(), replicas, Config{Depth: 128})
+	gB := NewWithNodes(eng, cl.Client(), replicas, Config{Depth: 128})
+
+	shadowA := make([]byte, window)
+	shadowB := make([]byte, window)
+	r := sim.NewRand(99)
+
+	const opsPer = 150
+	completed := 0
+	var step func(g *Group, base int, shadow []byte, rnd *sim.Rand, i int)
+	step = func(g *Group, base int, shadow []byte, rnd *sim.Rand, i int) {
+		if i >= opsPer {
+			return
+		}
+		next := func(Result) {
+			completed++
+			step(g, base, shadow, rnd, i+1)
+		}
+		switch rnd.Intn(3) {
+		case 0: // gWRITE inside the group's window
+			off := rnd.Intn(window - 256)
+			size := 1 + rnd.Intn(255)
+			data := make([]byte, size)
+			for j := range data {
+				data[j] = byte(rnd.Intn(256))
+			}
+			cl.Client().StoreWrite(base+off, data)
+			copy(shadow[off:], data)
+			g.GWrite(base+off, size, rnd.Intn(2) == 0, next)
+		case 1: // gMEMCPY within the window
+			src := rnd.Intn(window - 256)
+			dst := rnd.Intn(window - 256)
+			size := 1 + rnd.Intn(255)
+			copy(shadow[dst:dst+size], append([]byte(nil), shadow[src:src+size]...))
+			g.GMemcpy(base+dst, base+src, size, rnd.Intn(2) == 0, next)
+		default: // gCAS on an aligned word, always with the right expectation
+			off := 8 * rnd.Intn(window/8)
+			old := le64(shadow[off:])
+			newV := rnd.Uint64()
+			putLE64(shadow[off:], newV)
+			b := make([]byte, 8)
+			putLE64(b, newV)
+			cl.Client().StoreWrite(base+off, b)
+			g.GCAS(base+off, old, newV, AllReplicas(3), next)
+		}
+	}
+	// Independent RNG streams so each group's op sequence is self-contained
+	// while the engine interleaves their packets on the shared NICs.
+	step(gA, baseA, shadowA, r.Fork(), 0)
+	step(gB, baseB, shadowB, r.Fork(), 0)
+
+	ok := eng.RunUntil(func() bool {
+		return completed >= 2*opsPer || gA.Failed() != nil || gB.Failed() != nil
+	}, eng.Now().Add(30*sim.Second))
+	if gA.Failed() != nil || gB.Failed() != nil {
+		t.Fatalf("group failure: A=%v B=%v", gA.Failed(), gB.Failed())
+	}
+	if !ok {
+		t.Fatalf("stalled at %d/%d ops", completed, 2*opsPer)
+	}
+
+	zeros := make([]byte, baseB-guard)
+	for i, n := range replicas {
+		if got := n.StoreBytes(baseA, window); !bytes.Equal(got, shadowA) {
+			t.Fatalf("replica %d: group A window diverged at %d", i, firstDiff(got, shadowA))
+		}
+		if got := n.StoreBytes(baseB, window); !bytes.Equal(got, shadowB) {
+			t.Fatalf("replica %d: group B window diverged at %d", i, firstDiff(got, shadowB))
+		}
+		if got := n.StoreBytes(guard, baseB-guard); !bytes.Equal(got, zeros) {
+			t.Fatalf("replica %d: guard band dirtied at %d — a group escaped its window",
+				i, firstDiff(got, zeros))
+		}
+	}
+	gA.Close()
+	gB.Close()
+}
+
+func firstDiff(a, b []byte) int {
+	for i := range a {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return -1
+}

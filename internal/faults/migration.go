@@ -1,0 +1,68 @@
+package faults
+
+import (
+	"fmt"
+
+	"hyperloop/internal/sim"
+)
+
+// MigrationInflight kills a replica while a shard migration is in flight:
+// either a source-chain member (the bytes must survive via the front-end's
+// copy + WAL catch-up) or a destination member (the migration must abort
+// cleanly and the shard keep serving from the source). It is not part of
+// Classes — the chain fault matrix predates sharding and its timelines must
+// stay bit-stable — but ParseClass accepts it via AllClasses and the shard
+// experiments plan it with PlanMigration.
+const MigrationInflight Class = TenantBurst + 1
+
+// AllClasses lists every class ParseClass accepts: the chain-matrix classes
+// plus the shard-layer ones.
+var AllClasses = append(append([]Class(nil), Classes...), MigrationInflight)
+
+// MigrationSpec is one planned migration-inflight scenario: when the
+// migration starts, which side loses a replica, which one, and when —
+// pure data drawn deterministically from a seed, like Spec.
+type MigrationSpec struct {
+	Seed int64
+	// KillDest: fault a destination host (abort path) instead of a source
+	// replica (copy-survives path).
+	KillDest bool
+	// VictimIdx indexes the victim within the source or destination
+	// replica set.
+	VictimIdx int
+	// MigrateAt is when the migration is triggered.
+	MigrateAt sim.Duration
+	// FaultAfter is the fault delay after MigrateAt, drawn inside the bulk
+	// copy window so the kill lands mid-migration.
+	FaultAfter sim.Duration
+	// RestartAfter rejoins the victim (measured from the fault).
+	RestartAfter sim.Duration
+}
+
+func (s MigrationSpec) String() string {
+	side := "source"
+	if s.KillDest {
+		side = "dest"
+	}
+	return fmt.Sprintf("migration-inflight seed=%d kill=%s[%d] migrate@%v fault+%v",
+		s.Seed, side, s.VictimIdx, s.MigrateAt, s.FaultAfter)
+}
+
+// PlanMigration draws a migration-inflight scenario from seed. replicas is
+// the shard's chain width; bulkWindow is how long the experiment expects
+// the bulk copy to take — the fault lands in (10%, 90%) of it, after a
+// short lead for the quiesce phase.
+func PlanMigration(seed int64, replicas int, bulkWindow sim.Duration) MigrationSpec {
+	class := int64(MigrationInflight) + 1 // variable: the mix must wrap, not constant-fold
+	r := sim.NewRand(seed ^ class*0x1E3779B97F4A7C15)
+	s := MigrationSpec{
+		Seed:      seed,
+		KillDest:  r.Intn(2) == 1,
+		VictimIdx: r.Intn(replicas),
+		MigrateAt: 10*sim.Millisecond + r.Exp(2*sim.Millisecond),
+	}
+	lo := bulkWindow / 10
+	s.FaultAfter = lo + sim.Duration(r.Int63n(int64(bulkWindow*8/10)))
+	s.RestartAfter = 5 * sim.Millisecond
+	return s
+}

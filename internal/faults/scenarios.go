@@ -44,14 +44,17 @@ func (c Class) String() string {
 		return "nic-stall"
 	case TenantBurst:
 		return "tenant-burst"
+	case MigrationInflight:
+		return "migration-inflight"
 	default:
 		return fmt.Sprintf("class(%d)", int(c))
 	}
 }
 
-// ParseClass resolves a class name (as produced by String).
+// ParseClass resolves a class name (as produced by String), accepting both
+// the chain-matrix classes and the shard-layer ones.
 func ParseClass(s string) (Class, error) {
-	for _, c := range Classes {
+	for _, c := range AllClasses {
 		if c.String() == s {
 			return c, nil
 		}

@@ -106,6 +106,7 @@ type DB struct {
 
 	sinceCommit   int
 	committing    bool
+	commitPaused  bool
 	closed        bool
 	commitWaiters []func(error)
 	readers       []*replicaReader
@@ -493,11 +494,50 @@ func (db *DB) notifyCommitWaiters(err error) {
 	}
 }
 
+// PauseCommits holds back the WAL executor: appends (and their replication
+// acks) keep flowing, but no further record is committed to the data region
+// until ResumeCommits. Shard migration uses this to freeze the data region
+// while its bytes are bulk-copied to a new group. An ExecuteAndAdvance
+// already in flight finishes; poll CommitIdle before treating the region as
+// frozen.
+func (db *DB) PauseCommits() { db.commitPaused = true }
+
+// ResumeCommits re-enables the WAL executor and drains any backlog.
+func (db *DB) ResumeCommits() {
+	db.commitPaused = false
+	if db.log.Pending() > 0 || len(db.commitWaiters) > 0 {
+		db.drain()
+	}
+}
+
+// CommitIdle reports whether no ExecuteAndAdvance is in flight: together
+// with PauseCommits it means the data region is frozen.
+func (db *DB) CommitIdle() bool { return !db.committing }
+
+// Reattach points the store's WAL at a new replication group (typically the
+// destination of a shard migration, or a group rebuilt after chain repair),
+// re-replicating the log header and every pending record durably. Stale
+// completions from the superseded group are generation-fenced
+// (wal.Log.Reattach). done fires once the re-replication completes.
+func (db *DB) Reattach(rep wal.Replicator, done func(error)) {
+	db.log.Reattach(rep, done)
+}
+
+// DataUsed returns the allocated extent of the data region: [base, next).
+// Bulk copies only need these bytes — everything beyond is all-zero on both
+// source and any freshly formatted destination.
+func (db *DB) DataUsed() (base, next int) { return db.cfg.DataBase, db.next }
+
+// ResetReplicaReads drops the one-sided replica read paths (in-flight reads
+// still complete on the old wires). After a shard migration the caller
+// rewires reads to the new owner group with EnableReplicaReads.
+func (db *DB) ResetReplicaReads() { db.readers = nil }
+
 // drain executes replicated records one at a time, off the put ack path. It
 // pauses at a record whose replication is still in flight and resumes from
 // the next ack (ackWrap → maybeCommit → drain).
 func (db *DB) drain() {
-	if db.committing {
+	if db.committing || db.commitPaused {
 		return
 	}
 	var step func(error)

@@ -47,16 +47,16 @@ var eqKindName = [...]string{"gWRITE", "gCAS", "gMEMCPY", "gFLUSH"}
 
 // eqOp is one pre-generated group operation, identical for both systems.
 type eqOp struct {
-	kind    int
-	off     int
-	src     int // memcpy source offset
-	size    int // bytes written (write/memcpy: payload or copy length; CAS: 8)
-	payload []byte
-	durable bool
-	casHit  bool   // old = current replicated value (succeeds) vs casConst (usually misses)
+	kind     int
+	off      int
+	src      int // memcpy source offset
+	size     int // bytes written (write/memcpy: payload or copy length; CAS: 8)
+	payload  []byte
+	durable  bool
+	casHit   bool // old = current replicated value (succeeds) vs casConst (usually misses)
 	casConst uint64
-	casNew  uint64
-	exec    uint64 // gCAS execute bitmap over replicas
+	casNew   uint64
+	exec     uint64 // gCAS execute bitmap over replicas
 }
 
 // eqArtifact is what one completed operation left behind in one system.

@@ -1,0 +1,230 @@
+// Package shard is the sharded multi-group data plane: it routes a keyspace
+// across N HyperLoop groups placed on a shared simulated host pool, migrates
+// live shards between replica sets with an epoch-fenced cutover, and
+// rebalances hot shards off overloaded hosts. One group's throughput is
+// capped by one chain; this layer is what turns a chain into a fleet
+// (ROADMAP "sharding"; cf. Storm's partitioned RDMA dataplane).
+//
+// Layout: every node's store window is carved into one fixed region per
+// shard. Region offsets are identical on every node (the §4.2 invariant the
+// primitives rely on), so a shard's group replicates exactly its region and
+// co-resident shards on one host never touch each other's bytes. Each region
+// holds an epoch word, a replicated WAL, and a kvstore data area.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Mode selects how keys map to shards.
+type Mode int
+
+const (
+	// Hash routes by consistent hashing: each shard owns vnodes on a ring,
+	// a key goes to the shard owning the first vnode at or after its hash.
+	Hash Mode = iota
+	// Range routes by sorted key boundaries: shard i owns keys in
+	// [boundary[i-1], boundary[i]).
+	Range
+)
+
+func (m Mode) String() string {
+	if m == Range {
+		return "range"
+	}
+	return "hash"
+}
+
+// vnodesPerShard sizes the consistent-hash ring. 64 points per shard keeps
+// the per-shard key share within a few percent of uniform.
+const vnodesPerShard = 64
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// Map is the versioned routing + placement table: keys to shards, shards to
+// replica hosts. Every mutation bumps Version, so stale routing decisions
+// are detectable. The Map is pure bookkeeping — it never touches the
+// cluster — which keeps routing decisions trivially deterministic.
+type Map struct {
+	mode       Mode
+	shards     int
+	version    uint64
+	ring       []ringPoint // Hash mode
+	boundaries []string    // Range mode: len == shards-1, sorted
+	placement  [][]int     // shard -> replica host indexes (into the pool)
+}
+
+// mix64 is a murmur3-style finalizer. Raw FNV values of similar short
+// strings form tight arithmetic clusters (consecutive "s2/v17"-style labels
+// differ by small multiples of the FNV prime), which wrecks ring dispersion;
+// the avalanche pass restores uniformity.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+func keyHash(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+func pointHash(shard, vnode int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "s%d/v%d", shard, vnode)
+	return mix64(h.Sum64())
+}
+
+// NewHashMap builds a consistent-hash map over `shards` shards with no
+// placement (call Place or PlaceAll before use).
+func NewHashMap(shards int) *Map {
+	m := &Map{mode: Hash, shards: shards, placement: make([][]int, shards)}
+	m.ring = make([]ringPoint, 0, shards*vnodesPerShard)
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodesPerShard; v++ {
+			m.ring = append(m.ring, ringPoint{pointHash(s, v), s})
+		}
+	}
+	sort.Slice(m.ring, func(i, j int) bool {
+		if m.ring[i].hash != m.ring[j].hash {
+			return m.ring[i].hash < m.ring[j].hash
+		}
+		return m.ring[i].shard < m.ring[j].shard
+	})
+	return m
+}
+
+// NewRangeMap builds a range-routed map: boundaries must be sorted and have
+// exactly shards-1 entries; shard i owns [boundaries[i-1], boundaries[i]).
+func NewRangeMap(boundaries []string) *Map {
+	for i := 1; i < len(boundaries); i++ {
+		if boundaries[i] <= boundaries[i-1] {
+			panic(fmt.Sprintf("shard: boundaries not sorted at %d", i))
+		}
+	}
+	shards := len(boundaries) + 1
+	bs := make([]string, len(boundaries))
+	copy(bs, boundaries)
+	return &Map{mode: Range, shards: shards, boundaries: bs, placement: make([][]int, shards)}
+}
+
+// Shards returns the shard count.
+func (m *Map) Shards() int { return m.shards }
+
+// Mode returns the routing mode.
+func (m *Map) Mode() Mode { return m.mode }
+
+// Version returns the current map version; it bumps on every placement
+// change (including migrations).
+func (m *Map) Version() uint64 { return m.version }
+
+// Route returns the shard owning key.
+func (m *Map) Route(key string) int {
+	if m.mode == Range {
+		return sort.SearchStrings(m.boundaries, key+"\x00")
+	}
+	h := keyHash(key)
+	i := sort.Search(len(m.ring), func(i int) bool { return m.ring[i].hash >= h })
+	if i == len(m.ring) {
+		i = 0
+	}
+	return m.ring[i].shard
+}
+
+// Placement returns shard s's replica host indexes (a copy).
+func (m *Map) Placement(s int) []int {
+	out := make([]int, len(m.placement[s]))
+	copy(out, m.placement[s])
+	return out
+}
+
+// Placements returns every shard's replica host indexes (a deep copy).
+func (m *Map) Placements() [][]int {
+	out := make([][]int, m.shards)
+	for s := range out {
+		out[s] = m.Placement(s)
+	}
+	return out
+}
+
+// Place sets shard s's replica hosts, enforcing anti-affinity (a host may
+// not carry two replicas of the same shard), and bumps the version.
+func (m *Map) Place(s int, hosts []int) error {
+	seen := make(map[int]bool, len(hosts))
+	for _, h := range hosts {
+		if seen[h] {
+			return fmt.Errorf("shard: placement of shard %d repeats host %d (anti-affinity)", s, h)
+		}
+		seen[h] = true
+	}
+	m.placement[s] = append([]int(nil), hosts...)
+	m.version++
+	return nil
+}
+
+// rendezvous scores host h for shard s (highest-random-weight hashing).
+func rendezvous(s, h int) uint64 {
+	hs := fnv.New64a()
+	fmt.Fprintf(hs, "p%d/h%d", s, h)
+	return mix64(hs.Sum64())
+}
+
+// PlaceAll assigns every shard `replicas` hosts from a pool of `hosts` by
+// rendezvous hashing: shard s takes the `replicas` highest-scoring hosts.
+// Distinct hosts by construction (anti-affinity), spread statistically
+// evenly, and fully determined by (shard, host) — placement never depends
+// on iteration order or time.
+func (m *Map) PlaceAll(hosts, replicas int) error {
+	if replicas > hosts {
+		return fmt.Errorf("shard: %d replicas need at least that many hosts, have %d", replicas, hosts)
+	}
+	type scored struct {
+		score uint64
+		host  int
+	}
+	for s := 0; s < m.shards; s++ {
+		sc := make([]scored, hosts)
+		for h := 0; h < hosts; h++ {
+			sc[h] = scored{rendezvous(s, h), h}
+		}
+		sort.Slice(sc, func(i, j int) bool {
+			if sc[i].score != sc[j].score {
+				return sc[i].score > sc[j].score
+			}
+			return sc[i].host < sc[j].host
+		})
+		picks := make([]int, replicas)
+		for i := range picks {
+			picks[i] = sc[i].host
+		}
+		if err := m.Place(s, picks); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HostShards returns, for each host index in [0, hosts), the shards with a
+// replica on it — the co-residency view the rebalancer works from.
+func (m *Map) HostShards(hosts int) [][]int {
+	out := make([][]int, hosts)
+	for s, ps := range m.placement {
+		for _, h := range ps {
+			out[h] = append(out[h], s)
+		}
+	}
+	return out
+}
+
+func (m *Map) String() string {
+	return fmt.Sprintf("shard.Map{%s shards=%d v%d}", m.mode, m.shards, m.version)
+}

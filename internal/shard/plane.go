@@ -1,0 +1,519 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+
+	"hyperloop/internal/cluster"
+	"hyperloop/internal/core"
+	"hyperloop/internal/fabric"
+	"hyperloop/internal/kvstore"
+	"hyperloop/internal/sim"
+	"hyperloop/internal/wal"
+)
+
+// Errors surfaced by the plane.
+var (
+	ErrBadShard    = errors.New("shard: no such shard")
+	ErrMigrating   = errors.New("shard: shard already migrating")
+	ErrBadDest     = errors.New("shard: bad migration destination")
+	ErrNotOpen     = errors.New("shard: plane not open")
+	ErrShardFailed = errors.New("shard: owning group failed")
+)
+
+// Per-region layout: the epoch word sits at the region base, the WAL after a
+// cache-line pad, the data area after the WAL.
+const (
+	epochOff  = 0
+	regionHdr = 64
+)
+
+// Config sizes the sharded data plane.
+type Config struct {
+	// Shards is the shard count (default 4).
+	Shards int
+	// Replicas is the chain length per shard (default 3).
+	Replicas int
+	// Hosts is the replica host-pool size (default max(Replicas,
+	// 2*Shards*Replicas/3) — enough spread for rebalancing). The cluster
+	// carries Hosts+1 nodes: node 0 is the shared front-end client.
+	Hosts int
+	// RegionSize is the store bytes each shard owns on every node
+	// (default 1 MiB).
+	RegionSize int
+	// LogSize is the per-shard WAL size (default RegionSize/4).
+	LogSize int
+	// ChunkBytes is the bulk-copy granularity for migrations (default 64 KiB).
+	ChunkBytes int
+	// Boundaries switches the map to range routing with these sorted
+	// boundaries (len == Shards-1); nil selects consistent hashing.
+	Boundaries []string
+	// Fabric tunes the network when New builds the cluster itself (Open
+	// ignores it — the caller's cluster wins).
+	Fabric fabric.Config
+	// Group tunes every shard's HyperLoop group.
+	Group core.Config
+	// CommitEvery is the per-shard kvstore commit policy (default 1).
+	CommitEvery int
+	// Seed feeds the cluster and the per-shard stores.
+	Seed int64
+}
+
+func (c *Config) fill() {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 3
+	}
+	if c.Hosts <= 0 {
+		c.Hosts = c.Shards * c.Replicas * 2 / 3
+		if c.Hosts < c.Replicas {
+			c.Hosts = c.Replicas
+		}
+	}
+	if c.RegionSize <= 0 {
+		c.RegionSize = 1 << 20
+	}
+	if c.LogSize <= 0 {
+		c.LogSize = c.RegionSize / 4
+	}
+	if c.ChunkBytes <= 0 {
+		c.ChunkBytes = 64 << 10
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Boundaries != nil && len(c.Boundaries) != c.Shards-1 {
+		panic(fmt.Sprintf("shard: %d boundaries for %d shards", len(c.Boundaries), c.Shards))
+	}
+}
+
+// groupRep adapts a shard's *current* group to wal.Replicator; migration
+// swaps g underneath while the WAL and kvstore keep their handle (the
+// switch-group pattern wal.Reattach's generation fencing is built for).
+type groupRep struct{ g *core.Group }
+
+func wrapRes(done func(error)) func(core.Result) {
+	if done == nil {
+		return nil
+	}
+	return func(r core.Result) { done(r.Err) }
+}
+
+func (r *groupRep) Write(off, size int, durable bool, done func(error)) {
+	if err := r.g.GWrite(off, size, durable, wrapRes(done)); err != nil && done != nil {
+		done(err)
+	}
+}
+
+func (r *groupRep) Memcpy(dst, src, size int, durable bool, done func(error)) {
+	if err := r.g.GMemcpy(dst, src, size, durable, wrapRes(done)); err != nil && done != nil {
+		done(err)
+	}
+}
+
+func (r *groupRep) Flush(done func(error)) {
+	if err := r.g.GFlush(wrapRes(done)); err != nil && done != nil {
+		done(err)
+	}
+}
+
+// Shard is one keyspace partition: a region of every store window, a
+// HyperLoop group over its current replica set, and a kvstore head.
+type Shard struct {
+	ID    int
+	plane *Plane
+	base  int // region base offset in the store window
+
+	epoch    uint64 // bumps at every migration cutover
+	rep      *groupRep
+	db       *kvstore.DB
+	replicas []int // current replica host indexes (mirrors Map.Placement)
+
+	migrating  bool
+	migrations uint64
+
+	ops       uint64 // lifetime routed write ops
+	windowOps uint64 // write ops since the last detector scan
+	latEWMA   sim.Duration
+	former    map[int]bool // host indexes that owned this shard before a cutover
+}
+
+// Epoch returns the shard's current epoch (bumped at every cutover).
+func (s *Shard) Epoch() uint64 { return s.epoch }
+
+// Migrating reports whether a migration is in flight.
+func (s *Shard) Migrating() bool { return s.migrating }
+
+// Migrations counts completed cutovers.
+func (s *Shard) Migrations() uint64 { return s.migrations }
+
+// Ops returns lifetime routed write operations.
+func (s *Shard) Ops() uint64 { return s.ops }
+
+// LatencyEWMA returns the exponentially weighted put latency.
+func (s *Shard) LatencyEWMA() sim.Duration { return s.latEWMA }
+
+// Group returns the shard's current HyperLoop group.
+func (s *Shard) Group() *core.Group { return s.rep.g }
+
+// DB returns the shard's kvstore head.
+func (s *Shard) DB() *kvstore.DB { return s.db }
+
+// Replicas returns the current replica host indexes.
+func (s *Shard) Replicas() []int { return append([]int(nil), s.replicas...) }
+
+// FormerOwners returns host indexes that held this shard before a completed
+// migration (and no longer do) — the set the epoch-fence check audits.
+func (s *Shard) FormerOwners() []int {
+	var out []int
+	for h := range s.former {
+		out = append(out, h)
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// epochBytes renders e as the store's epoch-word image.
+func epochBytes(e uint64) []byte {
+	b := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(e >> (8 * i))
+	}
+	return b
+}
+
+// Event is one recorded plane action (migration phases, rebalance
+// decisions) at virtual time At.
+type Event struct {
+	At   sim.Time
+	What string
+}
+
+func (e Event) String() string { return fmt.Sprintf("%v %s", e.At, e.What) }
+
+// Plane is the sharded data plane: a shared front-end (cluster node 0)
+// driving one HyperLoop group per shard over a pooled replica fleet.
+type Plane struct {
+	Eng    *sim.Engine
+	Cl     *cluster.Cluster
+	Map    *Map
+	cfg    Config
+	client *cluster.Node
+	pool   []*cluster.Node // replica hosts (cluster nodes 1..Hosts)
+	shards []*Shard
+
+	reb      *Rebalancer
+	timeline []Event
+
+	// staleSuppressed counts replica reads that raced a cutover and were
+	// re-routed instead of served; staleServed counts reads actually
+	// delivered from a superseded epoch (the invariant: always zero).
+	staleSuppressed uint64
+	staleServed     uint64
+
+	open bool
+}
+
+// StoreSize returns the store window each node needs for this config.
+func StoreSize(cfg Config) int {
+	cfg.fill()
+	return cfg.Shards * cfg.RegionSize
+}
+
+// New builds a sharded plane over its own cluster: 1 front-end client +
+// cfg.Hosts pooled replica hosts, cfg.Shards groups placed by rendezvous
+// hashing (or an explicit placement via Open). done fires when every
+// shard's (empty) log header is durable on its replicas.
+func New(eng *sim.Engine, cfg Config, done func(error)) *Plane {
+	cfg.fill()
+	cl := cluster.New(eng, cluster.Config{
+		Nodes:     cfg.Hosts + 1,
+		StoreSize: StoreSize(cfg),
+		Fabric:    cfg.Fabric,
+		Seed:      cfg.Seed,
+	})
+	return Open(eng, cl, nil, cfg, done)
+}
+
+// Open builds the plane over an existing cluster (node 0 = front-end,
+// nodes 1.. = host pool). placement optionally pins every shard's replica
+// hosts (indexes into the pool); nil selects rendezvous placement. done
+// fires when every shard's log header is durable.
+func Open(eng *sim.Engine, cl *cluster.Cluster, placement [][]int, cfg Config, done func(error)) *Plane {
+	cfg.fill()
+	p := &Plane{
+		Eng:    eng,
+		Cl:     cl,
+		cfg:    cfg,
+		client: cl.Client(),
+		pool:   cl.Replicas(),
+	}
+	if len(p.pool) < cfg.Hosts {
+		panic(fmt.Sprintf("shard: cluster has %d hosts, config needs %d", len(p.pool), cfg.Hosts))
+	}
+	if cfg.Boundaries != nil {
+		p.Map = NewRangeMap(cfg.Boundaries)
+	} else {
+		p.Map = NewHashMap(cfg.Shards)
+	}
+	if placement != nil {
+		if len(placement) != cfg.Shards {
+			panic(fmt.Sprintf("shard: placement for %d shards, config has %d", len(placement), cfg.Shards))
+		}
+		for s, hosts := range placement {
+			if len(hosts) != cfg.Replicas {
+				panic(fmt.Sprintf("shard: shard %d placed on %d hosts, want %d", s, len(hosts), cfg.Replicas))
+			}
+			if err := p.Map.Place(s, hosts); err != nil {
+				panic(err)
+			}
+		}
+	} else if err := p.Map.PlaceAll(cfg.Hosts, cfg.Replicas); err != nil {
+		panic(err)
+	}
+
+	remaining := cfg.Shards
+	var firstErr error
+	oneOpen := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		remaining--
+		if remaining == 0 {
+			p.open = firstErr == nil
+			if done != nil {
+				done(firstErr)
+			}
+		}
+	}
+	for sid := 0; sid < cfg.Shards; sid++ {
+		p.shards = append(p.shards, p.buildShard(sid, oneOpen))
+	}
+	return p
+}
+
+// hostNodes maps host indexes to their cluster nodes.
+func (p *Plane) hostNodes(hosts []int) []*cluster.Node {
+	out := make([]*cluster.Node, len(hosts))
+	for i, h := range hosts {
+		out[i] = p.pool[h]
+	}
+	return out
+}
+
+// buildShard wires shard sid's group and store over its placed hosts.
+func (p *Plane) buildShard(sid int, opened func(error)) *Shard {
+	hosts := p.Map.Placement(sid)
+	s := &Shard{
+		ID:       sid,
+		plane:    p,
+		base:     sid * p.cfg.RegionSize,
+		replicas: hosts,
+		former:   make(map[int]bool),
+	}
+	s.rep = &groupRep{g: core.NewWithNodes(p.Eng, p.client, p.hostNodes(hosts), p.cfg.Group)}
+	// The epoch word starts at 0 everywhere; write it locally so the head's
+	// view is explicit rather than implicit zeros.
+	p.client.StoreWrite(s.base+epochOff, epochBytes(0))
+	s.db = kvstore.Open(wal.NodeStore{N: p.client}, s.rep, kvstore.Config{
+		LogBase:     s.base + regionHdr,
+		LogSize:     p.cfg.LogSize,
+		DataBase:    s.base + regionHdr + p.cfg.LogSize,
+		DataSize:    p.cfg.RegionSize - regionHdr - p.cfg.LogSize,
+		CommitEvery: p.cfg.CommitEvery,
+		Seed:        p.cfg.Seed + int64(sid)*7919,
+	}, opened)
+	s.db.EnableReplicaReads(p.client, p.hostNodes(hosts))
+	return s
+}
+
+// RegionConfig returns shard sid's kvstore layout — what a checker needs
+// to Rebuild the shard's region from any node's bytes.
+func (p *Plane) RegionConfig(sid int) kvstore.Config {
+	base := sid * p.cfg.RegionSize
+	return kvstore.Config{
+		LogBase:  base + regionHdr,
+		LogSize:  p.cfg.LogSize,
+		DataBase: base + regionHdr + p.cfg.LogSize,
+		DataSize: p.cfg.RegionSize - regionHdr - p.cfg.LogSize,
+	}
+}
+
+// EpochWord reads shard sid's epoch word as stored on pool host h.
+func (p *Plane) EpochWord(h, sid int) uint64 {
+	b := p.pool[h].StoreBytes(sid*p.cfg.RegionSize+epochOff, 8)
+	var e uint64
+	for i := 7; i >= 0; i-- {
+		e = e<<8 | uint64(b[i])
+	}
+	return e
+}
+
+// note records a timeline event at the current virtual time.
+func (p *Plane) note(format string, args ...any) {
+	p.timeline = append(p.timeline, Event{At: p.Eng.Now(), What: fmt.Sprintf(format, args...)})
+}
+
+// Timeline returns the recorded plane events (migration phases, rebalance
+// decisions) in order.
+func (p *Plane) Timeline() []Event {
+	out := make([]Event, len(p.timeline))
+	copy(out, p.timeline)
+	return out
+}
+
+// Shards returns the shard count.
+func (p *Plane) Shards() int { return len(p.shards) }
+
+// Shard returns shard sid.
+func (p *Plane) Shard(sid int) *Shard { return p.shards[sid] }
+
+// Client returns the front-end node.
+func (p *Plane) Client() *cluster.Node { return p.client }
+
+// Pool returns the replica host pool (host index i = cluster node i+1).
+func (p *Plane) Pool() []*cluster.Node { return p.pool }
+
+// StaleSuppressed counts replica reads re-routed because a cutover landed
+// while they were in flight.
+func (p *Plane) StaleSuppressed() uint64 { return p.staleSuppressed }
+
+// StaleServed counts reads delivered from a superseded epoch — the
+// stale-epoch invariant demands this stays zero.
+func (p *Plane) StaleServed() uint64 { return p.staleServed }
+
+// Route returns the shard owning key.
+func (p *Plane) Route(key string) *Shard { return p.shards[p.Map.Route(key)] }
+
+// Put stores key=value on the owning shard's replica chain; done fires at
+// the shard's durability point. Returns the owning shard id.
+func (p *Plane) Put(key string, value []byte, done func(error)) (int, error) {
+	if !p.open {
+		return 0, ErrNotOpen
+	}
+	s := p.Route(key)
+	s.ops++
+	s.windowOps++
+	start := p.Eng.Now()
+	err := s.db.Put(key, value, func(err error) {
+		if err == nil {
+			lat := p.Eng.Now().Sub(start)
+			if s.latEWMA == 0 {
+				s.latEWMA = lat
+			} else {
+				s.latEWMA = (s.latEWMA*7 + lat) / 8
+			}
+		}
+		if done != nil {
+			done(err)
+		}
+	})
+	return s.ID, err
+}
+
+// Delete removes key from its owning shard.
+func (p *Plane) Delete(key string, done func(error)) (int, error) {
+	if !p.open {
+		return 0, ErrNotOpen
+	}
+	s := p.Route(key)
+	s.ops++
+	s.windowOps++
+	return s.ID, s.db.Delete(key, done)
+}
+
+// Get reads key from the owning shard's head memtable.
+func (p *Plane) Get(key string) ([]byte, bool) {
+	s := p.Route(key)
+	return s.db.Get(key)
+}
+
+// GetFromReplica reads key's committed value from one of the owning
+// shard's replicas via a one-sided RDMA READ, validating the shard epoch:
+// if a migration cut over while the read was in flight, the stale result is
+// suppressed and the read retried against the new owner group — a key is
+// never served from a superseded epoch.
+func (p *Plane) GetFromReplica(key string, done func([]byte, error)) {
+	p.getFromReplica(key, 0, done)
+}
+
+const maxReadRetries = 3
+
+func (p *Plane) getFromReplica(key string, attempt int, done func([]byte, error)) {
+	s := p.Route(key)
+	issueEpoch := s.epoch
+	s.db.GetFromReplica(key, 0, func(val []byte, err error) {
+		if s.epoch != issueEpoch {
+			// Cutover raced the read: the bytes came from the old owner.
+			p.staleSuppressed++
+			if attempt+1 < maxReadRetries {
+				p.getFromReplica(key, attempt+1, done)
+				return
+			}
+			p.staleServed++ // would have to serve stale — counted, never hidden
+		}
+		done(val, err)
+	})
+}
+
+// Commit asks every shard to drain its WAL executor; done fires when all
+// are drained (first error wins).
+func (p *Plane) Commit(done func(error)) {
+	remaining := len(p.shards)
+	var firstErr error
+	for _, s := range p.shards {
+		s.db.Commit(func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			remaining--
+			if remaining == 0 && done != nil {
+				done(firstErr)
+			}
+		})
+	}
+}
+
+// Flush issues a gFLUSH on every shard's group; done fires when all acks
+// arrive (first error wins).
+func (p *Plane) Flush(done func(error)) {
+	remaining := len(p.shards)
+	var firstErr error
+	for _, s := range p.shards {
+		s.rep.Flush(func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			remaining--
+			if remaining == 0 && done != nil {
+				done(firstErr)
+			}
+		})
+	}
+}
+
+// Close stops the rebalancer and every shard's group.
+func (p *Plane) Close() {
+	if p.reb != nil {
+		p.reb.Stop()
+	}
+	for _, s := range p.shards {
+		s.rep.g.Close()
+	}
+	p.open = false
+}
+
+func (p *Plane) String() string {
+	return fmt.Sprintf("shard.Plane{shards=%d hosts=%d replicas=%d %v}",
+		len(p.shards), len(p.pool), p.cfg.Replicas, p.Map.Mode())
+}

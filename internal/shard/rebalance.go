@@ -1,0 +1,174 @@
+package shard
+
+import (
+	"hyperloop/internal/sim"
+)
+
+// RebalanceConfig tunes the hot-shard detector.
+type RebalanceConfig struct {
+	// Every is the detector scan period (default 200µs virtual).
+	Every sim.Duration
+	// MinOps is the minimum write ops a host must absorb in one window
+	// before it can be called hot (default 64) — keeps idle planes still.
+	MinOps uint64
+	// Imbalance is the hot threshold: a host is hot when its window load
+	// exceeds Imbalance × the mean host load (default 2.0).
+	Imbalance float64
+	// Cooldown suppresses further migrations after one triggers
+	// (default 4×Every) so a move can take effect before re-measuring.
+	Cooldown sim.Duration
+	// MaxMigrations caps rebalancer-triggered moves (0 = unlimited).
+	MaxMigrations int
+}
+
+func (c *RebalanceConfig) fill() {
+	if c.Every <= 0 {
+		c.Every = 200_000 // 200µs
+	}
+	if c.MinOps == 0 {
+		c.MinOps = 64
+	}
+	if c.Imbalance <= 1 {
+		c.Imbalance = 2.0
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 4 * c.Every
+	}
+}
+
+// Rebalancer periodically scans per-shard write-op windows, attributes load
+// to hosts, and migrates the hottest shard off the hottest host onto the
+// least-loaded host outside its replica set. Every decision is a pure
+// function of the window counters — deterministic tie-breaks by lowest
+// index — so rebalancing stays bit-reproducible under RunParallel.
+type Rebalancer struct {
+	p       *Plane
+	cfg     RebalanceConfig
+	timer   sim.EventID
+	paused  bool // a triggered migration is still in flight
+	cooloff sim.Time
+	moves   int
+	stopped bool
+}
+
+// StartRebalancer attaches a rebalancer to the plane and begins scanning.
+// Only one may be active at a time.
+func (p *Plane) StartRebalancer(cfg RebalanceConfig) *Rebalancer {
+	if p.reb != nil && !p.reb.stopped {
+		panic("shard: rebalancer already running")
+	}
+	cfg.fill()
+	r := &Rebalancer{p: p, cfg: cfg}
+	p.reb = r
+	r.timer = p.Eng.Schedule(cfg.Every, r.scan)
+	return r
+}
+
+// Moves returns how many migrations the rebalancer has triggered.
+func (r *Rebalancer) Moves() int { return r.moves }
+
+// Stop halts scanning; an in-flight triggered migration still completes.
+func (r *Rebalancer) Stop() {
+	if r.stopped {
+		return
+	}
+	r.stopped = true
+	r.p.Eng.Cancel(r.timer)
+}
+
+func (r *Rebalancer) rearm() {
+	if r.stopped {
+		return
+	}
+	r.timer = r.p.Eng.Schedule(r.cfg.Every, r.scan)
+}
+
+// scan runs one detector pass and resets the per-shard windows.
+func (r *Rebalancer) scan() {
+	p := r.p
+	windows := make([]uint64, len(p.shards))
+	for i, s := range p.shards {
+		windows[i] = s.windowOps
+		s.windowOps = 0
+	}
+	if r.paused || p.Eng.Now() < r.cooloff ||
+		(r.cfg.MaxMigrations > 0 && r.moves >= r.cfg.MaxMigrations) {
+		r.rearm()
+		return
+	}
+
+	// Attribute each shard's window load to every host carrying a replica.
+	load := make([]uint64, len(p.pool))
+	var total uint64
+	for s, hosts := range p.Map.Placements() {
+		for _, h := range hosts {
+			load[h] += windows[s]
+			total += windows[s]
+		}
+	}
+	hot, hotLoad := -1, uint64(0)
+	for h, l := range load {
+		if l > hotLoad {
+			hot, hotLoad = h, l
+		}
+	}
+	mean := float64(total) / float64(len(load))
+	if hot < 0 || hotLoad < r.cfg.MinOps || float64(hotLoad) <= r.cfg.Imbalance*mean {
+		r.rearm()
+		return
+	}
+
+	// Hottest shard resident on the hot host (lowest id on ties).
+	victim := -1
+	var victimOps uint64
+	for s, hosts := range p.Map.Placements() {
+		if !contains(hosts, hot) || p.shards[s].migrating {
+			continue
+		}
+		if victim < 0 || windows[s] > victimOps {
+			victim, victimOps = s, windows[s]
+		}
+	}
+	if victim < 0 {
+		r.rearm()
+		return
+	}
+
+	// Replacement: the least-loaded host not already in the shard's set.
+	cur := p.Map.Placement(victim)
+	repl, replLoad := -1, ^uint64(0)
+	for h, l := range load {
+		if contains(cur, h) {
+			continue
+		}
+		if l < replLoad {
+			repl, replLoad = h, l
+		}
+	}
+	if repl < 0 || replLoad >= hotLoad {
+		r.rearm() // nowhere cooler to go
+		return
+	}
+	dest := make([]int, len(cur))
+	for i, h := range cur {
+		if h == hot {
+			dest[i] = repl
+		} else {
+			dest[i] = h
+		}
+	}
+
+	p.note("rebalance: host %d hot (%d ops, mean %.0f) -> move shard %d to host %d",
+		hot, hotLoad, mean, victim, repl)
+	r.moves++
+	r.paused = true
+	r.cooloff = p.Eng.Now().Add(r.cfg.Cooldown)
+	err := p.Migrate(victim, dest, func(error) {
+		r.paused = false
+		r.cooloff = p.Eng.Now().Add(r.cfg.Cooldown)
+	})
+	if err != nil {
+		r.paused = false
+	}
+	r.rearm()
+}
