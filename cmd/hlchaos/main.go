@@ -8,7 +8,10 @@
 //
 // Usage:
 //
-//	hlchaos [-seed N] [-seeds-per-class N] [-classes all|a,b,...] [-parallel N] [-v]
+//	hlchaos [-seed N] [-seeds-per-class N] [-classes all|a,b,...] [-parallel N] [-v] [-metrics-json FILE]
+//
+// -metrics-json merges every scenario's metrics registry in matrix order
+// (bit-identical at any -parallel setting) and dumps the result as JSON.
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 
 	"hyperloop/internal/experiments"
 	"hyperloop/internal/faults"
+	"hyperloop/internal/metrics"
 	"hyperloop/internal/stats"
 )
 
@@ -28,6 +32,7 @@ var (
 	classesStr = flag.String("classes", "all", "comma-separated class names, or all")
 	parallel   = flag.Int("parallel", 0, "worker count (0 = all cores, 1 = serial)")
 	verbose    = flag.Bool("v", false, "print fault timelines and per-check details")
+	metJSON    = flag.String("metrics-json", "", "merge every scenario's metrics registry and dump as JSON to this file")
 )
 
 func main() {
@@ -59,6 +64,10 @@ func main() {
 	}
 
 	verdicts := experiments.FaultMatrix(classes, *seed, *seedsPer)
+	merged := metrics.NewRegistry()
+	for _, v := range verdicts {
+		merged.Merge(v.Metrics)
+	}
 
 	fmt.Printf("=== Fault matrix: %d classes x %d seeds (base seed %d) ===\n",
 		len(classes), *seedsPer, *seed)
@@ -97,6 +106,9 @@ func main() {
 	if migration {
 		mig := experiments.MigrationMatrix(*seed, *seedsPer)
 		total += len(mig)
+		for _, v := range mig {
+			merged.Merge(v.Metrics)
+		}
 		fmt.Printf("=== Migration-inflight: %d scenarios (base seed %d) ===\n", len(mig), *seed)
 		mt := stats.NewTable("seed", "kill", "migrate@", "fault+", "puts ok/err", "migrated", "checks", "verdict")
 		for _, v := range mig {
@@ -126,6 +138,18 @@ func main() {
 				fmt.Printf("    %v\n", r)
 			}
 		}
+	}
+
+	if *metJSON != "" {
+		data, err := merged.ExportJSON()
+		if err == nil {
+			err = os.WriteFile(*metJSON, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics-json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote metrics dump to %s\n", *metJSON)
 	}
 
 	if failed > 0 {

@@ -3,7 +3,14 @@
 //
 // Usage:
 //
-//	hlmicro [-exp all|fig8a|fig8b|table2|fig9|fig10|ablations] [-quick] [-seed N] [-parallel N] [-bench-json FILE]
+//	hlmicro [-exp all|fig8a|fig8b|table2|fig9|fig10|ablations|stages] [-quick] [-seed N] [-parallel N] [-bench-json FILE] [-metrics-json FILE]
+//
+// -exp stages decomposes durable-gWRITE latency into per-stage slices
+// (client post, network, NIC forwarding, host CPU, ...) for HyperLoop vs
+// the Naive baseline; it is not part of -exp all, so the default output is
+// unchanged. -metrics-json runs a dedicated instrumented collection pass
+// (skipping the experiment tables) and dumps the merged metrics registry as
+// JSON — bit-identical at any -parallel worker count.
 package main
 
 import (
@@ -17,12 +24,13 @@ import (
 )
 
 var (
-	expFlag   = flag.String("exp", "all", "experiment: all, fig8a, fig8b, table2, fig9, fig10, multigroup, ablations")
+	expFlag   = flag.String("exp", "all", "experiment: all, fig8a, fig8b, table2, fig9, fig10, multigroup, ablations, stages")
 	quick     = flag.Bool("quick", false, "reduced op counts for a fast run")
 	csv       = flag.Bool("csv", false, "emit tables as CSV")
 	seed      = flag.Int64("seed", 1, "simulation seed")
 	parallel  = flag.Int("parallel", 0, "sweep worker count (0 = all cores, 1 = serial)")
 	benchJSON = flag.String("bench-json", "", "write machine-readable benchmark results to this file")
+	metJSON   = flag.String("metrics-json", "", "run an instrumented collection pass and dump the metrics registry as JSON to this file")
 )
 
 // bench collects results for -bench-json; recording is cheap enough to do
@@ -32,6 +40,13 @@ var bench = experiments.NewBenchRecorder()
 func main() {
 	flag.Parse()
 	experiments.SetParallelism(*parallel)
+	if *metJSON != "" {
+		if err := dumpMetrics(*metJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics-json: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	ops := 10000
 	totalBytes := 256 << 20
 	sizes := experiments.MsgSizesLatency
@@ -61,6 +76,9 @@ func main() {
 		},
 		"ablations": func() error {
 			return ablations(ops)
+		},
+		"stages": func() error {
+			return stages(ops)
 		},
 	}
 	order := []string{"fig8a", "fig8b", "table2", "fig9", "fig10", "multigroup", "ablations"}
@@ -257,6 +275,41 @@ func ablations(ops int) error {
 	}
 	fmt.Printf("scheduler model:      CFS-wakeup avg %s vs pure-FIFO avg %s\n",
 		us(with.Mean), us(without.Mean))
+	return nil
+}
+
+// stages renders the durable-gWRITE latency decomposition (mean per-op
+// stage durations; the stages tile the end-to-end window exactly).
+func stages(ops int) error {
+	fmt.Println("=== Stage breakdown: durable gWRITE, group=3, 10:1 co-location ===")
+	rows := experiments.StageBreakdown(*seed, ops/4)
+	for _, r := range rows {
+		bench.Add(experiments.BenchResult{
+			Experiment: "stages",
+			Params:     map[string]any{"system": r.System.String()},
+			AvgNs:      int64(r.EndToEnd) / int64(r.Ops),
+			Extra:      map[string]float64{"host_cpu_share": r.Share("host-cpu")},
+		})
+	}
+	printTable(experiments.StageBreakdownTable(rows))
+	return nil
+}
+
+// dumpMetrics runs the instrumented collection pass and writes the merged
+// registry dump.
+func dumpMetrics(path string) error {
+	reg, err := experiments.MicroMetrics(*seed, 2000)
+	if err != nil {
+		return err
+	}
+	data, err := reg.ExportJSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote metrics dump to %s\n", path)
 	return nil
 }
 

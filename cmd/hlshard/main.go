@@ -8,7 +8,11 @@
 //
 // Usage:
 //
-//	hlshard [-exp all|scaling|migrate] [-quick] [-seed N] [-seeds N] [-parallel N] [-csv] [-bench-json FILE]
+//	hlshard [-exp all|scaling|migrate] [-quick] [-seed N] [-seeds N] [-parallel N] [-csv] [-bench-json FILE] [-metrics-json FILE]
+//
+// -metrics-json re-runs the scaling sweep with the observability plane
+// attached (per-cell registries merged in sweep order — bit-identical at
+// any -parallel setting) and dumps the merged registry as JSON.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"os"
 
 	"hyperloop/internal/experiments"
+	"hyperloop/internal/metrics"
 	"hyperloop/internal/sim"
 	"hyperloop/internal/stats"
 )
@@ -29,6 +34,7 @@ var (
 	seeds     = flag.Int("seeds", 4, "migration-inflight scenarios to run")
 	parallel  = flag.Int("parallel", 0, "sweep worker count (0 = all cores, 1 = serial)")
 	benchJSON = flag.String("bench-json", "", "write machine-readable benchmark results to this file")
+	metJSON   = flag.String("metrics-json", "", "run the instrumented scaling sweep and dump the merged metrics registry as JSON to this file")
 )
 
 var bench = experiments.NewBenchRecorder()
@@ -36,6 +42,13 @@ var bench = experiments.NewBenchRecorder()
 func main() {
 	flag.Parse()
 	experiments.SetParallelism(*parallel)
+	if *metJSON != "" {
+		if err := dumpMetrics(*metJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics-json: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	ok := true
 	switch *expFlag {
@@ -64,6 +77,38 @@ func main() {
 }
 
 func us(d sim.Duration) string { return fmt.Sprintf("%.1fus", float64(d)/1000) }
+
+// dumpMetrics runs the scaling sweep with per-cell registries and writes
+// the merged dump.
+func dumpMetrics(path string) error {
+	ops := 400
+	if *quick {
+		ops = 150
+	}
+	counts := experiments.ShardScalingCounts
+	res, err := experiments.RunParallel(experiments.Parallelism(), len(counts),
+		func(i int) (experiments.ShardScalingResult, error) {
+			return experiments.RunShardScaling(experiments.ShardScalingParams{
+				Shards: counts[i], Seed: *seed, OpsPerShard: ops, Metrics: true,
+			}), nil
+		})
+	if err != nil {
+		return err
+	}
+	merged := metrics.NewRegistry()
+	for _, r := range res {
+		merged.Merge(r.Reg)
+	}
+	data, err := merged.ExportJSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote metrics dump to %s\n", path)
+	return nil
+}
 
 // scaling prints the shard-count scaling curve on the fixed host pool.
 func scaling() {

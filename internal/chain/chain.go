@@ -15,8 +15,10 @@ import (
 	"fmt"
 
 	"hyperloop/internal/cluster"
+	"hyperloop/internal/metrics"
 	"hyperloop/internal/rdma"
 	"hyperloop/internal/sim"
+	"hyperloop/internal/span"
 )
 
 // Errors.
@@ -83,6 +85,24 @@ type Manager struct {
 	probes    uint64
 	replies   uint64
 	failovers uint64
+
+	spans *span.Recorder // nil unless instrumented
+}
+
+// Instrument attaches observability: probe/reply/failover counters as
+// computed gauges (reg may be nil) and failure-detection annotations on the
+// span recorder (spans may be nil). Observation-only — detection timing and
+// probing behavior are unchanged.
+func (m *Manager) Instrument(reg *metrics.Registry, spans *span.Recorder, label string) {
+	m.spans = spans
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("chain", "probes", label, func() float64 { return float64(m.probes) })
+	reg.GaugeFunc("chain", "replies", label, func() float64 { return float64(m.replies) })
+	reg.GaugeFunc("chain", "failovers", label, func() float64 { return float64(m.failovers) })
+	reg.GaugeFunc("chain", "members", label, func() float64 { return float64(len(m.members)) })
+	reg.GaugeFunc("chain", "spares", label, func() float64 { return float64(len(m.spares)) })
 }
 
 // NewManager starts monitoring members (the chain replicas) with the given
@@ -221,6 +241,9 @@ func (m *Manager) check() {
 		m.lastDetectAt = m.eng.Now()
 		m.haveDetect = true
 		failed := mem.node
+		if m.spans != nil {
+			m.spans.Annotate("chain", fmt.Sprintf("failure detected: member %d (node %d)", i, failed.Index))
+		}
 		var survivors []*cluster.Node
 		for j, other := range m.members {
 			if j != i {

@@ -1,0 +1,74 @@
+// Span-conservation invariants: every started span ends exactly once,
+// child stage durations nest inside and sum to no more than their parent,
+// and no shard-tagged span silently straddles an epoch fence (migration
+// cutover) — an op that was issued against epoch E but acked after the
+// fence advanced the shard to E+1 must carry the crossed-fence mark the
+// data plane sets when it observes the retarget.
+package check
+
+import (
+	"fmt"
+
+	"hyperloop/internal/span"
+)
+
+// SpanConservation audits a recorder after a scenario has quiesced.
+func SpanConservation(rec *span.Recorder) Result {
+	res := Result{Name: "span-conservation"}
+	started, ended, doubleEnded, dropped := rec.Counts()
+	if doubleEnded > 0 {
+		res.Err = fmt.Errorf("%d spans ended more than once", doubleEnded)
+		return res
+	}
+	if ended != started {
+		res.Err = fmt.Errorf("%d spans started but %d ended", started, ended)
+		return res
+	}
+	fences := rec.Fences()
+	var checked int
+	for _, root := range rec.Roots() {
+		if err := auditSpan(root, fences); err != nil {
+			res.Err = err
+			return res
+		}
+		checked++
+	}
+	res.Detail = fmt.Sprintf("%d spans balanced, %d roots audited, %d fences, %d past retention",
+		started, checked, len(fences), dropped)
+	return res
+}
+
+func auditSpan(s *span.Span, fences []span.Fence) error {
+	if !s.Ended() {
+		return fmt.Errorf("span %d (%s) never ended", s.ID, s.Name)
+	}
+	if s.EndAt < s.Start {
+		return fmt.Errorf("span %d (%s) ends at %v before its start %v", s.ID, s.Name, s.EndAt, s.Start)
+	}
+	var childSum int64
+	for _, c := range s.Children {
+		if err := auditSpan(c, fences); err != nil {
+			return err
+		}
+		if c.Start < s.Start || c.EndAt > s.EndAt {
+			return fmt.Errorf("child span %d (%s) [%v,%v] escapes parent %d (%s) [%v,%v]",
+				c.ID, c.Name, c.Start, c.EndAt, s.ID, s.Name, s.Start, s.EndAt)
+		}
+		childSum += int64(c.Duration())
+	}
+	if childSum > int64(s.Duration()) {
+		return fmt.Errorf("span %d (%s): child stages sum to %d ns > parent %d ns",
+			s.ID, s.Name, childSum, int64(s.Duration()))
+	}
+	if s.Shard >= 0 && !s.CrossedFence {
+		for _, f := range fences {
+			// The fence that supersedes this span's epoch on its shard:
+			// the span must not straddle it without the mark.
+			if f.Shard == s.Shard && f.Epoch > s.Epoch && s.Start < f.At && s.EndAt > f.At {
+				return fmt.Errorf("span %d (%s) on shard %d epoch %d straddles fence to epoch %d at %v unmarked",
+					s.ID, s.Name, s.Shard, s.Epoch, f.Epoch, f.At)
+			}
+		}
+	}
+	return nil
+}

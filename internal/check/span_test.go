@@ -1,0 +1,141 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"hyperloop/internal/sim"
+	"hyperloop/internal/span"
+)
+
+// spanRig builds a recorder whose clock can be stepped explicitly.
+type spanRig struct {
+	eng *sim.Engine
+	rec *span.Recorder
+}
+
+func newSpanRig() *spanRig {
+	eng := sim.NewEngine()
+	return &spanRig{eng: eng, rec: span.NewRecorder(eng)}
+}
+
+// at runs fn at virtual time t (absolute).
+func (r *spanRig) at(t sim.Duration, fn func()) {
+	r.eng.ScheduleAt(sim.Time(0).Add(t), fn)
+}
+
+func (r *spanRig) check() Result {
+	r.eng.Drain()
+	return SpanConservation(r.rec)
+}
+
+func TestSpanConservationBalanced(t *testing.T) {
+	r := newSpanRig()
+	var s *span.Span
+	r.at(0, func() { s = r.rec.Start("put", "s0") })
+	var c *span.Span
+	r.at(5, func() { c = s.Child("wal-append") })
+	r.at(9, func() { c.End() })
+	r.at(20, func() { s.End() })
+	res := r.check()
+	if res.Err != nil {
+		t.Fatalf("balanced tree flagged: %v", res.Err)
+	}
+	if !strings.Contains(res.Detail, "2 spans balanced") {
+		t.Fatalf("detail: %q", res.Detail)
+	}
+}
+
+func TestSpanConservationUnended(t *testing.T) {
+	r := newSpanRig()
+	r.at(0, func() { r.rec.Start("put", "s0") })
+	res := r.check()
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "started but") {
+		t.Fatalf("unended span not flagged: %v", res.Err)
+	}
+}
+
+func TestSpanConservationDoubleEnd(t *testing.T) {
+	r := newSpanRig()
+	r.at(0, func() {
+		s := r.rec.Start("put", "s0")
+		s.End()
+		s.End()
+	})
+	res := r.check()
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "more than once") {
+		t.Fatalf("double end not flagged: %v", res.Err)
+	}
+}
+
+func TestSpanConservationChildEscapes(t *testing.T) {
+	r := newSpanRig()
+	var s, c *span.Span
+	r.at(0, func() { s = r.rec.Start("put", "s0") })
+	r.at(5, func() { c = s.Child("late-stage") })
+	r.at(8, func() { s.End() })
+	r.at(12, func() { c.End() }) // ends after its parent
+	res := r.check()
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "escapes parent") {
+		t.Fatalf("escaping child not flagged: %v", res.Err)
+	}
+}
+
+func TestSpanConservationChildSumOverflow(t *testing.T) {
+	r := newSpanRig()
+	var s, a, b *span.Span
+	r.at(0, func() { s = r.rec.Start("put", "s0") })
+	// Two children covering (0,9] and (1,10]: both inside the parent window,
+	// but their summed duration (18) exceeds the parent's (10).
+	r.at(0, func() { a = s.Child("stage-a") })
+	r.at(1, func() { b = s.Child("stage-b") })
+	r.at(9, func() { a.End() })
+	r.at(10, func() { b.End(); s.End() })
+	res := r.check()
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "child stages sum") {
+		t.Fatalf("overlapping children not flagged: %v", res.Err)
+	}
+}
+
+func TestSpanConservationFenceStraddle(t *testing.T) {
+	build := func(mark bool) Result {
+		r := newSpanRig()
+		var s *span.Span
+		r.at(0, func() {
+			s = r.rec.Start("shard-put", "s0")
+			s.SetShardEpoch(0, 1)
+		})
+		r.at(5, func() { r.rec.Fence(0, 2) })
+		r.at(10, func() {
+			if mark {
+				s.MarkCrossedFence()
+			}
+			s.End()
+		})
+		return r.check()
+	}
+	if res := build(false); res.Err == nil || !strings.Contains(res.Err.Error(), "straddles fence") {
+		t.Fatalf("unmarked straddle not flagged: %v", res.Err)
+	}
+	if res := build(true); res.Err != nil {
+		t.Fatalf("marked crossing flagged: %v", res.Err)
+	}
+}
+
+// A fence on a different shard, a fence at an older epoch, and an untagged
+// span must all be ignored.
+func TestSpanConservationFenceScoping(t *testing.T) {
+	r := newSpanRig()
+	var tagged, untagged *span.Span
+	r.at(0, func() {
+		tagged = r.rec.Start("shard-put", "s0")
+		tagged.SetShardEpoch(0, 3)
+		untagged = r.rec.Start("wal-append", "fm")
+	})
+	r.at(2, func() { r.rec.Fence(1, 9) }) // other shard
+	r.at(3, func() { r.rec.Fence(0, 2) }) // older epoch than the span's
+	r.at(8, func() { tagged.End(); untagged.End() })
+	if res := r.check(); res.Err != nil {
+		t.Fatalf("irrelevant fences flagged: %v", res.Err)
+	}
+}

@@ -1,0 +1,45 @@
+// Cluster-level observability wiring (DESIGN.md §12): per-node NIC and
+// host-CPU series registered as computed gauges, so the hot path pays
+// nothing — values are read only when the registry samples or exports.
+package cluster
+
+import (
+	"fmt"
+
+	"hyperloop/internal/metrics"
+)
+
+// Instrument registers per-node gauges for every node in the cluster under
+// the given label prefix (the tenant/experiment dimension); each node adds
+// a "/n<i>" suffix. Label cardinality is nodes × series, bounded by the
+// cluster size (≤ 16 hosts in every experiment here).
+func Instrument(reg *metrics.Registry, cl *Cluster, label string) {
+	for _, n := range cl.Nodes {
+		n := n
+		lbl := fmt.Sprintf("%s/n%d", label, n.Index)
+		reg.GaugeFunc("nic", "wqes_executed", lbl, func() float64 {
+			return float64(n.NIC.Counters().WQEsExecuted)
+		})
+		reg.GaugeFunc("nic", "writes_rx", lbl, func() float64 {
+			return float64(n.NIC.Counters().WritesRx)
+		})
+		reg.GaugeFunc("nic", "atomics_rx", lbl, func() float64 {
+			return float64(n.NIC.Counters().AtomicsRx)
+		})
+		reg.GaugeFunc("nic", "cache_flushes", lbl, func() float64 {
+			return float64(n.NIC.Counters().CacheFlushes)
+		})
+		reg.GaugeFunc("nic", "rnrs", lbl, func() float64 {
+			return float64(n.NIC.Counters().RNRs)
+		})
+		reg.GaugeFunc("host", "utilization", lbl, func() float64 {
+			return n.Host.Utilization()
+		})
+		reg.GaugeFunc("host", "context_switches", lbl, func() float64 {
+			return float64(n.Host.ContextSwitches())
+		})
+		reg.GaugeFunc("host", "mean_queue_wait_ns", lbl, func() float64 {
+			return float64(n.Host.MeanQueueWait())
+		})
+	}
+}

@@ -10,7 +10,9 @@ import (
 	"hyperloop/internal/core"
 	"hyperloop/internal/faults"
 	"hyperloop/internal/locks"
+	"hyperloop/internal/metrics"
 	"hyperloop/internal/sim"
+	"hyperloop/internal/span"
 	"hyperloop/internal/txn"
 	"hyperloop/internal/wal"
 )
@@ -61,6 +63,10 @@ type FaultVerdict struct {
 	Failovers uint64       // chain failovers observed
 	DetectIn  sim.Duration // fault-to-detection delay (0 when no failover)
 	Checks    check.Report
+	// Metrics is the scenario's registry (always collected; observation-only,
+	// so it never perturbs the verdict). hlchaos -metrics-json merges these
+	// in matrix order.
+	Metrics *metrics.Registry
 }
 
 // Pass reports whether every invariant check passed.
@@ -126,11 +132,20 @@ func RunFaultScenario(p FaultParams) FaultVerdict {
 	lm := locks.New(sw, eng, fmLockBase, locks.Config{})
 	tm := txn.New(eng, log, wal.NodeStore{N: client}, lm, txn.Config{LockStripes: fmLockStripes})
 
+	// Observability plane, always on: spans and counters only observe, so
+	// the scenario unfolds identically with or without them — and the
+	// span-conservation checker gets exercised by every chaos class.
+	reg := metrics.NewRegistry()
+	rec := span.NewRecorder(eng)
+	log.Instrument(reg, rec, "fm", eng.Now)
+	cluster.Instrument(reg, cl, "fm")
+
 	// Plan and install the fault before anything runs, so the fault timeline
 	// depends only on (class, seed).
 	detectBound := sim.Duration(chainCfg.MissedThreshold) * chainCfg.HeartbeatEvery
 	spec := faults.Plan(p.Class, p.Seed, fmMembers, detectBound)
 	plane := faults.NewPlane(eng, cl, p.Seed^0x5EED)
+	plane.SetSpans(rec)
 	spec.Install(plane, members)
 
 	// Chain repair: tear down the failed group, reset the lock table, promote
@@ -175,6 +190,7 @@ func RunFaultScenario(p FaultParams) FaultVerdict {
 		})
 	}
 	mgr = chain.NewManager(eng, client, members, []*cluster.Node{spare}, chainCfg, onFailure)
+	mgr.Instrument(reg, rec, "fm")
 
 	// Closed-loop workload: fmPipeline strands, each committing transactions
 	// of 1–3 distinct slots stamped with the transaction ID, thinking an
@@ -275,11 +291,13 @@ func RunFaultScenario(p FaultParams) FaultVerdict {
 	plane.StopAll()
 
 	// Assemble the verdict.
+	reg.Sample(eng.Now())
 	v := FaultVerdict{
 		Params:    p,
 		Spec:      spec,
 		Timeline:  plane.Timeline(),
 		Failovers: mgr.Failovers(),
+		Metrics:   reg,
 	}
 	for _, r := range recs {
 		if r.Acked {
@@ -314,6 +332,7 @@ func RunFaultScenario(p FaultParams) FaultVerdict {
 		check.TxnAtomicity(live(client), fmObjBase, fmObjSlots, derefRecs(recs)),
 		check.Membership(v.Failovers, spec.ExpectFailover, mgr.Paused(),
 			len(final), fmMembers, v.DetectIn, detectBound, chainCfg.HeartbeatEvery),
+		check.SpanConservation(rec),
 	)
 	// Every surviving member's durable image must match its live view after
 	// the final flush — nothing the client was promised lives only in a

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hyperloop/internal/sim"
+	"hyperloop/internal/span"
+)
+
+// The stage table is a decomposition of each op's end-to-end window, not a
+// second measurement: per-stage sums must reconcile with end-to-end latency
+// exactly.
+func TestStageBreakdownReconcilesExactly(t *testing.T) {
+	for _, sys := range []System{HyperLoop, NaiveEvent} {
+		r := RunStageBreakdown(MicroParams{System: sys, Ops: 10, TenantsPerCore: 10, Seed: 1})
+		var sum sim.Duration
+		for _, s := range r.Stages {
+			sum += s.Dur
+		}
+		if sum != r.EndToEnd {
+			t.Fatalf("%v: stages sum %v != end-to-end %v", sys, sum, r.EndToEnd)
+		}
+		if r.EndToEnd <= 0 {
+			t.Fatalf("%v: no latency measured", sys)
+		}
+		for _, s := range r.Stages {
+			if !contains(StageNames, s.Name) {
+				t.Fatalf("%v: unknown stage %q", sys, s.Name)
+			}
+		}
+	}
+}
+
+func contains(names []string, n string) bool {
+	for _, v := range names {
+		if v == n {
+			return true
+		}
+	}
+	return false
+}
+
+// The paper's point in one assertion: the naive datapath pays a host-CPU
+// stage on every hop while HyperLoop's is structurally ~0, and HyperLoop is
+// end-to-end faster.
+func TestStageBreakdownShowsHostCPUContrast(t *testing.T) {
+	rows := StageBreakdown(1, 10)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	hl, nv := rows[0], rows[1]
+	if hl.System != HyperLoop || nv.System != NaiveEvent {
+		t.Fatalf("row order: %v %v", hl.System, nv.System)
+	}
+	if hs, ns := hl.Share("host-cpu"), nv.Share("host-cpu"); ns < 10*hs || ns < 0.5 {
+		t.Fatalf("host-cpu shares: hyperloop %.3f naive %.3f", hs, ns)
+	}
+	if hl.EndToEnd >= nv.EndToEnd {
+		t.Fatalf("hyperloop %v not faster than naive %v", hl.EndToEnd, nv.EndToEnd)
+	}
+	// Table rendering carries every stage column.
+	out := StageBreakdownTable(rows).String()
+	for _, name := range StageNames {
+		if !strings.Contains(out, name) {
+			t.Fatalf("table missing column %q:\n%s", name, out)
+		}
+	}
+}
+
+// Metric dumps must be bit-identical regardless of the worker count, and the
+// instrumented cells must actually count their ops.
+func TestMicroMetricsDeterministicAcrossWorkers(t *testing.T) {
+	old := Parallelism()
+	defer SetParallelism(old)
+
+	SetParallelism(1)
+	r1, err := MicroMetrics(1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetParallelism(4)
+	r4, err := MicroMetrics(1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := r1.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j4, err := r4.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(j1) != string(j4) {
+		t.Fatal("metrics dump differs across worker counts")
+	}
+	for _, label := range []string{"hyperloop", "naive-event"} {
+		if got := r1.Counter("micro", "ops_acked", label).Value(); got != 40 {
+			t.Fatalf("ops_acked[%s] = %d", label, got)
+		}
+	}
+}
+
+// Decompose must classify every adjacency the real trace stream produces —
+// no "other" stages may leak into a breakdown.
+func TestStageBreakdownNoUnclassifiedStages(t *testing.T) {
+	r := RunStageBreakdown(MicroParams{System: NaiveEvent, Ops: 5, TenantsPerCore: 10, Seed: 7})
+	if d := r.Stage("other"); d != 0 {
+		t.Fatalf("unclassified stage time: %v", d)
+	}
+	_ = span.MergeStages(nil, r.Stages) // exercised for symmetry with cmd use
+}

@@ -10,8 +10,10 @@ import (
 	"hyperloop/internal/core"
 	"hyperloop/internal/faults"
 	"hyperloop/internal/kvstore"
+	"hyperloop/internal/metrics"
 	"hyperloop/internal/shard"
 	"hyperloop/internal/sim"
+	"hyperloop/internal/span"
 	"hyperloop/internal/stats"
 	"hyperloop/internal/wal"
 	"hyperloop/internal/ycsb"
@@ -38,6 +40,11 @@ type ShardScalingParams struct {
 	Pipeline int
 	// ValueSize is the update payload (default 128).
 	ValueSize int
+	// Metrics attaches a per-cell registry (returned in the result) with
+	// per-shard series, cluster gauges, and a virtual-time sampler for
+	// windowed rates. Observation-only: the measured numbers are identical
+	// with or without it.
+	Metrics bool
 }
 
 func (p *ShardScalingParams) fill() {
@@ -62,6 +69,9 @@ type ShardScalingResult struct {
 	// MaxShardP99 is the worst per-shard p99 — the "per-shard latency
 	// stays flat" claim is about this, not the aggregate.
 	MaxShardP99 sim.Duration
+	// Reg is the cell's metrics registry (nil unless Params.Metrics). Cells
+	// are merged in sweep order for a bit-reproducible dump.
+	Reg *metrics.Registry
 }
 
 // scalingHosts is the fixed pool every scaling cell runs on: capacity is
@@ -79,6 +89,10 @@ const scalingRegion = 256 << 10
 func RunShardScaling(p ShardScalingParams) ShardScalingResult {
 	p.fill()
 	eng := sim.NewEngine()
+	var reg *metrics.Registry
+	if p.Metrics {
+		reg = metrics.NewRegistry()
+	}
 	ready := false
 	pl := shard.New(eng, shard.Config{
 		Shards:     p.Shards,
@@ -87,6 +101,7 @@ func RunShardScaling(p ShardScalingParams) ShardScalingResult {
 		RegionSize: scalingRegion,
 		Group:      core.Config{Depth: 512},
 		Seed:       p.Seed,
+		Metrics:    reg,
 	}, func(err error) {
 		if err != nil {
 			panic(fmt.Sprintf("shard scaling: open: %v", err))
@@ -95,6 +110,11 @@ func RunShardScaling(p ShardScalingParams) ShardScalingResult {
 	})
 	if !eng.RunUntil(func() bool { return ready }, eng.Now().Add(sim.Second)) {
 		panic("shard scaling: plane never opened")
+	}
+	var sampler *metrics.Sampler
+	if reg != nil {
+		cluster.Instrument(reg, pl.Cl, fmt.Sprintf("sc%d", p.Shards))
+		sampler = metrics.NewSampler(eng, reg, sim.Millisecond)
 	}
 
 	// One YCSB stream per shard keeps the offered load per shard constant
@@ -173,6 +193,10 @@ func RunShardScaling(p ShardScalingParams) ShardScalingResult {
 		panic(fmt.Sprintf("shard scaling: stalled at %d/%d", acked, target))
 	}
 	elapsed := eng.Now().Sub(start)
+	if sampler != nil {
+		sampler.Stop()
+		reg.Sample(eng.Now())
+	}
 	pl.Close()
 
 	res := ShardScalingResult{
@@ -181,6 +205,7 @@ func RunShardScaling(p ShardScalingParams) ShardScalingResult {
 		Elapsed:  elapsed,
 		TputKops: float64(acked) / elapsed.Seconds() / 1e3,
 		Lat:      hist.Summarize(),
+		Reg:      reg,
 	}
 	for _, h := range perShard {
 		if p99 := h.P99(); p99 > res.MaxShardP99 {
@@ -245,6 +270,10 @@ type MigrationVerdict struct {
 	MigErr    error
 	StaleSupp uint64
 	Checks    check.Report
+	// Metrics is the scenario's registry (always collected; observation-only,
+	// so the verdict is identical with or without a consumer). hlchaos
+	// -metrics-json merges the matrix's registries in input order.
+	Metrics *metrics.Registry
 }
 
 // Pass reports whether every invariant check passed.
@@ -265,11 +294,16 @@ func RunMigrationScenario(p MigrationParams) MigrationVerdict {
 	})
 	placement := [][]int{{0, 1, 2}, {3, 4, 5}, {6, 7, 8}, {9, 10, 11}}
 	dest := []int{12, 13, 14}
+	reg := metrics.NewRegistry()
+	rec := span.NewRecorder(eng)
+	cluster.Instrument(reg, cl, "ms")
 	shardCfg := shard.Config{
 		Shards: msShards, Replicas: msReplicas, Hosts: msHosts,
 		RegionSize: msRegionSize, LogSize: msLogSize, ChunkBytes: msChunk,
-		Group: core.Config{Depth: 512, OpTimeout: 3 * sim.Millisecond},
-		Seed:  p.Seed,
+		Group:   core.Config{Depth: 512, OpTimeout: 3 * sim.Millisecond},
+		Seed:    p.Seed,
+		Metrics: reg,
+		Spans:   rec,
 	}
 	ready := false
 	pl := shard.Open(eng, cl, placement, shardCfg, func(err error) {
@@ -284,6 +318,7 @@ func RunMigrationScenario(p MigrationParams) MigrationVerdict {
 
 	spec := faults.PlanMigration(p.Seed, msReplicas, msBulkWindow)
 	fp := faults.NewPlane(eng, cl, p.Seed^0x5EED)
+	fp.SetSpans(rec)
 
 	// Seq-stamped values: the first 8 bytes carry the put's global sequence
 	// number, so rebuilt contents map key -> seq and the KeyModel can
@@ -424,12 +459,14 @@ func RunMigrationScenario(p MigrationParams) MigrationVerdict {
 	eng.RunUntil(func() bool { return done }, deadline)
 	fp.StopAll()
 
+	reg.Sample(eng.Now())
 	v := MigrationVerdict{
 		Params: p, Spec: spec,
 		Timeline: pl.Timeline(), Faults: fp.Timeline(),
 		Acked: acked, Errored: errored,
 		Migrated: migDone && migErr == nil, MigErr: migErr,
 		StaleSupp: pl.StaleSuppressed(),
+		Metrics:   reg,
 	}
 
 	// Assemble checker inputs from the final plane state.
@@ -477,6 +514,7 @@ func RunMigrationScenario(p MigrationParams) MigrationVerdict {
 		check.ShardPlacement(pl.Map.Placements(), msReplicas),
 		check.ShardedKeys(route, contents, model),
 		check.EpochFence(states),
+		check.SpanConservation(rec),
 	)
 	// Per-shard WAL soundness across the *current* owners.
 	for s := 0; s < msShards; s++ {

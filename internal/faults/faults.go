@@ -16,6 +16,7 @@ import (
 	"hyperloop/internal/cluster"
 	"hyperloop/internal/cpusched"
 	"hyperloop/internal/sim"
+	"hyperloop/internal/span"
 )
 
 // Event is one recorded fault action.
@@ -35,7 +36,13 @@ type Plane struct {
 	r        *sim.Rand
 	timeline []Event
 	stops    []func() // tenant-burst stops still pending
+	spans    *span.Recorder
 }
+
+// SetSpans mirrors every injected fault into the span recorder as an
+// annotated "fault" event, so op spans and injections share one virtual
+// timeline. Observation-only; injection timing is unchanged.
+func (p *Plane) SetSpans(rec *span.Recorder) { p.spans = rec }
 
 // NewPlane creates a fault plane over cl, seeded independently of the
 // cluster's own RNG.
@@ -55,7 +62,11 @@ func (p *Plane) Timeline() []Event {
 
 // note records an action at the current virtual time.
 func (p *Plane) note(format string, args ...any) {
-	p.timeline = append(p.timeline, Event{At: p.eng.Now(), What: fmt.Sprintf(format, args...)})
+	what := fmt.Sprintf(format, args...)
+	p.timeline = append(p.timeline, Event{At: p.eng.Now(), What: what})
+	if p.spans != nil {
+		p.spans.Annotate("fault", what)
+	}
 }
 
 // at schedules fn after d and records what with the fire-time timestamp.

@@ -211,12 +211,26 @@ func (db *DB) Put(key string, value []byte, done func(error)) error {
 	if len(key) > maxKeyLen {
 		return ErrKeyTooLarge
 	}
+	prevRef, existed := db.index[key]
+	prevNext := db.next
 	ref, err := db.allocate(key, len(value))
 	if err != nil {
 		return err
 	}
 	img := encodeSlot(key, value, ref.cap, flagValid)
 	if err := db.append([]wal.Entry{{Offset: ref.off, Data: img}}, done); err != nil {
+		// A freshly carved slot must not survive a refused append: its bytes
+		// are still zeros, and recovery's slot scan stops at the first
+		// non-slot header, so the hole would hide every later slot. Roll the
+		// allocation back — ring-full backpressure leaves no trace.
+		if !existed || prevRef != ref {
+			db.next = prevNext
+			if existed {
+				db.index[key] = prevRef
+			} else {
+				delete(db.index, key)
+			}
+		}
 		return err
 	}
 	db.puts++
@@ -239,6 +253,20 @@ type WriteBatch struct {
 	entries []wal.Entry
 	mem     []func()
 	err     error
+	// Fresh slots carved while building the batch, plus the allocation
+	// watermarks around them: if Commit's append is refused and nothing else
+	// allocated in between, the slots are rolled back so the refusal leaves
+	// no allocated-unlogged hole for recovery's scan to stop at.
+	fresh             []freshAlloc
+	preNext, postNext int
+}
+
+// freshAlloc remembers how to undo one allocation.
+type freshAlloc struct {
+	key     string
+	prev    slotRef
+	existed bool
+	ref     slotRef
 }
 
 // Batch starts an empty write batch.
@@ -253,10 +281,19 @@ func (b *WriteBatch) Put(key string, value []byte) *WriteBatch {
 		b.err = ErrKeyTooLarge
 		return b
 	}
+	prevRef, existed := b.db.index[key]
+	prevNext := b.db.next
 	ref, err := b.db.allocate(key, len(value))
 	if err != nil {
 		b.err = err
 		return b
+	}
+	if !existed || prevRef != ref {
+		if len(b.fresh) == 0 {
+			b.preNext = prevNext
+		}
+		b.fresh = append(b.fresh, freshAlloc{key: key, prev: prevRef, existed: existed, ref: ref})
+		b.postNext = b.db.next
 	}
 	img := encodeSlot(key, value, ref.cap, flagValid)
 	b.entries = append(b.entries, wal.Entry{Offset: ref.off, Data: img})
@@ -304,13 +341,47 @@ func (b *WriteBatch) Commit(done func(error)) error {
 		return nil
 	}
 	if err := b.db.append(b.entries, done); err != nil {
+		if b.rollbackFresh() {
+			// The batch's slots are gone; its entries reference offsets a
+			// later allocation may reuse, so a retry of this batch would
+			// corrupt the data region. Poison it — callers rebuild.
+			b.err = err
+		}
 		return err
 	}
 	for _, apply := range b.mem {
 		apply()
 	}
-	b.entries, b.mem = nil, nil
+	b.entries, b.mem, b.fresh = nil, nil, nil
 	return nil
+}
+
+// rollbackFresh undoes the batch's fresh allocations after a refused
+// append, but only when it is provably safe: no other allocation landed
+// after the batch's (db.next unchanged) and every fresh key still maps to
+// the slot this batch carved. An interleaved writer makes the slots
+// unreclaimable — they stay allocated, and a Commit retry will log them.
+// Reports whether the rollback happened.
+func (b *WriteBatch) rollbackFresh() bool {
+	if len(b.fresh) == 0 || b.db.next != b.postNext {
+		return false
+	}
+	for _, f := range b.fresh {
+		if b.db.index[f.key] != f.ref {
+			return false
+		}
+	}
+	for i := len(b.fresh) - 1; i >= 0; i-- {
+		f := b.fresh[i]
+		if f.existed {
+			b.db.index[f.key] = f.prev
+		} else {
+			delete(b.db.index, f.key)
+		}
+	}
+	b.db.next = b.preNext
+	b.fresh = nil
+	return true
 }
 
 // ackWrap chains the commit policy onto the replication ack: records become

@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"hyperloop/internal/sim"
+)
+
+// FuzzMetricsExport drives adversarial subsystem/name/label strings and
+// values through both encoders and checks the structural invariants: the
+// text export's metric lines parse back into name{labels} value form with
+// only clean characters in names, and the JSON export round-trips through
+// ParseJSON with series counts preserved and repeated exports byte-equal.
+func FuzzMetricsExport(f *testing.F) {
+	f.Add("wal", "appends", "s0", uint64(3), int64(1500))
+	f.Add("", "", "", uint64(0), int64(0))
+	f.Add("we ird", "na-me", "l\"bl\n\\", uint64(1<<63), int64(-5))
+	f.Add("a", "b", "overflow", uint64(42), int64(1e12))
+	f.Add("héllo", "wörld", "ütf8", uint64(7), int64(99))
+	f.Fuzz(func(t *testing.T, subsystem, name, label string, v uint64, obs int64) {
+		r := NewRegistry()
+		r.Counter(subsystem, name, label).Add(v)
+		r.Gauge(subsystem, name+"_g", label).Set(float64(v) / 3)
+		r.Histogram(subsystem, name+"_h", label).Observe(sim.Duration(obs))
+		r.Sample(sim.Time(0).Add(sim.Second))
+		r.Counter(subsystem, name, label).Add(v / 2)
+		r.Sample(sim.Time(0).Add(2 * sim.Second))
+
+		txt := r.ExportText()
+		for _, line := range strings.Split(strings.TrimSuffix(txt, "\n"), "\n") {
+			if line == "" {
+				t.Fatalf("blank line in text export:\n%s", txt)
+			}
+			if strings.HasPrefix(line, "# TYPE ") {
+				continue
+			}
+			brace := strings.IndexByte(line, '{')
+			if brace <= 0 {
+				t.Fatalf("metric line without label braces: %q", line)
+			}
+			mname := line[:brace]
+			if !strings.HasPrefix(mname, "hyperloop_") {
+				t.Fatalf("metric name missing namespace: %q", line)
+			}
+			for _, c := range mname {
+				ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+				if !ok {
+					t.Fatalf("unclean char %q in metric name %q", c, mname)
+				}
+			}
+			close := strings.LastIndexByte(line, '}')
+			if close < brace || close+2 > len(line) || line[close+1] != ' ' {
+				t.Fatalf("malformed label/value split: %q", line)
+			}
+		}
+
+		data, err := r.ExportJSON()
+		if err != nil {
+			t.Fatalf("ExportJSON: %v", err)
+		}
+		d, err := ParseJSON(data)
+		if err != nil {
+			t.Fatalf("ParseJSON of own export: %v\n%s", err, data)
+		}
+		if len(d.Counters) != 1 || len(d.Gauges) != 1 || len(d.Histograms) != 1 {
+			t.Fatalf("series lost in round trip: %d/%d/%d", len(d.Counters), len(d.Gauges), len(d.Histograms))
+		}
+		if want := float64(v + v/2); d.Counters[0].Value != want {
+			t.Fatalf("counter value %v, want %v", d.Counters[0].Value, want)
+		}
+		again, _ := r.ExportJSON()
+		if string(again) != string(data) {
+			t.Fatal("repeated JSON export differs")
+		}
+		if r.ExportText() != txt {
+			t.Fatal("repeated text export differs")
+		}
+	})
+}

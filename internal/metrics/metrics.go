@@ -1,0 +1,290 @@
+// Package metrics is the deterministic, virtual-time metrics substrate of
+// the observability plane (DESIGN.md §12). A Registry holds counters,
+// gauges, and log-linear histograms keyed by (subsystem, name, label) —
+// label carries the tenant/shard dimension. Handles are registered once at
+// setup; the hot path (Inc/Add/Set/Observe) performs no allocation and no
+// map lookup, so instrumented runs stay byte-identical to uninstrumented
+// ones. All times are the sim engine's virtual clock: rates are ops per
+// virtual second over the last sampling window, never wall time.
+//
+// Determinism rules:
+//   - Instrumentation only observes; it never schedules engine events by
+//     itself. A Sampler is the single exception, and its ticks mutate no
+//     simulation-visible state.
+//   - Per-worker registries (one per RunParallel cell) are merged in input
+//     order, so exports are bit-identical at any -parallel worker count.
+//   - Export orders series by sorted key, never map iteration order.
+package metrics
+
+import (
+	"hyperloop/internal/sim"
+	"hyperloop/internal/stats"
+)
+
+// MaxLabels bounds the label cardinality per (subsystem, name) series
+// family. Registrations beyond the bound collapse into a shared "overflow"
+// label so a misbehaving caller (e.g. per-key labels) cannot grow the
+// registry without bound.
+const MaxLabels = 256
+
+// OverflowLabel is the shared label that absorbs registrations past
+// MaxLabels.
+const OverflowLabel = "overflow"
+
+// Key identifies one series.
+type Key struct {
+	Subsystem string
+	Name      string
+	Label     string
+}
+
+func (k Key) less(o Key) bool {
+	if k.Subsystem != o.Subsystem {
+		return k.Subsystem < o.Subsystem
+	}
+	if k.Name != o.Name {
+		return k.Name < o.Name
+	}
+	return k.Label < o.Label
+}
+
+// Counter is a monotonically increasing series with a two-point sampling
+// window for rate computation.
+type Counter struct {
+	v uint64
+	// Window snapshots: (t0,v0) is the previous sample, (t1,v1) the latest.
+	t0, t1 sim.Time
+	v0, v1 uint64
+	warm   int // samples taken (rate needs two)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Rate returns the increase per virtual second over the last completed
+// sampling window, or 0 before two samples exist.
+func (c *Counter) Rate() float64 {
+	if c.warm < 2 || c.t1 <= c.t0 {
+		return 0
+	}
+	return float64(c.v1-c.v0) / (float64(c.t1.Sub(c.t0)) / float64(sim.Second))
+}
+
+func (c *Counter) sample(now sim.Time) {
+	c.t0, c.v0 = c.t1, c.v1
+	c.t1, c.v1 = now, c.v
+	if c.warm < 2 {
+		c.warm++
+	}
+}
+
+// Gauge is a point-in-time value, either set directly or computed by a
+// registered function (evaluated at sample/export time).
+type Gauge struct {
+	v  float64
+	fn func() float64
+}
+
+// Set stores v; it clears any registered function.
+func (g *Gauge) Set(v float64) { g.v, g.fn = v, nil }
+
+// Value returns the gauge's current value, evaluating the function form.
+func (g *Gauge) Value() float64 {
+	if g.fn != nil {
+		return g.fn()
+	}
+	return g.v
+}
+
+func (g *Gauge) sample() {
+	if g.fn != nil {
+		g.v = g.fn()
+	}
+}
+
+// Histogram wraps the repo's log-linear histogram for virtual-duration
+// observations.
+type Histogram struct {
+	h *stats.Histogram
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d sim.Duration) { h.h.Record(d) }
+
+// Hist exposes the underlying histogram (for Summarize/Percentile).
+func (h *Histogram) Hist() *stats.Histogram { return h.h }
+
+// Registry is a set of series. Not safe for concurrent use; in parallel
+// sweeps each worker cell owns a private registry and the cells are merged
+// in input order afterwards.
+type Registry struct {
+	counters map[Key]*Counter
+	gauges   map[Key]*Gauge
+	hists    map[Key]*Histogram
+	// family cardinality accounting for the MaxLabels bound
+	labels     map[[2]string]int
+	lastSample sim.Time
+	sampled    bool
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[Key]*Counter),
+		gauges:   make(map[Key]*Gauge),
+		hists:    make(map[Key]*Histogram),
+		labels:   make(map[[2]string]int),
+	}
+}
+
+// bound applies the per-family cardinality cap: a key whose family already
+// holds MaxLabels distinct labels collapses to the overflow label.
+func (r *Registry) bound(k Key, exists func(Key) bool) Key {
+	if exists(k) {
+		return k
+	}
+	fam := [2]string{k.Subsystem, k.Name}
+	if r.labels[fam] >= MaxLabels {
+		k.Label = OverflowLabel
+		if !exists(k) {
+			// The overflow series itself is the cap+1'th label.
+			r.labels[fam]++
+		}
+		return k
+	}
+	r.labels[fam]++
+	return k
+}
+
+// Counter returns the counter for the key, creating it on first use.
+// Callers register once at setup and hold the handle; the handle's methods
+// are the zero-allocation hot path.
+func (r *Registry) Counter(subsystem, name, label string) *Counter {
+	k := r.bound(Key{subsystem, name, label}, func(k Key) bool { _, ok := r.counters[k]; return ok })
+	c, ok := r.counters[k]
+	if !ok {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge for the key, creating it on first use.
+func (r *Registry) Gauge(subsystem, name, label string) *Gauge {
+	k := r.bound(Key{subsystem, name, label}, func(k Key) bool { _, ok := r.gauges[k]; return ok })
+	g, ok := r.gauges[k]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a computed gauge. The function is evaluated at
+// Sample/export time, keeping the producer's hot path untouched.
+func (r *Registry) GaugeFunc(subsystem, name, label string, fn func() float64) {
+	g := r.Gauge(subsystem, name, label)
+	g.fn = fn
+}
+
+// Histogram returns the histogram for the key, creating it on first use.
+func (r *Registry) Histogram(subsystem, name, label string) *Histogram {
+	k := r.bound(Key{subsystem, name, label}, func(k Key) bool { _, ok := r.hists[k]; return ok })
+	h, ok := r.hists[k]
+	if !ok {
+		h = &Histogram{h: stats.NewHistogram()}
+		r.hists[k] = h
+	}
+	return h
+}
+
+// Sample advances every counter's rate window and materialises computed
+// gauges at the given virtual time. Callers invoke it from a Sampler or at
+// chosen experiment boundaries.
+func (r *Registry) Sample(now sim.Time) {
+	for _, c := range r.counters {
+		c.sample(now)
+	}
+	for _, g := range r.gauges {
+		g.sample()
+	}
+	r.lastSample = now
+	r.sampled = true
+}
+
+// LastSample returns the virtual time of the most recent Sample call and
+// whether one has happened.
+func (r *Registry) LastSample() (sim.Time, bool) { return r.lastSample, r.sampled }
+
+// Merge folds src into r: counters add, histograms merge, gauges take the
+// source's materialised value (per-cell gauges should carry disjoint labels,
+// e.g. a worker or shard suffix). Merging cells in input order keeps the
+// combined registry bit-reproducible at any worker count.
+func (r *Registry) Merge(src *Registry) {
+	// Sorted iteration: if a family crosses MaxLabels mid-merge, which label
+	// collapses to overflow must not depend on map iteration order.
+	for _, k := range sortedKeys(src.counters) {
+		sc := src.counters[k]
+		c := r.Counter(k.Subsystem, k.Name, k.Label)
+		c.v += sc.v
+		c.v0 += sc.v0
+		c.v1 += sc.v1
+		if sc.t0 > c.t0 {
+			c.t0 = sc.t0
+		}
+		if sc.t1 > c.t1 {
+			c.t1 = sc.t1
+		}
+		if sc.warm > c.warm {
+			c.warm = sc.warm
+		}
+	}
+	for _, k := range sortedKeys(src.gauges) {
+		r.Gauge(k.Subsystem, k.Name, k.Label).Set(src.gauges[k].Value())
+	}
+	for _, k := range sortedKeys(src.hists) {
+		r.Histogram(k.Subsystem, k.Name, k.Label).h.Merge(src.hists[k].h)
+	}
+	if src.sampled && (!r.sampled || src.lastSample > r.lastSample) {
+		r.lastSample = src.lastSample
+		r.sampled = true
+	}
+}
+
+// Sampler ticks a registry on the engine clock. Its events read metric
+// state but never write simulation state, so enabling one cannot change
+// experiment outputs. Stop it before draining an engine to quiescence, or
+// the self-rescheduling tick keeps the event queue non-empty forever.
+type Sampler struct {
+	eng     *sim.Engine
+	reg     *Registry
+	every   sim.Duration
+	stopped bool
+}
+
+// NewSampler samples reg every `every` of virtual time, starting one period
+// from now.
+func NewSampler(eng *sim.Engine, reg *Registry, every sim.Duration) *Sampler {
+	s := &Sampler{eng: eng, reg: reg, every: every}
+	s.tick()
+	return s
+}
+
+func (s *Sampler) tick() {
+	s.eng.Schedule(s.every, func() {
+		if s.stopped {
+			return
+		}
+		s.reg.Sample(s.eng.Now())
+		s.tick()
+	})
+}
+
+// Stop halts sampling; the final pending tick becomes a no-op.
+func (s *Sampler) Stop() { s.stopped = true }

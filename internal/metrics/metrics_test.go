@@ -1,0 +1,311 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"hyperloop/internal/sim"
+	"hyperloop/internal/stats"
+)
+
+// --- counters and rates ---
+
+func TestCounterRateWindow(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("wal", "appends", "s0")
+	if c.Rate() != 0 {
+		t.Fatal("rate before any sample")
+	}
+	c.Add(100)
+	r.Sample(sim.Time(0).Add(sim.Second))
+	if c.Rate() != 0 {
+		t.Fatal("rate needs two samples")
+	}
+	c.Add(50)
+	r.Sample(sim.Time(0).Add(2 * sim.Second))
+	if got := c.Rate(); got != 50 {
+		t.Fatalf("rate = %v, want 50/s over the last window", got)
+	}
+	if c.Value() != 150 {
+		t.Fatalf("value = %d", c.Value())
+	}
+}
+
+func TestCounterHandleIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("wal", "appends", "s0")
+	b := r.Counter("wal", "appends", "s0")
+	if a != b {
+		t.Fatal("same key must return the same handle")
+	}
+	if r.Counter("wal", "appends", "s1") == a {
+		t.Fatal("distinct labels must get distinct handles")
+	}
+}
+
+// --- gauges ---
+
+func TestGaugeFuncMaterializedAtSample(t *testing.T) {
+	r := NewRegistry()
+	v := 1.0
+	r.GaugeFunc("host", "util", "n0", func() float64 { return v })
+	g := r.Gauge("host", "util", "n0")
+	v = 0.5
+	if g.Value() != 0.5 {
+		t.Fatalf("gauge fn not evaluated lazily: %v", g.Value())
+	}
+	r.Sample(sim.Time(0))
+	v = 0.25
+	if g.Value() != 0.25 {
+		t.Fatal("fn gauge must keep tracking after Sample")
+	}
+	g.Set(9)
+	if g.Value() != 9 {
+		t.Fatal("Set must override the fn")
+	}
+}
+
+// --- histogram vs sort-exact reference ---
+
+// histMaxRelErr mirrors the conformance oracle's bound for the log-linear
+// layout (subBucketBits=6 → ~1.6% worst-case relative error).
+const histMaxRelErr = 0.016
+
+// mixtureSamples reproduces the oracle's mixed workload: tiny integer
+// latencies, exponential tails, heavy Pareto tails, and exact powers of two
+// (bucket-boundary probes).
+func mixtureSamples(n int, seed int64) []sim.Duration {
+	rng := sim.NewRand(seed)
+	out := make([]sim.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		var v sim.Duration
+		switch i % 5 {
+		case 0, 1:
+			v = sim.Duration(rng.Int63n(200))
+		case 2, 3:
+			v = rng.Exp(50 * sim.Microsecond)
+		default:
+			v = rng.Pareto(sim.Microsecond, 1.3)
+		}
+		if i%64 == 0 {
+			v = sim.Duration(1) << uint(i/64%40)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func TestHistogramPercentilesVsExact(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		samples := mixtureSamples(20000, seed)
+		r := NewRegistry()
+		h := r.Histogram("micro", "lat", "t")
+		for _, s := range samples {
+			h.Observe(s)
+		}
+		sorted := append([]sim.Duration(nil), samples...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, p := range []float64{50, 90, 95, 99, 99.9, 100} {
+			// Same rank convention as Histogram.Percentile / stats.Exact.
+			idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(sorted) {
+				idx = len(sorted) - 1
+			}
+			exact := sorted[idx]
+			got := h.Hist().Percentile(p)
+			if exact == 0 {
+				if got != 0 {
+					t.Fatalf("seed %d p%v: got %v, exact 0", seed, p, got)
+				}
+				continue
+			}
+			rel := float64(got-exact) / float64(exact)
+			if rel < 0 {
+				rel = -rel
+			}
+			if rel > histMaxRelErr {
+				t.Fatalf("seed %d p%v: got %v, exact %v, rel err %.4f > %.4f",
+					seed, p, got, exact, rel, histMaxRelErr)
+			}
+		}
+		if h.Hist().Count() != uint64(len(samples)) {
+			t.Fatalf("count = %d", h.Hist().Count())
+		}
+	}
+}
+
+// --- merge ---
+
+func TestMergeCountersHistsGauges(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("wal", "appends", "s0").Add(10)
+	b.Counter("wal", "appends", "s0").Add(32)
+	b.Counter("wal", "appends", "s1").Add(5)
+	a.Gauge("host", "util", "n0").Set(0.25)
+	b.Gauge("host", "util", "n1").Set(0.75)
+	for i := 0; i < 100; i++ {
+		a.Histogram("micro", "lat", "t").Observe(sim.Duration(i))
+		b.Histogram("micro", "lat", "t").Observe(sim.Duration(1000 + i))
+	}
+	a.Sample(sim.Time(0).Add(sim.Second))
+	b.Sample(sim.Time(0).Add(2 * sim.Second))
+
+	a.Merge(b)
+	if got := a.Counter("wal", "appends", "s0").Value(); got != 42 {
+		t.Fatalf("merged counter = %d", got)
+	}
+	if got := a.Counter("wal", "appends", "s1").Value(); got != 5 {
+		t.Fatalf("merge must create missing series: %d", got)
+	}
+	if a.Gauge("host", "util", "n1").Value() != 0.75 {
+		t.Fatal("merge must carry gauge values")
+	}
+	if got := a.Histogram("micro", "lat", "t").Hist().Count(); got != 200 {
+		t.Fatalf("merged hist count = %d", got)
+	}
+	if at, ok := a.LastSample(); !ok || at != sim.Time(0).Add(2*sim.Second) {
+		t.Fatalf("merged last sample = %v %v", at, ok)
+	}
+}
+
+// TestMergeOrderInvariant pins the bit-reproducibility contract: merging the
+// same cells in the same order must export identically no matter how the
+// cells were produced.
+func TestMergeOrderInvariant(t *testing.T) {
+	build := func() *Registry {
+		m := NewRegistry()
+		for cell := 0; cell < 4; cell++ {
+			c := NewRegistry()
+			c.Counter("op", "acked", fmt.Sprintf("w%d", cell)).Add(uint64(cell * 7))
+			c.Histogram("op", "lat", "all").Observe(sim.Duration(cell+1) * sim.Microsecond)
+			c.Sample(sim.Time(0).Add(sim.Duration(cell) * sim.Second))
+			m.Merge(c)
+		}
+		return m
+	}
+	x, _ := build().ExportJSON()
+	y, _ := build().ExportJSON()
+	if string(x) != string(y) {
+		t.Fatal("merged exports differ between identical builds")
+	}
+}
+
+// --- cardinality bound ---
+
+func TestLabelCardinalityOverflow(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < MaxLabels+50; i++ {
+		r.Counter("shard", "puts", fmt.Sprintf("s%d", i)).Inc()
+	}
+	over := r.Counter("shard", "puts", OverflowLabel)
+	if over.Value() != 50 {
+		t.Fatalf("overflow absorbed %d, want 50", over.Value())
+	}
+	// A pre-cap label keeps its own series.
+	if r.Counter("shard", "puts", "s0").Value() != 1 {
+		t.Fatal("pre-cap series lost")
+	}
+	// Other families are unaffected.
+	r.Counter("wal", "appends", "s300").Inc()
+	if r.Counter("wal", "appends", "s300").Value() != 1 {
+		t.Fatal("cap leaked across families")
+	}
+}
+
+// --- sampler ---
+
+func TestSamplerTicksOnVirtualClock(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewRegistry()
+	c := r.Counter("op", "acked", "all")
+	s := NewSampler(eng, r, sim.Millisecond)
+	eng.Schedule(500*sim.Microsecond, func() { c.Add(10) })
+	eng.Schedule(1500*sim.Microsecond, func() { c.Add(30) })
+	eng.RunFor(2500 * sim.Microsecond)
+	// Windows: [1ms]=10, [2ms]=40 → rate over (1ms,2ms] = 30 per 1ms.
+	want := 30.0 / (float64(sim.Millisecond) / float64(sim.Second))
+	if got := c.Rate(); got != want {
+		t.Fatalf("rate = %v, want %v", got, want)
+	}
+	s.Stop()
+	at, _ := r.LastSample()
+	eng.RunFor(10 * sim.Millisecond)
+	if at2, _ := r.LastSample(); at2 != at {
+		t.Fatal("stopped sampler kept sampling")
+	}
+}
+
+// --- export ---
+
+func TestExportTextShape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("wal", "appends", "s0").Add(3)
+	r.Gauge("host", "util", "n0").Set(0.5)
+	r.Histogram("micro", "lat", "t").Observe(123 * sim.Microsecond)
+	txt := r.ExportText()
+	for _, want := range []string{
+		`hyperloop_wal_appends{label="s0"} 3`,
+		`# TYPE hyperloop_host_util gauge`,
+		`hyperloop_host_util{label="n0"} 0.5`,
+		`hyperloop_micro_lat_count{label="t"} 1`,
+		`hyperloop_micro_lat{label="t",quantile="0.5"}`,
+	} {
+		if !strings.Contains(txt, want) {
+			t.Fatalf("export missing %q:\n%s", want, txt)
+		}
+	}
+}
+
+func TestExportJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("wal", "appends", "s0").Add(7)
+	r.Histogram("micro", "lat", "t").Observe(42 * sim.Microsecond)
+	r.Sample(sim.Time(0).Add(3 * sim.Second))
+	data, err := r.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ParseJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.SampledAtNs != int64(3*sim.Second) {
+		t.Fatalf("sampled_at = %d", d.SampledAtNs)
+	}
+	if len(d.Counters) != 1 || d.Counters[0].Value != 7 {
+		t.Fatalf("counters: %+v", d.Counters)
+	}
+	if len(d.Histograms) != 1 || d.Histograms[0].Count != 1 {
+		t.Fatalf("histograms: %+v", d.Histograms)
+	}
+	// Byte-determinism: exporting twice is identical.
+	again, _ := r.ExportJSON()
+	if string(again) != string(data) {
+		t.Fatal("repeated export differs")
+	}
+}
+
+func TestPromNameEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("we ird", "na-me", "l\"bl\n").Inc()
+	txt := r.ExportText()
+	if !strings.Contains(txt, `hyperloop_we_ird_na_me{label="l\"bl\n"} 1`) {
+		t.Fatalf("escaping wrong:\n%s", txt)
+	}
+}
+
+// Exercise the summary path used by stats consumers.
+func TestHistogramSum(t *testing.T) {
+	h := stats.NewHistogram()
+	h.Record(10)
+	h.Record(32)
+	if h.Sum() != 42 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+}

@@ -1,0 +1,115 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Range-routing boundary semantics: shard i owns [boundaries[i-1],
+// boundaries[i]) — a boundary key is the FIRST key of the upper shard, the
+// key lexicographically just below it is the LAST key of the lower shard.
+func TestRangeMapBoundaryKeys(t *testing.T) {
+	m := NewRangeMap([]string{"g", "n", "t"})
+	if m.Shards() != 4 {
+		t.Fatalf("shards = %d", m.Shards())
+	}
+	cases := []struct {
+		key  string
+		want int
+	}{
+		{"", 0},          // lowest possible key: first key of shard 0
+		{"a", 0},         // interior of shard 0
+		{"f\xff", 0},     // last representable key below boundary "g"
+		{"g", 1},         // boundary key itself opens the upper shard
+		{"g\x00", 1},     // immediate successor of the boundary
+		{"m\xff\xff", 1}, // last key of shard 1
+		{"n", 2},
+		{"s", 2},
+		{"t", 3},
+		{"t\x00", 3},
+		{"zzz", 3},      // far above the last boundary
+		{"\xff\xff", 3}, // highest representable prefix
+	}
+	for _, c := range cases {
+		if got := m.Route(c.key); got != c.want {
+			t.Errorf("Route(%q) = %d, want %d", c.key, got, c.want)
+		}
+	}
+}
+
+// An empty boundary list is a single-shard map: every key routes to 0.
+func TestRangeMapEmptyBoundaries(t *testing.T) {
+	m := NewRangeMap(nil)
+	if m.Shards() != 1 {
+		t.Fatalf("shards = %d", m.Shards())
+	}
+	for _, k := range []string{"", "a", "zzz", "\xff"} {
+		if got := m.Route(k); got != 0 {
+			t.Errorf("Route(%q) = %d, want 0", k, got)
+		}
+	}
+}
+
+// An empty-string boundary is legal (shard 0 owns only the empty key's
+// predecessors — i.e. nothing, every real key routes above it).
+func TestRangeMapEmptyStringBoundary(t *testing.T) {
+	m := NewRangeMap([]string{""})
+	if got := m.Route(""); got != 1 {
+		t.Fatalf("Route(\"\") = %d: boundary key belongs to the upper shard", got)
+	}
+	if got := m.Route("a"); got != 1 {
+		t.Fatalf("Route(\"a\") = %d", got)
+	}
+}
+
+func TestRangeMapUnsortedBoundariesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted boundaries must panic")
+		}
+	}()
+	NewRangeMap([]string{"b", "a"})
+}
+
+func TestRangeMapDuplicateBoundariesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate boundaries must panic")
+		}
+	}()
+	NewRangeMap([]string{"a", "a"})
+}
+
+// A single-shard hash map has one shard's vnodes on the ring; every key must
+// route to shard 0 including hashes above the highest ring point (the
+// wrap-around branch).
+func TestHashMapSingleShardWrapAround(t *testing.T) {
+	m := NewHashMap(1)
+	for i := 0; i < 4096; i++ {
+		if got := m.Route(fmt.Sprintf("key-%d", i)); got != 0 {
+			t.Fatalf("Route(key-%d) = %d", i, got)
+		}
+	}
+}
+
+// Hash routing must cover every shard and be stable across map rebuilds.
+func TestHashMapCoverageAndStability(t *testing.T) {
+	a, b := NewHashMap(8), NewHashMap(8)
+	hit := make([]int, 8)
+	for i := 0; i < 4096; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		ra, rb := a.Route(k), b.Route(k)
+		if ra != rb {
+			t.Fatalf("Route(%q) unstable: %d vs %d", k, ra, rb)
+		}
+		if ra < 0 || ra >= 8 {
+			t.Fatalf("Route(%q) = %d out of range", k, ra)
+		}
+		hit[ra]++
+	}
+	for s, n := range hit {
+		if n == 0 {
+			t.Errorf("shard %d never routed", s)
+		}
+	}
+}

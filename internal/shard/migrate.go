@@ -163,6 +163,11 @@ func (m *migration) cutover(epoch uint64) {
 	old := s.rep.g
 	oldHosts := s.replicas
 	s.epoch = epoch
+	if p.cfg.Spans != nil {
+		// The fence: spans issued against the previous epoch must not
+		// straddle this instant unmarked (check.SpanConservation).
+		p.cfg.Spans.Fence(s.ID, epoch)
+	}
 	for _, h := range oldHosts {
 		if !contains(m.destHosts, h) {
 			s.former[h] = true

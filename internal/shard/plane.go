@@ -8,7 +8,9 @@ import (
 	"hyperloop/internal/core"
 	"hyperloop/internal/fabric"
 	"hyperloop/internal/kvstore"
+	"hyperloop/internal/metrics"
 	"hyperloop/internal/sim"
+	"hyperloop/internal/span"
 	"hyperloop/internal/wal"
 )
 
@@ -57,6 +59,14 @@ type Config struct {
 	CommitEvery int
 	// Seed feeds the cluster and the per-shard stores.
 	Seed int64
+	// Metrics attaches the observability registry (nil = disabled). Series
+	// are labeled "s<id>" per shard — cardinality is bounded by the shard
+	// count, never the keyspace.
+	Metrics *metrics.Registry
+	// Spans attaches op-span recording: every Put opens a span tagged with
+	// its shard and issue epoch, and migration cutovers record epoch fences
+	// (nil = disabled). Observation-only either way.
+	Spans *span.Recorder
 }
 
 func (c *Config) fill() {
@@ -138,6 +148,11 @@ type Shard struct {
 	windowOps uint64 // write ops since the last detector scan
 	latEWMA   sim.Duration
 	former    map[int]bool // host indexes that owned this shard before a cutover
+
+	// observability handles (nil when the plane is uninstrumented)
+	putCount   *metrics.Counter
+	putRefused *metrics.Counter
+	putLat     *metrics.Histogram
 }
 
 // Epoch returns the shard's current epoch (bumped at every cutover).
@@ -299,6 +314,14 @@ func Open(eng *sim.Engine, cl *cluster.Cluster, placement [][]int, cfg Config, d
 	for sid := 0; sid < cfg.Shards; sid++ {
 		p.shards = append(p.shards, p.buildShard(sid, oneOpen))
 	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.GaugeFunc("shard", "stale_suppressed", "plane", func() float64 {
+			return float64(p.staleSuppressed)
+		})
+		cfg.Metrics.GaugeFunc("shard", "stale_served", "plane", func() float64 {
+			return float64(p.staleServed)
+		})
+	}
 	return p
 }
 
@@ -334,6 +357,14 @@ func (p *Plane) buildShard(sid int, opened func(error)) *Shard {
 		Seed:        p.cfg.Seed + int64(sid)*7919,
 	}, opened)
 	s.db.EnableReplicaReads(p.client, p.hostNodes(hosts))
+	if p.cfg.Metrics != nil {
+		lbl := fmt.Sprintf("s%d", sid)
+		s.putCount = p.cfg.Metrics.Counter("shard", "puts", lbl)
+		s.putRefused = p.cfg.Metrics.Counter("shard", "puts_refused", lbl)
+		s.putLat = p.cfg.Metrics.Histogram("shard", "put_latency_ns", lbl)
+		p.cfg.Metrics.GaugeFunc("shard", "epoch", lbl, func() float64 { return float64(s.epoch) })
+		p.cfg.Metrics.GaugeFunc("shard", "migrations", lbl, func() float64 { return float64(s.migrations) })
+	}
 	return s
 }
 
@@ -361,7 +392,11 @@ func (p *Plane) EpochWord(h, sid int) uint64 {
 
 // note records a timeline event at the current virtual time.
 func (p *Plane) note(format string, args ...any) {
-	p.timeline = append(p.timeline, Event{At: p.Eng.Now(), What: fmt.Sprintf(format, args...)})
+	what := fmt.Sprintf(format, args...)
+	p.timeline = append(p.timeline, Event{At: p.Eng.Now(), What: what})
+	if p.cfg.Spans != nil {
+		p.cfg.Spans.Annotate("shard", what)
+	}
 }
 
 // Timeline returns the recorded plane events (migration phases, rebalance
@@ -405,6 +440,15 @@ func (p *Plane) Put(key string, value []byte, done func(error)) (int, error) {
 	s.ops++
 	s.windowOps++
 	start := p.Eng.Now()
+	issueEpoch := s.epoch
+	var sp *span.Span
+	if p.cfg.Spans != nil {
+		sp = p.cfg.Spans.Start("shard-put", fmt.Sprintf("s%d", s.ID))
+		sp.SetShardEpoch(s.ID, issueEpoch)
+	}
+	if s.putCount != nil {
+		s.putCount.Inc()
+	}
 	err := s.db.Put(key, value, func(err error) {
 		if err == nil {
 			lat := p.Eng.Now().Sub(start)
@@ -413,11 +457,36 @@ func (p *Plane) Put(key string, value []byte, done func(error)) (int, error) {
 			} else {
 				s.latEWMA = (s.latEWMA*7 + lat) / 8
 			}
+			if s.putLat != nil {
+				s.putLat.Observe(lat)
+			}
+		}
+		if sp != nil {
+			if s.epoch != issueEpoch {
+				// The op's ack observed a cutover; the span is explicitly
+				// marked so the fence invariant knows this was seen.
+				sp.MarkCrossedFence()
+			}
+			if err != nil {
+				sp.Annotate("error", err.Error())
+			}
+			sp.End()
 		}
 		if done != nil {
 			done(err)
 		}
 	})
+	if err != nil {
+		// Synchronous refusal (ring-full backpressure): the callback never
+		// fires, so settle the span and counters here.
+		if s.putRefused != nil {
+			s.putRefused.Inc()
+		}
+		if sp != nil {
+			sp.Annotate("error", err.Error())
+			sp.End()
+		}
+	}
 	return s.ID, err
 }
 

@@ -1,0 +1,171 @@
+// Package span is the op-scoped tracing half of the observability plane
+// (DESIGN.md §12): virtual-time spans that thread one client operation
+// through the layers — op issue → WQE chain post → per-hop NIC execution
+// (bridged from the rdma.TraceEvent stream) → WAL append → commit/ack — so
+// a gWRITE/gCAS decomposes into per-stage durations that sum exactly to
+// its end-to-end latency.
+//
+// Spans are observation-only: a Recorder never schedules engine events and
+// never mutates simulation state, so enabling spans cannot change any
+// experiment output. All timestamps come from the engine's virtual clock.
+package span
+
+import (
+	"fmt"
+
+	"hyperloop/internal/sim"
+)
+
+// DefaultRetain caps how many root spans a Recorder keeps for inspection.
+// Spans past the cap still count in the conservation totals (Started/Ended
+// accounting stays exact) but their objects are not retained.
+const DefaultRetain = 1 << 15
+
+// Fence marks a shard epoch advance (migration cutover): no span tagged
+// with the shard's previous epoch may straddle this instant unnoticed.
+type Fence struct {
+	At    sim.Time
+	Shard int
+	Epoch uint64 // the epoch that became current at At
+}
+
+// Note is an annotated point event (fault injections, failovers).
+type Note struct {
+	At   sim.Time
+	Kind string
+	What string
+}
+
+func (n Note) String() string { return fmt.Sprintf("%v [%s] %s", n.At, n.Kind, n.What) }
+
+// Span is one timed operation or stage. Shard is -1 when untagged.
+type Span struct {
+	rec   *Recorder
+	ID    uint64
+	Name  string
+	Label string
+	Start sim.Time
+	EndAt sim.Time
+	ended bool
+
+	Shard        int
+	Epoch        uint64
+	CrossedFence bool // op observed an epoch change between issue and ack
+
+	Parent      *Span
+	Children    []*Span
+	Annotations []Note
+}
+
+// Recorder collects spans for one engine. Not safe for concurrent use;
+// parallel sweeps give each worker cell its own recorder.
+type Recorder struct {
+	eng    *sim.Engine
+	retain int
+
+	roots  []*Span
+	fences []Fence
+	notes  []Note
+
+	started     uint64
+	ended       uint64
+	doubleEnded uint64
+	dropped     uint64 // spans started past the retention cap
+	nextID      uint64
+}
+
+// NewRecorder creates a recorder bound to the engine clock.
+func NewRecorder(eng *sim.Engine) *Recorder {
+	return &Recorder{eng: eng, retain: DefaultRetain}
+}
+
+// SetRetain overrides the retained-root cap (0 keeps every span).
+func (r *Recorder) SetRetain(n int) { r.retain = n }
+
+// Start opens a root span now.
+func (r *Recorder) Start(name, label string) *Span {
+	r.nextID++
+	r.started++
+	s := &Span{rec: r, ID: r.nextID, Name: name, Label: label, Start: r.eng.Now(), Shard: -1}
+	if r.retain == 0 || len(r.roots) < r.retain {
+		r.roots = append(r.roots, s)
+	} else {
+		r.dropped++
+	}
+	return s
+}
+
+// Child opens a stage span under s, starting now.
+func (s *Span) Child(name string) *Span {
+	r := s.rec
+	r.nextID++
+	r.started++
+	c := &Span{rec: r, ID: r.nextID, Name: name, Label: s.Label,
+		Start: r.eng.Now(), Shard: -1, Parent: s}
+	s.Children = append(s.Children, c)
+	return c
+}
+
+// End closes the span now. Ending twice is recorded as a conservation
+// violation rather than panicking, so the checker can report it.
+func (s *Span) End() {
+	if s.ended {
+		s.rec.doubleEnded++
+		return
+	}
+	s.ended = true
+	s.EndAt = s.rec.eng.Now()
+	s.rec.ended++
+}
+
+// Ended reports whether End has run.
+func (s *Span) Ended() bool { return s.ended }
+
+// Duration returns EndAt-Start for an ended span, else 0.
+func (s *Span) Duration() sim.Duration {
+	if !s.ended {
+		return 0
+	}
+	return s.EndAt.Sub(s.Start)
+}
+
+// SetShardEpoch tags the span with the shard and epoch it was issued
+// against (for the epoch-fence invariant).
+func (s *Span) SetShardEpoch(shard int, epoch uint64) {
+	s.Shard, s.Epoch = shard, epoch
+}
+
+// MarkCrossedFence records that the op knowingly observed an epoch change
+// (e.g. a put acked after a migration cutover retargeted its shard).
+func (s *Span) MarkCrossedFence() { s.CrossedFence = true }
+
+// Annotate attaches a point event to the span at the current virtual time.
+func (s *Span) Annotate(kind, what string) {
+	s.Annotations = append(s.Annotations, Note{At: s.rec.eng.Now(), Kind: kind, What: what})
+}
+
+// Fence records a shard epoch advance at the current virtual time.
+func (r *Recorder) Fence(shard int, epoch uint64) {
+	r.fences = append(r.fences, Fence{At: r.eng.Now(), Shard: shard, Epoch: epoch})
+}
+
+// Annotate records a recorder-level point event (fault injections land
+// here when no single op span owns them).
+func (r *Recorder) Annotate(kind, what string) {
+	r.notes = append(r.notes, Note{At: r.eng.Now(), Kind: kind, What: what})
+}
+
+// Roots returns the retained root spans in start order.
+func (r *Recorder) Roots() []*Span { return r.roots }
+
+// Fences returns recorded epoch fences in time order.
+func (r *Recorder) Fences() []Fence { return r.fences }
+
+// Notes returns recorder-level annotations in time order.
+func (r *Recorder) Notes() []Note { return r.notes }
+
+// Counts returns the conservation totals: spans started, ended, ended more
+// than once, and started past the retention cap.
+func (r *Recorder) Counts() (started, ended, doubleEnded, dropped uint64) {
+	return r.started, r.ended, r.doubleEnded, r.dropped
+}

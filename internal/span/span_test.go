@@ -1,0 +1,199 @@
+package span
+
+import (
+	"testing"
+
+	"hyperloop/internal/rdma"
+	"hyperloop/internal/sim"
+)
+
+func TestRecorderLifecycle(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewRecorder(eng)
+	s := r.Start("put", "s0")
+	if s.Shard != -1 {
+		t.Fatal("new span must start untagged")
+	}
+	var c *Span
+	eng.Schedule(10, func() { c = s.Child("wal-append") })
+	eng.Schedule(25, func() { c.End() })
+	eng.Schedule(40, func() { s.End() })
+	eng.Drain()
+
+	if !s.Ended() || !c.Ended() {
+		t.Fatal("spans not ended")
+	}
+	if s.Duration() != 40 || c.Duration() != 15 {
+		t.Fatalf("durations: %v %v", s.Duration(), c.Duration())
+	}
+	if len(s.Children) != 1 || s.Children[0] != c || c.Parent != s {
+		t.Fatal("parent/child links broken")
+	}
+	started, ended, dbl, dropped := r.Counts()
+	if started != 2 || ended != 2 || dbl != 0 || dropped != 0 {
+		t.Fatalf("counts: %d %d %d %d", started, ended, dbl, dropped)
+	}
+	if len(r.Roots()) != 1 || r.Roots()[0] != s {
+		t.Fatal("root not retained")
+	}
+}
+
+func TestDoubleEndCountedNotPanicking(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewRecorder(eng)
+	s := r.Start("op", "")
+	s.End()
+	s.End()
+	if _, _, dbl, _ := r.Counts(); dbl != 1 {
+		t.Fatalf("doubleEnded = %d", dbl)
+	}
+	if s.Duration() != 0 {
+		t.Fatalf("duration after same-instant end: %v", s.Duration())
+	}
+}
+
+func TestRetentionCapStillCountsConservation(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewRecorder(eng)
+	r.SetRetain(4)
+	var spans []*Span
+	for i := 0; i < 10; i++ {
+		spans = append(spans, r.Start("op", ""))
+	}
+	for _, s := range spans {
+		s.End()
+	}
+	started, ended, _, dropped := r.Counts()
+	if started != 10 || ended != 10 {
+		t.Fatalf("conservation totals must include dropped spans: %d/%d", started, ended)
+	}
+	if dropped != 6 || len(r.Roots()) != 4 {
+		t.Fatalf("dropped=%d roots=%d", dropped, len(r.Roots()))
+	}
+}
+
+func TestFencesNotesAnnotations(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewRecorder(eng)
+	s := r.Start("put", "s0")
+	s.SetShardEpoch(0, 1)
+	eng.Schedule(5, func() { r.Fence(0, 2) })
+	eng.Schedule(7, func() { r.Annotate("fault", "crash r1") })
+	eng.Schedule(9, func() { s.Annotate("wal", "append refused"); s.MarkCrossedFence(); s.End() })
+	eng.Drain()
+	if len(r.Fences()) != 1 || r.Fences()[0] != (Fence{At: sim.Time(5), Shard: 0, Epoch: 2}) {
+		t.Fatalf("fences: %+v", r.Fences())
+	}
+	if len(r.Notes()) != 1 || r.Notes()[0].Kind != "fault" {
+		t.Fatalf("notes: %+v", r.Notes())
+	}
+	if got := r.Notes()[0].String(); got == "" {
+		t.Fatal("note string empty")
+	}
+	if len(s.Annotations) != 1 || s.Annotations[0].At != sim.Time(9) {
+		t.Fatalf("annotations: %+v", s.Annotations)
+	}
+	if !s.CrossedFence || s.Shard != 0 || s.Epoch != 1 {
+		t.Fatal("tags lost")
+	}
+}
+
+// --- bridge + decompose ---
+
+func ev(at sim.Duration, role, kind string) RoleEvent {
+	return RoleEvent{TraceEvent: rdma.TraceEvent{At: sim.Time(0).Add(at), Kind: kind}, Role: role}
+}
+
+func TestDecomposeTilesWindowExactly(t *testing.T) {
+	events := []RoleEvent{
+		ev(0, "client", "exec"),
+		ev(10, "client", "exec"),
+		ev(50, "replica0", "rx"),
+		ev(55, "replica0", "wait"),
+		ev(55, "replica0", "exec"),
+		ev(90, "client", "rx"),
+		ev(200, "other", "exec"), // beyond the window: must be ignored
+	}
+	start, end := sim.Time(0), sim.Time(0).Add(100)
+	classify := func(prev, next *RoleEvent) string {
+		switch {
+		case next == nil:
+			return "ack"
+		case next.Kind == "rx":
+			return "net"
+		default:
+			return "nic"
+		}
+	}
+	stages := Decompose(events, start, end, classify)
+	var sum sim.Duration
+	got := map[string]sim.Duration{}
+	for _, s := range stages {
+		sum += s.Dur
+		got[s.Name] = s.Dur
+	}
+	if sum != end.Sub(start) {
+		t.Fatalf("stages sum %v != window %v", sum, end.Sub(start))
+	}
+	// nic: (0,10]; net: (10,50] + (55,90]; nic: (50,55]; ack: (90,100]
+	if got["nic"] != 15 || got["net"] != 75 || got["ack"] != 10 {
+		t.Fatalf("stages: %+v", got)
+	}
+	// First-encounter order is deterministic.
+	if stages[0].Name != "nic" || stages[1].Name != "net" || stages[2].Name != "ack" {
+		t.Fatalf("order: %+v", stages)
+	}
+}
+
+func TestDecomposeEmptyEvents(t *testing.T) {
+	stages := Decompose(nil, sim.Time(0), sim.Time(0).Add(42),
+		func(prev, next *RoleEvent) string {
+			if prev != nil || next != nil {
+				t.Fatal("no events: both ends must be nil")
+			}
+			return "whole"
+		})
+	if len(stages) != 1 || stages[0].Dur != 42 {
+		t.Fatalf("stages: %+v", stages)
+	}
+}
+
+func TestBridgeWindowAndReset(t *testing.T) {
+	b := NewBridge(3)
+	tr := b.Tracer("client")
+	for i := 1; i <= 5; i++ {
+		tr(rdma.TraceEvent{At: sim.Time(i * 10), Kind: "exec"})
+	}
+	if len(b.Events()) != 3 {
+		t.Fatalf("limit not applied: %d", len(b.Events()))
+	}
+	w := b.Window(sim.Time(10), sim.Time(30))
+	if len(w) != 2 || w[0].At != sim.Time(20) || w[1].At != sim.Time(30) {
+		t.Fatalf("window (10,30]: %+v", w)
+	}
+	if b.Events()[0].Role != "client" {
+		t.Fatal("role tag lost")
+	}
+	b.Reset()
+	if len(b.Events()) != 0 {
+		t.Fatal("reset did not clear")
+	}
+	if NewBridge(0).limit != DefaultRetain {
+		t.Fatal("zero limit must default")
+	}
+}
+
+func TestMergeStages(t *testing.T) {
+	dst := []Stage{{"a", 10}, {"b", 5}}
+	src := []Stage{{"b", 7}, {"c", 3}}
+	out := MergeStages(dst, src)
+	want := []Stage{{"a", 10}, {"b", 12}, {"c", 3}}
+	if len(out) != len(want) {
+		t.Fatalf("merged: %+v", out)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("merged[%d] = %+v, want %+v", i, out[i], want[i])
+		}
+	}
+}

@@ -103,6 +103,9 @@ func (h *Histogram) Record(v sim.Duration) {
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.total }
 
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() sim.Duration { return sim.Duration(h.sum) }
+
 // Mean returns the average observation, or 0 if empty.
 func (h *Histogram) Mean() sim.Duration {
 	if h.total == 0 {

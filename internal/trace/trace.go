@@ -51,9 +51,12 @@ func (c *Collector) AttachAll(cl *cluster.Cluster) {
 	}
 }
 
-// Detach removes the collector's tracer from a node.
+// Detach removes the collector's tracer from a node and forgets its display
+// name, so a later re-Attach under a different name cannot render events
+// with the stale one.
 func (c *Collector) Detach(n *cluster.Node) {
 	n.NIC.SetTracer(nil)
+	delete(c.names, int(n.NIC.Node()))
 }
 
 // Reset discards collected events.

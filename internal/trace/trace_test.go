@@ -89,3 +89,49 @@ func TestCollectorLimit(t *testing.T) {
 		t.Fatalf("limit not enforced: %d", c.Len())
 	}
 }
+
+// Detach must forget the node's display name: a re-Attach under a new name
+// (or no attach at all) must never render events with the stale one. Pins
+// the name-map leak fix.
+func TestDetachForgetsDisplayName(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, cluster.Config{Nodes: 2, StoreSize: 1 << 20, Fabric: fabric.Config{JitterFrac: -1}})
+	g := core.New(cl, core.Config{Depth: 16})
+	defer g.Close()
+	eng.RunFor(sim.Millisecond)
+
+	c := NewCollector(0)
+	n := cl.Client()
+	c.Attach(n, "old-name")
+	cl.Client().StoreWrite(0, []byte("x"))
+	done := false
+	g.GWrite(0, 1, false, func(core.Result) { done = true })
+	eng.RunUntil(func() bool { return done }, eng.Now().Add(sim.Second))
+	events := c.Events()
+	if len(events) == 0 {
+		t.Fatal("no events collected")
+	}
+	if got := c.Name(events[0]); got != "old-name" {
+		t.Fatalf("attached name = %q", got)
+	}
+
+	// After detach the node falls back to its anonymous id.
+	c.Detach(n)
+	if got := c.Name(events[0]); strings.Contains(got, "old-name") || !strings.HasPrefix(got, "node") {
+		t.Fatalf("detached node still named %q", got)
+	}
+
+	// Re-attach under a different name: renders must use it exclusively.
+	c.Reset()
+	c.Attach(n, "new-name")
+	done = false
+	g.GWrite(0, 1, false, func(core.Result) { done = true })
+	eng.RunUntil(func() bool { return done }, eng.Now().Add(sim.Second))
+	out := c.Render(c.Events(), sim.Time(0))
+	if strings.Contains(out, "old-name") {
+		t.Fatalf("stale name rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "new-name") {
+		t.Fatalf("new name missing:\n%s", out)
+	}
+}

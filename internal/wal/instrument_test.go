@@ -1,0 +1,100 @@
+package wal
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hyperloop/internal/metrics"
+	"hyperloop/internal/sim"
+	"hyperloop/internal/span"
+)
+
+// Instrumented log: appends, executes, and ring-full refusals must show up
+// in the counters; every append/commit span must start and end exactly once;
+// the refusal must leave an annotated note.
+func TestInstrumentObservesAppendsCommitsRefusals(t *testing.T) {
+	eng := sim.NewEngine()
+	store := newMemStore(1 << 16)
+	l := New(store, LocalReplicator{Stores: []Store{store}}, 0, 256, nil)
+	reg := metrics.NewRegistry()
+	rec := span.NewRecorder(eng)
+	l.Instrument(reg, rec, "t0", eng.Now)
+
+	payload := bytes.Repeat([]byte("f"), 64)
+	appends := 0
+	var err error
+	for {
+		err = l.Append([]Entry{{Offset: 4096, Data: payload}}, nil)
+		if err != nil {
+			break
+		}
+		appends++
+	}
+	if err != ErrLogFull || appends == 0 {
+		t.Fatalf("fill: appends=%d err=%v", appends, err)
+	}
+	if got := reg.Counter("wal", "appends", "t0").Value(); got != uint64(appends) {
+		t.Fatalf("appends counter = %d, want %d", got, appends)
+	}
+	if got := reg.Counter("wal", "appends_refused", "t0").Value(); got != 1 {
+		t.Fatalf("refused counter = %d", got)
+	}
+
+	executes := 0
+	for l.Pending() > 0 {
+		if err := l.ExecuteAndAdvance(nil); err != nil {
+			t.Fatal(err)
+		}
+		executes++
+	}
+	if got := reg.Counter("wal", "executes", "t0").Value(); got != uint64(executes) {
+		t.Fatalf("executes counter = %d, want %d", got, executes)
+	}
+
+	started, ended, dbl, _ := rec.Counts()
+	if started != uint64(appends+executes) || ended != started || dbl != 0 {
+		t.Fatalf("span conservation: started=%d ended=%d dbl=%d", started, ended, dbl)
+	}
+	found := false
+	for _, n := range rec.Notes() {
+		if n.Kind == "wal" && strings.Contains(n.What, "ring full") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("refusal note missing: %+v", rec.Notes())
+	}
+}
+
+// reg-only and spans-only instrumentation must each work with the other
+// handle nil.
+func TestInstrumentPartialHandles(t *testing.T) {
+	eng := sim.NewEngine()
+
+	store := newMemStore(1 << 16)
+	l := New(store, LocalReplicator{Stores: []Store{store}}, 0, 4096, nil)
+	reg := metrics.NewRegistry()
+	l.Instrument(reg, nil, "m", eng.Now)
+	if err := l.Append([]Entry{{Offset: 8192, Data: []byte("x")}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.ExecuteAndAdvance(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("wal", "appends", "m").Value(); got != 1 {
+		t.Fatalf("appends = %d", got)
+	}
+
+	store2 := newMemStore(1 << 16)
+	l2 := New(store2, LocalReplicator{Stores: []Store{store2}}, 0, 4096, nil)
+	rec := span.NewRecorder(eng)
+	l2.Instrument(nil, rec, "s", eng.Now)
+	if err := l2.Append([]Entry{{Offset: 8192, Data: []byte("x")}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	started, ended, _, _ := rec.Counts()
+	if started != 1 || ended != 1 {
+		t.Fatalf("spans: %d/%d", started, ended)
+	}
+}

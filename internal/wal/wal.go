@@ -12,7 +12,9 @@ import (
 	"fmt"
 	"hash/crc32"
 
+	"hyperloop/internal/metrics"
 	"hyperloop/internal/sim"
+	"hyperloop/internal/span"
 )
 
 // Replicator is the group-primitive surface the log needs. Both core.Group
@@ -110,6 +112,37 @@ type Log struct {
 
 	appends  uint64
 	executes uint64
+
+	obs *walObs // nil when uninstrumented (the default)
+}
+
+// walObs holds observability handles. All hooks observe only — they never
+// schedule events or touch log state, so instrumented runs stay
+// byte-identical to uninstrumented ones.
+type walObs struct {
+	label     string
+	now       func() sim.Time
+	appends   *metrics.Counter
+	refused   *metrics.Counter
+	executes  *metrics.Counter
+	appendLat *metrics.Histogram
+	commitLat *metrics.Histogram
+	spans     *span.Recorder
+}
+
+// Instrument attaches metrics and span recording to the log. reg and spans
+// may each be nil to enable only the other; now supplies the virtual clock
+// (typically eng.Now). label carries the tenant/shard dimension.
+func (l *Log) Instrument(reg *metrics.Registry, spans *span.Recorder, label string, now func() sim.Time) {
+	o := &walObs{label: label, now: now, spans: spans}
+	if reg != nil {
+		o.appends = reg.Counter("wal", "appends", label)
+		o.refused = reg.Counter("wal", "appends_refused", label)
+		o.executes = reg.Counter("wal", "executes", label)
+		o.appendLat = reg.Histogram("wal", "append_latency_ns", label)
+		o.commitLat = reg.Histogram("wal", "commit_latency_ns", label)
+	}
+	l.obs = o
 }
 
 // pendingRec pairs a record with its replication state: ExecuteAndAdvance
@@ -119,6 +152,57 @@ type Log struct {
 type pendingRec struct {
 	rec   Record
 	acked bool
+}
+
+// noteRefused records a ring-full backpressure refusal.
+func (o *walObs) noteRefused() {
+	if o == nil {
+		return
+	}
+	if o.refused != nil {
+		o.refused.Inc()
+	}
+	if o.spans != nil {
+		o.spans.Annotate("wal", "append refused: ring full ("+o.label+")")
+	}
+}
+
+// observe wraps an operation completion with a counter, a latency
+// observation, and a span covering issue→completion. Nil receiver (the
+// uninstrumented default) returns done unchanged.
+func (o *walObs) observe(op string, done func(error)) func(error) {
+	if o == nil {
+		return done
+	}
+	var count *metrics.Counter
+	var lat *metrics.Histogram
+	if op == "wal-append" {
+		count, lat = o.appends, o.appendLat
+	} else {
+		count, lat = o.executes, o.commitLat
+	}
+	if count != nil {
+		count.Inc()
+	}
+	start := o.now()
+	var sp *span.Span
+	if o.spans != nil {
+		sp = o.spans.Start(op, o.label)
+	}
+	return func(err error) {
+		if lat != nil {
+			lat.Observe(o.now().Sub(start))
+		}
+		if sp != nil {
+			if err != nil {
+				sp.Annotate("error", err.Error())
+			}
+			sp.End()
+		}
+		if done != nil {
+			done(err)
+		}
+	}
 }
 
 // New initializes (formats) a log at [base, base+size) of the store. The
@@ -247,6 +331,7 @@ func (l *Log) AppendMode(entries []Entry, durable bool, done func(error)) error 
 	if l.tail+len(enc) > l.size {
 		padded := l.size - l.tail
 		if l.free() < len(enc)+padded+1 {
+			l.obs.noteRefused()
 			return ErrLogFull
 		}
 		if padded >= padHdrSize {
@@ -262,8 +347,10 @@ func (l *Log) AppendMode(entries []Entry, durable bool, done func(error)) error 
 		l.tail = 0
 	}
 	if l.free() < len(enc)+1 {
+		l.obs.noteRefused()
 		return ErrLogFull
 	}
+	done = l.obs.observe("wal-append", done)
 
 	pos := l.tail
 	l.store.WriteLocal(l.ring(pos), enc)
@@ -319,6 +406,7 @@ func (l *Log) ExecuteAndAdvance(done func(error)) error {
 	l.pending = l.pending[1:]
 	l.inflight = append(l.inflight, pr)
 	gen := l.gen
+	done = l.obs.observe("wal-commit", done)
 
 	// Apply locally (client-side data region mirrors the replicas).
 	for _, e := range rec.Entries {
