@@ -13,6 +13,7 @@ package hyperloop
 
 import (
 	"testing"
+	"time"
 
 	"hyperloop/internal/experiments"
 	"hyperloop/internal/sim"
@@ -336,6 +337,34 @@ func BenchmarkGMemcpyHot(b *testing.B) {
 		target := i + 1
 		eng.RunUntil(func() bool { return done >= target }, eng.Now().Add(Second))
 	}
+}
+
+// BenchmarkPartitionedEngine measures the parallel simulation core: one
+// 8-shard partitioned cell per iteration at full worker count, checked
+// against a serial reference run whose wall-clock cost is reported alongside
+// so the multi-core payoff shows up in benchmark output (engineering
+// metric — the simulated results are byte-identical by construction).
+func BenchmarkPartitionedEngine(b *testing.B) {
+	run := func(workers int) experiments.PartitionedScalingResult {
+		return experiments.RunPartitionedScaling(experiments.PartitionedScalingParams{
+			Shards: 8, Workers: workers, Seed: benchSeed, OpsPerShard: 50,
+		})
+	}
+	serialStart := time.Now()
+	ref := run(1)
+	serialNs := float64(time.Since(serialStart).Nanoseconds())
+	if !ref.Skew.Pass() {
+		b.Fatal(ref.Skew.Err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := run(0)
+		if r.Acked != ref.Acked || r.Lat != ref.Lat {
+			b.Fatalf("parallel run diverged from serial reference:\n%+v\n%+v", r.Lat, ref.Lat)
+		}
+	}
+	b.ReportMetric(serialNs, "serial-ns/op")
+	b.ReportMetric(ref.TputKops, "sim-kops")
 }
 
 // BenchmarkReadScaling measures aggregate replica-read throughput as reads

@@ -23,7 +23,7 @@ var (
 	quick    = flag.Bool("quick", false, "reduced op counts for a fast run")
 	csv      = flag.Bool("csv", false, "emit tables as CSV")
 	seed     = flag.Int64("seed", 1, "simulation seed")
-	parallel = flag.Int("parallel", 0, "sweep worker count (0 = all cores, 1 = serial)")
+	parallel = flag.Int("parallel", 0, "worker count (0 = all cores, 1 = serial)")
 )
 
 func ms(d sim.Duration) string { return fmt.Sprintf("%.3fms", float64(d)/1e6) }

@@ -8,13 +8,20 @@
 //
 // Usage:
 //
-//	hlchaos [-seed N] [-seeds-per-class N] [-classes all|a,b,...] [-parallel N] [-v] [-metrics-json FILE]
+//	hlchaos [-seed N] [-seeds-per-class N] [-classes all|a,b,...] [-parallel N]
+//	        [-engine-workers N] [-v] [-metrics-json FILE]
 //
 // -metrics-json merges every scenario's metrics registry in matrix order
 // (bit-identical at any -parallel setting) and dumps the result as JSON.
+//
+// -engine-workers N (N > 0) appends the partitioned-engine determinism gate:
+// the seeded 16-shard cell runs serially and again at N workers, and the
+// scenario fails unless the results and merged metrics dumps are
+// byte-identical and both runs pass the conservative-lookahead skew check.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -27,10 +34,11 @@ import (
 )
 
 var (
-	seed       = flag.Int64("seed", 1, "base scenario seed")
+	seed       = flag.Int64("seed", 1, "simulation seed")
 	seedsPer   = flag.Int("seeds-per-class", 2, "seeds run per scenario class")
 	classesStr = flag.String("classes", "all", "comma-separated class names, or all")
 	parallel   = flag.Int("parallel", 0, "worker count (0 = all cores, 1 = serial)")
+	engWorkers = flag.Int("engine-workers", 0, "partitioned-engine worker count for the determinism gate (0 = skip the gate)")
 	verbose    = flag.Bool("v", false, "print fault timelines and per-check details")
 	metJSON    = flag.String("metrics-json", "", "merge every scenario's metrics registry and dump as JSON to this file")
 )
@@ -140,6 +148,13 @@ func main() {
 		}
 	}
 
+	if *engWorkers > 0 {
+		total++
+		if !engineGate(*engWorkers) {
+			failed++
+		}
+	}
+
 	if *metJSON != "" {
 		data, err := merged.ExportJSON()
 		if err == nil {
@@ -157,4 +172,45 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("all %d scenarios passed\n", total)
+}
+
+// engineGate runs the seeded 16-shard partitioned cell serially and at
+// workers workers, then demands byte-identical results and metrics dumps
+// plus a clean skew check from both runs. It reports the verdict as one
+// table row and returns whether the gate passed.
+func engineGate(workers int) bool {
+	run := func(w int) (string, []byte, error) {
+		r := experiments.RunPartitionedScaling(experiments.PartitionedScalingParams{
+			Shards: 16, Workers: w, Seed: *seed, OpsPerShard: 100, Metrics: true,
+		})
+		if !r.Skew.Pass() {
+			return "", nil, fmt.Errorf("skew check: %w", r.Skew.Err)
+		}
+		sum := fmt.Sprintf("acked=%d cross=%d elapsed=%v lat=%v maxShardP99=%v",
+			r.Acked, r.CrossAcked, r.Elapsed, r.Lat, r.MaxShardP99)
+		dump, err := r.MergedRegistry().ExportJSON()
+		return sum, dump, err
+	}
+	fmt.Printf("=== Partitioned-engine determinism: 16 shards, workers 1 vs %d (seed %d) ===\n",
+		workers, *seed)
+	verdict, detail := "PASS", "results and metrics dumps byte-identical, skew checks clean"
+	serialSum, serialDump, err := run(1)
+	parSum, parDump, perr := run(workers)
+	switch {
+	case err != nil:
+		verdict, detail = "FAIL", fmt.Sprintf("workers=1: %v", err)
+	case perr != nil:
+		verdict, detail = "FAIL", fmt.Sprintf("workers=%d: %v", workers, perr)
+	case serialSum != parSum:
+		verdict, detail = "FAIL", fmt.Sprintf("results diverged: %s vs %s", serialSum, parSum)
+	case !bytes.Equal(serialDump, parDump):
+		verdict, detail = "FAIL", "metrics dumps differ"
+	}
+	t := stats.NewTable("workers", "result", "verdict")
+	t.AddRow(fmt.Sprintf("1 vs %d", workers), detail, verdict)
+	fmt.Println(t)
+	if verdict == "PASS" && *verbose {
+		fmt.Printf("    %s\n", serialSum)
+	}
+	return verdict == "PASS"
 }

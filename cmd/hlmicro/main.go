@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	hlmicro [-exp all|fig8a|fig8b|table2|fig9|fig10|ablations|stages] [-quick] [-seed N] [-parallel N] [-bench-json FILE] [-metrics-json FILE]
+//	hlmicro [-exp all|fig8a|fig8b|table2|fig9|fig10|ablations|stages] [-quick] [-seed N] [-parallel N]
+//	        [-bench-json FILE] [-metrics-json FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -exp stages decomposes durable-gWRITE latency into per-stage slices
 // (client post, network, NIC forwarding, host CPU, ...) for HyperLoop vs
@@ -19,6 +20,7 @@ import (
 	"os"
 
 	"hyperloop/internal/experiments"
+	"hyperloop/internal/prof"
 	"hyperloop/internal/sim"
 	"hyperloop/internal/stats"
 )
@@ -28,22 +30,40 @@ var (
 	quick     = flag.Bool("quick", false, "reduced op counts for a fast run")
 	csv       = flag.Bool("csv", false, "emit tables as CSV")
 	seed      = flag.Int64("seed", 1, "simulation seed")
-	parallel  = flag.Int("parallel", 0, "sweep worker count (0 = all cores, 1 = serial)")
+	parallel  = flag.Int("parallel", 0, "worker count (0 = all cores, 1 = serial)")
 	benchJSON = flag.String("bench-json", "", "write machine-readable benchmark results to this file")
 	metJSON   = flag.String("metrics-json", "", "run an instrumented collection pass and dump the metrics registry as JSON to this file")
+	cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 )
 
 // bench collects results for -bench-json; recording is cheap enough to do
 // unconditionally and only the final write is gated on the flag.
 var bench = experiments.NewBenchRecorder()
 
+// stopProf flushes any live profiles; os.Exit skips defers, so error paths
+// call stopProfAndExit instead.
+var stopProf = func() {}
+
+func stopProfAndExit(code int) {
+	stopProf()
+	os.Exit(code)
+}
+
 func main() {
 	flag.Parse()
 	experiments.SetParallelism(*parallel)
+	var err error
+	stopProf, err = prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "profile: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 	if *metJSON != "" {
 		if err := dumpMetrics(*metJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "metrics-json: %v\n", err)
-			os.Exit(1)
+			stopProfAndExit(1)
 		}
 		return
 	}
@@ -89,17 +109,17 @@ func main() {
 		fn, ok := run[name]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
-			os.Exit(2)
+			stopProfAndExit(2)
 		}
 		if err := fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			stopProfAndExit(1)
 		}
 	}
 	if *benchJSON != "" {
 		if err := bench.WriteJSON(*benchJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "bench-json: %v\n", err)
-			os.Exit(1)
+			stopProfAndExit(1)
 		}
 		fmt.Printf("wrote benchmark results to %s\n", *benchJSON)
 	}

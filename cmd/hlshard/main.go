@@ -8,44 +8,73 @@
 //
 // Usage:
 //
-//	hlshard [-exp all|scaling|migrate] [-quick] [-seed N] [-seeds N] [-parallel N] [-csv] [-bench-json FILE] [-metrics-json FILE]
+//	hlshard [-exp all|scaling|pscaling|migrate] [-quick] [-seed N] [-seeds N] [-parallel N]
+//	        [-engine-workers N] [-csv] [-bench-json FILE] [-metrics-json FILE]
+//	        [-cpuprofile FILE] [-memprofile FILE]
 //
-// -metrics-json re-runs the scaling sweep with the observability plane
-// attached (per-cell registries merged in sweep order — bit-identical at
-// any -parallel setting) and dumps the merged registry as JSON.
+// -exp pscaling runs the partitioned-engine scaling cell: the 16-shard
+// workload on a sim.PartitionedEngine with -engine-workers workers;
+// results and metrics dumps are byte-identical at every worker count.
+//
+// -metrics-json re-runs the selected scaling experiment with the
+// observability plane attached (registries merged in deterministic order —
+// bit-identical at any -parallel or -engine-workers setting) and dumps the
+// merged registry as JSON.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"hyperloop/internal/experiments"
 	"hyperloop/internal/metrics"
+	"hyperloop/internal/prof"
 	"hyperloop/internal/sim"
 	"hyperloop/internal/stats"
 )
 
 var (
-	expFlag   = flag.String("exp", "all", "experiment: all, scaling, migrate")
-	quick     = flag.Bool("quick", false, "reduced op counts for a fast run")
-	csv       = flag.Bool("csv", false, "emit tables as CSV")
-	seed      = flag.Int64("seed", 1, "simulation seed")
-	seeds     = flag.Int("seeds", 4, "migration-inflight scenarios to run")
-	parallel  = flag.Int("parallel", 0, "sweep worker count (0 = all cores, 1 = serial)")
-	benchJSON = flag.String("bench-json", "", "write machine-readable benchmark results to this file")
-	metJSON   = flag.String("metrics-json", "", "run the instrumented scaling sweep and dump the merged metrics registry as JSON to this file")
+	expFlag    = flag.String("exp", "all", "experiment: all, scaling, pscaling, migrate")
+	quick      = flag.Bool("quick", false, "reduced op counts for a fast run")
+	csv        = flag.Bool("csv", false, "emit tables as CSV")
+	seed       = flag.Int64("seed", 1, "simulation seed")
+	seeds      = flag.Int("seeds", 4, "migration-inflight scenarios to run")
+	parallel   = flag.Int("parallel", 0, "worker count (0 = all cores, 1 = serial)")
+	engWorkers = flag.Int("engine-workers", 0, "partitioned-engine worker count (0 = all cores, 1 = serial)")
+	benchJSON  = flag.String("bench-json", "", "write machine-readable benchmark results to this file")
+	metJSON    = flag.String("metrics-json", "", "run the instrumented scaling experiment and dump the merged metrics registry as JSON to this file")
+	cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 )
 
 var bench = experiments.NewBenchRecorder()
 
+// stopProf flushes any live profiles; os.Exit skips defers, so error paths
+// call stopProfAndExit instead.
+var stopProf = func() {}
+
+func stopProfAndExit(code int) {
+	stopProf()
+	os.Exit(code)
+}
+
 func main() {
 	flag.Parse()
 	experiments.SetParallelism(*parallel)
+	var err error
+	stopProf, err = prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "profile: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 	if *metJSON != "" {
 		if err := dumpMetrics(*metJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "metrics-json: %v\n", err)
-			os.Exit(1)
+			stopProfAndExit(1)
 		}
 		return
 	}
@@ -54,10 +83,13 @@ func main() {
 	switch *expFlag {
 	case "scaling":
 		scaling()
+	case "pscaling":
+		pscaling()
 	case "migrate":
 		ok = migrate()
 	case "all":
 		scaling()
+		pscaling()
 		ok = migrate()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *expFlag)
@@ -67,37 +99,50 @@ func main() {
 	if *benchJSON != "" {
 		if err := bench.WriteJSON(*benchJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "bench-json: %v\n", err)
-			os.Exit(1)
+			stopProfAndExit(1)
 		}
 		fmt.Printf("wrote benchmark results to %s\n", *benchJSON)
 	}
 	if !ok {
-		os.Exit(1)
+		stopProfAndExit(1)
 	}
 }
 
 func us(d sim.Duration) string { return fmt.Sprintf("%.1fus", float64(d)/1000) }
 
-// dumpMetrics runs the scaling sweep with per-cell registries and writes
-// the merged dump.
+// dumpMetrics runs the selected scaling experiment with registries attached
+// and writes the merged dump. For -exp pscaling the dump is the per-group
+// registries of one 16-shard partitioned cell merged in group order — the
+// byte-for-byte artifact the CI determinism gate compares across
+// -engine-workers settings.
 func dumpMetrics(path string) error {
 	ops := 400
 	if *quick {
 		ops = 150
 	}
-	counts := experiments.ShardScalingCounts
-	res, err := experiments.RunParallel(experiments.Parallelism(), len(counts),
-		func(i int) (experiments.ShardScalingResult, error) {
-			return experiments.RunShardScaling(experiments.ShardScalingParams{
-				Shards: counts[i], Seed: *seed, OpsPerShard: ops, Metrics: true,
-			}), nil
-		})
-	if err != nil {
-		return err
-	}
 	merged := metrics.NewRegistry()
-	for _, r := range res {
-		merged.Merge(r.Reg)
+	if *expFlag == "pscaling" {
+		r := experiments.RunPartitionedScaling(experiments.PartitionedScalingParams{
+			Shards: 16, Workers: *engWorkers, Seed: *seed, OpsPerShard: ops, Metrics: true,
+		})
+		if !r.Skew.Pass() {
+			return fmt.Errorf("skew check: %w", r.Skew.Err)
+		}
+		merged = r.MergedRegistry()
+	} else {
+		counts := experiments.ShardScalingCounts
+		res, err := experiments.RunParallel(experiments.Parallelism(), len(counts),
+			func(i int) (experiments.ShardScalingResult, error) {
+				return experiments.RunShardScaling(experiments.ShardScalingParams{
+					Shards: counts[i], Seed: *seed, OpsPerShard: ops, Metrics: true,
+				}), nil
+			})
+		if err != nil {
+			return err
+		}
+		for _, r := range res {
+			merged.Merge(r.Reg)
+		}
 	}
 	data, err := merged.ExportJSON()
 	if err != nil {
@@ -134,6 +179,69 @@ func scaling() {
 			fmt.Sprintf("%.1f", r.TputKops), us(r.Lat.Mean), us(r.Lat.P99), us(r.MaxShardP99))
 	}
 	printTable(t)
+}
+
+// pscaling runs the 16-shard partitioned-engine cell across worker counts.
+// Simulated results must be byte-identical at every count (the process panics
+// if they diverge); only the wall clock may change, and the wall-clock column
+// plus the recorded speedup are the multi-core payoff measurement.
+func pscaling() {
+	ops := 400
+	if *quick {
+		ops = 150
+	}
+	workerCounts := []int{1, 2, 4, 8}
+	if *engWorkers > 0 {
+		workerCounts = []int{1, *engWorkers}
+	}
+	fmt.Printf("=== Partitioned scaling: 16 shards / 4 groups, %d ops/shard, lookahead = inter-group min latency ===\n", ops)
+	t := stats.NewTable("workers", "acked", "cross", "elapsed", "kops/s", "avg", "p99", "wall-ms", "vs-w1")
+	var refSum string
+	var refWall float64
+	for _, w := range workerCounts {
+		wall := time.Now()
+		r := experiments.RunPartitionedScaling(experiments.PartitionedScalingParams{
+			Shards: 16, Workers: w, Seed: *seed, OpsPerShard: ops,
+		})
+		wallMs := float64(time.Since(wall).Microseconds()) / 1e3
+		if !r.Skew.Pass() {
+			fmt.Fprintf(os.Stderr, "pscaling: workers=%d: %v\n", w, r.Skew.Err)
+			stopProfAndExit(1)
+		}
+		sum := fmt.Sprintf("acked=%d cross=%d elapsed=%v lat=%v maxShardP99=%v",
+			r.Acked, r.CrossAcked, r.Elapsed, r.Lat, r.MaxShardP99)
+		speedup := 1.0
+		if w == workerCounts[0] {
+			refSum, refWall = sum, wallMs
+		} else {
+			if sum != refSum {
+				fmt.Fprintf(os.Stderr, "pscaling: workers=%d diverged from serial:\n  w1: %s\n  w%d: %s\n",
+					w, refSum, w, sum)
+				stopProfAndExit(1)
+			}
+			speedup = refWall / wallMs
+		}
+		bench.Add(experiments.BenchResult{
+			Experiment: "partitioned-scaling",
+			Params:     map[string]any{"shards": r.Shards, "engine_workers": w},
+			AvgNs:      int64(r.Lat.Mean),
+			P99Ns:      int64(r.Lat.P99),
+			Extra: map[string]float64{
+				"tput_kops":        r.TputKops,
+				"max_shard_p99_ns": float64(r.MaxShardP99),
+				"cross_acked":      float64(r.CrossAcked),
+				"wall_ms":          wallMs,
+				"speedup_vs_w1":    speedup,
+				"cores":            float64(runtime.NumCPU()),
+			},
+		})
+		t.AddRow(fmt.Sprint(w), fmt.Sprint(r.Acked), fmt.Sprint(r.CrossAcked),
+			fmt.Sprint(r.Elapsed), fmt.Sprintf("%.1f", r.TputKops),
+			us(r.Lat.Mean), us(r.Lat.P99),
+			fmt.Sprintf("%.1f", wallMs), fmt.Sprintf("%.2fx", speedup))
+	}
+	printTable(t)
+	fmt.Printf("simulated results identical at all worker counts (%d cores available)\n", runtime.NumCPU())
 }
 
 // migrate runs the migration-inflight chaos matrix and narrates the first

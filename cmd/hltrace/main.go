@@ -7,7 +7,11 @@
 //
 // Usage:
 //
-//	hltrace [-size N] [-durable=true] [-seed N]
+//	hltrace [-size N] [-durable=true] [-seed N] [-parallel N]
+//
+// -parallel exists on every hl* command with the same default; the single
+// narrated run here is inherently serial, so it is accepted for interface
+// uniformity and does not change the output.
 package main
 
 import (
@@ -27,6 +31,7 @@ var (
 	size    = flag.Int("size", 256, "payload bytes")
 	durable = flag.Bool("durable", true, "interleave gFLUSH")
 	seed    = flag.Int64("seed", 1, "simulation seed")
+	_       = flag.Int("parallel", 0, "worker count (0 = all cores, 1 = serial)")
 )
 
 func main() {

@@ -6,10 +6,12 @@
 //
 // Usage:
 //
-//	hlverify [-seed N] [-n SAMPLES] [-seeds K]
+//	hlverify [-seed N] [-n SAMPLES] [-seeds K] [-parallel N]
 //
 // -n scales the per-check sample/op budgets; -seeds runs the suite at K
-// consecutive seeds starting from -seed (soak mode).
+// consecutive seeds starting from -seed (soak mode). Seeds run on -parallel
+// workers; results print in seed order, so the output is byte-identical at
+// any worker count.
 package main
 
 import (
@@ -18,24 +20,30 @@ import (
 	"os"
 	"sort"
 
+	"hyperloop/internal/experiments"
 	"hyperloop/internal/oracle"
 )
 
 var (
-	seed  = flag.Int64("seed", 1, "first oracle seed")
-	n     = flag.Int("n", 100000, "sample/op budget per check")
-	seeds = flag.Int("seeds", 1, "number of consecutive seeds to run")
+	seed     = flag.Int64("seed", 1, "simulation seed")
+	n        = flag.Int("n", 100000, "sample/op budget per check")
+	seeds    = flag.Int("seeds", 1, "number of consecutive seeds to run")
+	parallel = flag.Int("parallel", 0, "worker count (0 = all cores, 1 = serial)")
 )
 
 func main() {
 	flag.Parse()
+	experiments.SetParallelism(*parallel)
 	if *seeds < 1 {
 		*seeds = 1
 	}
+	all, _ := experiments.RunParallel(experiments.Parallelism(), *seeds,
+		func(i int) ([]oracle.Report, error) {
+			return oracle.RunAll(*seed+int64(i), *n), nil
+		})
 	ok := true
-	for s := *seed; s < *seed+int64(*seeds); s++ {
-		fmt.Printf("== oracle seed %d, n=%d ==\n", s, *n)
-		reports := oracle.RunAll(s, *n)
+	for i, reports := range all {
+		fmt.Printf("== oracle seed %d, n=%d ==\n", *seed+int64(i), *n)
 		text, pass := oracle.Summarize(reports)
 		fmt.Print(text)
 		printMetrics(reports)

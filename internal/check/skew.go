@@ -1,0 +1,29 @@
+package check
+
+import (
+	"fmt"
+
+	"hyperloop/internal/sim"
+)
+
+// PartitionSkew verifies the conservative-lookahead invariant of a
+// partitioned run: no partition ever fired an event earlier than a message
+// that was still in flight toward it. The engine cannot violate this on its
+// own — the horizon construction forbids it — so a violation always means
+// the *model* broke its contract: some cross-partition Send promised less
+// delay than the lookahead the engine was configured with (and, downstream,
+// an arrival may have landed behind its destination's clock and been
+// clamped). The checker turns the engine's violation log into the standard
+// Result shape the fault matrix and cmd gates consume.
+func PartitionSkew(pe *sim.PartitionedEngine) Result {
+	res := Result{Name: "partition-skew"}
+	viols := pe.SkewViolations()
+	if len(viols) > 0 {
+		v := viols[0]
+		res.Err = fmt.Errorf("%d lookahead violations, first: %v", len(viols), v)
+		return res
+	}
+	res.Detail = fmt.Sprintf("%d partitions, lookahead %v, %d events, 0 violations",
+		pe.Partitions(), pe.Lookahead(), pe.TotalFired())
+	return res
+}

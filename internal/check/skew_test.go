@@ -1,0 +1,56 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"hyperloop/internal/sim"
+)
+
+// TestPartitionSkewPass: a model honoring the lookahead contract yields a
+// passing check.
+func TestPartitionSkewPass(t *testing.T) {
+	pe := sim.NewPartitioned(2, 100)
+	pe.SetWorkers(2)
+	for i := 0; i < 5; i++ {
+		i := i
+		pe.Partition(0).ScheduleAt(sim.Time(1000*i), func() {
+			pe.Send(0, 1, 150, func() {})
+		})
+	}
+	pe.Drain()
+	res := PartitionSkew(pe)
+	if !res.Pass() {
+		t.Fatalf("clean run failed skew check: %v", res.Err)
+	}
+	if !strings.Contains(res.Detail, "0 violations") {
+		t.Fatalf("detail = %q", res.Detail)
+	}
+}
+
+// TestPartitionSkewCatchesBrokenLookahead is the ISSUE 6 regression test:
+// configure the engine with a lookahead larger than the model's real minimum
+// send delay — the classic mis-derived-lookahead bug — and require the
+// checker to flag it.
+func TestPartitionSkewCatchesBrokenLookahead(t *testing.T) {
+	// Claimed lookahead 2µs, but the model's fabric actually delivers in
+	// 500ns: partition 1 can race past in-flight messages.
+	pe := sim.NewPartitioned(2, 2000)
+	pe.SetWorkers(2)
+	// Busy local work on partition 1 so it runs ahead under the (bogus) wide
+	// horizon while the too-fast message is in flight.
+	for i := 0; i < 20; i++ {
+		pe.Partition(1).ScheduleAt(sim.Time(100*i), func() {})
+	}
+	pe.Partition(0).ScheduleAt(50, func() {
+		pe.Send(0, 1, 500, func() {})
+	})
+	pe.Drain()
+	res := PartitionSkew(pe)
+	if res.Pass() {
+		t.Fatal("broken lookahead not caught by skew checker")
+	}
+	if !strings.Contains(res.Err.Error(), "send-lookahead") {
+		t.Fatalf("error should identify the violating send: %v", res.Err)
+	}
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestPartitionedScalingDeterministicAcrossWorkers is the tentpole gate in
+// miniature: the seeded 16-shard cell produces identical measured results —
+// and a byte-identical merged metrics dump — at 1, 2, and 4 engine workers.
+func TestPartitionedScalingDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second cell")
+	}
+	run := func(workers int) (string, []byte) {
+		r := RunPartitionedScaling(PartitionedScalingParams{
+			Shards: 16, Workers: workers, Seed: 3, OpsPerShard: 60, Metrics: true,
+		})
+		if !r.Skew.Pass() {
+			t.Fatalf("workers=%d: %v", workers, r.Skew.Err)
+		}
+		if r.CrossAcked == 0 {
+			t.Fatalf("workers=%d: no cross-group traffic exercised", workers)
+		}
+		dump, err := r.MergedRegistry().ExportJSON()
+		if err != nil {
+			t.Fatalf("workers=%d: export: %v", workers, err)
+		}
+		sum := fmt.Sprintf("shards=%d groups=%d acked=%d cross=%d elapsed=%v lat=%v maxShardP99=%v",
+			r.Shards, r.Groups, r.Acked, r.CrossAcked, r.Elapsed, r.Lat, r.MaxShardP99)
+		return sum, dump
+	}
+	refSum, refDump := run(1)
+	for _, w := range []int{2, 4} {
+		sum, dump := run(w)
+		if sum != refSum {
+			t.Fatalf("workers=%d results diverged:\n  w1: %s\n  w%d: %s", w, refSum, w, sum)
+		}
+		if !bytes.Equal(dump, refDump) {
+			t.Fatalf("workers=%d metrics dump not byte-identical to serial", w)
+		}
+	}
+}
+
+// TestShardScalingEngineWorkersAxis: the EngineWorkers axis on the classic
+// params dispatches to the partitioned cell and stays deterministic.
+func TestShardScalingEngineWorkersAxis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second cell")
+	}
+	a := RunShardScaling(ShardScalingParams{Shards: 8, Seed: 2, OpsPerShard: 40, EngineWorkers: 1})
+	b := RunShardScaling(ShardScalingParams{Shards: 8, Seed: 2, OpsPerShard: 40, EngineWorkers: 2})
+	if a != b {
+		t.Fatalf("EngineWorkers 1 vs 2 diverged:\n%+v\n%+v", a, b)
+	}
+	// Closed-loop strands still in flight at the finish line keep acking, so
+	// the total can legitimately overshoot the target — but never undershoot.
+	if a.Acked < 8*40 {
+		t.Fatalf("acked = %d, want >= %d", a.Acked, 8*40)
+	}
+}
+
+func TestGroupsFor(t *testing.T) {
+	cases := []struct{ shards, groups, per int }{
+		{16, 4, 4}, {8, 2, 4}, {4, 1, 4}, {2, 1, 2}, {1, 1, 1}, {12, 3, 4}, {10, 2, 5},
+	}
+	for _, c := range cases {
+		g, per := groupsFor(c.shards)
+		if g != c.groups || per != c.per {
+			t.Fatalf("groupsFor(%d) = (%d,%d), want (%d,%d)", c.shards, g, per, c.groups, c.per)
+		}
+	}
+}

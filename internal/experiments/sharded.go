@@ -45,6 +45,12 @@ type ShardScalingParams struct {
 	// windowed rates. Observation-only: the measured numbers are identical
 	// with or without it.
 	Metrics bool
+	// EngineWorkers > 0 runs the cell on a sim.PartitionedEngine with that
+	// many workers (1 = the serial reference schedule) via
+	// RunPartitionedScaling: shards are carved into per-partition groups, so
+	// the modeled topology differs from the single-engine cell, but results
+	// are bit-identical across worker counts.
+	EngineWorkers int
 }
 
 func (p *ShardScalingParams) fill() {
@@ -88,6 +94,24 @@ const scalingRegion = 256 << 10
 // Pipeline strands per shard.
 func RunShardScaling(p ShardScalingParams) ShardScalingResult {
 	p.fill()
+	if p.EngineWorkers > 0 {
+		r := RunPartitionedScaling(PartitionedScalingParams{
+			Shards: p.Shards, Workers: p.EngineWorkers, Seed: p.Seed,
+			OpsPerShard: p.OpsPerShard, Pipeline: p.Pipeline,
+			ValueSize: p.ValueSize, Metrics: p.Metrics,
+		})
+		if !r.Skew.Pass() {
+			panic(fmt.Sprintf("shard scaling: %v", r.Skew.Err))
+		}
+		res := ShardScalingResult{
+			Shards: r.Shards, Acked: r.Acked, Elapsed: r.Elapsed,
+			TputKops: r.TputKops, Lat: r.Lat, MaxShardP99: r.MaxShardP99,
+		}
+		if p.Metrics {
+			res.Reg = r.MergedRegistry()
+		}
+		return res
+	}
 	eng := sim.NewEngine()
 	var reg *metrics.Registry
 	if p.Metrics {

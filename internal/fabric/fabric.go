@@ -53,6 +53,30 @@ func (c *Config) fill() {
 	}
 }
 
+// MinLatency returns a hard lower bound on the delivery delay of any message
+// under this config: the propagation delay at maximum negative jitter, with
+// serialization excluded (it only adds). This is the conservative lookahead
+// a sim.PartitionedEngine may safely assume for traffic crossing a link with
+// this config — no message can ever arrive sooner.
+func (c Config) MinLatency() sim.Duration {
+	c.fill()
+	min := sim.Duration(float64(c.PropDelay) * (1 - c.JitterFrac))
+	if min < sim.Nanosecond {
+		min = sim.Nanosecond
+	}
+	return min
+}
+
+// Latency returns the deterministic (jitter-free) one-way delivery delay for
+// a message of size payload bytes: propagation plus line-rate serialization
+// of payload + framing. Cross-partition gateways use it so hand-off timing
+// stays identical at any worker count; by construction it is >= MinLatency.
+func (c Config) Latency(size int) sim.Duration {
+	c.fill()
+	bits := float64(size+c.HeaderBytes) * 8
+	return c.PropDelay + sim.Duration(bits/c.GbitPerSec)
+}
+
 type port struct {
 	handler  Handler
 	txFree   sim.Time // when the egress port finishes its current frame

@@ -266,3 +266,39 @@ func TestJitterBounded(t *testing.T) {
 		t.Fatalf("jittered latency %v outside [%v, %v]", lat, min, max)
 	}
 }
+
+func TestConfigLookaheadBounds(t *testing.T) {
+	// MinLatency must lower-bound every observed delivery delay, including
+	// under jitter; Latency must match the jitter-free delivery exactly.
+	cfg := Config{}
+	cfg.fill()
+	if got, want := cfg.MinLatency(), sim.Duration(1500*0.95); got != want {
+		t.Fatalf("MinLatency = %v, want %v", got, want)
+	}
+	for seed := int64(1); seed <= 20; seed++ {
+		e := sim.NewEngine()
+		nn := New(e, Config{}, sim.NewRand(seed))
+		x := nn.Attach(func(Message) {})
+		var at sim.Time
+		y := nn.Attach(func(Message) { at = e.Now() })
+		nn.Send(Message{From: x, To: y, Size: 256})
+		e.Drain()
+		if sim.Duration(at) < cfg.MinLatency() {
+			t.Fatalf("seed %d: delivery after %v beat MinLatency %v", seed, at, cfg.MinLatency())
+		}
+	}
+
+	e := sim.NewEngine()
+	nn := New(e, Config{JitterFrac: -1}, sim.NewRand(1)) // no jitter
+	x := nn.Attach(func(Message) {})
+	var at sim.Time
+	y := nn.Attach(func(Message) { at = e.Now() })
+	nn.Send(Message{From: x, To: y, Size: 1024})
+	e.Drain()
+	// One-way Latency covers prop + one serialization; delivery also pays
+	// the egress port, so observed = Latency + one extra serialization.
+	ser := sim.Duration(float64((1024+64)*8) / gbps)
+	if got, want := sim.Duration(at), (Config{}).Latency(1024)+ser; got != want {
+		t.Fatalf("delivery %v, Latency-based prediction %v", got, want)
+	}
+}

@@ -1,0 +1,150 @@
+package shard
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"hyperloop/internal/check"
+	"hyperloop/internal/sim"
+	"hyperloop/internal/wal"
+)
+
+// runPartitionedWorkload opens a 2-group partitioned plane, pushes a
+// closed-loop keyed workload from each group's front-end (deliberately
+// including cross-group keys), and returns a flattened per-group ack log.
+func runPartitionedWorkload(t *testing.T, workers int) string {
+	t.Helper()
+	const putsPerGroup = 24
+	pp := NewPartitionedPlane(PartitionedConfig{
+		Groups:         2,
+		ShardsPerGroup: 2,
+		Replicas:       3,
+		RegionSize:     128 << 10,
+		Seed:           11,
+		Workers:        workers,
+	})
+	if err := pp.WaitOpen(sim.Time(sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	logs := make([][]string, pp.Groups())
+	acked := make([]int, pp.Groups())
+	for g := 0; g < pp.Groups(); g++ {
+		g := g
+		eng := pp.PE.Partition(g)
+		var issue func(i int)
+		issue = func(i int) {
+			key := fmt.Sprintf("k%d-%02d", g, i)
+			val := []byte(strings.Repeat("x", 48))
+			pp.Put(g, key, val, func(err error) {
+				if err == wal.ErrLogFull {
+					eng.Schedule(2*sim.Microsecond, func() { issue(i) })
+					return
+				}
+				if err != nil {
+					t.Errorf("put %s: %v", key, err)
+				}
+				logs[g] = append(logs[g], fmt.Sprintf("g%d %s home=%d @%d", g, key, pp.HomeGroup(key), eng.Now()))
+				acked[g]++
+				if i+1 < putsPerGroup {
+					issue(i + 1)
+				}
+			})
+		}
+		eng.Schedule(0, func() { issue(0) })
+	}
+	deadline := pp.PE.Partition(0).Now()
+	for chunk := 0; chunk < 200; chunk++ {
+		deadline = deadline.Add(200 * sim.Microsecond)
+		pp.PE.Run(deadline)
+		all := true
+		for g := range acked {
+			all = all && acked[g] == putsPerGroup
+		}
+		if all {
+			break
+		}
+	}
+	for g := range acked {
+		if acked[g] != putsPerGroup {
+			t.Fatalf("workers=%d: group %d acked %d/%d puts", workers, g, acked[g], putsPerGroup)
+		}
+	}
+	if res := check.PartitionSkew(pp.PE); !res.Pass() {
+		t.Fatalf("workers=%d: %v", workers, res.Err)
+	}
+	fwd := pp.ForwardedPuts()
+	total := uint64(0)
+	for _, n := range fwd {
+		total += n
+	}
+	if total == 0 {
+		t.Fatalf("workers=%d: workload exercised no cross-group forwards", workers)
+	}
+	pp.Close()
+	var b strings.Builder
+	for g, log := range logs {
+		fmt.Fprintf(&b, "== group %d (local=%d fwd=%d) ==\n", g, pp.LocalPuts()[g], fwd[g])
+		for _, line := range log {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// TestPartitionedPlaneDeterministicAcrossWorkers: the full stack — planes,
+// chains, WALs, cross-group forwards — acks in byte-identical order and at
+// identical virtual times at every worker count.
+func TestPartitionedPlaneDeterministicAcrossWorkers(t *testing.T) {
+	ref := runPartitionedWorkload(t, 1)
+	for _, w := range []int{2, 0} {
+		if got := runPartitionedWorkload(t, w); got != ref {
+			t.Fatalf("workers=%d diverged from serial reference:\n--- serial ---\n%s--- workers=%d ---\n%s",
+				w, ref, w, got)
+		}
+	}
+}
+
+// TestPartitionedPlaneForwardRefusal: a synchronous refusal at the home
+// group still acks the issuing group exactly once, wrapped for errors.Is.
+func TestPartitionedPlaneForwardRefusal(t *testing.T) {
+	pp := NewPartitionedPlane(PartitionedConfig{
+		Groups:         2,
+		ShardsPerGroup: 1,
+		Replicas:       3,
+		RegionSize:     128 << 10,
+		Seed:           5,
+		Workers:        1,
+	})
+	if err := pp.WaitOpen(sim.Time(sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	// Find a key homed on group 1, then close group 1's plane so its Put
+	// refuses synchronously.
+	key := ""
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("probe-%d", i)
+		if pp.HomeGroup(k) == 1 {
+			key = k
+			break
+		}
+	}
+	pp.Group(1).Close()
+	acks := 0
+	var got error
+	pp.PE.Partition(0).Schedule(0, func() {
+		pp.Put(0, key, []byte("v"), func(err error) {
+			acks++
+			got = err
+		})
+	})
+	pp.PE.Run(pp.PE.Partition(0).Now().Add(10 * sim.Microsecond))
+	if acks != 1 {
+		t.Fatalf("forward refusal acked %d times", acks)
+	}
+	if got == nil || !strings.Contains(got.Error(), "forward refused") {
+		t.Fatalf("err = %v, want wrapped ErrForwardFailed", got)
+	}
+	pp.Close()
+}

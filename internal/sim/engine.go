@@ -69,6 +69,7 @@ type eventSlot struct {
 	at      Time
 	seq     uint64
 	fn      func()
+	src     int32 // merge-order source tag: the engine's own tag for local events, the sender's partition tag for cross-partition arrivals
 	gen     uint32
 	heapIdx int32 // index into Engine.heap; -1 when not queued
 	next    int32 // free-list link, meaningful only while free
@@ -84,9 +85,10 @@ type eventSlot struct {
 type Engine struct {
 	now      Time
 	seq      uint64
+	tag      int32 // this engine's own source tag (0 for standalone engines)
 	slots    []eventSlot
 	freeHead int32   // head of the free-slot list, -1 when empty
-	heap     []int32 // slot indices ordered as a 4-ary min-heap by (at, seq)
+	heap     []int32 // slot indices ordered as a 4-ary min-heap by (at, src, seq)
 	fired    uint64
 	running  bool
 }
@@ -105,13 +107,31 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending returns the number of events currently scheduled.
 func (e *Engine) Pending() int { return len(e.heap) }
 
-// less orders slot a before slot b by (time, schedule sequence). seq is
-// unique per event, so this is a strict total order: any heap shape pops
-// events in exactly one possible sequence, keeping runs reproducible.
+// PeekTime returns the instant of the earliest pending event; ok is false
+// when the queue is empty. It is the lower-bound primitive the partitioned
+// scheduler's conservative-lookahead horizon is computed from.
+func (e *Engine) PeekTime() (at Time, ok bool) {
+	if len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.slots[e.heap[0]].at, true
+}
+
+// less orders slot a before slot b by (time, source tag, sequence). For a
+// standalone engine every event carries the same source tag, so the order
+// is the historical (time, schedule sequence). In a partitioned run the
+// source tag is the scheduling partition and seq is that partition's
+// deterministic counter, making the cross-partition merge order a property
+// of the model rather than of worker timing. seq is unique per (src), so
+// this is a strict total order: any heap shape pops events in exactly one
+// possible sequence, keeping runs reproducible.
 func (e *Engine) less(a, b int32) bool {
 	sa, sb := &e.slots[a], &e.slots[b]
 	if sa.at != sb.at {
 		return sa.at < sb.at
+	}
+	if sa.src != sb.src {
+		return sa.src < sb.src
 	}
 	return sa.seq < sb.seq
 }
@@ -197,6 +217,11 @@ func (e *Engine) ScheduleAt(t Time, fn func()) EventID {
 		panic("sim: schedule nil func")
 	}
 	e.seq++
+	return e.insert(t, e.tag, e.seq, fn)
+}
+
+// insert places one event into the slab and heap with an explicit merge key.
+func (e *Engine) insert(t Time, src int32, seq uint64, fn func()) EventID {
 	var si int32
 	if e.freeHead >= 0 {
 		si = e.freeHead
@@ -206,12 +231,36 @@ func (e *Engine) ScheduleAt(t Time, fn func()) EventID {
 		si = int32(len(e.slots) - 1)
 	}
 	s := &e.slots[si]
-	s.at, s.seq, s.fn = t, e.seq, fn
+	s.at, s.src, s.seq, s.fn = t, src, seq, fn
 	i := len(e.heap)
 	e.heap = append(e.heap, si)
 	s.heapIdx = int32(i)
 	e.siftUp(i)
 	return EventID{slot: si, gen: s.gen}
+}
+
+// scheduleArrival inserts a cross-partition hand-off event carrying the
+// sender's merge key (src partition tag, per-channel sequence). The caller —
+// the partitioned scheduler's drain — guarantees t >= e.now; the local seq
+// counter is untouched so local schedule order stays deterministic.
+func (e *Engine) scheduleArrival(t Time, src int32, seq uint64, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: arrival at %v before now %v", t, e.now))
+	}
+	e.insert(t, src, seq, fn)
+}
+
+// runBefore fires events strictly earlier than horizon, in (time, src, seq)
+// order, and reports how many fired. Unlike Run it never advances the clock
+// past the last fired event: the horizon is a conservative safety bound, not
+// a barrier the simulation has reached.
+func (e *Engine) runBefore(horizon Time) int {
+	n := 0
+	for len(e.heap) > 0 && e.slots[e.heap[0]].at < horizon {
+		e.Step()
+		n++
+	}
+	return n
 }
 
 // Cancel removes a pending event. Canceling a fired, already-canceled, or
