@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	hlapp [-exp all|fig11|fig12] [-quick] [-seed N] [-parallel N]
+//	hlapp [-exp all|fig11|fig12] [-quick] [-seed N] [-parallel N] [-metrics-json FILE]
+//
+// -metrics-json runs a dedicated instrumented collection pass (skipping the
+// figure tables) and dumps the merged metrics registry as JSON; the dump is
+// bit-identical at any -parallel setting.
 package main
 
 import (
@@ -24,6 +28,7 @@ var (
 	csv      = flag.Bool("csv", false, "emit tables as CSV")
 	seed     = flag.Int64("seed", 1, "simulation seed")
 	parallel = flag.Int("parallel", 0, "worker count (0 = all cores, 1 = serial)")
+	metJSON  = flag.String("metrics-json", "", "run an instrumented collection pass and dump the metrics registry as JSON to this file")
 )
 
 func ms(d sim.Duration) string { return fmt.Sprintf("%.3fms", float64(d)/1e6) }
@@ -31,6 +36,13 @@ func ms(d sim.Duration) string { return fmt.Sprintf("%.3fms", float64(d)/1e6) }
 func main() {
 	flag.Parse()
 	experiments.SetParallelism(*parallel)
+	if *metJSON != "" {
+		if err := dumpMetrics(*metJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics-json:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	records, ops := int64(2000), 20000
 	if *quick {
 		records, ops = 300, 3000
@@ -48,6 +60,25 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// dumpMetrics runs the instrumented collection pass (one RocksDB and one
+// MongoDB cell per system, skipping the figure tables) and writes the
+// merged registry dump.
+func dumpMetrics(path string) error {
+	reg, err := experiments.AppMetrics(*seed, 2000)
+	if err != nil {
+		return err
+	}
+	data, err := reg.ExportJSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote metrics dump to %s\n", path)
+	return nil
 }
 
 func fig11(records int64, ops int) error {

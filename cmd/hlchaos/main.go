@@ -1,10 +1,11 @@
 // Command hlchaos runs the deterministic fault matrix: every fault-scenario
 // class (link partition, crash+replace, power-fail mid-chain, NIC stall,
-// tenant CPU burst, and migration-inflight replica kills on the sharded
-// plane) injected into a live replicated-transaction cluster, with
-// post-recovery invariant checkers delivering a scenario-by-scenario
-// verdict. The same -seed always produces byte-identical output; the exit
-// status is 1 if any scenario fails a check.
+// tenant CPU burst, migration-inflight replica kills on the sharded plane,
+// and admission-burst tenant floods on the open-loop serving plane) injected
+// into a live replicated-transaction cluster, with post-recovery invariant
+// checkers delivering a scenario-by-scenario verdict. The same -seed always
+// produces byte-identical output; the exit status is 1 if any scenario
+// fails a check.
 //
 // Usage:
 //
@@ -29,6 +30,7 @@ import (
 
 	"hyperloop/internal/experiments"
 	"hyperloop/internal/faults"
+	"hyperloop/internal/load"
 	"hyperloop/internal/metrics"
 	"hyperloop/internal/stats"
 )
@@ -47,8 +49,9 @@ func main() {
 	flag.Parse()
 	experiments.SetParallelism(*parallel)
 
-	// migration-inflight scenarios run on the sharded plane and are judged
-	// by their own checker set, so they split off from the chain matrix.
+	// migration-inflight scenarios run on the sharded plane and
+	// admission-burst scenarios on the open-loop serving plane; each is
+	// judged by its own checker set, so they split off from the chain matrix.
 	requested := faults.AllClasses
 	if *classesStr != "all" {
 		requested = nil
@@ -62,11 +65,14 @@ func main() {
 		}
 	}
 	var classes []faults.Class
-	migration := false
+	migration, admission := false, false
 	for _, c := range requested {
-		if c == faults.MigrationInflight {
+		switch c {
+		case faults.MigrationInflight:
 			migration = true
-		} else {
+		case faults.AdmissionBurst:
+			admission = true
+		default:
 			classes = append(classes, c)
 		}
 	}
@@ -148,6 +154,40 @@ func main() {
 		}
 	}
 
+	if admission {
+		adm := experiments.AdmissionBurstMatrix(*seed, *seedsPer)
+		total += len(adm)
+		for _, v := range adm {
+			merged.Merge(v.Metrics)
+		}
+		fmt.Printf("=== Admission-burst: %d scenarios (base seed %d) ===\n", len(adm), *seed)
+		at := stats.NewTable("seed", "burst", "bucket", "throttled", "victim p99 base/burst/off", "checks", "verdict")
+		for _, v := range adm {
+			verdict := "PASS"
+			if !v.Pass() {
+				verdict = "FAIL"
+				failed++
+			}
+			at.AddRow(fmt.Sprint(v.Params.Seed), fmt.Sprintf("%dx", v.Spec.BurstMult),
+				fmt.Sprintf("%.0f/s+%.0f", v.Spec.AggressorRate, v.Spec.AggressorBurst),
+				fmt.Sprintf("%d/%d", burstTenant(v.Burst, "aggressor").Throttled,
+					burstTenant(v.Burst, "aggressor").Arrivals),
+				fmt.Sprintf("%v / %v / %v", burstTenant(v.Baseline, "victim").P99,
+					burstTenant(v.Burst, "victim").P99, burstTenant(v.Uncontrolled, "victim").P99),
+				v.Checks.Summary(), verdict)
+		}
+		fmt.Println(at)
+		for _, v := range adm {
+			if !*verbose && v.Pass() {
+				continue
+			}
+			fmt.Printf("--- %v ---\n", v.Spec)
+			for _, r := range v.Checks {
+				fmt.Printf("    %v\n", r)
+			}
+		}
+	}
+
 	if *engWorkers > 0 {
 		total++
 		if !engineGate(*engWorkers) {
@@ -172,6 +212,16 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("all %d scenarios passed\n", total)
+}
+
+// burstTenant picks the named tenant's merged stats out of a load run.
+func burstTenant(r load.Result, name string) load.TenantStat {
+	for _, t := range r.Tenants {
+		if t.Name == name {
+			return t
+		}
+	}
+	return load.TenantStat{}
 }
 
 // engineGate runs the seeded 16-shard partitioned cell serially and at

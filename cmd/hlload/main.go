@@ -1,0 +1,187 @@
+// Command hlload drives the open-loop serving plane through and past
+// saturation: a modeled million-client population with Poisson or
+// self-similar (b-model) arrivals and connection churn, fed through the
+// per-group admission controller into the HyperLoop sharded plane or the
+// Naive-RDMA baseline. It first probes each system's saturation point
+// (admission on, offered load far beyond capacity), then sweeps offered
+// load across multiples of it with admission on and off, and finally sweeps
+// the WQE-chain fusion depth at saturation. The same -seed always produces
+// byte-identical output at any -parallel or -engine-workers setting.
+//
+// Usage:
+//
+//	hlload [-exp all|curve|fusion] [-quick] [-seed N] [-clients N] [-arrival poisson|bmodel]
+//	       [-parallel N] [-engine-workers N] [-csv] [-bench-json FILE] [-metrics-json FILE]
+//
+// The curve table plots goodput (acks within the SLO) and open-loop p99.9
+// against offered load; past the knee the admission-on rows hold goodput at
+// capacity while the admission-off rows collapse into their hidden queue.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hyperloop/internal/bench"
+	"hyperloop/internal/experiments"
+	"hyperloop/internal/sim"
+	"hyperloop/internal/stats"
+)
+
+var (
+	expFlag    = flag.String("exp", "all", "experiment: all, curve, fusion")
+	quick      = flag.Bool("quick", false, "reduced sweep for a fast run")
+	csv        = flag.Bool("csv", false, "emit tables as CSV")
+	seed       = flag.Int64("seed", 1, "simulation seed")
+	clients    = flag.Int("clients", 1<<20, "modeled connection-id space across groups")
+	arrival    = flag.String("arrival", "poisson", "arrival process: poisson or bmodel")
+	parallel   = flag.Int("parallel", 0, "worker count (0 = all cores, 1 = serial)")
+	engWorkers = flag.Int("engine-workers", 0, "partitioned-engine worker count (0 = all cores, 1 = serial)")
+	benchJSON  = flag.String("bench-json", "", "write machine-readable benchmark results to this file")
+	metJSON    = flag.String("metrics-json", "", "run an instrumented collection pass and dump the metrics registry as JSON to this file")
+)
+
+var recorder = bench.NewRecorder()
+
+func main() {
+	flag.Parse()
+	experiments.SetParallelism(*parallel)
+	if *metJSON != "" {
+		data, err := experiments.LoadMetrics(*seed, *engWorkers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics-json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*metJSON, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics-json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote metrics dump to %s\n", *metJSON)
+		return
+	}
+
+	switch *expFlag {
+	case "curve", "fusion", "all":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *expFlag)
+		os.Exit(2)
+	}
+
+	p := experiments.LoadCurveParams{
+		Seed:     *seed,
+		Clients:  *clients,
+		Arrival:  *arrival,
+		Workers:  *engWorkers,
+		Parallel: experiments.Parallelism(),
+		Quick:    *quick,
+	}
+	res := experiments.RunLoadCurve(p)
+
+	if *expFlag != "fusion" {
+		curve(res)
+	}
+	if *expFlag != "curve" {
+		fusion(res)
+	}
+
+	if *benchJSON != "" {
+		if err := recorder.WriteJSON(*benchJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote benchmark results to %s\n", *benchJSON)
+	}
+}
+
+func us(d sim.Duration) string { return fmt.Sprintf("%.1fus", float64(d)/1000) }
+
+func onoff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
+// curve prints the goodput/p99.9-vs-offered-load table per system.
+func curve(res experiments.LoadCurveResult) {
+	fmt.Printf("=== Load curve: %s arrivals, %d modeled clients, SLO-bounded goodput ===\n",
+		*arrival, *clients)
+	fmt.Print("measured saturation:")
+	for _, sys := range []string{"hyperloop", "naive"} {
+		if c, ok := res.CapacityKops[sys]; ok {
+			fmt.Printf(" %s=%.1fkops", sys, c)
+		}
+	}
+	fmt.Println()
+
+	t := stats.NewTable("system", "admission", "mult", "offered-kops", "tput-kops",
+		"goodput-kops", "p50", "p99.9", "shed", "unserved", "conns")
+	for _, pt := range res.Points {
+		v := pt.Verdicts
+		recorder.Add(bench.Result{
+			Experiment: "load-curve",
+			Params: map[string]any{
+				"system":    pt.System,
+				"admission": pt.Admission,
+				"mult":      pt.Mult,
+			},
+			AvgNs: int64(pt.Lat.Mean),
+			P99Ns: int64(pt.Lat.P99),
+			Extra: map[string]float64{
+				"offered_kops":    pt.Offered / 1e3,
+				"tput_kops":       pt.TputKops,
+				"goodput_kops":    pt.GoodputKops,
+				"p999_ns":         float64(pt.P999),
+				"shed_queue_full": float64(v.ShedQueueFull),
+				"shed_throttled":  float64(v.ShedThrottled),
+				"backpressure":    float64(v.Backpressure),
+				"unserved":        float64(v.Unserved),
+				"clients_modeled": float64(pt.ClientsModeled),
+				"conns_opened":    float64(pt.ConnsOpened),
+			},
+		})
+		t.AddRow(pt.System, onoff(pt.Admission), fmt.Sprintf("%.2f", pt.Mult),
+			fmt.Sprintf("%.1f", pt.Offered/1e3),
+			fmt.Sprintf("%.1f", pt.TputKops), fmt.Sprintf("%.1f", pt.GoodputKops),
+			us(pt.Lat.P50), us(pt.P999),
+			fmt.Sprint(v.ShedQueueFull+v.ShedThrottled), fmt.Sprint(v.Unserved),
+			fmt.Sprint(pt.ConnsOpened))
+	}
+	printTable(t)
+}
+
+// fusion prints the WQE-chain fusion-depth sweep at saturation.
+func fusion(res experiments.LoadCurveResult) {
+	fmt.Println("=== Fusion sweep: HyperLoop at saturation, doorbell cost 200ns ===")
+	t := stats.NewTable("depth", "tput-kops", "goodput-kops", "p50", "p99.9",
+		"doorbells", "fused-batches", "fused-ops")
+	for _, pt := range res.Fusion {
+		recorder.Add(bench.Result{
+			Experiment: "load-fusion",
+			Params:     map[string]any{"depth": pt.Depth},
+			AvgNs:      int64(pt.Lat.Mean),
+			P99Ns:      int64(pt.Lat.P99),
+			Extra: map[string]float64{
+				"tput_kops":     pt.TputKops,
+				"goodput_kops":  pt.GoodputKops,
+				"p999_ns":       float64(pt.P999),
+				"doorbells":     float64(pt.Doorbells),
+				"fused_batches": float64(pt.FusedBatches),
+				"fused_ops":     float64(pt.FusedOps),
+			},
+		})
+		t.AddRow(fmt.Sprint(pt.Depth), fmt.Sprintf("%.1f", pt.TputKops),
+			fmt.Sprintf("%.1f", pt.GoodputKops), us(pt.Lat.P50), us(pt.P999),
+			fmt.Sprint(pt.Doorbells), fmt.Sprint(pt.FusedBatches), fmt.Sprint(pt.FusedOps))
+	}
+	printTable(t)
+}
+
+func printTable(t *stats.Table) {
+	if *csv {
+		fmt.Print(t.CSV())
+		return
+	}
+	fmt.Println(t)
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"hyperloop/internal/bench"
 	"hyperloop/internal/experiments"
 	"hyperloop/internal/prof"
 	"hyperloop/internal/sim"
@@ -37,9 +38,9 @@ var (
 	memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 )
 
-// bench collects results for -bench-json; recording is cheap enough to do
+// recorder collects results for -bench-json; recording is cheap enough to do
 // unconditionally and only the final write is gated on the flag.
-var bench = experiments.NewBenchRecorder()
+var recorder = bench.NewRecorder()
 
 // stopProf flushes any live profiles; os.Exit skips defers, so error paths
 // call stopProfAndExit instead.
@@ -117,7 +118,7 @@ func main() {
 		}
 	}
 	if *benchJSON != "" {
-		if err := bench.WriteJSON(*benchJSON); err != nil {
+		if err := recorder.WriteJSON(*benchJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "bench-json: %v\n", err)
 			stopProfAndExit(1)
 		}
@@ -138,8 +139,8 @@ func latencySweep(id, title, prim string, sizes []int, base experiments.MicroPar
 	for _, r := range rows {
 		hl := r.ByName["HyperLoop"]
 		nv := r.ByName["Naive-Event"]
-		bench.RecordSummary(id, map[string]any{"size": r.MsgSize, "system": "HyperLoop"}, hl)
-		bench.RecordSummary(id, map[string]any{"size": r.MsgSize, "system": "Naive-Event"}, nv)
+		recorder.RecordSummary(id, map[string]any{"size": r.MsgSize, "system": "HyperLoop"}, hl)
+		recorder.RecordSummary(id, map[string]any{"size": r.MsgSize, "system": "Naive-Event"}, nv)
 		t.AddRow(fmt.Sprint(r.MsgSize), us(hl.Mean), us(hl.P99), us(nv.Mean), us(nv.P99),
 			fmt.Sprintf("%.0fx", float64(nv.P99)/float64(hl.P99)))
 	}
@@ -156,8 +157,8 @@ func table2(base experiments.MicroParams) error {
 	}
 	hl := rows[0].ByName["HyperLoop"]
 	nv := rows[0].ByName["Naive-Event"]
-	bench.RecordSummary("table2", map[string]any{"size": 1024, "system": "HyperLoop"}, hl)
-	bench.RecordSummary("table2", map[string]any{"size": 1024, "system": "Naive-Event"}, nv)
+	recorder.RecordSummary("table2", map[string]any{"size": 1024, "system": "HyperLoop"}, hl)
+	recorder.RecordSummary("table2", map[string]any{"size": 1024, "system": "Naive-Event"}, nv)
 	t := stats.NewTable("system", "avg", "p95", "p99")
 	t.AddRow("Naive-RDMA", us(nv.Mean), us(nv.P95), us(nv.P99))
 	t.AddRow("HyperLoop", us(hl.Mean), us(hl.P95), us(hl.P99))
@@ -184,7 +185,7 @@ func fig9(sizes []int, totalBytes int) error {
 			name string
 			pt   experiments.ThroughputPoint
 		}{{"HyperLoop", hl}, {"Naive-Event", nv}} {
-			bench.Add(experiments.BenchResult{
+			recorder.Add(bench.Result{
 				Experiment: "fig9",
 				Params:     map[string]any{"size": r.MsgSize, "system": p.name},
 				Extra:      map[string]float64{"kops_sec": p.pt.KopsSec, "cpu_core_pct": p.pt.CPUCorePct},
@@ -212,7 +213,7 @@ func fig10(sizes []int, base experiments.MicroParams) error {
 	}
 	record := func(sys string, rows []experiments.GroupScalingRow) {
 		for _, r := range rows {
-			bench.Add(experiments.BenchResult{
+			recorder.Add(bench.Result{
 				Experiment: "fig10",
 				Params:     map[string]any{"group": r.GroupSize, "size": r.MsgSize, "system": sys},
 				AvgNs:      int64(r.Mean),
@@ -255,8 +256,8 @@ func multigroup(ops int) error {
 	t := stats.NewTable("groups", "HL-avg", "HL-p99", "Naive-avg", "Naive-p99")
 	for ci, n := range counts {
 		hl, nv := pts[ci*len(systems)], pts[ci*len(systems)+1]
-		bench.RecordSummary("multigroup", map[string]any{"groups": n, "system": "HyperLoop"}, hl.Probe)
-		bench.RecordSummary("multigroup", map[string]any{"groups": n, "system": "Naive-Event"}, nv.Probe)
+		recorder.RecordSummary("multigroup", map[string]any{"groups": n, "system": "HyperLoop"}, hl.Probe)
+		recorder.RecordSummary("multigroup", map[string]any{"groups": n, "system": "Naive-Event"}, nv.Probe)
 		t.AddRow(fmt.Sprint(n), us(hl.Probe.Mean), us(hl.Probe.P99), us(nv.Probe.Mean), us(nv.Probe.P99))
 	}
 	printTable(t)
@@ -304,7 +305,7 @@ func stages(ops int) error {
 	fmt.Println("=== Stage breakdown: durable gWRITE, group=3, 10:1 co-location ===")
 	rows := experiments.StageBreakdown(*seed, ops/4)
 	for _, r := range rows {
-		bench.Add(experiments.BenchResult{
+		recorder.Add(bench.Result{
 			Experiment: "stages",
 			Params:     map[string]any{"system": r.System.String()},
 			AvgNs:      int64(r.EndToEnd) / int64(r.Ops),

@@ -29,6 +29,7 @@ import (
 	"runtime"
 	"time"
 
+	"hyperloop/internal/bench"
 	"hyperloop/internal/experiments"
 	"hyperloop/internal/metrics"
 	"hyperloop/internal/prof"
@@ -50,7 +51,7 @@ var (
 	memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 )
 
-var bench = experiments.NewBenchRecorder()
+var recorder = bench.NewRecorder()
 
 // stopProf flushes any live profiles; os.Exit skips defers, so error paths
 // call stopProfAndExit instead.
@@ -97,7 +98,7 @@ func main() {
 	}
 
 	if *benchJSON != "" {
-		if err := bench.WriteJSON(*benchJSON); err != nil {
+		if err := recorder.WriteJSON(*benchJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "bench-json: %v\n", err)
 			stopProfAndExit(1)
 		}
@@ -165,7 +166,7 @@ func scaling() {
 	res := experiments.ShardScaling(nil, *seed, ops)
 	t := stats.NewTable("shards", "acked", "elapsed", "kops/s", "avg", "p99", "max-shard-p99")
 	for _, r := range res {
-		bench.Add(experiments.BenchResult{
+		recorder.Add(bench.Result{
 			Experiment: "shard-scaling",
 			Params:     map[string]any{"shards": r.Shards},
 			AvgNs:      int64(r.Lat.Mean),
@@ -221,7 +222,7 @@ func pscaling() {
 			}
 			speedup = refWall / wallMs
 		}
-		bench.Add(experiments.BenchResult{
+		recorder.Add(bench.Result{
 			Experiment: "partitioned-scaling",
 			Params:     map[string]any{"shards": r.Shards, "engine_workers": w},
 			AvgNs:      int64(r.Lat.Mean),

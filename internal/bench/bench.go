@@ -1,4 +1,8 @@
-package experiments
+// Package bench is the shared benchmark-JSON emitter: every cmd that
+// records machine-readable measurements (hlmicro's BENCH_*.json, hlshard,
+// hlload) serializes through the same Recorder, so regression tooling parses
+// one schema instead of per-command ad-hoc writers.
+package bench
 
 import (
 	"encoding/json"
@@ -8,10 +12,10 @@ import (
 	"hyperloop/internal/stats"
 )
 
-// BenchResult is one benchmark measurement in machine-readable form, for
+// Result is one benchmark measurement in machine-readable form, for
 // regression tracking across commits: which experiment, at which sweep
 // point, with the latency profile in plain nanoseconds.
-type BenchResult struct {
+type Result struct {
 	Experiment string             `json:"experiment"`
 	Params     map[string]any     `json:"params,omitempty"`
 	AvgNs      int64              `json:"avg_ns"`
@@ -20,20 +24,20 @@ type BenchResult struct {
 	Extra      map[string]float64 `json:"extra,omitempty"`
 }
 
-// BenchRecorder accumulates BenchResults across experiments (safe for
-// concurrent Add from sweep workers) and serializes them as an indented JSON
-// array. Map keys marshal in sorted order, so the file is deterministic for
-// a given run sequence.
-type BenchRecorder struct {
+// Recorder accumulates Results across experiments (safe for concurrent Add
+// from sweep workers) and serializes them as an indented JSON array. Map
+// keys marshal in sorted order, so the file is deterministic for a given
+// run sequence.
+type Recorder struct {
 	mu      sync.Mutex
-	results []BenchResult
+	results []Result
 }
 
-// NewBenchRecorder creates an empty recorder.
-func NewBenchRecorder() *BenchRecorder { return &BenchRecorder{} }
+// NewRecorder creates an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
 
 // Add appends one result.
-func (b *BenchRecorder) Add(r BenchResult) {
+func (b *Recorder) Add(r Result) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.results = append(b.results, r)
@@ -41,8 +45,8 @@ func (b *BenchRecorder) Add(r BenchResult) {
 
 // RecordSummary adds a latency summary under the given experiment id and
 // sweep-point parameters.
-func (b *BenchRecorder) RecordSummary(experiment string, params map[string]any, s stats.Summary) {
-	b.Add(BenchResult{
+func (b *Recorder) RecordSummary(experiment string, params map[string]any, s stats.Summary) {
+	b.Add(Result{
 		Experiment: experiment,
 		Params:     params,
 		AvgNs:      int64(s.Mean),
@@ -52,16 +56,16 @@ func (b *BenchRecorder) RecordSummary(experiment string, params map[string]any, 
 }
 
 // Results returns a copy of everything recorded so far.
-func (b *BenchRecorder) Results() []BenchResult {
+func (b *Recorder) Results() []Result {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	out := make([]BenchResult, len(b.results))
+	out := make([]Result, len(b.results))
 	copy(out, b.results)
 	return out
 }
 
 // WriteJSON writes the recorded results to path as an indented JSON array.
-func (b *BenchRecorder) WriteJSON(path string) error {
+func (b *Recorder) WriteJSON(path string) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	data, err := json.MarshalIndent(b.results, "", "  ")

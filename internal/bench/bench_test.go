@@ -1,4 +1,4 @@
-package experiments
+package bench
 
 import (
 	"encoding/json"
@@ -10,11 +10,11 @@ import (
 	"hyperloop/internal/stats"
 )
 
-func TestBenchRecorderRoundTrip(t *testing.T) {
-	b := NewBenchRecorder()
+func TestRecorderRoundTrip(t *testing.T) {
+	b := NewRecorder()
 	b.RecordSummary("fig8a", map[string]any{"size": 128, "system": "HyperLoop"},
 		stats.Summary{Mean: 8 * sim.Microsecond, P95: 9 * sim.Microsecond, P99: 10 * sim.Microsecond})
-	b.Add(BenchResult{Experiment: "fig9", Extra: map[string]float64{"kops_sec": 512}})
+	b.Add(Result{Experiment: "fig9", Extra: map[string]float64{"kops_sec": 512}})
 
 	path := filepath.Join(t.TempDir(), "bench.json")
 	if err := b.WriteJSON(path); err != nil {
@@ -24,7 +24,7 @@ func TestBenchRecorderRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var got []BenchResult
+	var got []Result
 	if err := json.Unmarshal(data, &got); err != nil {
 		t.Fatalf("output is not valid JSON: %v", err)
 	}
@@ -39,10 +39,10 @@ func TestBenchRecorderRoundTrip(t *testing.T) {
 	}
 
 	// Same recording sequence, byte-identical file.
-	b2 := NewBenchRecorder()
+	b2 := NewRecorder()
 	b2.RecordSummary("fig8a", map[string]any{"size": 128, "system": "HyperLoop"},
 		stats.Summary{Mean: 8 * sim.Microsecond, P95: 9 * sim.Microsecond, P99: 10 * sim.Microsecond})
-	b2.Add(BenchResult{Experiment: "fig9", Extra: map[string]float64{"kops_sec": 512}})
+	b2.Add(Result{Experiment: "fig9", Extra: map[string]float64{"kops_sec": 512}})
 	path2 := filepath.Join(t.TempDir(), "bench2.json")
 	if err := b2.WriteJSON(path2); err != nil {
 		t.Fatal(err)

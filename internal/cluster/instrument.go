@@ -32,6 +32,9 @@ func Instrument(reg *metrics.Registry, cl *Cluster, label string) {
 		reg.GaugeFunc("nic", "rnrs", lbl, func() float64 {
 			return float64(n.NIC.Counters().RNRs)
 		})
+		reg.GaugeFunc("nic", "doorbells", lbl, func() float64 {
+			return float64(n.NIC.Counters().Doorbells)
+		})
 		reg.GaugeFunc("host", "utilization", lbl, func() float64 {
 			return n.Host.Utilization()
 		})

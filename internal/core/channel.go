@@ -81,16 +81,17 @@ type channel struct {
 
 	creditMR *rdma.MemoryRegion // per-hop posted counters, written by replicas
 
-	issued    uint64
-	acked     uint64
-	pending   []*op // in-flight, ack order = issue order (chain + RC)
-	waiting   []*op // queued behind MaxInflight / credits
-	pumpArmed bool  // retry timer scheduled for credit-starved issues
-	ackSlot   int   // bytes per ack ring slot
-	msgHead   int   // metadata message size entering hop 0
-	slotsSQ   int   // downstream SQ slots per op
-	slotsLQ   int   // loopback SQ slots per op
-	manipLen  int   // bytes of descriptor images peeled per hop
+	issued     uint64
+	acked      uint64
+	pending    []*op // in-flight, ack order = issue order (chain + RC)
+	waiting    []*op // queued behind MaxInflight / credits
+	pumpArmed  bool  // retry timer scheduled for credit-starved issues
+	flushArmed bool  // deferred fusion pump scheduled (FusionDepth > 1)
+	ackSlot    int   // bytes per ack ring slot
+	msgHead    int   // metadata message size entering hop 0
+	slotsSQ    int   // downstream SQ slots per op
+	slotsLQ    int   // loopback SQ slots per op
+	manipLen   int   // bytes of descriptor images peeled per hop
 }
 
 // minCredit returns the lowest replenished-op count across hops: the client
@@ -263,22 +264,38 @@ func (c *channel) replenishable(ri int) int {
 	return free
 }
 
-// replenish tops up hop ri's rings, returning chains posted. After posting
-// it pushes the new credit to the client (an RDMA WRITE issued by the
+// replenish tops up hop ri's rings, returning chains posted. The whole
+// round's send-queue descriptors post as one fused batch per queue — one
+// doorbell for the round, the replica-side counterpart of client fusion —
+// then the new credit is pushed to the client (an RDMA WRITE issued by the
 // replica CPU, off the critical path).
 func (c *channel) replenish(ri int) int {
-	n := 0
-	for c.replenishable(ri) > 0 {
-		if err := c.postOpChain(ri, c.hops[ri].posted); err != nil {
+	n := c.replenishable(ri)
+	if n == 0 {
+		return 0
+	}
+	h := c.hops[ri]
+	var down, loop []rdma.WQE
+	for i := 0; i < n; i++ {
+		if err := c.chainWQEs(ri, h.posted, &down, &loop); err != nil {
+			c.g.fail(fmt.Errorf("%w: replenish %s hop %d: %v", ErrGroupFailed, c.kind, ri, err))
+			return i
+		}
+		h.posted++
+	}
+	if len(down) > 0 {
+		if _, err := h.down.PostSendBatch(down, rdma.RawOwnership); err != nil {
 			c.g.fail(fmt.Errorf("%w: replenish %s hop %d: %v", ErrGroupFailed, c.kind, ri, err))
 			return n
 		}
-		c.hops[ri].posted++
-		n++
 	}
-	if n > 0 {
-		c.pushCredit(ri)
+	if len(loop) > 0 {
+		if _, err := h.loop.PostSendBatch(loop, rdma.RawOwnership); err != nil {
+			c.g.fail(fmt.Errorf("%w: replenish %s hop %d: %v", ErrGroupFailed, c.kind, ri, err))
+			return n
+		}
 	}
+	c.pushCredit(ri)
 	return n
 }
 
@@ -305,9 +322,12 @@ func (c *channel) stagingOff(i int, k int) int {
 // ackOff returns the ack-ring byte offset for op k.
 func (c *channel) ackOff(k int) int { return (k % c.g.cfg.Depth) * c.ackSlot }
 
-// postOpChain pre-posts the WQE chain for absolute op index k at hop ri.
-// This is the replica-CPU work HyperLoop keeps off the critical path.
-func (c *channel) postOpChain(ri, k int) error {
+// chainWQEs assembles the WQE chain for absolute op index k at hop ri: the
+// upstream RECV posts immediately; send-queue descriptors append to *down
+// and *loop with their ownership bits set (held placeholders stay
+// host-owned), for the caller to post as one fused batch per queue. This is
+// the replica-CPU work HyperLoop keeps off the critical path.
+func (c *channel) chainWQEs(ri, k int, down, loop *[]rdma.WQE) error {
 	h := c.hops[ri]
 	tail := ri == len(c.hops)-1
 	kk := uint64(k)
@@ -337,28 +357,21 @@ func (c *channel) postOpChain(ri, k int) error {
 		if _, err := h.up.PostRecv(rdma.WQE{WRID: kk, SGEs: sges}); err != nil {
 			return err
 		}
-		if _, err := h.down.PostSend(rdma.WQE{Opcode: rdma.OpWait, WaitCQ: h.up.RecvCQ().ID(), WaitCount: 1, WRID: kk}); err != nil {
-			return err
-		}
+		*down = append(*down, rdma.WQE{Opcode: rdma.OpWait, WaitCQ: h.up.RecvCQ().ID(), WaitCount: 1, WRID: kk, HWOwned: true})
 		if tail {
-			_, err := h.down.PostSend(rdma.WQE{
-				Opcode: rdma.OpWriteImm, Signaled: true, WRID: kk, Imm: kk,
+			*down = append(*down, rdma.WQE{
+				Opcode: rdma.OpWriteImm, Signaled: true, WRID: kk, Imm: kk, HWOwned: true,
 				RKey: c.ackMR.RKey(), RAddr: uint64(c.ackOff(k)),
 			})
-			return err
+			return nil
 		}
-		if _, err := h.down.PostSend(held, rdma.HoldOwnership); err != nil { // WRITE
-			return err
-		}
-		if _, err := h.down.PostSend(held, rdma.HoldOwnership); err != nil { // FLUSH / NOP
-			return err
-		}
+		*down = append(*down, held, held) // WRITE, FLUSH / NOP
 		var fwd []rdma.SGE
 		if stg > 0 {
 			fwd = []rdma.SGE{{LKey: h.staging.LKey(), Offset: uint64(c.stagingOff(ri, k)), Length: uint32(stg)}}
 		}
-		_, err := h.down.PostSend(rdma.WQE{Opcode: rdma.OpSend, Signaled: true, WRID: kk, SGEs: fwd})
-		return err
+		*down = append(*down, rdma.WQE{Opcode: rdma.OpSend, Signaled: true, WRID: kk, HWOwned: true, SGEs: fwd})
+		return nil
 
 	case chCAS:
 		lbase := k * c.slotsLQ
@@ -374,28 +387,21 @@ func (c *channel) postOpChain(ri, k int) error {
 		if _, err := h.up.PostRecv(rdma.WQE{WRID: kk, SGEs: sges}); err != nil {
 			return err
 		}
-		if _, err := h.loop.PostSend(rdma.WQE{Opcode: rdma.OpWait, WaitCQ: h.up.RecvCQ().ID(), WaitCount: 1, WRID: kk}); err != nil {
-			return err
-		}
-		if _, err := h.loop.PostSend(held, rdma.HoldOwnership); err != nil { // CAS / NOP
-			return err
-		}
-		if _, err := h.down.PostSend(rdma.WQE{Opcode: rdma.OpWait, WaitCQ: h.loop.SendCQ().ID(), WaitCount: 1, WRID: kk}); err != nil {
-			return err
-		}
+		*loop = append(*loop,
+			rdma.WQE{Opcode: rdma.OpWait, WaitCQ: h.up.RecvCQ().ID(), WaitCount: 1, WRID: kk, HWOwned: true},
+			held) // CAS / NOP
+		*down = append(*down, rdma.WQE{Opcode: rdma.OpWait, WaitCQ: h.loop.SendCQ().ID(), WaitCount: 1, WRID: kk, HWOwned: true})
+		ackSGE := []rdma.SGE{{LKey: h.staging.LKey(), Offset: uint64(c.stagingOff(ri, k)), Length: uint32(stg)}}
 		if tail {
-			_, err := h.down.PostSend(rdma.WQE{
-				Opcode: rdma.OpWriteImm, Signaled: true, WRID: kk, Imm: kk,
+			*down = append(*down, rdma.WQE{
+				Opcode: rdma.OpWriteImm, Signaled: true, WRID: kk, Imm: kk, HWOwned: true,
 				RKey: c.ackMR.RKey(), RAddr: uint64(c.ackOff(k)),
-				SGEs: []rdma.SGE{{LKey: h.staging.LKey(), Offset: uint64(c.stagingOff(ri, k)), Length: uint32(stg)}},
+				SGEs: ackSGE,
 			})
-			return err
+			return nil
 		}
-		_, err := h.down.PostSend(rdma.WQE{
-			Opcode: rdma.OpSend, Signaled: true, WRID: kk,
-			SGEs: []rdma.SGE{{LKey: h.staging.LKey(), Offset: uint64(c.stagingOff(ri, k)), Length: uint32(stg)}},
-		})
-		return err
+		*down = append(*down, rdma.WQE{Opcode: rdma.OpSend, Signaled: true, WRID: kk, HWOwned: true, SGEs: ackSGE})
+		return nil
 
 	case chMemcpy:
 		lbase := k * c.slotsLQ
@@ -410,54 +416,44 @@ func (c *channel) postOpChain(ri, k int) error {
 		if _, err := h.up.PostRecv(rdma.WQE{WRID: kk, SGEs: sges}); err != nil {
 			return err
 		}
-		if _, err := h.loop.PostSend(rdma.WQE{Opcode: rdma.OpWait, WaitCQ: h.up.RecvCQ().ID(), WaitCount: 1, WRID: kk}); err != nil {
-			return err
-		}
-		if _, err := h.loop.PostSend(held, rdma.HoldOwnership); err != nil { // local WRITE (copy)
-			return err
-		}
-		if _, err := h.loop.PostSend(held, rdma.HoldOwnership); err != nil { // FLUSH / NOP
-			return err
-		}
+		*loop = append(*loop,
+			rdma.WQE{Opcode: rdma.OpWait, WaitCQ: h.up.RecvCQ().ID(), WaitCount: 1, WRID: kk, HWOwned: true},
+			held, // local WRITE (copy)
+			held) // FLUSH / NOP
 		// Both loop ops are signaled, so the forward waits for two CQEs.
-		if _, err := h.down.PostSend(rdma.WQE{Opcode: rdma.OpWait, WaitCQ: h.loop.SendCQ().ID(), WaitCount: 2, WRID: kk}); err != nil {
-			return err
-		}
+		*down = append(*down, rdma.WQE{Opcode: rdma.OpWait, WaitCQ: h.loop.SendCQ().ID(), WaitCount: 2, WRID: kk, HWOwned: true})
 		if tail {
-			_, err := h.down.PostSend(rdma.WQE{
-				Opcode: rdma.OpWriteImm, Signaled: true, WRID: kk, Imm: kk,
+			*down = append(*down, rdma.WQE{
+				Opcode: rdma.OpWriteImm, Signaled: true, WRID: kk, Imm: kk, HWOwned: true,
 				RKey: c.ackMR.RKey(), RAddr: uint64(c.ackOff(k)),
 			})
-			return err
+			return nil
 		}
 		var fwd []rdma.SGE
 		if stg > 0 {
 			fwd = []rdma.SGE{{LKey: h.staging.LKey(), Offset: uint64(c.stagingOff(ri, k)), Length: uint32(stg)}}
 		}
-		_, err := h.down.PostSend(rdma.WQE{Opcode: rdma.OpSend, Signaled: true, WRID: kk, SGEs: fwd})
-		return err
+		*down = append(*down, rdma.WQE{Opcode: rdma.OpSend, Signaled: true, WRID: kk, HWOwned: true, SGEs: fwd})
+		return nil
 
 	case chFlush:
 		if _, err := h.up.PostRecv(rdma.WQE{WRID: kk}); err != nil {
 			return err
 		}
-		if _, err := h.down.PostSend(rdma.WQE{Opcode: rdma.OpWait, WaitCQ: h.up.RecvCQ().ID(), WaitCount: 1, WRID: kk}); err != nil {
-			return err
-		}
+		*down = append(*down, rdma.WQE{Opcode: rdma.OpWait, WaitCQ: h.up.RecvCQ().ID(), WaitCount: 1, WRID: kk, HWOwned: true})
 		if tail {
-			_, err := h.down.PostSend(rdma.WQE{
-				Opcode: rdma.OpWriteImm, Signaled: true, WRID: kk, Imm: kk,
+			*down = append(*down, rdma.WQE{
+				Opcode: rdma.OpWriteImm, Signaled: true, WRID: kk, Imm: kk, HWOwned: true,
 				RKey: c.ackMR.RKey(), RAddr: uint64(c.ackOff(k)),
 			})
-			return err
+			return nil
 		}
 		// Flush the next replica's store (0-byte READ), then forward.
 		next := c.g.replicas[ri+1]
-		if _, err := h.down.PostSend(rdma.WQE{Opcode: rdma.OpRead, Signaled: true, WRID: kk, RKey: next.Store.RKey()}); err != nil {
-			return err
-		}
-		_, err := h.down.PostSend(rdma.WQE{Opcode: rdma.OpSend, Signaled: true, WRID: kk})
-		return err
+		*down = append(*down,
+			rdma.WQE{Opcode: rdma.OpRead, Signaled: true, WRID: kk, HWOwned: true, RKey: next.Store.RKey()},
+			rdma.WQE{Opcode: rdma.OpSend, Signaled: true, WRID: kk, HWOwned: true})
+		return nil
 
 	default:
 		panic("core: unknown channel kind")
@@ -533,12 +529,27 @@ func (c *channel) onAck(e rdma.CQE) {
 	c.pump()
 }
 
-// submit queues a primitive invocation and pumps the issue path.
+// submit queues a primitive invocation and pumps the issue path. With
+// FusionDepth > 1 the pump is deferred to a zero-delay event, so every op
+// submitted at the same virtual instant lands in the queue before the pump
+// runs once over all of them — that is what gives the fuser adjacent runs
+// to batch. Determinism is untouched: the deferral is a normal engine event
+// at the same timestamp, ordered by the usual (time, seq) rule.
 func (c *channel) submit(o *op) error {
 	if c.g.failed != nil {
 		return c.g.failed
 	}
 	c.waiting = append(c.waiting, o)
+	if c.g.cfg.FusionDepth > 1 {
+		if !c.flushArmed {
+			c.flushArmed = true
+			c.g.eng.Schedule(0, func() {
+				c.flushArmed = false
+				c.pump()
+			})
+		}
+		return nil
+	}
 	c.pump()
 	return nil
 }
@@ -552,9 +563,21 @@ func (c *channel) pump() {
 		return
 	}
 	for len(c.waiting) > 0 && len(c.pending) < c.g.cfg.MaxInflight && c.issued < c.minCredit() {
-		o := c.waiting[0]
-		c.waiting = c.waiting[1:]
-		c.send(o)
+		// Fuse up to FusionDepth adjacent ops of this primitive into one
+		// posting, bounded by the inflight window and replica credits.
+		n := len(c.waiting)
+		if d := c.g.cfg.FusionDepth; n > d {
+			n = d
+		}
+		if w := c.g.cfg.MaxInflight - len(c.pending); n > w {
+			n = w
+		}
+		if cr := int(c.minCredit() - c.issued); n > cr {
+			n = cr
+		}
+		batch := c.waiting[:n:n]
+		c.waiting = c.waiting[n:]
+		c.sendBatch(batch)
 	}
 	if len(c.waiting) > 0 && len(c.pending) < c.g.cfg.MaxInflight && !c.pumpArmed {
 		c.pumpArmed = true

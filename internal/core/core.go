@@ -85,6 +85,13 @@ type Config struct {
 	// OpTimeout fails the group if an operation sees no ack in time
 	// (0 = disabled). The chain manager uses this to trigger recovery.
 	OpTimeout sim.Duration
+	// FusionDepth is the most adjacent queued ops of one primitive the
+	// client fuses into a single posting batch: all their client-side WQEs
+	// are written back to back and armed with one doorbell
+	// (rdma.PostSendBatch), so any configured NIC DoorbellCost is paid once
+	// per batch instead of once per op. 1 (the default) reproduces the
+	// legacy one-op-per-doorbell issue path exactly.
+	FusionDepth int
 }
 
 func (c *Config) fill() {
@@ -103,6 +110,12 @@ func (c *Config) fill() {
 	if c.ChainPostCost <= 0 {
 		c.ChainPostCost = 150
 	}
+	if c.FusionDepth <= 0 {
+		c.FusionDepth = 1
+	}
+	if c.FusionDepth > c.MaxInflight {
+		c.FusionDepth = c.MaxInflight
+	}
 }
 
 // Group is a HyperLoop replication group: node 0 of the cluster is the
@@ -120,6 +133,8 @@ type Group struct {
 
 	opsIssued    uint64
 	opsCompleted uint64
+	fusedBatches uint64 // multi-op postings issued under FusionDepth > 1
+	fusedOps     uint64 // ops carried inside those postings
 }
 
 // New wires a HyperLoop group over an existing cluster (node 0 = client).
@@ -164,6 +179,11 @@ func (g *Group) Replica(i int) *cluster.Node { return g.replicas[i] }
 
 // OpsCompleted returns the number of acknowledged primitives.
 func (g *Group) OpsCompleted() uint64 { return g.opsCompleted }
+
+// FusionStats reports multi-op WQE fusion activity: batches is the number
+// of postings that carried more than one op, ops the total ops inside them.
+// Both stay zero at FusionDepth 1 or with an always-idle issue queue.
+func (g *Group) FusionStats() (batches, ops uint64) { return g.fusedBatches, g.fusedOps }
 
 // SetErrorHandler installs a callback invoked once if the group fails.
 func (g *Group) SetErrorHandler(fn func(error)) { g.onError = fn }

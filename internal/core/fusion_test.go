@@ -1,0 +1,145 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"hyperloop/internal/cluster"
+	"hyperloop/internal/fabric"
+	"hyperloop/internal/rdma"
+	"hyperloop/internal/sim"
+)
+
+// fusionGroup builds a quiet 3-replica cluster with the given group config
+// and NIC doorbell cost.
+func fusionGroup(t *testing.T, cfg Config, dbCost sim.Duration) (*sim.Engine, *cluster.Cluster, *Group) {
+	t.Helper()
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, cluster.Config{
+		Nodes:     4,
+		StoreSize: 1 << 20,
+		Fabric:    fabric.Config{JitterFrac: -1},
+		NIC:       rdma.Config{DoorbellCost: dbCost},
+	})
+	g := New(cl, cfg)
+	return eng, cl, g
+}
+
+// burst issues n gWRITEs back to back in one host event and returns the
+// virtual time when the last ack lands.
+func burst(t *testing.T, eng *sim.Engine, cl *cluster.Cluster, g *Group, n int) sim.Time {
+	t.Helper()
+	payload := bytes.Repeat([]byte("f"), 64)
+	cl.Client().StoreWrite(0, payload)
+	done := 0
+	var last sim.Time
+	eng.Schedule(0, func() {
+		for i := 0; i < n; i++ {
+			if err := g.GWrite(0, len(payload), false, func(r Result) {
+				if r.Err != nil {
+					t.Errorf("gWRITE: %v", r.Err)
+				}
+				done++
+				last = eng.Now()
+			}); err != nil {
+				t.Fatalf("submit: %v", err)
+			}
+		}
+	})
+	ok := eng.RunUntil(func() bool { return done == n || g.Failed() != nil }, eng.Now().Add(sim.Second))
+	if g.Failed() != nil {
+		t.Fatalf("group failed: %v", g.Failed())
+	}
+	if !ok {
+		t.Fatalf("burst stalled at %d/%d", done, n)
+	}
+	return last
+}
+
+// FusionDepth 1 (the default) must reproduce legacy timing exactly even
+// with a doorbell cost configured — the depth axis starts at the old path.
+func TestFusionDepthOneMatchesLegacy(t *testing.T) {
+	engA, clA, gA := fusionGroup(t, Config{Depth: 64}, 0)
+	tA := burst(t, engA, clA, gA, 16)
+	engB, clB, gB := fusionGroup(t, Config{Depth: 64, FusionDepth: 1}, 0)
+	tB := burst(t, engB, clB, gB, 16)
+	if tA != tB {
+		t.Fatalf("explicit FusionDepth=1 end %v != default end %v", tB, tA)
+	}
+	b, o := gB.FusionStats()
+	if b != 0 || o != 0 {
+		t.Fatalf("fusion stats at depth 1 = (%d, %d), want (0, 0)", b, o)
+	}
+}
+
+// With a doorbell cost, fusing a backlogged burst must finish strictly
+// sooner than unfused issue, and the fusion counters must account for every
+// op beyond the unfusable first (issued before a backlog exists).
+func TestFusionAmortizesDoorbells(t *testing.T) {
+	const cost = 400 * sim.Nanosecond
+	const n = 32
+	// MaxInflight 4 so a backlog forms and the pump sees fusable runs.
+	engA, clA, gA := fusionGroup(t, Config{Depth: 64, MaxInflight: 4}, cost)
+	tUnfused := burst(t, engA, clA, gA, n)
+	dbA := clA.Client().NIC.Counters().Doorbells
+
+	engB, clB, gB := fusionGroup(t, Config{Depth: 64, MaxInflight: 4, FusionDepth: 4}, cost)
+	tFused := burst(t, engB, clB, gB, n)
+	dbB := clB.Client().NIC.Counters().Doorbells
+
+	if tFused >= tUnfused {
+		t.Fatalf("fused burst end %v not sooner than unfused %v", tFused, tUnfused)
+	}
+	if dbB >= dbA {
+		t.Fatalf("fused client doorbells %d not fewer than unfused %d", dbB, dbA)
+	}
+	batches, ops := gB.FusionStats()
+	if batches == 0 || ops <= batches {
+		t.Fatalf("fusion stats = (%d, %d), want multi-op batches", batches, ops)
+	}
+	bA, oA := gA.FusionStats()
+	if bA != 0 || oA != 0 {
+		t.Fatalf("unfused group recorded fusion (%d, %d)", bA, oA)
+	}
+}
+
+// Fused gWRITEs must preserve replication semantics: every replica ends
+// with the final payload and acks stay in issue order (checked by onAck).
+func TestFusionPreservesReplication(t *testing.T) {
+	eng, cl, g := fusionGroup(t, Config{Depth: 64, MaxInflight: 4, FusionDepth: 8}, 200)
+	payloads := [][]byte{
+		bytes.Repeat([]byte("a"), 128),
+		bytes.Repeat([]byte("b"), 128),
+		bytes.Repeat([]byte("c"), 128),
+		bytes.Repeat([]byte("d"), 128),
+	}
+	done := 0
+	eng.Schedule(0, func() {
+		for i, p := range payloads {
+			off := i * 1024
+			cl.Client().StoreWrite(off, p)
+			for j := 0; j < 4; j++ { // re-write each slot repeatedly
+				if err := g.GWrite(off, len(p), true, func(r Result) {
+					if r.Err != nil {
+						t.Errorf("gWRITE: %v", r.Err)
+					}
+					done++
+				}); err != nil {
+					t.Fatalf("submit: %v", err)
+				}
+			}
+		}
+	})
+	want := 4 * len(payloads)
+	ok := eng.RunUntil(func() bool { return done == want || g.Failed() != nil }, eng.Now().Add(sim.Second))
+	if g.Failed() != nil || !ok {
+		t.Fatalf("run: failed=%v done=%d/%d", g.Failed(), done, want)
+	}
+	for i, p := range payloads {
+		for r := 0; r < g.GroupSize(); r++ {
+			if got := g.Replica(r).StoreBytes(i*1024, len(p)); !bytes.Equal(got, p) {
+				t.Fatalf("replica %d slot %d = %q", r, i, got[:8])
+			}
+		}
+	}
+}

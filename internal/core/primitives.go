@@ -6,35 +6,49 @@ import (
 	"hyperloop/internal/rdma"
 )
 
-// send issues op o on channel c: it builds the per-replica descriptor
-// images (the "metadata" of §4.1, pre-calculated by the client), stages
-// them, and posts the client-side work requests. Everything after this —
-// per-hop execution, forwarding, flushing, the tail ack — happens on NICs.
-func (c *channel) send(o *op) {
-	o.seq = c.issued
-	c.issued++
-	o.issued = c.g.eng.Now()
-	c.pending = append(c.pending, o)
-	if c.g.cfg.OpTimeout > 0 {
-		seq := o.seq
-		o.timeout = c.g.eng.Schedule(c.g.cfg.OpTimeout, func() {
-			c.g.fail(fmt.Errorf("%w: %s op %d timed out", ErrGroupFailed, c.kind, seq))
-		})
+// sendBatch issues a run of ops on channel c as one fused posting: each
+// op's per-replica descriptor images (the "metadata" of §4.1, pre-calculated
+// by the client) are staged, then every op's client-side work requests post
+// back to back with a single doorbell (rdma.PostSendBatch). Everything after
+// this — per-hop execution, forwarding, flushing, the tail ack — happens on
+// NICs. A batch of one is the legacy issue path with identical timing when
+// no DoorbellCost is configured.
+func (c *channel) sendBatch(ops []*op) {
+	var ws []rdma.WQE
+	for _, o := range ops {
+		o.seq = c.issued
+		c.issued++
+		o.issued = c.g.eng.Now()
+		c.pending = append(c.pending, o)
+		if c.g.cfg.OpTimeout > 0 {
+			seq := o.seq
+			o.timeout = c.g.eng.Schedule(c.g.cfg.OpTimeout, func() {
+				c.g.fail(fmt.Errorf("%w: %s op %d timed out", ErrGroupFailed, c.kind, seq))
+			})
+		}
+		ws = append(ws, c.clientWQEs(o)...)
 	}
+	if c.g.failed != nil || len(ws) == 0 {
+		return
+	}
+	if _, err := c.cliQP.PostSendBatch(ws); err != nil {
+		c.g.fail(fmt.Errorf("%w: client post %s: %v", ErrGroupFailed, c.kind, err))
+		return
+	}
+	if len(ops) > 1 {
+		c.g.fusedBatches++
+		c.g.fusedOps += uint64(len(ops))
+	}
+}
 
+// clientWQEs builds op o's client-side work requests and stages its
+// metadata message in the outgoing ring slot for seq o.seq.
+func (c *channel) clientWQEs(o *op) []rdma.WQE {
 	k := int(o.seq)
 	msg := c.buildMetadata(o, k)
 	slotOff := (k % c.g.cfg.Depth) * c.msgHead
 	if len(msg) > 0 {
 		c.cliStaging.Backing().WriteAt(slotOff, msg)
-	}
-	post := func(w rdma.WQE) {
-		if c.g.failed != nil {
-			return
-		}
-		if _, err := c.cliQP.PostSend(w); err != nil {
-			c.g.fail(fmt.Errorf("%w: client post %s: %v", ErrGroupFailed, c.kind, err))
-		}
 	}
 	head := c.g.replicas[0]
 	metaSGE := []rdma.SGE{}
@@ -43,22 +57,26 @@ func (c *channel) send(o *op) {
 	}
 	switch c.kind {
 	case chWrite:
-		post(rdma.WQE{
+		ws := []rdma.WQE{{
 			Opcode: rdma.OpWrite, Signaled: true, WRID: o.seq,
 			RKey: head.Store.RKey(), RAddr: uint64(o.off),
 			SGEs: []rdma.SGE{{LKey: c.g.client.Store.LKey(), Offset: uint64(o.off), Length: uint32(o.size)}},
-		})
+		}}
 		if o.durable {
 			// gFLUSH interleave: drain the head replica's NIC cache before
 			// the metadata SEND triggers its forward.
-			post(rdma.WQE{Opcode: rdma.OpRead, Signaled: true, WRID: o.seq, RKey: head.Store.RKey()})
+			ws = append(ws, rdma.WQE{Opcode: rdma.OpRead, Signaled: true, WRID: o.seq, RKey: head.Store.RKey()})
 		}
-		post(rdma.WQE{Opcode: rdma.OpSend, Signaled: true, WRID: o.seq, SGEs: metaSGE})
+		return append(ws, rdma.WQE{Opcode: rdma.OpSend, Signaled: true, WRID: o.seq, SGEs: metaSGE})
 	case chCAS, chMemcpy:
-		post(rdma.WQE{Opcode: rdma.OpSend, Signaled: true, WRID: o.seq, SGEs: metaSGE})
+		return []rdma.WQE{{Opcode: rdma.OpSend, Signaled: true, WRID: o.seq, SGEs: metaSGE}}
 	case chFlush:
-		post(rdma.WQE{Opcode: rdma.OpRead, Signaled: true, WRID: o.seq, RKey: head.Store.RKey()})
-		post(rdma.WQE{Opcode: rdma.OpSend, Signaled: true, WRID: o.seq})
+		return []rdma.WQE{
+			{Opcode: rdma.OpRead, Signaled: true, WRID: o.seq, RKey: head.Store.RKey()},
+			{Opcode: rdma.OpSend, Signaled: true, WRID: o.seq},
+		}
+	default:
+		panic("core: unknown channel kind")
 	}
 }
 

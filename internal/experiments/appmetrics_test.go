@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestAppMetricsDeterministic(t *testing.T) {
+	dump := func() []byte {
+		reg, err := AppMetrics(1, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := reg.ExportJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := dump(), dump()
+	if len(a) == 0 || !bytes.Contains(a, []byte("ops_acked")) {
+		t.Fatalf("app metrics dump missing op ledger: %d bytes", len(a))
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("app metrics dump not reproducible")
+	}
+}
+
+func TestMotivationMetricsDeterministic(t *testing.T) {
+	dump := func() []byte {
+		reg, err := MotivationMetrics(1, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := reg.ExportJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := dump(), dump()
+	if len(a) == 0 || !bytes.Contains(a, []byte("update_latency_ns")) {
+		t.Fatalf("motivation metrics dump missing op ledger: %d bytes", len(a))
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("motivation metrics dump not reproducible")
+	}
+}

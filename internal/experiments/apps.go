@@ -9,6 +9,7 @@ import (
 	"hyperloop/internal/docstore"
 	"hyperloop/internal/kvstore"
 	"hyperloop/internal/locks"
+	"hyperloop/internal/metrics"
 	"hyperloop/internal/naive"
 	"hyperloop/internal/sim"
 	"hyperloop/internal/stats"
@@ -26,6 +27,10 @@ type AppParams struct {
 	TenantsPerCore int   // co-located load (default 10)
 	ValueSize      int   // bytes (default 1024, as §6.2)
 	Seed           int64
+	// Metrics, when non-nil, attaches the observability plane to the cell:
+	// cluster instrumentation, an op ledger, and a virtual-clock sampler.
+	// Every hook only observes, so latencies match an uninstrumented run.
+	Metrics *metrics.Registry
 }
 
 func (p *AppParams) fill() {
@@ -139,6 +144,17 @@ func RocksDB(p AppParams) (RocksDBResult, error) {
 		node.Host.ResetAccounting()
 	}
 
+	var acked *metrics.Counter
+	var mlat *metrics.Histogram
+	var sampler *metrics.Sampler
+	if p.Metrics != nil {
+		label := "rocksdb-" + sysLabel(p.System)
+		cluster.Instrument(p.Metrics, cl, label)
+		acked = p.Metrics.Counter("app", "ops_acked", label)
+		mlat = p.Metrics.Histogram("app", "put_latency_ns", label)
+		sampler = metrics.NewSampler(eng, p.Metrics, 100*sim.Microsecond)
+	}
+
 	// The RocksDB write path itself costs client CPU (memtable insert, WAL
 	// encode) before the replication call.
 	const rocksWriteCPU = 2 * sim.Microsecond
@@ -170,6 +186,10 @@ func RocksDB(p AppParams) (RocksDBResult, error) {
 				err := db.Put(ycsb.KeyName(op.Key), vals.Next(op.Key), func(err error) {
 					if err == nil {
 						hist.Record(eng.Now().Sub(start))
+						if mlat != nil {
+							acked.Inc()
+							mlat.Observe(eng.Now().Sub(start))
+						}
 					}
 					completed++
 					issue()
@@ -187,6 +207,10 @@ func RocksDB(p AppParams) (RocksDBResult, error) {
 	}
 	if failed() != nil {
 		return RocksDBResult{}, failed()
+	}
+	if sampler != nil {
+		sampler.Stop()
+		p.Metrics.Sample(eng.Now())
 	}
 
 	// Datapath CPU: utilization above the hog baseline. With TenantsPerCore
@@ -296,6 +320,17 @@ func MongoDB(p AppParams) (MongoResult, error) {
 		node.Host.ResetAccounting()
 	}
 
+	var acked *metrics.Counter
+	var mlat *metrics.Histogram
+	var sampler *metrics.Sampler
+	if p.Metrics != nil {
+		label := "mongo-" + sysLabel(p.System)
+		cluster.Instrument(p.Metrics, cl, label)
+		acked = p.Metrics.Counter("app", "ops_acked", label)
+		mlat = p.Metrics.Histogram("app", "write_latency_ns", label)
+		sampler = metrics.NewSampler(eng, p.Metrics, 100*sim.Microsecond)
+	}
+
 	gen := ycsb.NewGenerator(p.Workload, p.Records, p.Seed)
 	hist := stats.NewHistogram()
 	completed, issuedOps := 0, 0
@@ -328,6 +363,10 @@ func MongoDB(p AppParams) (MongoResult, error) {
 			err := fn(key, docstore.Document{"field1": "updated"}, func(err error) {
 				if err == nil {
 					hist.Record(eng.Now().Sub(start))
+					if mlat != nil {
+						acked.Inc()
+						mlat.Observe(eng.Now().Sub(start))
+					}
 				}
 				completed++
 				issue()
@@ -344,6 +383,10 @@ func MongoDB(p AppParams) (MongoResult, error) {
 	}
 	if failed() != nil {
 		return MongoResult{}, failed()
+	}
+	if sampler != nil {
+		sampler.Stop()
+		p.Metrics.Sample(eng.Now())
 	}
 	var cpu float64
 	for _, node := range cl.Replicas() {

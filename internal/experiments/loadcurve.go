@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hyperloop/internal/load"
+	"hyperloop/internal/sim"
+)
+
+// Load-curve experiment: the open-loop serving plane driven through and past
+// saturation. For each system we first probe the saturation point (admission
+// on, offered load far beyond capacity — the admitted-op completion rate IS
+// the capacity), then sweep offered load across multiples of it with the
+// admission controller on and off. The curve shows the paper's serving-plane
+// story: with a bounded queue in front of each group leader, goodput holds
+// at capacity past the knee while the uncontrolled baseline's hidden queue
+// pushes open-loop p99.9 out by orders of magnitude.
+
+// LoadCurveParams selects one load-curve sweep.
+type LoadCurveParams struct {
+	// Systems to sweep (default hyperloop, naive).
+	Systems []string
+	// Mults are the offered-load multiples of measured saturation swept per
+	// system (default 0.5, 0.75, 1.0, 1.25, 1.5).
+	Mults []float64
+	// FusionDepths is the WQE-chain fusion sweep run at saturation on the
+	// HyperLoop arm (default 1, 2, 4, 8; nil-able via Quick).
+	FusionDepths []int
+	// Clients is the modeled connection-id space (default 1<<20 — the
+	// million-client population is the normal case).
+	Clients int
+	// Duration is the arrival horizon per point (default 5ms; Quick 2ms).
+	Duration sim.Duration
+	// Arrival is the arrival process for curve points (default "poisson").
+	Arrival string
+	Seed    int64
+	// Workers is the engine worker count inside each point's partitioned run.
+	Workers int
+	// Parallel runs curve points concurrently (wall-clock only; each point
+	// owns its engines).
+	Parallel int
+	// Quick shrinks the sweep for CI: 3 mults, 2 fusion depths.
+	Quick bool
+}
+
+func (p *LoadCurveParams) fill() {
+	if len(p.Systems) == 0 {
+		p.Systems = []string{"hyperloop", "naive"}
+	}
+	if len(p.Mults) == 0 {
+		if p.Quick {
+			p.Mults = []float64{0.5, 1.0, 1.5}
+		} else {
+			p.Mults = []float64{0.5, 0.75, 1.0, 1.25, 1.5}
+		}
+	}
+	if len(p.FusionDepths) == 0 {
+		if p.Quick {
+			p.FusionDepths = []int{1, 4}
+		} else {
+			p.FusionDepths = []int{1, 2, 4, 8}
+		}
+	}
+	if p.Clients <= 0 {
+		p.Clients = 1 << 20
+	}
+	if p.Duration <= 0 {
+		if p.Quick {
+			p.Duration = 2 * sim.Millisecond
+		} else {
+			p.Duration = 5 * sim.Millisecond
+		}
+	}
+	if p.Arrival == "" {
+		p.Arrival = "poisson"
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.Parallel <= 0 {
+		p.Parallel = 1
+	}
+}
+
+// curveSLO is the open-loop latency bound an op must meet to count toward
+// goodput, sized so a full bounded queue at measured capacity still clears.
+const curveSLO = 500 * sim.Microsecond
+
+// curveAdmission is the controller setting every curve point shares: a
+// shallow bounded queue (sojourn under the SLO at capacity), a modest
+// inflight window, and batch dispatch so same-instant runs hit WQE fusion.
+var curveAdmission = load.AdmissionConfig{
+	QueueDepth:    8,
+	MaxInflight:   16,
+	DispatchBatch: 8,
+	DispatchEvery: 2 * sim.Microsecond,
+}
+
+// probeOffered is the saturation probe's offered load, far above the
+// serving capacity any configuration here can reach.
+const probeOffered = 2_000_000.0
+
+// LoadPoint is one (system, admission, offered-load) cell of the curve.
+type LoadPoint struct {
+	System    string
+	Admission bool
+	// Mult is the offered-load multiple of the system's measured saturation
+	// (0 for the probe itself).
+	Mult float64
+	load.Result
+}
+
+// FusionPoint is one fusion-depth cell, run at saturation on HyperLoop.
+type FusionPoint struct {
+	Depth int
+	load.Result
+}
+
+// LoadCurveResult is the full sweep.
+type LoadCurveResult struct {
+	// CapacityKops is each system's measured saturation throughput.
+	CapacityKops map[string]float64
+	Points       []LoadPoint
+	Fusion       []FusionPoint
+}
+
+func (p LoadCurveParams) config(system string, offered float64, admissionOn bool) load.Config {
+	cfg := load.Config{
+		System:         system,
+		Groups:         2,
+		HostsPerGroup:  3,
+		ShardsPerGroup: 1,
+		Replicas:       3,
+		RegionSize:     1 << 18,
+		Workers:        p.Workers,
+		Seed:           p.Seed,
+		Clients:        p.Clients,
+		Arrival:        p.Arrival,
+		OfferedLoad:    offered,
+		Duration:       p.Duration,
+		SLO:            curveSLO,
+		Admission:      curveAdmission,
+	}
+	cfg.Admission.Enabled = admissionOn
+	if system == "hyperloop" {
+		cfg.FusionDepth = 4
+		cfg.DoorbellCost = 200 * sim.Nanosecond
+	}
+	return cfg
+}
+
+// Saturate measures one system's serving capacity: admission on, offered
+// load far past any reachable throughput, capacity = admitted completions
+// over the horizon.
+func (p LoadCurveParams) Saturate(system string) load.Result {
+	p.fill()
+	return load.Run(p.config(system, probeOffered, true))
+}
+
+// RunLoadCurve measures saturation per system and sweeps offered load across
+// Mults of it with admission on and off, plus the fusion-depth sweep at
+// saturation. Deterministic for a given seed at any Workers/Parallel count.
+func RunLoadCurve(p LoadCurveParams) LoadCurveResult {
+	p.fill()
+	res := LoadCurveResult{CapacityKops: make(map[string]float64)}
+
+	// Phase 1: saturation probes (parallel across systems).
+	caps, err := RunParallel(p.Parallel, len(p.Systems), func(i int) (float64, error) {
+		return p.Saturate(p.Systems[i]).TputKops, nil
+	})
+	if err != nil {
+		panic(fmt.Sprintf("load curve: probe: %v", err))
+	}
+	for i, sys := range p.Systems {
+		res.CapacityKops[sys] = caps[i]
+	}
+
+	// Phase 2: the curve grid — every (system, admission, mult) cell.
+	type cell struct {
+		sys  string
+		adm  bool
+		mult float64
+	}
+	var cells []cell
+	for _, sys := range p.Systems {
+		for _, adm := range []bool{true, false} {
+			for _, m := range p.Mults {
+				cells = append(cells, cell{sys, adm, m})
+			}
+		}
+	}
+	points, err := RunParallel(p.Parallel, len(cells), func(i int) (LoadPoint, error) {
+		c := cells[i]
+		offered := c.mult * res.CapacityKops[c.sys] * 1e3
+		r := load.Run(p.config(c.sys, offered, c.adm))
+		if err := r.CheckAccounting(); err != nil {
+			return LoadPoint{}, err
+		}
+		return LoadPoint{System: c.sys, Admission: c.adm, Mult: c.mult, Result: r}, nil
+	})
+	if err != nil {
+		panic(fmt.Sprintf("load curve: %v", err))
+	}
+	res.Points = points
+
+	// Phase 3: fusion-depth sweep at saturation (HyperLoop only).
+	for _, sys := range p.Systems {
+		if sys != "hyperloop" {
+			continue
+		}
+		offered := res.CapacityKops[sys] * 1e3
+		fusion, ferr := RunParallel(p.Parallel, len(p.FusionDepths), func(i int) (FusionPoint, error) {
+			// Coalescing needs a dispatch window spanning several arrivals:
+			// hold the queue for 50µs (a tenth of the SLO), release it as one
+			// same-instant batch, and let WQE-chain fusion turn the batch
+			// into FusionDepth-op chains — one doorbell per chain instead of
+			// one per op. Bursty b-model arrivals fill the window faster.
+			cfg := p.config(sys, offered, true)
+			cfg.Arrival = "bmodel"
+			cfg.Admission.DispatchEvery = 50 * sim.Microsecond
+			cfg.FusionDepth = p.FusionDepths[i]
+			r := load.Run(cfg)
+			if err := r.CheckAccounting(); err != nil {
+				return FusionPoint{}, err
+			}
+			return FusionPoint{Depth: p.FusionDepths[i], Result: r}, nil
+		})
+		if ferr != nil {
+			panic(fmt.Sprintf("load curve: fusion sweep: %v", ferr))
+		}
+		res.Fusion = fusion
+	}
+	return res
+}
+
+// LoadMetrics runs one instrumented admission-on point at saturation-probe
+// load and returns its merged registry — the byte-reproducible dump the CI
+// determinism gate diffs across engine worker counts.
+func LoadMetrics(seed int64, workers int) ([]byte, error) {
+	p := LoadCurveParams{Seed: seed, Workers: workers, Quick: true}
+	p.fill()
+	cfg := p.config("hyperloop", probeOffered, true)
+	cfg.Metrics = true
+	cfg.WithSpans = true
+	r := load.Run(cfg)
+	if err := r.CheckAccounting(); err != nil {
+		return nil, err
+	}
+	return r.MergedRegistry().ExportJSON()
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"testing"
+
+	"hyperloop/internal/sim"
+)
+
+// The load curve's headline claims, pinned at quick scale: past saturation
+// the admission-on plane holds goodput within 90% of its peak, the
+// admission-off baseline demonstrably degrades, and deeper WQE fusion never
+// costs throughput while ringing fewer doorbells.
+func TestLoadCurveHoldsGoodputPastSaturation(t *testing.T) {
+	res := RunLoadCurve(LoadCurveParams{
+		Systems:      []string{"hyperloop"},
+		Mults:        []float64{1.0, 1.5},
+		FusionDepths: []int{1, 4},
+		Duration:     2 * sim.Millisecond,
+		Seed:         1,
+		Workers:      1,
+	})
+	if res.CapacityKops["hyperloop"] <= 0 {
+		t.Fatal("no measured capacity")
+	}
+
+	var peakOn float64
+	for _, pt := range res.Points {
+		if pt.Admission && pt.GoodputKops > peakOn {
+			peakOn = pt.GoodputKops
+		}
+	}
+	for _, pt := range res.Points {
+		if pt.Mult <= 1.0 {
+			continue
+		}
+		if pt.Admission {
+			if pt.GoodputKops < 0.9*peakOn {
+				t.Fatalf("admission-on goodput %.1f at mult %.2f below 90%% of peak %.1f",
+					pt.GoodputKops, pt.Mult, peakOn)
+			}
+		} else {
+			if pt.GoodputKops > 0.9*peakOn {
+				t.Fatalf("admission-off goodput %.1f at mult %.2f did not degrade (peak %.1f)",
+					pt.GoodputKops, pt.Mult, peakOn)
+			}
+		}
+	}
+
+	if len(res.Fusion) != 2 {
+		t.Fatalf("fusion sweep has %d points", len(res.Fusion))
+	}
+	shallow, deep := res.Fusion[0], res.Fusion[1]
+	if deep.Doorbells >= shallow.Doorbells {
+		t.Fatalf("fusion depth %d rang %d doorbells, depth %d rang %d — no coalescing win",
+			deep.Depth, deep.Doorbells, shallow.Depth, shallow.Doorbells)
+	}
+	if deep.TputKops < shallow.TputKops {
+		t.Fatalf("fusion cost throughput: %.1f at depth %d vs %.1f at depth %d",
+			deep.TputKops, deep.Depth, shallow.TputKops, shallow.Depth)
+	}
+	if deep.FusedOps == 0 {
+		t.Fatal("deep fusion point never fused")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"hyperloop/internal/cluster"
 	"hyperloop/internal/cpusched"
 	"hyperloop/internal/docstore"
+	"hyperloop/internal/metrics"
 	"hyperloop/internal/naive"
 	"hyperloop/internal/sim"
 	"hyperloop/internal/stats"
@@ -22,6 +23,10 @@ type MotivationParams struct {
 	OpsPerSet     int // measured ops per set (default 2000)
 	Records       int64
 	Seed          int64
+	// Metrics, when non-nil, attaches the observability plane to the cell:
+	// cluster instrumentation, an op ledger, and a virtual-clock sampler.
+	// Every hook only observes, so latencies match an uninstrumented run.
+	Metrics *metrics.Registry
 }
 
 func (p *MotivationParams) fill() {
@@ -142,6 +147,17 @@ func Motivation(p MotivationParams) (MotivationResult, error) {
 		srv.Host.ResetAccounting()
 	}
 
+	var acked *metrics.Counter
+	var mlat *metrics.Histogram
+	var sampler *metrics.Sampler
+	if p.Metrics != nil {
+		label := fmt.Sprintf("mot-sets%d-cores%d", p.ReplicaSets, p.Cores)
+		cluster.Instrument(p.Metrics, cl, label)
+		acked = p.Metrics.Counter("motivation", "ops_acked", label)
+		mlat = p.Metrics.Histogram("motivation", "update_latency_ns", label)
+		sampler = metrics.NewSampler(eng, p.Metrics, 100*sim.Microsecond)
+	}
+
 	// Drive every set with ThreadsPerSet closed loops; measure write ops.
 	hist := stats.NewHistogram()
 	totalWant := p.OpsPerSet * len(sets)
@@ -170,6 +186,10 @@ func Motivation(p MotivationParams) (MotivationResult, error) {
 					anyErr = err
 				}
 				hist.Record(eng.Now().Sub(start))
+				if mlat != nil {
+					acked.Inc()
+					mlat.Observe(eng.Now().Sub(start))
+				}
 				completed++
 				worker()
 			})
@@ -187,6 +207,10 @@ func Motivation(p MotivationParams) (MotivationResult, error) {
 	}
 	if anyErr != nil {
 		return MotivationResult{}, anyErr
+	}
+	if sampler != nil {
+		sampler.Stop()
+		p.Metrics.Sample(eng.Now())
 	}
 
 	var switches uint64

@@ -1,0 +1,47 @@
+package faults
+
+import (
+	"fmt"
+
+	"hyperloop/internal/sim"
+)
+
+// AdmissionBurst floods the open-loop serving plane with an aggressor
+// tenant's burst while a victim tenant's arrival rate stays constant: the
+// per-group admission controller must throttle the aggressor against its
+// token bucket and keep the victim's tail latency flat, while the same
+// burst with the controller disabled must demonstrably degrade the victim.
+// Like MigrationInflight it is not part of the chain-matrix Classes — it
+// runs on the load plane — but ParseClass accepts it via AllClasses.
+const AdmissionBurst Class = MigrationInflight + 1
+
+// AdmissionBurstSpec is one planned tenant-burst scenario: pure data drawn
+// deterministically from a seed, like Spec.
+type AdmissionBurstSpec struct {
+	Seed int64
+	// BurstMult is the aggressor's offered load during the burst as a
+	// multiple of the victim's steady rate (drawn in [4, 12]).
+	BurstMult int
+	// AggressorRate is the aggressor's per-group token-bucket refill rate,
+	// puts/second — its contracted share of the plane.
+	AggressorRate float64
+	// AggressorBurst is the bucket depth (ops of credit).
+	AggressorBurst float64
+}
+
+func (s AdmissionBurstSpec) String() string {
+	return fmt.Sprintf("admission-burst seed=%d mult=%dx bucket=%.0f/s+%.0f",
+		s.Seed, s.BurstMult, s.AggressorRate, s.AggressorBurst)
+}
+
+// PlanAdmissionBurst draws a tenant-burst scenario from seed.
+func PlanAdmissionBurst(seed int64) AdmissionBurstSpec {
+	class := int64(AdmissionBurst) + 1 // variable: the mix must wrap, not constant-fold
+	r := sim.NewRand(seed ^ class*0x1E3779B97F4A7C15)
+	return AdmissionBurstSpec{
+		Seed:           seed,
+		BurstMult:      4 + r.Intn(9),
+		AggressorRate:  float64(12_000 + r.Intn(7)*1_000),
+		AggressorBurst: float64(16 + r.Intn(17)),
+	}
+}

@@ -16,8 +16,8 @@ import (
 const MigrationInflight Class = TenantBurst + 1
 
 // AllClasses lists every class ParseClass accepts: the chain-matrix classes
-// plus the shard-layer ones.
-var AllClasses = append(append([]Class(nil), Classes...), MigrationInflight)
+// plus the shard- and load-layer ones.
+var AllClasses = append(append([]Class(nil), Classes...), MigrationInflight, AdmissionBurst)
 
 // MigrationSpec is one planned migration-inflight scenario: when the
 // migration starts, which side loses a replica, which one, and when —

@@ -46,6 +46,8 @@ func (c Class) String() string {
 		return "tenant-burst"
 	case MigrationInflight:
 		return "migration-inflight"
+	case AdmissionBurst:
+		return "admission-burst"
 	default:
 		return fmt.Sprintf("class(%d)", int(c))
 	}

@@ -1,0 +1,315 @@
+package load
+
+import (
+	"errors"
+
+	"hyperloop/internal/sim"
+	"hyperloop/internal/wal"
+)
+
+// AdmissionConfig tunes one group leader's admission controller.
+type AdmissionConfig struct {
+	// Enabled guards the whole policy. Disabled, every arrival joins an
+	// unbounded queue and no throttle applies — the hidden-queue baseline
+	// whose open-loop latency explodes past saturation.
+	Enabled bool
+	// QueueDepth bounds the admission queue; an arrival that finds it full
+	// is shed with a counted verdict (default 256).
+	QueueDepth int
+	// MaxInflight caps ops handed to the data plane at once (default 64).
+	MaxInflight int
+	// DispatchBatch ops leave the queue in one drain event, reaching the
+	// group leader in the same virtual instant — the back-to-back run the
+	// doorbell-coalescing WQE fusion path needs (default 8).
+	DispatchBatch int
+	// DispatchEvery is the drain cadence: the leader aggregates requests for
+	// this long before posting the next batch. It is the classic doorbell-
+	// moderation trade — a fixed small latency add at low load buys one MMIO
+	// ring per batch under high load (default 1µs).
+	DispatchEvery sim.Duration
+	// RetryDelay pauses dispatch after WAL-full backpressure: the ring needs
+	// executor progress, which hammering cannot accelerate (default 2µs).
+	RetryDelay sim.Duration
+}
+
+func (c *AdmissionConfig) fill() {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 64
+	}
+	if c.DispatchBatch <= 0 {
+		c.DispatchBatch = 8
+	}
+	if c.DispatchEvery <= 0 {
+		c.DispatchEvery = sim.Microsecond
+	}
+	if c.RetryDelay <= 0 {
+		c.RetryDelay = 2 * sim.Microsecond
+	}
+}
+
+// Verdicts counts every admission outcome. The controller's contract is
+// that no arrival ever vanishes: Arrivals == Admitted + ShedQueueFull +
+// ShedThrottled, and Admitted == Acked + Failed + Unserved once a run is
+// cut off. Backpressure counts WAL-full bounces, which re-queue the op
+// rather than ending it, so it is a pressure signal, not a terminal state.
+type Verdicts struct {
+	Arrivals      uint64
+	Admitted      uint64
+	ShedQueueFull uint64
+	ShedThrottled uint64
+	Backpressure  uint64
+	Acked         uint64
+	Failed        uint64
+	Unserved      uint64
+}
+
+// Add accumulates other into v (merging per-group verdicts in group order).
+func (v *Verdicts) Add(o Verdicts) {
+	v.Arrivals += o.Arrivals
+	v.Admitted += o.Admitted
+	v.ShedQueueFull += o.ShedQueueFull
+	v.ShedThrottled += o.ShedThrottled
+	v.Backpressure += o.Backpressure
+	v.Acked += o.Acked
+	v.Failed += o.Failed
+	v.Unserved += o.Unserved
+}
+
+// bucket is a virtual-time token bucket: tokens accrue with the engine
+// clock, so refill is exact and deterministic — no timer events needed.
+type bucket struct {
+	rate   float64 // tokens per second; <= 0 means unthrottled
+	burst  float64
+	tokens float64
+	last   sim.Time
+}
+
+func newBucket(class TenantClass) bucket {
+	b := bucket{rate: class.RatePerSec, burst: class.Burst}
+	if b.burst <= 0 {
+		b.burst = b.rate / 1000
+		if b.burst < 8 {
+			b.burst = 8
+		}
+	}
+	b.tokens = b.burst
+	return b
+}
+
+func (b *bucket) take(now sim.Time) bool {
+	if b.rate <= 0 {
+		return true
+	}
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	b.last = now
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Op is one queued put.
+type Op struct {
+	key     string
+	val     []byte
+	class   int
+	arrived sim.Time
+}
+
+// Admission is one group leader's admission controller: per-tenant token
+// buckets, a bounded FIFO, and a batching dispatcher that releases up to
+// DispatchBatch ops per DispatchEvery tick into the data plane — all ops of
+// a batch submitted in the same virtual instant, which is exactly the run
+// the core's WQE-chain fusion coalesces behind one doorbell.
+type Admission struct {
+	eng *sim.Engine
+	cfg AdmissionConfig
+
+	// put hands one op to the data plane; the controller owns the window
+	// accounting around it.
+	put func(key string, val []byte, done func(error))
+	// onAck observes terminal completions (latency recording lives with the
+	// driver, not the controller).
+	onAck func(o *Op, err error)
+
+	buckets  []bucket
+	queue    []*Op
+	head     int
+	retry    []*Op // WAL-bounced ops, drained before the queue
+	inflight int
+	armed    bool
+	paused   bool
+
+	v         Verdicts
+	queuePeak int
+	// per-class verdict slices, indexed like buckets
+	classArrivals  []uint64
+	classAdmitted  []uint64
+	classThrottled []uint64
+}
+
+// NewAdmission builds a controller for one group over the given tenant
+// classes. put submits to the data plane; onAck fires once per admitted op
+// at its terminal completion (may be nil).
+func NewAdmission(eng *sim.Engine, cfg AdmissionConfig, classes []TenantClass,
+	put func(key string, val []byte, done func(error)), onAck func(o *Op, err error)) *Admission {
+	cfg.fill()
+	if len(classes) == 0 {
+		classes = DefaultTenants
+	}
+	a := &Admission{
+		eng:            eng,
+		cfg:            cfg,
+		put:            put,
+		onAck:          onAck,
+		classArrivals:  make([]uint64, len(classes)),
+		classAdmitted:  make([]uint64, len(classes)),
+		classThrottled: make([]uint64, len(classes)),
+	}
+	for _, cl := range classes {
+		a.buckets = append(a.buckets, newBucket(cl))
+	}
+	return a
+}
+
+// Verdicts returns the verdict counters so far.
+func (a *Admission) Verdicts() Verdicts { return a.v }
+
+// QueuePeak returns the deepest the queue ever got.
+func (a *Admission) QueuePeak() int { return a.queuePeak }
+
+// Pending returns ops admitted but not yet terminal: queued, bounced, or in
+// the data plane.
+func (a *Admission) Pending() int {
+	return len(a.queue) - a.head + len(a.retry) + a.inflight
+}
+
+// ClassStats returns per-class (arrivals, admitted, throttled) counters.
+func (a *Admission) ClassStats(class int) (arrivals, admitted, throttled uint64) {
+	return a.classArrivals[class], a.classAdmitted[class], a.classThrottled[class]
+}
+
+// Offer presents one arrival. The verdict is immediate: throttled, shed at
+// the full queue, or admitted (queued for dispatch).
+func (a *Admission) Offer(key string, val []byte, class int) {
+	a.v.Arrivals++
+	a.classArrivals[class]++
+	if a.cfg.Enabled {
+		if !a.buckets[class].take(a.eng.Now()) {
+			a.v.ShedThrottled++
+			a.classThrottled[class]++
+			return
+		}
+		if len(a.queue)-a.head+len(a.retry) >= a.cfg.QueueDepth {
+			a.v.ShedQueueFull++
+			return
+		}
+	}
+	a.v.Admitted++
+	a.classAdmitted[class]++
+	a.queue = append(a.queue, &Op{key: key, val: val, class: class, arrived: a.eng.Now()})
+	if d := a.Pending() - a.inflight; d > a.queuePeak {
+		a.queuePeak = d
+	}
+	a.arm()
+}
+
+// arm schedules the next drain tick if one isn't already pending and there
+// is both work and window.
+func (a *Admission) arm() {
+	if a.armed || a.paused {
+		return
+	}
+	if a.inflight >= a.cfg.MaxInflight || len(a.queue)-a.head+len(a.retry) == 0 {
+		return
+	}
+	a.armed = true
+	a.eng.Schedule(a.cfg.DispatchEvery, a.drain)
+}
+
+// next pops the op to dispatch: bounced ops first (they were admitted
+// earliest), then the FIFO.
+func (a *Admission) next() *Op {
+	if n := len(a.retry); n > 0 {
+		o := a.retry[n-1]
+		a.retry = a.retry[:n-1]
+		return o
+	}
+	if a.head < len(a.queue) {
+		o := a.queue[a.head]
+		a.queue[a.head] = nil
+		a.head++
+		if a.head > 1024 && a.head*2 > len(a.queue) {
+			a.queue = append(a.queue[:0], a.queue[a.head:]...)
+			a.head = 0
+		}
+		return o
+	}
+	return nil
+}
+
+// drain releases one batch into the data plane — every op of the batch in
+// this same virtual instant.
+func (a *Admission) drain() {
+	a.armed = false
+	if a.paused {
+		return
+	}
+	for n := a.cfg.DispatchBatch; n > 0 && a.inflight < a.cfg.MaxInflight; n-- {
+		o := a.next()
+		if o == nil {
+			break
+		}
+		a.inflight++
+		a.put(o.key, o.val, func(err error) { a.complete(o, err) })
+	}
+	a.arm()
+}
+
+// complete settles one data-plane completion.
+func (a *Admission) complete(o *Op, err error) {
+	a.inflight--
+	if errors.Is(err, wal.ErrLogFull) {
+		// Ring backpressure: surface it as a counted verdict, re-queue the
+		// op (it was admitted — shedding it now would be a hidden hole), and
+		// pause dispatch so the executor can make progress.
+		a.v.Backpressure++
+		a.retry = append(a.retry, o)
+		a.pause()
+		return
+	}
+	if err != nil {
+		a.v.Failed++
+	} else {
+		a.v.Acked++
+	}
+	if a.onAck != nil {
+		a.onAck(o, err)
+	}
+	a.arm()
+}
+
+func (a *Admission) pause() {
+	if a.paused {
+		return
+	}
+	a.paused = true
+	a.eng.Schedule(a.cfg.RetryDelay, func() {
+		a.paused = false
+		a.arm()
+	})
+}
+
+// CutOff counts everything still pending as unserved (end-of-run
+// accounting; the identity Admitted == Acked + Failed + Unserved holds from
+// here on). Call only after the engine has stopped driving this group.
+func (a *Admission) CutOff() {
+	a.v.Unserved += uint64(a.Pending())
+}

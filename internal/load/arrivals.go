@@ -1,0 +1,165 @@
+// Package load is the open-loop serving plane: millions of modeled client
+// connections — Poisson or self-similar (b-model) arrival processes, open/
+// close churn over a bounded active window, per-tenant rate classes — feeding
+// a replicated data plane (the HyperLoop sharded plane or the Naive-RDMA
+// baseline) through an admission controller in front of each group leader.
+//
+// The plane is open-loop in the queueing-theory sense: arrivals are drawn
+// from a process whose rate the experiment sets, independent of completions.
+// Past the saturation knee the offered load keeps coming, and what happens
+// to it is the measured object — the admission controller sheds it with a
+// counted verdict (bounded queue, per-tenant token buckets), while the
+// disabled-admission baseline lets the queue grow without bound and the
+// open-loop latency with it. Nothing is ever silently dropped: every arrival
+// ends in exactly one verdict bucket, and the accounting identity
+// (arrivals == admitted + shed, admitted == acked + failed + unserved) is
+// checked by tests and surfaced in every result.
+//
+// All randomness flows through per-group seeded RNGs and all state is
+// partition-local, so a run on a sim.PartitionedEngine produces bit-identical
+// results at any worker count — the same discipline as the sharded plane.
+package load
+
+import "hyperloop/internal/sim"
+
+// Arrivals generates an open-loop arrival sequence as successive
+// inter-arrival gaps. Implementations are deterministic functions of their
+// seed: the same constructor arguments produce the same gap sequence.
+type Arrivals interface {
+	// Next returns the gap from the previous arrival to the next one.
+	Next() sim.Duration
+}
+
+// Poisson is the memoryless arrival process: exponential inter-arrival gaps
+// with mean 1/rate. It is the classic open-loop baseline — burstiness only
+// from chance clustering, coefficient of variation 1.
+type Poisson struct {
+	mean sim.Duration
+	rng  *sim.Rand
+}
+
+// NewPoisson builds a Poisson process offering ratePerSec arrivals/second.
+func NewPoisson(ratePerSec float64, rng *sim.Rand) *Poisson {
+	if ratePerSec <= 0 {
+		panic("load: Poisson rate must be positive")
+	}
+	return &Poisson{mean: sim.Duration(1e9 / ratePerSec), rng: rng}
+}
+
+// Next returns an exponential gap.
+func (p *Poisson) Next() sim.Duration { return p.rng.Exp(p.mean) }
+
+// bModelLevels fixes the b-model's aggregation depth: segments split 2^10
+// ways, enough scales for the burstiness to show at every window size the
+// oracle checks while keeping the per-segment state constant.
+const bModelLevels = 10
+
+// BModelSegment is the regenerated horizon: each segment's op mass is
+// conserved exactly (rate * segment ops), so long-run throughput matches the
+// configured rate while short windows swing with the bias. Exported so the
+// oracle can measure rate conservation over whole segments.
+const BModelSegment = 8 * sim.Millisecond
+
+const bModelSegment = BModelSegment
+
+// BModel is the self-similar arrival process of Wang et al.'s b-model: the
+// ops of each time interval split between its two halves in proportion
+// bias : 1-bias (the biased side chosen by fair coin), recursively down to
+// leaf slots. A bias of 0.5 degenerates to near-constant rate; values toward
+// 1.0 concentrate the same op mass into ever-burstier clumps at every time
+// scale — the traffic shape multi-tenant storage frontends actually see.
+type BModel struct {
+	rng  *sim.Rand
+	bias float64
+	slot sim.Duration
+
+	perSeg int
+	gaps   []sim.Duration
+	head   int
+	carry  sim.Duration // stream time since the last arrival, across segments
+}
+
+// NewBModel builds a b-model process offering ratePerSec arrivals/second on
+// average with the given bias in [0.5, 1).
+func NewBModel(ratePerSec, bias float64, rng *sim.Rand) *BModel {
+	if ratePerSec <= 0 {
+		panic("load: b-model rate must be positive")
+	}
+	if bias < 0.5 || bias >= 1 {
+		panic("load: b-model bias must be in [0.5, 1)")
+	}
+	perSeg := int(ratePerSec*bModelSegment.Seconds() + 0.5)
+	if perSeg < 1 {
+		perSeg = 1
+	}
+	return &BModel{
+		rng:    rng,
+		bias:   bias,
+		slot:   bModelSegment / (1 << bModelLevels),
+		perSeg: perSeg,
+	}
+}
+
+// split distributes n ops over counts[lo:hi) by recursive biased halving.
+// The op count is conserved exactly at every level.
+func (b *BModel) split(n, lo, hi int, counts []int) {
+	if n == 0 {
+		return
+	}
+	if hi-lo == 1 {
+		counts[lo] += n
+		return
+	}
+	big := int(float64(n)*b.bias + 0.5)
+	small := n - big
+	mid := (lo + hi) / 2
+	if b.rng.Float64() < 0.5 {
+		b.split(big, lo, mid, counts)
+		b.split(small, mid, hi, counts)
+	} else {
+		b.split(small, lo, mid, counts)
+		b.split(big, mid, hi, counts)
+	}
+}
+
+// refill generates the next segment's gap list. Arrivals inside a slot are
+// spaced evenly — the burstiness lives in the slot-count distribution, not
+// in sub-slot jitter.
+func (b *BModel) refill() {
+	counts := make([]int, 1<<bModelLevels)
+	b.split(b.perSeg, 0, len(counts), counts)
+	b.gaps = b.gaps[:0]
+	b.head = 0
+	prev := sim.Duration(-1)
+	for i, k := range counts {
+		if k == 0 {
+			continue
+		}
+		step := b.slot / sim.Duration(k)
+		for j := 0; j < k; j++ {
+			at := sim.Duration(i)*b.slot + sim.Duration(j)*step
+			if prev < 0 {
+				b.gaps = append(b.gaps, b.carry+at)
+			} else {
+				b.gaps = append(b.gaps, at-prev)
+			}
+			prev = at
+		}
+	}
+	segDur := sim.Duration(1<<bModelLevels) * b.slot
+	if prev < 0 {
+		b.carry += segDur
+	} else {
+		b.carry = segDur - prev
+	}
+}
+
+// Next returns the gap to the next arrival, regenerating segments as needed.
+func (b *BModel) Next() sim.Duration {
+	for b.head >= len(b.gaps) {
+		b.refill()
+	}
+	g := b.gaps[b.head]
+	b.head++
+	return g
+}

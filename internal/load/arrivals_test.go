@@ -1,0 +1,163 @@
+package load
+
+import (
+	"math"
+	"testing"
+
+	"hyperloop/internal/sim"
+)
+
+// gaps draws n inter-arrival gaps.
+func gaps(a Arrivals, n int) []sim.Duration {
+	out := make([]sim.Duration, n)
+	for i := range out {
+		out[i] = a.Next()
+	}
+	return out
+}
+
+func meanVar(ds []sim.Duration) (mean, variance float64) {
+	for _, d := range ds {
+		mean += float64(d)
+	}
+	mean /= float64(len(ds))
+	for _, d := range ds {
+		dev := float64(d) - mean
+		variance += dev * dev
+	}
+	variance /= float64(len(ds) - 1)
+	return mean, variance
+}
+
+// Poisson gaps must average 1/rate with CV ~= 1 (the exponential signature),
+// with bounds calibrated to the sample count.
+func TestPoissonInterarrivals(t *testing.T) {
+	const rate = 1e6 // 1 op/µs
+	const n = 200000
+	p := NewPoisson(rate, sim.NewRand(7))
+	mean, variance := meanVar(gaps(p, n))
+	want := 1e9 / rate // ns
+	// Sample mean of n exponentials: stddev = want/sqrt(n); allow 5 sigma.
+	if tol := 5 * want / math.Sqrt(n); math.Abs(mean-want) > tol {
+		t.Fatalf("mean gap %.1fns, want %.1f +- %.1f", mean, want, tol)
+	}
+	cv := math.Sqrt(variance) / mean
+	if cv < 0.97 || cv > 1.03 {
+		t.Fatalf("coefficient of variation %.3f, want ~1 (exponential)", cv)
+	}
+}
+
+// windowCounts buckets an arrival stream into fixed windows.
+func windowCounts(a Arrivals, n int, window sim.Duration) []float64 {
+	var at sim.Duration
+	counts := []float64{0}
+	limit := window
+	for i := 0; i < n; i++ {
+		at += a.Next()
+		for at >= limit {
+			counts = append(counts, 0)
+			limit += window
+		}
+		counts[len(counts)-1]++
+	}
+	return counts[:len(counts)-1] // drop the partial tail window
+}
+
+func dispersion(counts []float64) float64 {
+	var mean, variance float64
+	for _, c := range counts {
+		mean += c
+	}
+	mean /= float64(len(counts))
+	for _, c := range counts {
+		dev := c - mean
+		variance += dev * dev
+	}
+	variance /= float64(len(counts) - 1)
+	return variance / mean
+}
+
+// The b-model must conserve its configured rate while being far burstier
+// than Poisson: its windowed index of dispersion grows with the bias, where
+// Poisson's stays ~1 at every window.
+func TestBModelBurstiness(t *testing.T) {
+	const rate = 1e6
+	const n = 200000
+	window := 100 * sim.Microsecond
+
+	b := NewBModel(rate, 0.8, sim.NewRand(7))
+	bCounts := windowCounts(b, n, window)
+	p := NewPoisson(rate, sim.NewRand(7))
+	pCounts := windowCounts(p, n, window)
+
+	// Rate conservation: the b-model emits exactly rate*segment ops per
+	// segment, so windowed means must agree with Poisson's within a few %.
+	var bMean, pMean float64
+	for _, c := range bCounts {
+		bMean += c
+	}
+	bMean /= float64(len(bCounts))
+	for _, c := range pCounts {
+		pMean += c
+	}
+	pMean /= float64(len(pCounts))
+	if math.Abs(bMean-pMean)/pMean > 0.05 {
+		t.Fatalf("b-model window mean %.1f vs poisson %.1f: rate not conserved", bMean, pMean)
+	}
+
+	bD, pD := dispersion(bCounts), dispersion(pCounts)
+	if pD > 3 {
+		t.Fatalf("poisson dispersion %.2f, want ~1", pD)
+	}
+	if bD < 5*pD {
+		t.Fatalf("b-model dispersion %.2f not >> poisson %.2f", bD, pD)
+	}
+}
+
+// Same seed, same sequence — the determinism contract every experiment
+// leans on.
+func TestArrivalsDeterministic(t *testing.T) {
+	for _, mk := range []func() Arrivals{
+		func() Arrivals { return NewPoisson(5e5, sim.NewRand(42)) },
+		func() Arrivals { return NewBModel(5e5, 0.7, sim.NewRand(42)) },
+	} {
+		a, b := mk(), mk()
+		for i := 0; i < 10000; i++ {
+			if ga, gb := a.Next(), b.Next(); ga != gb {
+				t.Fatalf("gap %d diverged: %v vs %v", i, ga, gb)
+			}
+		}
+	}
+}
+
+// FuzzArrivals drives both generators with arbitrary parameters and checks
+// the structural invariants: gaps are never negative and the long-run rate
+// stays within a factor-2 envelope of the configured one.
+func FuzzArrivals(f *testing.F) {
+	f.Add(int64(1), uint16(1000), uint8(0))
+	f.Add(int64(99), uint16(60000), uint8(200))
+	f.Fuzz(func(t *testing.T, seed int64, kops uint16, biasByte uint8) {
+		rate := float64(kops)*1e3 + 1e3 // 1k..65.5M ops/s
+		bias := 0.5 + float64(biasByte)/256*0.49
+		for _, a := range []Arrivals{
+			NewPoisson(rate, sim.NewRand(seed)),
+			NewBModel(rate, bias, sim.NewRand(seed)),
+		} {
+			// The b-model only conserves rate over whole segments, so the
+			// window must span at least two of them at high rates.
+			n := 5000 + int(2*rate*bModelSegment.Seconds())
+			var total sim.Duration
+			for i := 0; i < n; i++ {
+				g := a.Next()
+				if g < 0 {
+					t.Fatalf("negative gap %v", g)
+				}
+				total += g
+			}
+			got := float64(n) / total.Seconds()
+			if got < rate/2 || got > rate*2 {
+				t.Fatalf("rate %.0f/s drifted to %.0f/s", rate, got)
+			}
+		}
+	})
+}

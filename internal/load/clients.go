@@ -1,0 +1,121 @@
+package load
+
+import "hyperloop/internal/sim"
+
+// TenantClass is one tenant rate class: a share of the client population and
+// the admission-control budget its members collectively get at each group.
+type TenantClass struct {
+	Name string
+	// Weight is the class's relative share of the client-id space.
+	Weight int
+	// RatePerSec refills the class's per-group admission token bucket;
+	// 0 leaves the class unthrottled (only the shared queue bound applies).
+	RatePerSec float64
+	// Burst is the bucket depth in ops (default: max(8, RatePerSec/1000) —
+	// a millisecond of budget).
+	Burst float64
+}
+
+// DefaultTenants is the single-class population: every client in one
+// unthrottled class, so admission control reduces to the bounded queue.
+var DefaultTenants = []TenantClass{{Name: "default", Weight: 1}}
+
+// Clients models one group's slice of the open-loop client population: a
+// connection-id space of Space ids of which Active are open at any instant.
+// Churn slides the active window across the id space — each advance closes
+// the oldest connection and opens a fresh id — so over a run the group
+// touches far more distinct clients than it ever holds open, the way a real
+// frontend sees connection arrivals and departures. Ids map statically to
+// tenant classes by weighted hash, so a client keeps its class across churn.
+type Clients struct {
+	space  int
+	active int
+	lo     int     // active window start
+	churn  float64 // window advances per arrival (may be fractional)
+	frac   float64 // accumulated fractional advances
+
+	opened, closed uint64
+
+	classes []TenantClass
+	cum     []int // cumulative weights
+	total   int
+}
+
+// NewClients builds a population over space ids with active concurrently
+// open and churnPerArrival window advances per arrival. classes must be
+// non-empty with positive total weight.
+func NewClients(space, active int, churnPerArrival float64, classes []TenantClass) *Clients {
+	if space < 1 {
+		space = 1
+	}
+	if active < 1 {
+		active = 1
+	}
+	if active > space {
+		active = space
+	}
+	if len(classes) == 0 {
+		classes = DefaultTenants
+	}
+	c := &Clients{
+		space:   space,
+		active:  active,
+		churn:   churnPerArrival,
+		opened:  uint64(active),
+		classes: classes,
+	}
+	for _, cl := range classes {
+		w := cl.Weight
+		if w < 0 {
+			w = 0
+		}
+		c.total += w
+		c.cum = append(c.cum, c.total)
+	}
+	if c.total == 0 {
+		panic("load: tenant classes have zero total weight")
+	}
+	return c
+}
+
+// Space returns the modeled client-id space size.
+func (c *Clients) Space() int { return c.space }
+
+// Conns returns lifetime connection opens and closes.
+func (c *Clients) Conns() (opened, closed uint64) { return c.opened, c.closed }
+
+// Classes returns the tenant classes.
+func (c *Clients) Classes() []TenantClass { return c.classes }
+
+// ClassOf maps a client id to its tenant class index: a weighted hash, so
+// the assignment is stable for the id's whole lifetime and across runs.
+func (c *Clients) ClassOf(id int) int {
+	h := (uint64(id) + 1) * 0x9E3779B97F4A7C15
+	w := int(h % uint64(c.total))
+	for i, cum := range c.cum {
+		if w < cum {
+			return i
+		}
+	}
+	return len(c.cum) - 1
+}
+
+// Sample applies the churn due for one arrival, then draws a client from the
+// active window, returning its id and tenant class.
+func (c *Clients) Sample(rng *sim.Rand) (id, class int) {
+	c.frac += c.churn
+	for c.frac >= 1 {
+		c.frac--
+		c.lo++
+		if c.lo >= c.space {
+			c.lo = 0
+		}
+		c.opened++
+		c.closed++
+	}
+	id = c.lo + rng.Intn(c.active)
+	if id >= c.space {
+		id -= c.space
+	}
+	return id, c.ClassOf(id)
+}

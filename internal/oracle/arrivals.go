@@ -1,0 +1,155 @@
+package oracle
+
+import (
+	"fmt"
+	"math"
+
+	"hyperloop/internal/load"
+	"hyperloop/internal/sim"
+)
+
+// Arrival-process check parameters. The open-loop serving plane's offered
+// load is only as honest as its generators: a Poisson source whose mean
+// drifts under-drives every curve point, and a b-model that fails to
+// conserve rate turns the saturation sweep into a different experiment.
+// Both are validated against their analytic signatures with bounds
+// calibrated to the sample count.
+const (
+	arrivalRate  = 1e6 // 1 op/µs — gaps land in whole nanoseconds
+	arrivalBias  = 0.8
+	arrivalMaxNs = 500000
+	// arrivalWindow buckets the streams for the burstiness contrast; at
+	// arrivalRate it holds ~100 arrivals, so Poisson dispersion stays ~1
+	// while the b-model's grows with its bias.
+	arrivalWindow = 100 * sim.Microsecond
+)
+
+// CheckArrivals validates the load plane's arrival generators:
+//
+//   - Poisson inter-arrival gaps must average 1/rate within a
+//     5-sigma/sqrt(ns) band and carry the exponential's unit coefficient of
+//     variation;
+//   - the b-model must conserve the configured rate over whole 8ms segments
+//     while its windowed index of dispersion sits far above Poisson's ~1 —
+//     the self-similar burstiness the generator exists to inject;
+//   - no generator may ever emit a negative gap.
+func CheckArrivals(seed int64, n int) Report {
+	const name = "arrivals"
+	ns := n
+	if ns > arrivalMaxNs {
+		ns = arrivalMaxNs
+	}
+	if ns < 20000 {
+		ns = 20000
+	}
+	metrics := map[string]float64{"samples": float64(ns)}
+	detail := fmt.Sprintf("%d gaps, rate %.0f/s, b-model bias %g", ns, arrivalRate, arrivalBias)
+
+	// Poisson: sample mean and CV against the exponential's analytics.
+	p := load.NewPoisson(arrivalRate, sim.NewRand(seed))
+	var sum, sumSq float64
+	for i := 0; i < ns; i++ {
+		g := p.Next()
+		if g < 0 {
+			return failf(name, detail, metrics, "poisson: negative gap %v", g)
+		}
+		f := float64(g)
+		sum += f
+		sumSq += f * f
+	}
+	mean := sum / float64(ns)
+	variance := (sumSq - float64(ns)*mean*mean) / float64(ns-1)
+	cv := math.Sqrt(variance) / mean
+	want := 1e9 / arrivalRate
+	tol := 5 * want / math.Sqrt(float64(ns))
+	metrics["poisson_mean_ns"] = mean
+	metrics["poisson_cv"] = cv
+	if math.Abs(mean-want) > tol {
+		return failf(name, detail, metrics,
+			"poisson mean gap %.2fns outside %.2f +- %.2f", mean, want, tol)
+	}
+	// The sample CV of ns exponentials concentrates around 1 at ~1/sqrt(ns);
+	// 0.01 absolute floor plus a 5-sigma band.
+	if cvTol := 0.01 + 5/math.Sqrt(float64(ns)); math.Abs(cv-1) > cvTol {
+		return failf(name, detail, metrics,
+			"poisson CV %.4f outside 1 +- %.4f (not exponential)", cv, cvTol)
+	}
+
+	// B-model vs Poisson: windowed counts over the same span. Dispersion
+	// uses short windows; rate conservation must be measured over whole
+	// segments — a cascade stream cut mid-segment is biased toward whichever
+	// half of the split it ended in.
+	bD, _, err := arrivalDispersion(load.NewBModel(arrivalRate, arrivalBias, sim.NewRand(seed+1)), ns, arrivalWindow)
+	if err != nil {
+		return failf(name, detail, metrics, "bmodel: %v", err)
+	}
+	_, bRate, err := arrivalDispersion(load.NewBModel(arrivalRate, arrivalBias, sim.NewRand(seed+1)), ns, load.BModelSegment)
+	if err != nil {
+		return failf(name, detail, metrics, "bmodel: %v", err)
+	}
+	pD, _, err := arrivalDispersion(load.NewPoisson(arrivalRate, sim.NewRand(seed+2)), ns, arrivalWindow)
+	if err != nil {
+		return failf(name, detail, metrics, "poisson: %v", err)
+	}
+	metrics["bmodel_dispersion"] = bD
+	metrics["poisson_dispersion"] = pD
+	metrics["bmodel_rate"] = bRate
+	// Rate conservation: the biased cascade redistributes arrivals inside a
+	// segment but never changes their count, so the long-run rate must match
+	// within a small sampling allowance (the stream is cut mid-segment).
+	if math.Abs(bRate-arrivalRate)/arrivalRate > 0.05 {
+		return failf(name, detail, metrics,
+			"bmodel rate %.0f/s drifted from %.0f/s (not conservative)", bRate, arrivalRate)
+	}
+	// Dispersion contrast: Poisson windows are ~unit-dispersion; the biased
+	// cascade multiplies it. Bias 0.8 measures ~40-60x at these windows;
+	// require a 5x separation so only a collapse to uniform spacing fails.
+	if pD > 3 {
+		return failf(name, detail, metrics, "poisson dispersion %.2f, want ~1", pD)
+	}
+	if bD < 5*pD {
+		return failf(name, detail, metrics,
+			"bmodel dispersion %.2f not >> poisson %.2f (burstiness lost)", bD, pD)
+	}
+
+	detail += fmt.Sprintf("; mean %.1fns cv %.3f, dispersion %.1f vs %.1f", mean, cv, bD, pD)
+	return Report{Name: name, Detail: detail, Metrics: metrics}
+}
+
+// arrivalDispersion buckets a stream into fixed windows and returns the
+// index of dispersion (variance/mean of window counts) and the measured
+// rate over the whole-window span.
+func arrivalDispersion(a load.Arrivals, n int, window sim.Duration) (dispersion, rate float64, err error) {
+	var at sim.Duration
+	counts := []float64{0}
+	limit := window
+	for i := 0; i < n; i++ {
+		g := a.Next()
+		if g < 0 {
+			return 0, 0, fmt.Errorf("negative gap %v", g)
+		}
+		at += g
+		for at >= limit {
+			counts = append(counts, 0)
+			limit += window
+		}
+		counts[len(counts)-1]++
+	}
+	counts = counts[:len(counts)-1] // drop the partial tail window
+	if len(counts) < 2 {
+		return 0, 0, fmt.Errorf("only %d full %v windows in %d gaps", len(counts), window, n)
+	}
+	var mean, variance, total float64
+	for _, c := range counts {
+		mean += c
+		total += c
+	}
+	mean /= float64(len(counts))
+	for _, c := range counts {
+		dev := c - mean
+		variance += dev * dev
+	}
+	variance /= float64(len(counts) - 1)
+	span := sim.Duration(len(counts)) * window
+	return variance / mean, total / span.Seconds(), nil
+}

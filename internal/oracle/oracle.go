@@ -18,7 +18,11 @@
 //  5. end-to-end result equivalence: HyperLoop (internal/core) and
 //     Naïve-RDMA (internal/naive) driven with the same seed and operation
 //     stream must leave byte-identical replica store images and identical
-//     gCAS result maps — latency may differ, state may not.
+//     gCAS result maps — latency may differ, state may not;
+//  6. load.Poisson/load.BModel arrival processes vs their analytic
+//     signatures: exponential mean and unit CV for Poisson, rate
+//     conservation plus a windowed-dispersion burstiness contrast for the
+//     b-model cascade.
 //
 // The suite runs in `go test` (seeds 1-5) and in CI; cmd/hlverify exposes
 // it with -seed/-n flags for long soak runs.
@@ -66,6 +70,7 @@ func RunAll(seed int64, n int) []Report {
 		CheckWQE(seed, n),
 		CheckNVM(seed, n),
 		CheckEquivalence(seed, equivalenceOps(n)),
+		CheckArrivals(seed, n),
 	}
 }
 

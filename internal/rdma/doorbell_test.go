@@ -1,0 +1,150 @@
+package rdma
+
+import (
+	"testing"
+
+	"hyperloop/internal/fabric"
+	"hyperloop/internal/sim"
+)
+
+// dbRig wires two NICs with a configurable requester-side doorbell cost.
+func dbRig(t *testing.T, cost sim.Duration) *rig {
+	t.Helper()
+	eng := sim.NewEngine()
+	net := fabric.New(eng, fabric.Config{JitterFrac: -1}, sim.NewRand(1))
+	na := NewNIC(eng, net, Config{DoorbellCost: cost})
+	nb := NewNIC(eng, net, Config{})
+	r := &rig{eng: eng, net: net, na: na, nb: nb}
+	r.acq, r.arq = na.CreateCQ(), na.CreateCQ()
+	r.bcq, r.brq = nb.CreateCQ(), nb.CreateCQ()
+	r.qa = na.CreateQP(r.acq, r.arq, 64, 64)
+	r.qb = nb.CreateQP(r.bcq, r.brq, 64, 64)
+	Connect(r.qa, r.qb)
+	return r
+}
+
+func dbWrite(t *testing.T, r *rig, dst *MemoryRegion, src *MemoryRegion, wrid uint64) WQE {
+	t.Helper()
+	return WQE{
+		Opcode: OpWrite, Signaled: true, WRID: wrid,
+		RKey: dst.RKey(), RAddr: 0,
+		SGEs: []SGE{{LKey: src.LKey(), Offset: 0, Length: 16}},
+	}
+}
+
+// runWrites drives n WRITEs through the rig, batched or one at a time, and
+// returns the virtual completion time of the last one.
+func runWrites(t *testing.T, r *rig, n int, batch bool) sim.Time {
+	t.Helper()
+	src := r.na.RegisterRAM(64, AccessLocalWrite)
+	dst := r.nb.RegisterRAM(64, AccessRemoteWrite)
+	if batch {
+		ws := make([]WQE, n)
+		for i := range ws {
+			ws[i] = dbWrite(t, r, dst, src, uint64(i+1))
+		}
+		if _, err := r.qa.PostSendBatch(ws); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			if _, err := r.qa.PostSend(dbWrite(t, r, dst, src, uint64(i+1))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	r.eng.Drain()
+	cqes := r.acq.Poll(n + 1)
+	if len(cqes) != n {
+		t.Fatalf("completions = %d, want %d", len(cqes), n)
+	}
+	for _, c := range cqes {
+		if c.Status != StatusSuccess {
+			t.Fatalf("completion %+v", c)
+		}
+	}
+	return r.eng.Now()
+}
+
+// A batch of N WQEs rings once; N individual posts ring N times.
+func TestPostSendBatchRingsOnce(t *testing.T) {
+	r := dbRig(t, 0)
+	runWrites(t, r, 8, true)
+	if got := r.na.Counters().Doorbells; got != 1 {
+		t.Fatalf("batch doorbells = %d, want 1", got)
+	}
+
+	r2 := dbRig(t, 0)
+	runWrites(t, r2, 8, false)
+	if got := r2.na.Counters().Doorbells; got != 8 {
+		t.Fatalf("individual doorbells = %d, want 8", got)
+	}
+}
+
+// With DoorbellCost = 0 (the default for every legacy experiment), batched
+// and individual posting complete at the identical virtual time: coalescing
+// changes nothing until a cost is configured.
+func TestDoorbellCostZeroTimingUnchanged(t *testing.T) {
+	tb := runWrites(t, dbRig(t, 0), 8, true)
+	ti := runWrites(t, dbRig(t, 0), 8, false)
+	if tb != ti {
+		t.Fatalf("batch end %v != individual end %v with zero doorbell cost", tb, ti)
+	}
+}
+
+// With a nonzero DoorbellCost, the batch pays it once and finishes exactly
+// (N-1)*cost sooner than N individual posts.
+func TestDoorbellCoalescingSavesCost(t *testing.T) {
+	const cost = 200 * sim.Nanosecond
+	const n = 8
+	tb := runWrites(t, dbRig(t, cost), n, true)
+	ti := runWrites(t, dbRig(t, cost), n, false)
+	if want := tb.Add((n - 1) * cost); ti != want {
+		t.Fatalf("individual end %v, want batch end %v + %d rings = %v", ti, tb, n-1, want)
+	}
+}
+
+// A mid-batch overflow posts (and rings) the fitting prefix and reports the
+// failing index; the queue is not left silently half-armed.
+func TestPostSendBatchOverflow(t *testing.T) {
+	r := dbRig(t, 0)
+	src := r.na.RegisterRAM(64, AccessLocalWrite)
+	dst := r.nb.RegisterRAM(64, AccessRemoteWrite)
+	small := r.na.CreateQP(r.acq, r.arq, 4, 4)
+	qb2 := r.nb.CreateQP(r.bcq, r.brq, 8, 8)
+	Connect(small, qb2)
+	ws := make([]WQE, 6)
+	for i := range ws {
+		ws[i] = dbWrite(t, r, dst, src, uint64(i+1))
+	}
+	if _, err := small.PostSendBatch(ws); err == nil {
+		t.Fatal("expected overflow error")
+	}
+	r.eng.Drain()
+	if got := len(r.acq.Poll(10)); got == 0 {
+		t.Fatal("posted prefix should still execute")
+	}
+}
+
+// HoldOwnership batches stay inert until the per-slot doorbell grants
+// ownership, matching single-post semantics.
+func TestPostSendBatchHoldOwnership(t *testing.T) {
+	r := dbRig(t, 0)
+	src := r.na.RegisterRAM(64, AccessLocalWrite)
+	dst := r.nb.RegisterRAM(64, AccessRemoteWrite)
+	ws := []WQE{dbWrite(t, r, dst, src, 1), dbWrite(t, r, dst, src, 2)}
+	first, err := r.qa.PostSendBatch(ws, HoldOwnership)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Drain()
+	if got := len(r.acq.Poll(10)); got != 0 {
+		t.Fatalf("held batch completed %d WQEs before doorbell", got)
+	}
+	r.qa.Doorbell(first)
+	r.qa.Doorbell(first + 1)
+	r.eng.Drain()
+	if got := len(r.acq.Poll(10)); got != 2 {
+		t.Fatalf("granted batch completions = %d, want 2", got)
+	}
+}

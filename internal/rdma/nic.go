@@ -67,6 +67,9 @@ type Counters struct {
 	CacheFlushes uint64
 	RNRs         uint64
 	AccessFaults uint64
+	// Doorbells counts explicit ring operations (PostSend, PostSendBatch,
+	// Doorbell) — the MMIO writes a batching client amortizes away.
+	Doorbells uint64
 }
 
 // NIC is one RDMA-capable network adapter: it owns memory registrations,
@@ -318,7 +321,7 @@ func (n *NIC) advanceSQ(q *QP) {
 			for _, sge := range wqe.SGEs {
 				gatherLen += int(sge.Length)
 			}
-			cost := n.scaledCost(n.cfg.WQEProcess + n.cfg.dmaTime(gatherLen))
+			cost := n.scaledCost(n.cfg.WQEProcess + n.cfg.dmaTime(gatherLen) + q.takeDoorbellCharge())
 			wqeCopy := wqe
 			seq := q.execSeq
 			q.execSeq++

@@ -55,6 +55,7 @@ type QP struct {
 	srq      *SRQ // if set, inbound SEND/WRITE_IMM consume from the shared pool
 
 	sqBusy       bool
+	dbPending    int               // doorbell rings not yet charged into a WQE initiation
 	waiting      bool              // head WAIT registered with a CQ
 	waitConsumed map[uint32]uint64 // cumulative completions consumed per CQ
 	pending      map[uint64]pendingReq
@@ -126,7 +127,32 @@ const (
 	// write that sets the ownership flag (HyperLoop metadata scatter).
 	// This models the paper's libmlx4 modification (§4.1).
 	HoldOwnership PostOption = 1 << iota
+	// RawOwnership takes each WQE's HWOwned field as the caller set it
+	// instead of forcing it. PostSendBatch callers use it to fuse chains
+	// that mix armed descriptors (WAIT, SEND) with held placeholders.
+	RawOwnership
 )
+
+// ring records one doorbell: the counter ticks, and when the NIC charges a
+// per-ring cost it accrues against the next WQE this send queue initiates.
+func (q *QP) ring() {
+	q.nic.counters.Doorbells++
+	if q.nic.cfg.DoorbellCost > 0 {
+		q.dbPending++
+	}
+	q.nic.kick(q)
+}
+
+// takeDoorbellCharge drains the accrued per-ring cost for the WQE now being
+// initiated.
+func (q *QP) takeDoorbellCharge() sim.Duration {
+	if q.dbPending == 0 {
+		return 0
+	}
+	d := sim.Duration(q.dbPending) * q.nic.cfg.DoorbellCost
+	q.dbPending = 0
+	return d
+}
 
 // PostSend appends a work request to the send queue and kicks the NIC.
 // It returns the absolute slot index (use SQTable().SlotOffset to derive
@@ -138,18 +164,74 @@ func (q *QP) PostSend(w WQE, opts ...PostOption) (int, error) {
 	if len(w.SGEs) > MaxSGE {
 		return 0, ErrTooManySGEs
 	}
-	w.HWOwned = true
+	raw := false
 	for _, o := range opts {
-		if o&HoldOwnership != 0 {
-			w.HWOwned = false
+		if o&RawOwnership != 0 {
+			raw = true
+		}
+	}
+	if !raw {
+		w.HWOwned = true
+		for _, o := range opts {
+			if o&HoldOwnership != 0 {
+				w.HWOwned = false
+			}
 		}
 	}
 	idx, err := q.sq.post(&w)
 	if err != nil {
 		return 0, err
 	}
-	q.nic.kick(q)
+	q.ring()
 	return idx, nil
+}
+
+// PostSendBatch appends a run of work requests and rings the doorbell once
+// for the whole run — the multi-op fusion path (Storm-style): N descriptors
+// written back to back, one MMIO kick, so any configured DoorbellCost is
+// paid once instead of N times. Options apply to every WQE in the batch.
+// On a mid-batch post failure the already-posted prefix stays posted (and
+// rung) and the error is returned; the caller sees which index failed.
+func (q *QP) PostSendBatch(ws []WQE, opts ...PostOption) (first int, err error) {
+	if q.state == QPError {
+		return 0, ErrQPState
+	}
+	hwOwned, raw := true, false
+	for _, o := range opts {
+		if o&HoldOwnership != 0 {
+			hwOwned = false
+		}
+		if o&RawOwnership != 0 {
+			raw = true
+		}
+	}
+	first = -1
+	posted := 0
+	for _, w := range ws {
+		if len(w.SGEs) > MaxSGE {
+			err = ErrTooManySGEs
+			break
+		}
+		if !raw {
+			w.HWOwned = hwOwned
+		}
+		var idx int
+		idx, err = q.sq.post(&w)
+		if err != nil {
+			break
+		}
+		if first < 0 {
+			first = idx
+		}
+		posted++
+	}
+	if posted > 0 {
+		q.ring()
+	}
+	if err != nil {
+		return first, fmt.Errorf("rdma: batch post failed at wqe %d: %w", posted, err)
+	}
+	return first, nil
 }
 
 // PostRecv appends a receive request. Its SGEs say where inbound SEND
@@ -172,6 +254,13 @@ func (q *QP) PostRecv(w WQE) (int, error) {
 // This is what the modified driver does after the host finishes editing a
 // held descriptor.
 func (q *QP) Doorbell(idx int) {
+	// Bookkeeping first: the flag write below re-kicks the queue via the
+	// table region's onWrite hook, and the ring charge must be visible to
+	// that evaluation.
+	q.nic.counters.Doorbells++
+	if q.nic.cfg.DoorbellCost > 0 {
+		q.dbPending++
+	}
 	off := q.sq.SlotOffset(idx) + offFlags
 	var b [1]byte
 	q.sq.mr.backing.ReadAt(off, b[:])

@@ -137,6 +137,13 @@ type Config struct {
 	AtomicOp    sim.Duration // execution cost of an atomic op (default 250ns)
 	CacheFlush  sim.Duration // NVM NIC-cache drain cost per flush (default 900ns)
 	MaxInlineWQ int          // WQE slots per queue (default 1024)
+	// DoorbellCost is the NIC-side cost of servicing one doorbell ring (the
+	// MMIO write plus the PCIe round to fetch the producer index). Each ring
+	// is charged into the first WQE the send queue initiates afterwards, so
+	// PostSendBatch — one ring for N descriptors — amortizes it while N
+	// individual PostSends pay it N times. The default 0 preserves the
+	// legacy timing of every pre-existing experiment exactly.
+	DoorbellCost sim.Duration
 }
 
 func (c *Config) fill() {

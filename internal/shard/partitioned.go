@@ -7,7 +7,9 @@ import (
 	"hyperloop/internal/core"
 	"hyperloop/internal/fabric"
 	"hyperloop/internal/metrics"
+	"hyperloop/internal/rdma"
 	"hyperloop/internal/sim"
+	"hyperloop/internal/span"
 )
 
 // PartitionedConfig sizes a PartitionedPlane: Groups shard groups, each a
@@ -25,13 +27,14 @@ type PartitionedConfig struct {
 	HostsPerGroup int
 	// Replicas is the chain length per shard (default 3).
 	Replicas int
-	// RegionSize / LogSize / CommitEvery / Group / Fabric configure every
-	// group's Plane exactly as in Config.
+	// RegionSize / LogSize / CommitEvery / Group / Fabric / NIC configure
+	// every group's Plane exactly as in Config.
 	RegionSize  int
 	LogSize     int
 	CommitEvery int
 	Group       core.Config
 	Fabric      fabric.Config
+	NIC         rdma.Config
 	// InterFabric models the link between groups (default 3µs propagation —
 	// an inter-rack hop, wider than the intra-group 1.5µs). Its MinLatency
 	// is the engine lookahead; cross-group forwards pay its deterministic
@@ -45,6 +48,11 @@ type PartitionedConfig struct {
 	// Groups). Per-group registries keep metric updates partition-local; the
 	// caller merges them in group order after the run.
 	Metrics []*metrics.Registry
+	// WithSpans attaches one span.Recorder per group (retrievable via
+	// Spans(g)), so every Put records an op span without any cross-partition
+	// append — recorders, like registries, are merged by the caller in group
+	// order.
+	WithSpans bool
 }
 
 func (c *PartitionedConfig) fill() {
@@ -92,6 +100,7 @@ type PartitionedPlane struct {
 
 	cfg    PartitionedConfig
 	groups []*Plane
+	spans  []*span.Recorder // per group, nil unless cfg.WithSpans
 
 	// Per-source-group counters: each slot is touched only by its own
 	// partition, read after Run returns.
@@ -120,6 +129,9 @@ func NewPartitionedPlane(cfg PartitionedConfig) *PartitionedPlane {
 		openDone:  make([]bool, cfg.Groups),
 		openErr:   make([]error, cfg.Groups),
 	}
+	if cfg.WithSpans {
+		pp.spans = make([]*span.Recorder, cfg.Groups)
+	}
 	for g := 0; g < cfg.Groups; g++ {
 		g := g
 		gcfg := Config{
@@ -131,10 +143,15 @@ func NewPartitionedPlane(cfg PartitionedConfig) *PartitionedPlane {
 			CommitEvery: cfg.CommitEvery,
 			Group:       cfg.Group,
 			Fabric:      cfg.Fabric,
+			NIC:         cfg.NIC,
 			Seed:        cfg.Seed + int64(g)*9973,
 		}
 		if cfg.Metrics != nil {
 			gcfg.Metrics = cfg.Metrics[g]
+		}
+		if cfg.WithSpans {
+			pp.spans[g] = span.NewRecorder(pe.Partition(g))
+			gcfg.Spans = pp.spans[g]
 		}
 		pp.groups[g] = New(pe.Partition(g), gcfg, func(err error) {
 			pp.openDone[g] = true
@@ -179,6 +196,15 @@ func (pp *PartitionedPlane) Groups() int { return len(pp.groups) }
 // Run calls.
 func (pp *PartitionedPlane) Group(g int) *Plane { return pp.groups[g] }
 
+// Spans returns group g's span recorder (nil unless WithSpans). Same safety
+// rule as Group: partition g's events, or between Run calls.
+func (pp *PartitionedPlane) Spans(g int) *span.Recorder {
+	if pp.spans == nil {
+		return nil
+	}
+	return pp.spans[g]
+}
+
 // groupSalt decorrelates group-level routing from the per-plane shard maps:
 // both are consistent-hash rings over the same key hash, and the group
 // ring's points are a subset of a larger plane ring's, so routing the raw
@@ -190,6 +216,12 @@ const groupSalt = "\x00group\x00"
 func (pp *PartitionedPlane) HomeGroup(key string) int {
 	return pp.GroupMap.Route(groupSalt + key)
 }
+
+// GroupKey returns the salted form of key that group-level rings route.
+// External planes that must agree with HomeGroup (the Naive-RDMA serving
+// backend routes the same keyspace over its own group map) hash this through
+// a NewHashMap of the same group count.
+func GroupKey(key string) string { return groupSalt + key }
 
 // LocalPuts and ForwardedPuts report per-issuing-group put counts; call
 // between Run invocations.

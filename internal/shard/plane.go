@@ -9,6 +9,7 @@ import (
 	"hyperloop/internal/fabric"
 	"hyperloop/internal/kvstore"
 	"hyperloop/internal/metrics"
+	"hyperloop/internal/rdma"
 	"hyperloop/internal/sim"
 	"hyperloop/internal/span"
 	"hyperloop/internal/wal"
@@ -53,6 +54,10 @@ type Config struct {
 	// Fabric tunes the network when New builds the cluster itself (Open
 	// ignores it — the caller's cluster wins).
 	Fabric fabric.Config
+	// NIC tunes every node's NIC when New builds the cluster itself (Open
+	// ignores it, like Fabric). The zero value keeps legacy timing; setting
+	// DoorbellCost charges per-ring MMIO and makes WQE-chain fusion pay off.
+	NIC rdma.Config
 	// Group tunes every shard's HyperLoop group.
 	Group core.Config
 	// CommitEvery is the per-shard kvstore commit policy (default 1).
@@ -255,6 +260,7 @@ func New(eng *sim.Engine, cfg Config, done func(error)) *Plane {
 		Nodes:     cfg.Hosts + 1,
 		StoreSize: StoreSize(cfg),
 		Fabric:    cfg.Fabric,
+		NIC:       cfg.NIC,
 		Seed:      cfg.Seed,
 	})
 	return Open(eng, cl, nil, cfg, done)
