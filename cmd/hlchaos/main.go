@@ -65,13 +65,15 @@ func main() {
 		}
 	}
 	var classes []faults.Class
-	migration, admission := false, false
+	migration, admission, lockcont := false, false, false
 	for _, c := range requested {
 		switch c {
 		case faults.MigrationInflight:
 			migration = true
 		case faults.AdmissionBurst:
 			admission = true
+		case faults.LockContention:
+			lockcont = true
 		default:
 			classes = append(classes, c)
 		}
@@ -182,6 +184,40 @@ func main() {
 				continue
 			}
 			fmt.Printf("--- %v ---\n", v.Spec)
+			for _, r := range v.Checks {
+				fmt.Printf("    %v\n", r)
+			}
+		}
+	}
+
+	if lockcont {
+		lc := experiments.LockContentionMatrix(*seed, *seedsPer)
+		total += len(lc)
+		for _, v := range lc {
+			merged.Merge(v.Metrics)
+		}
+		fmt.Printf("=== Lock-contention: %d scenarios (base seed %d) ===\n", len(lc), *seed)
+		lt := stats.NewTable("seed", "cycles", "hold", "stall", "acquired", "retries", "checks", "verdict")
+		for _, v := range lc {
+			verdict := "PASS"
+			if !v.Pass() {
+				verdict = "FAIL"
+				failed++
+			}
+			lt.AddRow(fmt.Sprint(v.Spec.Seed), fmt.Sprintf("2x%d", v.Spec.Cycles),
+				fmt.Sprint(v.Spec.Hold),
+				fmt.Sprintf("r%d@%v+%v", v.Spec.VictimIdx, v.Spec.StallAt, v.Spec.StallFor),
+				fmt.Sprint(v.Acquired), fmt.Sprint(v.Retries), v.Checks.Summary(), verdict)
+		}
+		fmt.Println(lt)
+		for _, v := range lc {
+			if !*verbose && v.Pass() {
+				continue
+			}
+			fmt.Printf("--- %v ---\n", v.Spec)
+			for _, e := range v.Timeline {
+				fmt.Printf("    %v\n", e)
+			}
 			for _, r := range v.Checks {
 				fmt.Printf("    %v\n", r)
 			}

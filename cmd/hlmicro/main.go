@@ -3,12 +3,14 @@
 //
 // Usage:
 //
-//	hlmicro [-exp all|fig8a|fig8b|table2|fig9|fig10|ablations|stages] [-quick] [-seed N] [-parallel N]
+//	hlmicro [-exp all|fig8a|fig8b|table2|fig9|fig10|ablations|stages|lockstages] [-quick] [-seed N] [-parallel N]
 //	        [-bench-json FILE] [-metrics-json FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -exp stages decomposes durable-gWRITE latency into per-stage slices
 // (client post, network, NIC forwarding, host CPU, ...) for HyperLoop vs
-// the Naive baseline; it is not part of -exp all, so the default output is
+// the Naive baseline; -exp lockstages does the same for a contended lock
+// acquisition, comparing the NIC-resident retry program against the
+// host-bounced loop. Neither is part of -exp all, so the default output is
 // unchanged. -metrics-json runs a dedicated instrumented collection pass
 // (skipping the experiment tables) and dumps the merged metrics registry as
 // JSON — bit-identical at any -parallel worker count.
@@ -27,7 +29,7 @@ import (
 )
 
 var (
-	expFlag   = flag.String("exp", "all", "experiment: all, fig8a, fig8b, table2, fig9, fig10, multigroup, ablations, stages")
+	expFlag   = flag.String("exp", "all", "experiment: all, fig8a, fig8b, table2, fig9, fig10, multigroup, ablations, stages, lockstages")
 	quick     = flag.Bool("quick", false, "reduced op counts for a fast run")
 	csv       = flag.Bool("csv", false, "emit tables as CSV")
 	seed      = flag.Int64("seed", 1, "simulation seed")
@@ -100,6 +102,9 @@ func main() {
 		},
 		"stages": func() error {
 			return stages(ops)
+		},
+		"lockstages": func() error {
+			return lockstages(ops)
 		},
 	}
 	order := []string{"fig8a", "fig8b", "table2", "fig9", "fig10", "multigroup", "ablations"}
@@ -313,6 +318,26 @@ func stages(ops int) error {
 		})
 	}
 	printTable(experiments.StageBreakdownTable(rows))
+	return nil
+}
+
+// lockstages renders the contended-lock-acquisition decomposition: the
+// NIC-resident gATOMIC_LOOP program vs the host-bounced retry loop.
+func lockstages(ops int) error {
+	fmt.Println("=== Lock stage breakdown: contended WrLock, group=3, 40us foreign hold ===")
+	rows := experiments.LockStageBreakdown(ops / 100)
+	for _, r := range rows {
+		recorder.Add(bench.Result{
+			Experiment: "lockstages",
+			Params:     map[string]any{"arm": r.Arm},
+			AvgNs:      int64(r.EndToEnd) / int64(r.Ops),
+			Extra: map[string]float64{
+				"host_cpu_share":   r.Share("host-cpu"),
+				"doorbells_per_op": float64(r.Doorbells) / float64(r.Ops),
+			},
+		})
+	}
+	printTable(experiments.LockStageTable(rows))
 	return nil
 }
 

@@ -85,6 +85,7 @@ type Manager struct {
 	probes    uint64
 	replies   uint64
 	failovers uint64
+	epoch     uint64
 
 	spans *span.Recorder // nil unless instrumented
 }
@@ -119,6 +120,7 @@ func NewManager(eng *sim.Engine, client *cluster.Node, members, spares []*cluste
 		spares:    spares,
 		onFailure: onFailure,
 		failedIdx: -1,
+		epoch:     1,
 	}
 	for _, n := range members {
 		m.members = append(m.members, m.watch(n))
@@ -181,6 +183,12 @@ func (m *Manager) Paused() bool { return m.paused }
 // Failovers counts completed detections.
 func (m *Manager) Failovers() uint64 { return m.failovers }
 
+// Epoch is the chain configuration epoch: 1 at startup, bumped on every
+// failure detection. Coordinators stamp commits with it so that a commit
+// prepared against a stale membership can be fenced off by a predicated
+// gWRITE whose guard word holds the current epoch.
+func (m *Manager) Epoch() uint64 { return m.epoch }
+
 // LastDetection returns the virtual time of the most recent failure
 // detection; ok is false if no failure has ever been detected. Checkers use
 // this to verify detection landed within the configured bound
@@ -238,6 +246,7 @@ func (m *Manager) check() {
 		m.paused = true
 		m.failedIdx = i
 		m.failovers++
+		m.epoch++
 		m.lastDetectAt = m.eng.Now()
 		m.haveDetect = true
 		failed := mem.node

@@ -32,6 +32,9 @@ func TestHeartbeatsKeepMembershipStable(t *testing.T) {
 	if m.Paused() {
 		t.Fatal("healthy chain paused")
 	}
+	if m.Epoch() != 1 {
+		t.Fatalf("healthy chain epoch = %d, want 1", m.Epoch())
+	}
 	if m.replies == 0 {
 		t.Fatal("no heartbeat replies observed")
 	}
@@ -63,6 +66,11 @@ func TestDetectsSeveredReplica(t *testing.T) {
 	}
 	if m.Failovers() != 1 {
 		t.Fatalf("failovers = %d", m.Failovers())
+	}
+	// The configuration epoch starts at 1 and bumps with the detection:
+	// commits stamped with the old epoch can now be fenced.
+	if m.Epoch() != 2 {
+		t.Fatalf("epoch = %d after one failover, want 2", m.Epoch())
 	}
 }
 

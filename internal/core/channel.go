@@ -19,6 +19,8 @@ const (
 	chCAS
 	chMemcpy
 	chFlush
+	chLoop    // NIC-resident bounded atomic retry loop (template program)
+	chWriteIf // predicated gWRITE: guard word gates the write on each replica
 )
 
 func (k chanKind) String() string {
@@ -31,6 +33,10 @@ func (k chanKind) String() string {
 		return "gMEMCPY"
 	case chFlush:
 		return "gFLUSH"
+	case chLoop:
+		return "gATOMIC_LOOP"
+	case chWriteIf:
+		return "gWRITE_IF"
 	default:
 		return fmt.Sprintf("chan(%d)", int(k))
 	}
@@ -38,17 +44,22 @@ func (k chanKind) String() string {
 
 // op is a queued primitive invocation.
 type op struct {
-	seq     uint64
-	off     int
-	src     int
-	size    int
-	durable bool
-	casOld  uint64
-	casNew  uint64
-	exec    ExecuteMap
-	done    func(Result)
-	issued  sim.Time
-	timeout sim.EventID
+	seq       uint64
+	off       int
+	src       int
+	size      int
+	durable   bool
+	casOld    uint64
+	casNew    uint64
+	exec      ExecuteMap
+	loop      *LoopSpec // gATOMIC_LOOP parameters
+	guardOff  int       // gWRITE_IF: replica-local guard word offset
+	guardWant uint64    // gWRITE_IF: value the guard must match
+	guardMask uint64    // gWRITE_IF: compare mask (0 = full word)
+	attempts  int       // gATOMIC_LOOP: chain traversals executed
+	done      func(Result)
+	issued    sim.Time
+	timeout   sim.EventID
 }
 
 // hop is one replica's wiring for a channel.
@@ -92,6 +103,15 @@ type channel struct {
 	slotsSQ    int   // downstream SQ slots per op
 	slotsLQ    int   // loopback SQ slots per op
 	manipLen   int   // bytes of descriptor images peeled per hop
+
+	// gATOMIC_LOOP template state: the client-side WQE program is posted
+	// once and re-armed by the NIC itself; per op the host only patches
+	// fields and doorbells the gate.
+	timerCQ      *rdma.CQ           // backoff tick source on the client NIC
+	ctrlMR       *rdma.MemoryRegion // 8-byte retry budget word the NIC decrements
+	tplGate      int                // absolute slot index of the template gate
+	tplCond      int                // absolute slot index of the CondRearm
+	loopAttempts uint64             // chain instances consumed by completed loops
 }
 
 // minCredit returns the lowest replenished-op count across hops: the client
@@ -114,10 +134,12 @@ func geometry(kind chanKind) (slotsSQ, slotsLQ, manipLen int) {
 	switch kind {
 	case chWrite:
 		return 4, 0, 2 * rdma.SlotSize // WAIT, WRITE, FLUSH/NOP, SEND
-	case chCAS:
+	case chCAS, chLoop:
 		return 2, 2, rdma.SlotSize // down: WAIT,SEND; loop: WAIT,CAS
 	case chMemcpy:
 		return 2, 3, 2 * rdma.SlotSize // loop: WAIT,WRITE,FLUSH/NOP
+	case chWriteIf:
+		return 2, 3, 2 * rdma.SlotSize // loop: WAIT,GUARD,WRITE
 	case chFlush:
 		return 3, 0, 0 // WAIT, READ0, SEND
 	default:
@@ -137,11 +159,14 @@ func (c *channel) msgSize(i int) int {
 			m = 0
 		}
 		return m * c.manipLen
-	case chCAS:
+	case chCAS, chLoop:
 		// Own image + later hops' images + result map.
 		return (n-i)*c.manipLen + 8*n
 	case chMemcpy:
 		return (n - i) * c.manipLen
+	case chWriteIf:
+		// Own images + later hops' images + carried payload + observed map.
+		return (n-i)*c.manipLen + c.g.cfg.PredPayloadCap + 8*n
 	case chFlush:
 		return 0
 	default:
@@ -152,8 +177,10 @@ func (c *channel) msgSize(i int) int {
 // stagingSize returns the staging bytes per op at hop i: the message it
 // forwards downstream.
 func (c *channel) stagingSize(i int) int {
-	if c.kind == chCAS {
-		// The tail still stages the result map it acks to the client.
+	switch c.kind {
+	case chCAS, chLoop, chWriteIf:
+		// The tail still stages the result map (and, for gWRITE_IF, the
+		// payload its own WRITE gathers) it acks to the client.
 		return c.msgSize(i) - c.manipLen
 	}
 	if i == len(c.g.replicas)-1 {
@@ -219,12 +246,20 @@ func (g *Group) buildChannel(kind chanKind) *channel {
 	}
 	c.ackMR = g.client.NIC.RegisterRAM(depth*c.ackSlot, rdma.AccessLocalWrite|rdma.AccessRemoteWrite)
 	c.cliQP.SendCQ().SetAutoDrain(true)
+	c.ackQP.RecvCQ().SetAutoDrain(true)
+	if kind == chLoop {
+		// The loop program completes via its CondRearm CQE, not the tail
+		// ack: ack completions only feed the template's WAIT counter.
+		c.timerCQ = g.client.NIC.CreateTimerCQ(g.cfg.LoopTick)
+		c.ctrlMR = g.client.NIC.RegisterRAM(8, rdma.AccessLocalWrite)
+		c.cliQP.SendCQ().SetCallback(func(e rdma.CQE) { c.onLoopCQE(e) })
+		return c
+	}
 	c.cliQP.SendCQ().SetCallback(func(e rdma.CQE) {
 		if e.Status != rdma.StatusSuccess {
 			g.fail(fmt.Errorf("%w: client %s completion %s", ErrGroupFailed, c.kind, e.Status))
 		}
 	})
-	c.ackQP.RecvCQ().SetAutoDrain(true)
 	c.ackQP.RecvCQ().SetCallback(func(e rdma.CQE) { c.onAck(e) })
 	return c
 }
@@ -243,6 +278,9 @@ func (c *channel) prime() {
 		var buf [8]byte
 		putLE64(buf[:], uint64(c.hops[i].posted))
 		c.creditMR.Backing().WriteAt(8*i, buf[:])
+	}
+	if c.kind == chLoop {
+		c.postLoopTemplate()
 	}
 }
 
@@ -314,13 +352,25 @@ func (c *channel) pushCredit(ri int) {
 	}
 }
 
-// stagingOff returns the staging byte offset for op k at hop i.
+// stagingOff returns the staging byte offset for op k at hop i. gATOMIC_LOOP
+// pins every op to slot 0: chain instances are consumed per *attempt*, so an
+// instance-indexed offset would desync from the client's precomputed images;
+// the program's ack-WAIT strictly serializes attempts, making reuse safe.
 func (c *channel) stagingOff(i int, k int) int {
+	if c.kind == chLoop {
+		return 0
+	}
 	return (k % c.g.cfg.Depth) * c.stagingSize(i)
 }
 
-// ackOff returns the ack-ring byte offset for op k.
-func (c *channel) ackOff(k int) int { return (k % c.g.cfg.Depth) * c.ackSlot }
+// ackOff returns the ack-ring byte offset for op k (slot 0 for gATOMIC_LOOP,
+// where the CondRearm's guard SGE needs a fixed address).
+func (c *channel) ackOff(k int) int {
+	if c.kind == chLoop {
+		return 0
+	}
+	return (k % c.g.cfg.Depth) * c.ackSlot
+}
 
 // chainWQEs assembles the WQE chain for absolute op index k at hop ri: the
 // upstream RECV posts immediately; send-queue descriptors append to *down
@@ -373,7 +423,7 @@ func (c *channel) chainWQEs(ri, k int, down, loop *[]rdma.WQE) error {
 		*down = append(*down, rdma.WQE{Opcode: rdma.OpSend, Signaled: true, WRID: kk, HWOwned: true, SGEs: fwd})
 		return nil
 
-	case chCAS:
+	case chCAS, chLoop:
 		lbase := k * c.slotsLQ
 		sges := []rdma.SGE{{
 			LKey:   h.loop.SQTable().MR().LKey(),
@@ -389,7 +439,7 @@ func (c *channel) chainWQEs(ri, k int, down, loop *[]rdma.WQE) error {
 		}
 		*loop = append(*loop,
 			rdma.WQE{Opcode: rdma.OpWait, WaitCQ: h.up.RecvCQ().ID(), WaitCount: 1, WRID: kk, HWOwned: true},
-			held) // CAS / NOP
+			held) // CAS / MaskFAdd / NOP
 		*down = append(*down, rdma.WQE{Opcode: rdma.OpWait, WaitCQ: h.loop.SendCQ().ID(), WaitCount: 1, WRID: kk, HWOwned: true})
 		ackSGE := []rdma.SGE{{LKey: h.staging.LKey(), Offset: uint64(c.stagingOff(ri, k)), Length: uint32(stg)}}
 		if tail {
@@ -401,6 +451,42 @@ func (c *channel) chainWQEs(ri, k int, down, loop *[]rdma.WQE) error {
 			return nil
 		}
 		*down = append(*down, rdma.WQE{Opcode: rdma.OpSend, Signaled: true, WRID: kk, HWOwned: true, SGEs: ackSGE})
+		return nil
+
+	case chWriteIf:
+		lbase := k * c.slotsLQ
+		// The RECV peels this hop's GUARD+WRITE images into adjacent loop
+		// slots; the rest (downstream images, payload, observed map) stages.
+		sges := []rdma.SGE{{
+			LKey:   h.loop.SQTable().MR().LKey(),
+			Offset: uint64(h.loop.SQTable().SlotOffset(lbase + 1)),
+			Length: uint32(c.manipLen),
+		}, {
+			LKey:   h.staging.LKey(),
+			Offset: uint64(c.stagingOff(ri, k)),
+			Length: uint32(stg),
+		}}
+		if _, err := h.up.PostRecv(rdma.WQE{WRID: kk, SGEs: sges}); err != nil {
+			return err
+		}
+		*loop = append(*loop,
+			rdma.WQE{Opcode: rdma.OpWait, WaitCQ: h.up.RecvCQ().ID(), WaitCount: 1, WRID: kk, HWOwned: true},
+			held, // GUARD
+			held) // predicated WRITE
+		// Guard and write are both signaled; a failed guard substitutes a
+		// PredFail CQE for the skipped write, so the count is constant.
+		*down = append(*down, rdma.WQE{Opcode: rdma.OpWait, WaitCQ: h.loop.SendCQ().ID(), WaitCount: 2, WRID: kk, HWOwned: true})
+		if tail {
+			mapOff := c.stagingOff(ri, k) + c.g.cfg.PredPayloadCap
+			*down = append(*down, rdma.WQE{
+				Opcode: rdma.OpWriteImm, Signaled: true, WRID: kk, Imm: kk, HWOwned: true,
+				RKey: c.ackMR.RKey(), RAddr: uint64(c.ackOff(k)),
+				SGEs: []rdma.SGE{{LKey: h.staging.LKey(), Offset: uint64(mapOff), Length: uint32(8 * len(c.hops))}},
+			})
+			return nil
+		}
+		fwd := []rdma.SGE{{LKey: h.staging.LKey(), Offset: uint64(c.stagingOff(ri, k)), Length: uint32(stg)}}
+		*down = append(*down, rdma.WQE{Opcode: rdma.OpSend, Signaled: true, WRID: kk, HWOwned: true, SGEs: fwd})
 		return nil
 
 	case chMemcpy:
@@ -478,8 +564,15 @@ func (c *channel) finish(o *op, err error) {
 		Err:       err,
 	}
 	res.Latency = res.Completed.Sub(res.Issued)
-	if err == nil && c.kind == chCAS {
+	if err == nil && (c.kind == chCAS || c.kind == chWriteIf) {
 		res.CASOld = c.readResultMap(o.seq)
+	}
+	if c.kind == chLoop {
+		res.Attempts = o.attempts
+		// Exhaustion still surfaces the last attempt's observed values.
+		if err == nil || err == ErrRetriesExhausted {
+			res.CASOld = c.readResultMap(o.seq)
+		}
 	}
 	if err == nil {
 		c.g.opsCompleted++
@@ -560,6 +653,10 @@ func (c *channel) submit(o *op) error {
 // client would notice them.
 func (c *channel) pump() {
 	if c.g.failed != nil {
+		return
+	}
+	if c.kind == chLoop {
+		c.pumpLoop()
 		return
 	}
 	for len(c.waiting) > 0 && len(c.pending) < c.g.cfg.MaxInflight && c.issued < c.minCredit() {

@@ -36,6 +36,10 @@ var (
 	ErrGroupFailed = errors.New("hyperloop: group failed")
 	ErrBadArgs     = errors.New("hyperloop: bad primitive arguments")
 	ErrTooLarge    = errors.New("hyperloop: transfer exceeds store window")
+	// ErrRetriesExhausted reports that a gATOMIC_LOOP program burned its
+	// whole retry budget without reaching the exit condition. The group is
+	// healthy; the result map carries the last observed values.
+	ErrRetriesExhausted = errors.New("hyperloop: atomic loop retries exhausted")
 )
 
 // ExecuteMap selects which replicas execute a gCAS (bit i = replica i,
@@ -60,10 +64,14 @@ type Result struct {
 	Issued    sim.Time
 	Completed sim.Time
 	Latency   sim.Duration
-	// CASOld holds, for gCAS, each replica's original value at the target
-	// offset (CASNotExecuted where the execute map skipped the replica).
+	// CASOld holds, for gCAS and gATOMIC_LOOP, each replica's original value
+	// at the target offset, and for gWRITE_IF each replica's observed guard
+	// word (CASNotExecuted where the execute map skipped the replica).
 	CASOld []uint64
-	Err    error
+	// Attempts is, for gATOMIC_LOOP, the number of chain traversals the
+	// NIC-resident program executed before exiting (1 = first try won).
+	Attempts int
+	Err      error
 }
 
 // Config tunes a Group. Zero values take defaults.
@@ -92,6 +100,15 @@ type Config struct {
 	// per batch instead of once per op. 1 (the default) reproduces the
 	// legacy one-op-per-doorbell issue path exactly.
 	FusionDepth int
+	// LoopTick is the timer-CQ period driving NIC-side capped backoff in
+	// gATOMIC_LOOP programs (default 1µs). A retry waits for a power-of-two
+	// number of ticks, doubling per attempt up to loopBackoffCap.
+	LoopTick sim.Duration
+	// PredPayloadCap bounds the payload a gWRITE_IF carries through the
+	// metadata chain (default 256 bytes). Predicated writes ship their data
+	// inside the chain message so the guard and the write execute on the
+	// replica NIC with no client round trip in between.
+	PredPayloadCap int
 }
 
 func (c *Config) fill() {
@@ -115,6 +132,12 @@ func (c *Config) fill() {
 	}
 	if c.FusionDepth > c.MaxInflight {
 		c.FusionDepth = c.MaxInflight
+	}
+	if c.LoopTick <= 0 {
+		c.LoopTick = sim.Microsecond
+	}
+	if c.PredPayloadCap <= 0 {
+		c.PredPayloadCap = 256
 	}
 }
 
@@ -158,11 +181,12 @@ func NewWithNodes(eng *sim.Engine, client *cluster.Node, replicas []*cluster.Nod
 		replicas: replicas,
 		channels: make(map[chanKind]*channel),
 	}
-	for _, k := range []chanKind{chWrite, chCAS, chMemcpy, chFlush} {
+	kinds := []chanKind{chWrite, chCAS, chMemcpy, chFlush, chLoop, chWriteIf}
+	for _, k := range kinds {
 		g.channels[k] = g.buildChannel(k)
 	}
-	for _, ch := range g.channels {
-		ch.prime()
+	for _, k := range kinds {
+		g.channels[k].prime()
 	}
 	g.startReplenishers()
 	return g
@@ -258,6 +282,54 @@ func (g *Group) GMemcpy(dstOff, srcOff, size int, durable bool, done func(Result
 // Table 1): the ack implies all previously replicated data is durable.
 func (g *Group) GFlush(done func(Result)) error {
 	return g.channels[chFlush].submit(&op{done: done})
+}
+
+// GAtomicLoop runs a bounded atomic retry loop as a NIC-resident WQE
+// program (gATOMIC_LOOP): the client's pre-posted template re-issues the
+// chain until the guard replica's observed value satisfies the exit
+// condition or the budget runs out, with capped exponential backoff served
+// by a timer CQ — no host CPU on any retry. done receives Err == nil on
+// exit-condition success, ErrRetriesExhausted otherwise; either way CASOld
+// carries the final attempt's observed values and Attempts the traversal
+// count.
+func (g *Group) GAtomicLoop(spec LoopSpec, done func(Result)) error {
+	if spec.Off < 0 || spec.Off+8 > g.client.Store.Len() {
+		return ErrBadArgs
+	}
+	if spec.Kind != LoopCAS && spec.Kind != LoopMaskFAdd {
+		return ErrBadArgs
+	}
+	if spec.GuardReplica < 0 || spec.GuardReplica >= len(g.replicas) ||
+		!spec.Exec.Has(spec.GuardReplica) {
+		return ErrBadArgs // the exit test reads the guard replica's result word
+	}
+	if spec.Budget < 0 {
+		return ErrBadArgs
+	}
+	sp := spec
+	return g.channels[chLoop].submit(&op{off: spec.Off, exec: spec.Exec, loop: &sp, done: done})
+}
+
+// GWriteIf replicates a predicated write (gWRITE_IF): each replica's NIC
+// compares its local 8-byte word at guardOff (under mask; 0 = full word)
+// against want and applies the write only on match — an epoch-fence check
+// with no host round trip. The payload travels inside the chain metadata
+// (bounded by PredPayloadCap). Err is nil whether or not guards matched;
+// CASOld carries each replica's observed guard word for the caller to
+// check.
+func (g *Group) GWriteIf(off, size, guardOff int, want, mask uint64, done func(Result)) error {
+	if off < 0 || size <= 0 || guardOff < 0 {
+		return ErrBadArgs
+	}
+	if off+size > g.client.Store.Len() || guardOff+8 > g.client.Store.Len() {
+		return ErrTooLarge
+	}
+	if size > g.cfg.PredPayloadCap {
+		return ErrTooLarge
+	}
+	return g.channels[chWriteIf].submit(&op{
+		off: off, size: size, guardOff: guardOff, guardWant: want, guardMask: mask, done: done,
+	})
 }
 
 // String describes the group.

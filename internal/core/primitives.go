@@ -68,8 +68,12 @@ func (c *channel) clientWQEs(o *op) []rdma.WQE {
 			ws = append(ws, rdma.WQE{Opcode: rdma.OpRead, Signaled: true, WRID: o.seq, RKey: head.Store.RKey()})
 		}
 		return append(ws, rdma.WQE{Opcode: rdma.OpSend, Signaled: true, WRID: o.seq, SGEs: metaSGE})
-	case chCAS, chMemcpy:
+	case chCAS, chMemcpy, chWriteIf:
 		return []rdma.WQE{{Opcode: rdma.OpSend, Signaled: true, WRID: o.seq, SGEs: metaSGE}}
+	case chLoop:
+		// gATOMIC_LOOP never builds per-op client WQEs: its template is
+		// pre-posted and issueLoop patches + doorbells it instead.
+		panic("core: gATOMIC_LOOP must issue through the template program")
 	case chFlush:
 		return []rdma.WQE{
 			{Opcode: rdma.OpRead, Signaled: true, WRID: o.seq, RKey: head.Store.RKey()},
@@ -96,11 +100,23 @@ func (c *channel) buildMetadata(o *op, k int) []byte {
 		for i := 0; i < n; i++ {
 			msg = append(msg, c.casImage(i, o, k)...)
 		}
-		res := make([]byte, 8*n)
+		msg = append(msg, sentinelMap(n)...)
+	case chLoop:
 		for i := 0; i < n; i++ {
-			putLE64(res[8*i:], CASNotExecuted)
+			msg = append(msg, c.loopImage(i, o, k)...)
 		}
-		msg = append(msg, res...)
+		msg = append(msg, sentinelMap(n)...)
+	case chWriteIf:
+		for i := 0; i < n; i++ {
+			msg = append(msg, c.guardImage(i, o, k)...)
+			msg = append(msg, c.writeIfImage(i, o, k)...)
+		}
+		// Carried payload: the client host copies the bytes out of its
+		// store into the chain message (bounded by PredPayloadCap).
+		pay := make([]byte, c.g.cfg.PredPayloadCap)
+		c.g.client.Store.Backing().ReadAt(o.off, pay[:o.size])
+		msg = append(msg, pay...)
+		msg = append(msg, sentinelMap(n)...)
 	case chMemcpy:
 		for i := 0; i < n; i++ {
 			msg = append(msg, c.memcpyImage(i, o, k)...)
@@ -169,10 +185,24 @@ func (c *channel) casImage(i int, o *op, k int) []byte {
 }
 
 // resultFieldOff locates replica i's result slot within its staging area:
-// after the images it forwards, 8 bytes per preceding replica.
+// after the images it forwards (and, for gWRITE_IF, the carried payload),
+// 8 bytes per preceding replica.
 func (c *channel) resultFieldOff(i int) int {
 	n := len(c.hops)
-	return (n-1-i)*c.manipLen + 8*i
+	off := (n - 1 - i) * c.manipLen
+	if c.kind == chWriteIf {
+		off += c.g.cfg.PredPayloadCap
+	}
+	return off + 8*i
+}
+
+// sentinelMap builds an n-entry result map filled with CASNotExecuted.
+func sentinelMap(n int) []byte {
+	res := make([]byte, 8*n)
+	for i := 0; i < n; i++ {
+		putLE64(res[8*i:], CASNotExecuted)
+	}
+	return res
 }
 
 // memcpyImage is hop i's NIC-local copy from srcOff to dstOff within its

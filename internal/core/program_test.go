@@ -1,0 +1,310 @@
+package core
+
+import (
+	"testing"
+
+	"hyperloop/internal/sim"
+)
+
+func storeWord(t *testing.T, g *Group, replica, off int) uint64 {
+	t.Helper()
+	return le64(g.Replica(replica).StoreBytes(off, 8))
+}
+
+func TestGAtomicLoopFirstTryWins(t *testing.T) {
+	eng, _, g := testGroup(t, 3, Config{Depth: 64})
+	done := false
+	var res Result
+	err := g.GAtomicLoop(LoopSpec{
+		Off: 512, Kind: LoopCAS, Old: 0, New: 42,
+		ExitWant: 0, Exec: 1 << 0, GuardReplica: 0, Budget: 8,
+	}, func(r Result) { res = r; done = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, eng, g, &done)
+	if res.Err != nil {
+		t.Fatalf("result err: %v", res.Err)
+	}
+	if res.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1", res.Attempts)
+	}
+	if res.CASOld[0] != 0 {
+		t.Fatalf("observed = %d, want 0", res.CASOld[0])
+	}
+	if w := storeWord(t, g, 0, 512); w != 42 {
+		t.Fatalf("replica word = %d, want 42", w)
+	}
+}
+
+func TestGAtomicLoopRetriesUntilReleased(t *testing.T) {
+	eng, _, g := testGroup(t, 3, Config{Depth: 64})
+	// A foreign holder parks the word; release it after 40µs without any
+	// NIC traffic (host store write), so every retry until then loses.
+	var hold [8]byte
+	putLE64(hold[:], 7)
+	g.Replica(0).StoreWrite(512, hold[:])
+	eng.Schedule(40*sim.Microsecond, func() {
+		var zero [8]byte
+		g.Replica(0).StoreWrite(512, zero[:])
+	})
+
+	done := false
+	var res Result
+	err := g.GAtomicLoop(LoopSpec{
+		Off: 512, Kind: LoopCAS, Old: 0, New: 42,
+		ExitWant: 0, Exec: 1 << 0, GuardReplica: 0, Budget: 63,
+	}, func(r Result) { res = r; done = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, eng, g, &done)
+	if res.Err != nil {
+		t.Fatalf("result err: %v", res.Err)
+	}
+	if res.Attempts < 2 {
+		t.Fatalf("attempts = %d, want >= 2 (word was held)", res.Attempts)
+	}
+	if w := storeWord(t, g, 0, 512); w != 42 {
+		t.Fatalf("replica word = %d, want 42", w)
+	}
+}
+
+func TestGAtomicLoopExhaustsBudget(t *testing.T) {
+	eng, _, g := testGroup(t, 2, Config{Depth: 64})
+	var hold [8]byte
+	putLE64(hold[:], 7)
+	g.Replica(0).StoreWrite(512, hold[:]) // never released
+
+	done := false
+	var res Result
+	err := g.GAtomicLoop(LoopSpec{
+		Off: 512, Kind: LoopCAS, Old: 0, New: 42,
+		ExitWant: 0, Exec: 1 << 0, GuardReplica: 0, Budget: 3,
+	}, func(r Result) { res = r; done = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, eng, g, &done)
+	if res.Err != ErrRetriesExhausted {
+		t.Fatalf("err = %v, want ErrRetriesExhausted", res.Err)
+	}
+	if res.Attempts != 4 {
+		t.Fatalf("attempts = %d, want 4 (budget 3 + first try)", res.Attempts)
+	}
+	if res.CASOld[0] != 7 {
+		t.Fatalf("observed = %d, want holder value 7", res.CASOld[0])
+	}
+	if w := storeWord(t, g, 0, 512); w != 7 {
+		t.Fatalf("replica word = %d, holder must survive", w)
+	}
+}
+
+func TestGAtomicLoopMaskFAddGuarded(t *testing.T) {
+	const (
+		writerBit  = uint64(1) << 63
+		readerMask = (uint64(1) << 48) - 1
+	)
+	eng, _, g := testGroup(t, 3, Config{Depth: 64})
+	// Writer holds the word on replica 1; releases after 30µs. The guarded
+	// fetch-and-add must not register the reader while the bit is up —
+	// otherwise the final count would exceed 1 (phantom increments).
+	var hold [8]byte
+	putLE64(hold[:], writerBit|5<<48)
+	g.Replica(1).StoreWrite(512, hold[:])
+	eng.Schedule(30*sim.Microsecond, func() {
+		var zero [8]byte
+		g.Replica(1).StoreWrite(512, zero[:])
+	})
+
+	done := false
+	var res Result
+	err := g.GAtomicLoop(LoopSpec{
+		Off: 512, Kind: LoopMaskFAdd,
+		Add: 1, FieldMask: readerMask, GuardWant: 0, GuardMask: writerBit,
+		ExitWant: 0, ExitMask: writerBit,
+		Exec: 1 << 1, GuardReplica: 1, Budget: 63,
+	}, func(r Result) { res = r; done = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, eng, g, &done)
+	if res.Err != nil {
+		t.Fatalf("result err: %v", res.Err)
+	}
+	if res.Attempts < 2 {
+		t.Fatalf("attempts = %d, want >= 2 (writer held)", res.Attempts)
+	}
+	if w := storeWord(t, g, 1, 512); w&readerMask != 1 {
+		t.Fatalf("reader count = %d, want exactly 1 (word %#x)", w&readerMask, w)
+	}
+}
+
+// TestGAtomicLoopTemplateAmortizesPostings is the chain-setup-amortization
+// proof at the API level: after the template is posted once, issuing more
+// loop ops adds zero client WQE postings — only field patches + doorbells.
+func TestGAtomicLoopTemplateAmortizesPostings(t *testing.T) {
+	eng, _, g := testGroup(t, 3, Config{Depth: 64})
+	ch := g.channels[chLoop]
+	tailBefore := ch.cliQP.SQTable().Tail()
+
+	for i := 0; i < 5; i++ {
+		done := false
+		err := g.GAtomicLoop(LoopSpec{
+			Off: 512, Kind: LoopCAS, Old: uint64(i), New: uint64(i + 1),
+			ExitWant: uint64(i), Exec: 1 << 0, GuardReplica: 0, Budget: 4,
+		}, func(Result) { done = true })
+		if err != nil {
+			t.Fatal(err)
+		}
+		run(t, eng, g, &done)
+	}
+	if d := ch.cliQP.SQTable().Tail() - tailBefore; d != 0 {
+		t.Fatalf("5 loop ops posted %d client WQEs, template must amortize to 0", d)
+	}
+	if w := storeWord(t, g, 0, 512); w != 5 {
+		t.Fatalf("replica word = %d, want 5", w)
+	}
+}
+
+// TestGAtomicLoopQueuedOps regression-tests the exit ordering of the
+// CondRearm: the completion CQE re-enters the host synchronously, and the
+// host immediately doorbells the next queued op's gate. If the program
+// closed its gate AFTER delivering the CQE, that doorbell grant would be
+// clobbered and the queued op stranded forever.
+func TestGAtomicLoopQueuedOps(t *testing.T) {
+	eng, _, g := testGroup(t, 3, Config{Depth: 64})
+	done := 0
+	for i := 0; i < 3; i++ {
+		err := g.GAtomicLoop(LoopSpec{
+			Off: 512 + 8*i, Kind: LoopCAS, Old: 0, New: 42,
+			ExitWant: 0, Exec: 1 << 0, GuardReplica: 0, Budget: 8,
+		}, func(r Result) {
+			if r.Err != nil {
+				t.Errorf("op err: %v", r.Err)
+			}
+			done++
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !eng.RunUntil(func() bool { return done == 3 }, eng.Now().Add(sim.Second)) {
+		t.Fatalf("queued loop ops stranded: done=%d of 3", done)
+	}
+	for i := 0; i < 3; i++ {
+		if w := storeWord(t, g, 0, 512+8*i); w != 42 {
+			t.Fatalf("word %d = %d, want 42", i, w)
+		}
+	}
+}
+
+func TestGWriteIfGuardMatch(t *testing.T) {
+	eng, cl, g := testGroup(t, 3, Config{Depth: 64})
+	payload := []byte("fenced-payload-bytes")
+	cl.Client().StoreWrite(4096, payload)
+	// Epoch word 3 on every replica; predicate wants 3 → writes apply.
+	var epoch [8]byte
+	putLE64(epoch[:], 3)
+	for i := 0; i < 3; i++ {
+		g.Replica(i).StoreWrite(256, epoch[:])
+	}
+
+	done := false
+	var res Result
+	if err := g.GWriteIf(4096, len(payload), 256, 3, 0, func(r Result) { res = r; done = true }); err != nil {
+		t.Fatal(err)
+	}
+	run(t, eng, g, &done)
+	if res.Err != nil {
+		t.Fatalf("result err: %v", res.Err)
+	}
+	for i := 0; i < 3; i++ {
+		if res.CASOld[i] != 3 {
+			t.Fatalf("replica %d observed %d, want 3", i, res.CASOld[i])
+		}
+		got := g.Replica(i).StoreBytes(4096, len(payload))
+		if string(got) != string(payload) {
+			t.Fatalf("replica %d payload = %q, want %q", i, got, payload)
+		}
+	}
+}
+
+func TestGWriteIfGuardMismatchSkipsWrite(t *testing.T) {
+	eng, cl, g := testGroup(t, 3, Config{Depth: 64})
+	payload := []byte("must-not-land")
+	cl.Client().StoreWrite(4096, payload)
+	// Replica 1's epoch moved ahead; its write must be suppressed while
+	// the others apply.
+	var epoch [8]byte
+	putLE64(epoch[:], 4)
+	g.Replica(1).StoreWrite(256, epoch[:])
+
+	done := false
+	var res Result
+	if err := g.GWriteIf(4096, len(payload), 256, 0, 0, func(r Result) { res = r; done = true }); err != nil {
+		t.Fatal(err)
+	}
+	run(t, eng, g, &done)
+	if res.Err != nil {
+		t.Fatalf("result err: %v", res.Err)
+	}
+	if res.CASOld[0] != 0 || res.CASOld[1] != 4 || res.CASOld[2] != 0 {
+		t.Fatalf("observed map = %v, want [0 4 0]", res.CASOld)
+	}
+	for i := 0; i < 3; i++ {
+		got := string(g.Replica(i).StoreBytes(4096, len(payload)))
+		if i == 1 && got == string(payload) {
+			t.Fatal("replica 1 write applied despite guard mismatch")
+		}
+		if i != 1 && got != string(payload) {
+			t.Fatalf("replica %d write suppressed despite guard match", i)
+		}
+	}
+}
+
+func TestGWriteIfMaskedGuard(t *testing.T) {
+	eng, cl, g := testGroup(t, 2, Config{Depth: 64})
+	payload := []byte("masked")
+	cl.Client().StoreWrite(4096, payload)
+	// Guard word has noise in the low bits; only the high bit matters.
+	var word [8]byte
+	putLE64(word[:], 1<<63|0xabc)
+	for i := 0; i < 2; i++ {
+		g.Replica(i).StoreWrite(256, word[:])
+	}
+
+	done := false
+	var res Result
+	if err := g.GWriteIf(4096, len(payload), 256, 1<<63, 1<<63, func(r Result) { res = r; done = true }); err != nil {
+		t.Fatal(err)
+	}
+	run(t, eng, g, &done)
+	if res.Err != nil {
+		t.Fatalf("result err: %v", res.Err)
+	}
+	for i := 0; i < 2; i++ {
+		if got := string(g.Replica(i).StoreBytes(4096, len(payload))); got != string(payload) {
+			t.Fatalf("replica %d masked-guard write missing", i)
+		}
+	}
+}
+
+func TestGAtomicLoopValidation(t *testing.T) {
+	_, _, g := testGroup(t, 2, Config{Depth: 64})
+	cases := []LoopSpec{
+		{Off: -8, Kind: LoopCAS, Exec: 1, GuardReplica: 0},
+		{Off: 0, Kind: LoopKind(9), Exec: 1, GuardReplica: 0},
+		{Off: 0, Kind: LoopCAS, Exec: 1, GuardReplica: 5},
+		{Off: 0, Kind: LoopCAS, Exec: 1 << 1, GuardReplica: 0}, // guard outside exec
+		{Off: 0, Kind: LoopCAS, Exec: 1, GuardReplica: 0, Budget: -1},
+	}
+	for i, spec := range cases {
+		if err := g.GAtomicLoop(spec, nil); err != ErrBadArgs {
+			t.Fatalf("case %d: err = %v, want ErrBadArgs", i, err)
+		}
+	}
+	if err := g.GWriteIf(0, 1<<20, 0, 0, 0, nil); err != ErrTooLarge {
+		t.Fatalf("oversized predicated write: err = %v, want ErrTooLarge", err)
+	}
+}

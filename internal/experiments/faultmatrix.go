@@ -99,6 +99,17 @@ func (s *switchGroup) GCAS(off int, old, new uint64, exec core.ExecuteMap, done 
 	return s.g.GCAS(off, old, new, exec, done)
 }
 
+// GAtomicLoop keeps the lock manager on the NIC-resident retry path across
+// a group rebuild (locks.LoopCASer is satisfied through the switch).
+func (s *switchGroup) GAtomicLoop(spec core.LoopSpec, done func(core.Result)) error {
+	return s.g.GAtomicLoop(spec, done)
+}
+
+// GWriteIf keeps the txn epoch fence wired to the current group.
+func (s *switchGroup) GWriteIf(off, size, guardOff int, want, mask uint64, done func(core.Result)) error {
+	return s.g.GWriteIf(off, size, guardOff, want, mask, done)
+}
+
 func (s *switchGroup) GroupSize() int { return s.g.GroupSize() }
 
 func resWrap(done func(error)) func(core.Result) {

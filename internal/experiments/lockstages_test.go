@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The headline claims of the lock-contention breakdown: the NIC-resident
+// program spends zero host-CPU time and rings fewer doorbells per op than
+// the host-bounced arm, whose retry wake-ups dominate its host-cpu column.
+func TestLockStageBreakdownOffloadsRetries(t *testing.T) {
+	rows := LockStageBreakdown(5)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	nic, host := rows[0], rows[1]
+	if nic.Arm != "nic-program" || host.Arm != "host-bounced" {
+		t.Fatalf("arm order = %q, %q", nic.Arm, host.Arm)
+	}
+	if d := nic.Stage("host-cpu"); d != 0 {
+		t.Fatalf("NIC arm host-cpu = %v, want structurally zero", d)
+	}
+	if d := host.Stage("host-cpu"); d == 0 {
+		t.Fatal("host-bounced arm shows no host-cpu time under contention")
+	}
+	if nic.ProgBranches == 0 {
+		t.Fatal("NIC arm took no program branches (loop not NIC-resident?)")
+	}
+	if host.ProgBranches != 0 {
+		t.Fatalf("host arm took %d program branches", host.ProgBranches)
+	}
+	// Template amortization: host-side retries each ring a fresh doorbell;
+	// the pre-posted loop template is patched and rung once per acquire.
+	if nic.Doorbells >= host.Doorbells {
+		t.Fatalf("doorbells: nic=%d host=%d — template amortization lost",
+			nic.Doorbells, host.Doorbells)
+	}
+	if nic.Attempts == uint64(nic.Ops) {
+		t.Fatal("NIC arm recorded no retries despite injected contention")
+	}
+}
+
+// The breakdown is a decomposition, not a second measurement: per arm the
+// stages must tile the end-to-end window exactly, and repeated runs must be
+// identical (the virtual-time rig has no hidden nondeterminism).
+func TestLockStageBreakdownDeterministicAndExact(t *testing.T) {
+	a := RunLockStageBreakdown(false, 3)
+	b := RunLockStageBreakdown(false, 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("repeat runs differ:\n%+v\n%+v", a, b)
+	}
+	for _, r := range []LockStageResult{a, RunLockStageBreakdown(true, 3)} {
+		var sum int64
+		for _, s := range r.Stages {
+			sum += int64(s.Dur)
+		}
+		if sum != int64(r.EndToEnd) {
+			t.Fatalf("%s: stages sum %d != end-to-end %d", r.Arm, sum, int64(r.EndToEnd))
+		}
+	}
+}

@@ -68,13 +68,21 @@ func classifyStage(prev, next *span.RoleEvent) string {
 		return "nic-stall"
 	case "rx":
 		return "network"
-	case "wait":
+	case "wait", "prog":
+		// Program control ops (GUARD decisions, COND_REARM branches) run
+		// entirely inside the NIC pipeline, like WAIT chaining.
 		return "nic-forward"
 	case "exec":
 		if next.Role == "client" {
+			if prev.Role == "client" && prev.Kind == "rx" {
+				// A client exec right after a client rx is the host
+				// re-issuing after a bounced completion — the retry path
+				// a NIC-resident program eliminates.
+				return "host-cpu"
+			}
 			return "client-post"
 		}
-		if prev.Role == next.Role && (prev.Kind == "wait" || prev.Kind == "exec") {
+		if prev.Role == next.Role && (prev.Kind == "wait" || prev.Kind == "exec" || prev.Kind == "prog") {
 			return "nic-forward"
 		}
 		if prev.Kind == "rx" {

@@ -1,0 +1,53 @@
+package faults
+
+import (
+	"fmt"
+
+	"hyperloop/internal/sim"
+)
+
+// LockContention drives two coordinators through write-lock/hold/unlock
+// cycles on the same lock while a mid-run NIC stall freezes one replica's
+// pipelines: the NIC-resident retry programs must keep spinning through the
+// stall without ever letting both owners into the critical section, and the
+// lock word must be free everywhere once both owners finish. Like
+// MigrationInflight and AdmissionBurst it is not part of the chain-matrix
+// Classes — it runs on a bare lock plane — but ParseClass accepts it via
+// AllClasses.
+const LockContention Class = AdmissionBurst + 1
+
+// LockContentionSpec is one planned lock-contention scenario: pure data
+// drawn deterministically from a seed, like Spec.
+type LockContentionSpec struct {
+	Seed int64
+	// Cycles is how many acquire/hold/release rounds each owner runs.
+	Cycles int
+	// Hold is how long an owner sits in the critical section.
+	Hold sim.Duration
+	// VictimIdx is the replica whose NIC stalls mid-run.
+	VictimIdx int
+	// StallAt / StallFor place the NIC stall. StallFor stays well under
+	// the lock manager's give-up horizon so acquisitions stretch but
+	// never exhaust their retry budgets.
+	StallAt  sim.Duration
+	StallFor sim.Duration
+}
+
+func (s LockContentionSpec) String() string {
+	return fmt.Sprintf("lock-contention seed=%d cycles=%d hold=%v stall=r%d@%v+%v",
+		s.Seed, s.Cycles, s.Hold, s.VictimIdx, s.StallAt, s.StallFor)
+}
+
+// PlanLockContention draws a lock-contention scenario from seed.
+func PlanLockContention(seed int64) LockContentionSpec {
+	class := int64(LockContention) + 1 // variable: the mix must wrap, not constant-fold
+	r := sim.NewRand(seed ^ class*0x1E3779B97F4A7C15)
+	return LockContentionSpec{
+		Seed:      seed,
+		Cycles:    6 + r.Intn(5),
+		Hold:      sim.Duration(10+r.Intn(21)) * sim.Microsecond,
+		VictimIdx: r.Intn(3),
+		StallAt:   sim.Duration(50+r.Intn(100)) * sim.Microsecond,
+		StallFor:  sim.Duration(1+r.Intn(2)) * sim.Millisecond,
+	}
+}

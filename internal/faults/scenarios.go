@@ -48,6 +48,8 @@ func (c Class) String() string {
 		return "migration-inflight"
 	case AdmissionBurst:
 		return "admission-burst"
+	case LockContention:
+		return "lock-contention"
 	default:
 		return fmt.Sprintf("class(%d)", int(c))
 	}

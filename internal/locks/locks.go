@@ -14,6 +14,18 @@
 // exactly the paper's undo idiom. A reader registers on one replica only
 // (the one it will read from), incrementing that replica's reader count
 // with a CAS retry loop.
+//
+// When the group implements LoopCASer (core.Group does), the retry loops
+// are NOT host-bounced: acquisition posts one NIC-resident WQE program
+// (core.GAtomicLoop) whose CAS → compare → conditional-re-doorbell chain
+// retries on the NIC with capped exponential backoff, and the host hears
+// only the final verdict. Writers run the program against replica 0 first —
+// contending writers serialize there, so the remaining replicas are claimed
+// by a nearly uncontended host gCAS sweep. Readers run a guarded
+// fetch-and-add program on their one replica: the increment executes only
+// while the writer bit is clear, so a blocked reader never leaves phantom
+// registrations behind. Set Config.HostOnly to force the legacy
+// host-driven loops (the baseline arm in experiments).
 package locks
 
 import (
@@ -59,13 +71,25 @@ type CASer interface {
 	GroupSize() int
 }
 
+// LoopCASer extends CASer with the NIC-resident retry-loop primitive. When
+// the manager's group satisfies it, acquisition loops run as posted WQE
+// programs instead of host-bounced retries.
+type LoopCASer interface {
+	CASer
+	GAtomicLoop(spec core.LoopSpec, done func(core.Result)) error
+}
+
 // Config tunes retry behaviour.
 type Config struct {
-	// MaxRetries bounds acquisition attempts (default 64).
+	// MaxRetries bounds acquisition attempts (default 64). Exactly
+	// MaxRetries CAS attempts are made before ErrGaveUp.
 	MaxRetries int
-	// Backoff is the initial retry delay, doubled per attempt up to 64×
+	// Backoff is the first retry's delay, doubled per retry up to 64×
 	// (default 5µs).
 	Backoff sim.Duration
+	// HostOnly forces the legacy host-driven retry loops even when the
+	// group supports NIC-resident programs.
+	HostOnly bool
 }
 
 func (c *Config) fill() {
@@ -102,6 +126,27 @@ func (m *Manager) Stats() (uint64, uint64, uint64) { return m.acquires, m.retrie
 
 func (m *Manager) off(lock int) int { return m.lockBase + 8*lock }
 
+// backoffDelay is the single clamp for host-driven retry pacing: retry
+// `attempt` (1-based) waits Backoff<<min(attempt-1, 6), i.e. the base delay
+// on the first retry, doubling per retry, capped at 64×. The NIC-resident
+// programs implement the same schedule in timer-CQ ticks.
+func (m *Manager) backoffDelay(attempt int) sim.Duration {
+	return m.cfg.Backoff << uint(minInt(attempt-1, 6))
+}
+
+// loopGroup returns the group's NIC-program surface, or nil when
+// unavailable or disabled.
+func (m *Manager) loopGroup() LoopCASer {
+	if m.cfg.HostOnly {
+		return nil
+	}
+	lg, ok := m.g.(LoopCASer)
+	if !ok {
+		return nil
+	}
+	return lg
+}
+
 // WrLock acquires the group-wide exclusive write lock for owner (a nonzero
 // id < 2^15). done receives nil on success.
 func (m *Manager) WrLock(lock int, owner uint64, done func(error)) {
@@ -109,10 +154,13 @@ func (m *Manager) WrLock(lock int, owner uint64, done func(error)) {
 		done(ErrBadOwner)
 		return
 	}
+	if lg := m.loopGroup(); lg != nil {
+		m.wrLockNIC(lg, lock, owner, done)
+		return
+	}
 	all := core.AllReplicas(m.g.GroupSize())
 	want := Word(owner, 0)
 	attempt := 0
-	backoff := m.cfg.Backoff
 
 	var try func(exec core.ExecuteMap)
 	try = func(exec core.ExecuteMap) {
@@ -148,13 +196,7 @@ func (m *Manager) WrLock(lock int, owner uint64, done func(error)) {
 					return
 				}
 				m.retries++
-				d := backoff
-				if attempt < 7 {
-					d = backoff << uint(attempt)
-				} else {
-					d = backoff << 6
-				}
-				m.eng.Schedule(d, func() { try(all) })
+				m.eng.Schedule(m.backoffDelay(attempt), func() { try(all) })
 			}
 			if won == 0 {
 				proceed()
@@ -177,6 +219,93 @@ func (m *Manager) WrLock(lock int, owner uint64, done func(error)) {
 		}
 	}
 	try(all)
+}
+
+// wrLockNIC acquires the write lock with the retry loop offloaded: one
+// posted WQE program spins CAS(0 → want) on replica 0 with NIC-side capped
+// backoff. Contending writers serialize on replica 0, so once the program
+// wins, the remaining replicas are claimed by an ordinary host gCAS sweep
+// that only ever waits out draining readers — won replicas are kept across
+// rounds (monotone progress; writer-writer livelock is impossible because
+// at most one writer is past replica 0).
+func (m *Manager) wrLockNIC(lg LoopCASer, lock int, owner uint64, done func(error)) {
+	want := Word(owner, 0)
+	err := lg.GAtomicLoop(core.LoopSpec{
+		Off: m.off(lock), Kind: core.LoopCAS, Old: 0, New: want,
+		ExitWant: 0, ExitMask: 0, // full-word compare: exit once the CAS observed 0
+		Exec: 1 << 0, GuardReplica: 0,
+		Budget: m.cfg.MaxRetries - 1,
+	}, func(res core.Result) {
+		if res.Attempts > 1 {
+			m.retries += uint64(res.Attempts - 1)
+		}
+		switch {
+		case res.Err == core.ErrRetriesExhausted:
+			done(ErrGaveUp)
+		case res.Err != nil:
+			done(res.Err)
+		default:
+			m.wrLockRest(lock, want, 1<<0, done)
+		}
+	})
+	if err != nil {
+		done(err)
+	}
+}
+
+// wrLockRest completes a write acquisition whose replica-0 word is already
+// held: CAS the remaining replicas, keeping every win across retry rounds,
+// and on exhaustion undo everything held (including replica 0).
+func (m *Manager) wrLockRest(lock int, want uint64, won core.ExecuteMap, done func(error)) {
+	all := core.AllReplicas(m.g.GroupSize())
+	attempt := 0
+
+	var try func(exec core.ExecuteMap)
+	try = func(exec core.ExecuteMap) {
+		if exec == 0 {
+			m.acquires++
+			done(nil)
+			return
+		}
+		err := m.g.GCAS(m.off(lock), 0, want, exec, func(res core.Result) {
+			if res.Err != nil {
+				done(res.Err)
+				return
+			}
+			for i, orig := range res.CASOld {
+				if exec.Has(i) && orig == 0 {
+					won |= 1 << uint(i)
+				}
+			}
+			remaining := all &^ won
+			if remaining == 0 {
+				m.acquires++
+				done(nil)
+				return
+			}
+			attempt++
+			if attempt >= m.cfg.MaxRetries {
+				m.undos++
+				uerr := m.g.GCAS(m.off(lock), want, 0, won, func(ur core.Result) {
+					if ur.Err != nil {
+						done(ur.Err)
+						return
+					}
+					done(ErrGaveUp)
+				})
+				if uerr != nil {
+					done(uerr)
+				}
+				return
+			}
+			m.retries++
+			m.eng.Schedule(m.backoffDelay(attempt), func() { try(remaining) })
+		})
+		if err != nil {
+			done(err)
+		}
+	}
+	try(all &^ won)
 }
 
 // WrUnlock releases the write lock held by owner on all replicas.
@@ -206,6 +335,35 @@ func (m *Manager) WrUnlock(lock int, owner uint64, done func(error)) {
 // different replicas proceed concurrently — that is how HyperLoop lets all
 // replicas serve reads (§5).
 func (m *Manager) RdLock(lock, replica int, done func(error)) {
+	if lg := m.loopGroup(); lg != nil {
+		// One posted program: a fetch-and-add on the reader-count field
+		// guarded by the writer bit — the increment never executes while a
+		// writer holds the word (no phantom registrations to undo), and the
+		// NIC re-arms itself with capped backoff until the bit clears.
+		err := lg.GAtomicLoop(core.LoopSpec{
+			Off: m.off(lock), Kind: core.LoopMaskFAdd,
+			Add: 1, FieldMask: readerMask, GuardWant: 0, GuardMask: writerBit,
+			ExitWant: 0, ExitMask: writerBit,
+			Exec: core.ExecuteMap(1) << uint(replica), GuardReplica: replica,
+			Budget: m.cfg.MaxRetries - 1,
+		}, func(res core.Result) {
+			if res.Attempts > 1 {
+				m.retries += uint64(res.Attempts - 1)
+			}
+			switch {
+			case res.Err == core.ErrRetriesExhausted:
+				done(ErrGaveUp)
+			case res.Err != nil:
+				done(res.Err)
+			default:
+				done(nil)
+			}
+		})
+		if err != nil {
+			done(err)
+		}
+		return
+	}
 	m.casLoopOnReplica(lock, replica, func(cur uint64) (uint64, bool) {
 		if HasWriter(cur) {
 			return 0, false // writer active: back off and retry
@@ -243,7 +401,7 @@ func (m *Manager) casLoopOnReplica(lock, replica int, update func(uint64) (uint6
 			}
 			m.retries++
 			// Re-probe by attempting a no-change CAS to learn the word.
-			m.eng.Schedule(m.cfg.Backoff<<uint(minInt(attempt, 6)), func() {
+			m.eng.Schedule(m.backoffDelay(attempt), func() {
 				probe := m.g.GCAS(m.off(lock), expected, expected, exec, func(res core.Result) {
 					if res.Err != nil {
 						done(res.Err)

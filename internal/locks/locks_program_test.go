@@ -1,0 +1,274 @@
+package locks
+
+import (
+	"testing"
+
+	"hyperloop/internal/core"
+	"hyperloop/internal/sim"
+)
+
+// fakeCASer always loses every CAS and records when each attempt was made.
+// It deliberately does NOT implement LoopCASer, so it exercises the legacy
+// host-bounced retry path even when HostOnly is unset.
+type fakeCASer struct {
+	eng   *sim.Engine
+	n     int
+	times []sim.Time
+}
+
+func (f *fakeCASer) GroupSize() int { return f.n }
+
+func (f *fakeCASer) GCAS(off int, old, new uint64, exec core.ExecuteMap, done func(core.Result)) error {
+	f.times = append(f.times, f.eng.Now())
+	res := core.Result{CASOld: make([]uint64, f.n)}
+	for i := range res.CASOld {
+		res.CASOld[i] = Word(77, 0) // a foreign holder: every CAS loses
+	}
+	done(res)
+	return nil
+}
+
+// TestBackoffUnifiedAndBounded is the regression test for the duplicated,
+// divergent backoff clamps that used to live in the writer and reader
+// paths. Both paths now share backoffDelay, which must (a) start at the
+// base Backoff on the first retry — the old clamps both skipped it and
+// jumped straight to 2× — and (b) double per retry up to 64×. It also pins
+// the attempt-bound semantics: MaxRetries=N yields exactly N CAS attempts,
+// not N+1.
+func TestBackoffUnifiedAndBounded(t *testing.T) {
+	eng := sim.NewEngine()
+	fake := &fakeCASer{eng: eng, n: 3}
+	m := New(fake, eng, 0, Config{Backoff: sim.Microsecond})
+
+	// The helper itself: 1×, 2×, 4×, … capped at 64×.
+	for attempt, want := range map[int]sim.Duration{
+		1: 1 * sim.Microsecond, 2: 2 * sim.Microsecond, 3: 4 * sim.Microsecond,
+		7: 64 * sim.Microsecond, 8: 64 * sim.Microsecond, 100: 64 * sim.Microsecond,
+	} {
+		if got := m.backoffDelay(attempt); got != want {
+			t.Errorf("backoffDelay(%d) = %v, want %v", attempt, got, want)
+		}
+	}
+
+	var got error
+	done := false
+	m.WrLock(0, 5, func(err error) { got = err; done = true })
+	if !eng.RunUntil(func() bool { return done }, eng.Now().Add(10*sim.Second)) {
+		t.Fatal("writer retry loop never gave up")
+	}
+	if got != ErrGaveUp {
+		t.Fatalf("err = %v, want ErrGaveUp", got)
+	}
+	// MaxRetries=64 (default) must mean exactly 64 CAS attempts.
+	if len(fake.times) != 64 {
+		t.Fatalf("CAS attempts = %d, want exactly MaxRetries=64", len(fake.times))
+	}
+	// Inter-attempt gaps follow the unified schedule: 1µs, 2µs, …, 64µs cap.
+	for k := 1; k < len(fake.times); k++ {
+		want := m.backoffDelay(k)
+		shift := k - 1
+		if shift > 6 {
+			shift = 6
+		}
+		if lit := sim.Microsecond << uint(shift); want != lit {
+			t.Fatalf("backoffDelay(%d) = %v, want literal %v", k, want, lit)
+		}
+		if gap := fake.times[k].Sub(fake.times[k-1]); gap != want {
+			t.Fatalf("gap before attempt %d = %v, want %v (base delay skipped?)", k+1, gap, want)
+		}
+	}
+
+	// Reader path shares the same schedule: its re-probe delays after the
+	// initial lost CAS must also start doubling from the unified helper.
+	fake.times = nil
+	done = false
+	m.RdLock(0, 0, func(err error) { got = err; done = true })
+	if !eng.RunUntil(func() bool { return done }, eng.Now().Add(10*sim.Second)) {
+		t.Fatal("reader retry loop never gave up")
+	}
+	if got != ErrGaveUp {
+		t.Fatalf("reader err = %v, want ErrGaveUp", got)
+	}
+	if len(fake.times) < 3 {
+		t.Fatalf("reader made only %d attempts", len(fake.times))
+	}
+	// Attempt 1 is the optimistic CAS (lost, attempt counter → 1); probe k
+	// (k ≥ 2) is scheduled with backoffDelay(k).
+	for k := 1; k < len(fake.times); k++ {
+		if gap := fake.times[k].Sub(fake.times[k-1]); gap != m.backoffDelay(k+1) {
+			t.Fatalf("reader gap before probe %d = %v, want %v", k+1, gap, m.backoffDelay(k+1))
+		}
+	}
+}
+
+// nicPathUsed asserts the manager actually routes through GAtomicLoop for
+// a real group (guards against silently falling back to host loops).
+func TestNICPathSelected(t *testing.T) {
+	eng, g, m := setup(t, 2)
+	if m.loopGroup() == nil {
+		t.Fatal("core.Group must satisfy LoopCASer")
+	}
+	m.cfg.HostOnly = true
+	if m.loopGroup() != nil {
+		t.Fatal("HostOnly must force the legacy path")
+	}
+	m.cfg.HostOnly = false
+	_ = eng
+	_ = g
+}
+
+// TestWrLockNICContendedHandoff: writer 2 spins NIC-side against writer 1's
+// hold and wins after the release, with the retries accounted in Stats.
+func TestWrLockNICContendedHandoff(t *testing.T) {
+	eng, g, m := setup(t, 3)
+	done := false
+	m.WrLock(0, 1, func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		done = true
+	})
+	await(t, eng, &done)
+
+	// Writer 2 contends; writer 1 releases mid-spin.
+	eng.Schedule(30*sim.Microsecond, func() {
+		m.WrUnlock(0, 1, func(err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	})
+	done = false
+	m.WrLock(0, 2, func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		done = true
+	})
+	await(t, eng, &done)
+	for i := 0; i < 3; i++ {
+		if w := word(g, i, 0); w != Word(2, 0) {
+			t.Fatalf("replica %d word %x, want owner-2 lock", i, w)
+		}
+	}
+	_, retries, _ := m.Stats()
+	if retries == 0 {
+		t.Fatal("contended NIC acquisition recorded no retries")
+	}
+}
+
+// TestWrLockNICUndoOnRestExhaustion: replica 0's program wins, but a reader
+// parked on replica 1 never drains. The host sweep must exhaust and undo
+// everything held — including the program's replica-0 win.
+func TestWrLockNICUndoOnRestExhaustion(t *testing.T) {
+	eng, g, m := setup(t, 3)
+	m.cfg.MaxRetries = 3
+	b := make([]byte, 8)
+	b[0] = 1 // one reader registered on replica 1, never leaves
+	g.Replica(1).StoreWrite(lockBase, b)
+
+	done := false
+	var got error
+	m.WrLock(0, 5, func(err error) { got = err; done = true })
+	await(t, eng, &done)
+	if got != ErrGaveUp {
+		t.Fatalf("err = %v, want ErrGaveUp", got)
+	}
+	if w := word(g, 0, 0); w != 0 {
+		t.Fatalf("replica 0 not undone after giving up: %x", w)
+	}
+	if w := word(g, 2, 0); w != 0 {
+		t.Fatalf("replica 2 not undone after giving up: %x", w)
+	}
+	if r := Readers(word(g, 1, 0)); r != 1 {
+		t.Fatalf("parked reader disturbed: %d", r)
+	}
+	_, _, undos := m.Stats()
+	if undos == 0 {
+		t.Fatal("no undo recorded")
+	}
+}
+
+// TestRdLockNICNoPhantomRegistrations: a reader spinning NIC-side behind a
+// writer must register exactly once when the writer leaves — the guarded
+// fetch-and-add must not have incremented during any blocked attempt.
+func TestRdLockNICNoPhantomRegistrations(t *testing.T) {
+	eng, g, m := setup(t, 3)
+	b := make([]byte, 8)
+	w := Word(9, 0)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(w >> (8 * i))
+	}
+	g.Replica(1).StoreWrite(lockBase, b)
+	eng.Schedule(40*sim.Microsecond, func() {
+		var zero [8]byte
+		g.Replica(1).StoreWrite(lockBase, zero[:])
+	})
+
+	done := false
+	m.RdLock(0, 1, func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		done = true
+	})
+	await(t, eng, &done)
+	if r := Readers(word(g, 1, 0)); r != 1 {
+		t.Fatalf("reader count = %d, want exactly 1 (phantom registrations?)", r)
+	}
+	_, retries, _ := m.Stats()
+	if retries == 0 {
+		t.Fatal("blocked reader recorded no retries")
+	}
+
+	done = false
+	m.RdUnlock(0, 1, func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		done = true
+	})
+	await(t, eng, &done)
+	if r := Readers(word(g, 1, 0)); r != 0 {
+		t.Fatalf("reader count = %d after unlock, want 0", r)
+	}
+}
+
+// TestHostOnlyMatchesNIC runs the same contended scenario through both
+// arms; the lock-state outcome must be identical.
+func TestHostOnlyMatchesNIC(t *testing.T) {
+	outcome := func(hostOnly bool) [3]uint64 {
+		eng, g, m := setup(t, 3)
+		m.cfg.HostOnly = hostOnly
+		done := 0
+		m.WrLock(0, 1, func(err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng.Schedule(15*sim.Microsecond, func() {
+				m.WrUnlock(0, 1, func(error) { done++ })
+			})
+		})
+		m.WrLock(0, 2, func(err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			done++
+		})
+		if !eng.RunUntil(func() bool { return done >= 2 }, eng.Now().Add(10*sim.Second)) {
+			t.Fatalf("hostOnly=%v stalled", hostOnly)
+		}
+		var ws [3]uint64
+		for i := range ws {
+			ws[i] = word(g, i, 0)
+		}
+		return ws
+	}
+	nic, host := outcome(false), outcome(true)
+	if nic != host {
+		t.Fatalf("NIC arm %x != host arm %x", nic, host)
+	}
+	if nic[0] != Word(2, 0) {
+		t.Fatalf("final holder %x, want owner 2", nic[0])
+	}
+}

@@ -23,12 +23,14 @@ func CheckWQE(seed int64, n int) Report {
 	metrics := map[string]float64{"cases": float64(2 * n)}
 
 	opcodes := []rdma.Opcode{rdma.OpWrite, rdma.OpRead, rdma.OpSend,
-		rdma.OpCompSwap, rdma.OpWait, rdma.OpNop}
+		rdma.OpCompSwap, rdma.OpWait, rdma.OpNop,
+		rdma.OpGuard, rdma.OpCondRearm, rdma.OpMaskFAdd}
 	for i := 0; i < n; i++ {
 		w := rdma.WQE{
 			Opcode:    opcodes[r.Intn(len(opcodes))],
 			Signaled:  r.Intn(2) == 0,
 			HWOwned:   r.Intn(2) == 0,
+			Gated:     r.Intn(2) == 0,
 			RKey:      uint32(r.Uint64()),
 			RAddr:     r.Uint64(),
 			Imm:       r.Uint64(),
@@ -36,6 +38,8 @@ func CheckWQE(seed int64, n int) Report {
 			WRID:      r.Uint64(),
 			WaitCQ:    uint32(r.Uint64()),
 			WaitCount: uint32(r.Uint64()),
+			ProgA:     r.Uint64(),
+			ProgB:     r.Uint64(),
 		}
 		for s := r.Intn(rdma.MaxSGE + 1); s > 0; s-- {
 			w.SGEs = append(w.SGEs, rdma.SGE{
@@ -62,6 +66,20 @@ func CheckWQE(seed int64, n int) Report {
 			return failf(name, detail, metrics,
 				"case %d: ownership flip perturbed other fields:\n %+v\n %+v", i, got, flipped)
 		}
+		// The gate bit is the other remotely-flipped bit: a parked program
+		// slot is re-armed by Doorbell and re-closed by CondRearm, so it
+		// needs the same single-bit isolation.
+		img = w.EncodeImage()
+		img[1] ^= 1 << 2 // flagGate
+		gated := rdma.DecodeWQE(img)
+		if gated.Gated == got.Gated {
+			return failf(name, detail, metrics, "case %d: gate bit flip not observed by decode", i)
+		}
+		gated.Gated = got.Gated
+		if !wqeIdentical(got, gated) {
+			return failf(name, detail, metrics,
+				"case %d: gate flip perturbed other fields:\n %+v\n %+v", i, got, gated)
+		}
 	}
 
 	raw := make([]byte, rdma.SlotSize)
@@ -87,6 +105,7 @@ func CheckWQE(seed int64, n int) Report {
 // codec cannot distinguish them: both encode numSGE = 0).
 func wqeIdentical(a, b rdma.WQE) bool {
 	if a.Opcode != b.Opcode || a.Signaled != b.Signaled || a.HWOwned != b.HWOwned ||
+		a.Gated != b.Gated || a.ProgA != b.ProgA || a.ProgB != b.ProgB ||
 		a.RKey != b.RKey || a.RAddr != b.RAddr || a.Imm != b.Imm || a.Swap != b.Swap ||
 		a.WRID != b.WRID || a.WaitCQ != b.WaitCQ || a.WaitCount != b.WaitCount ||
 		len(a.SGEs) != len(b.SGEs) {

@@ -1,5 +1,7 @@
 package rdma
 
+import "hyperloop/internal/sim"
+
 // CQE is a completion-queue entry.
 type CQE struct {
 	WRID    uint64
@@ -26,7 +28,20 @@ type CQ struct {
 	cb        func(CQE)
 	waiters   []func() // queues stalled on a WAIT against this CQ
 	autoDrain bool
+
+	// Timer CQs (CreateTimerCQ) self-complete on a fixed virtual-time grid
+	// while anything WAITs on them — the NIC-side delay source for capped
+	// backoff in WQE programs. The grid is aligned to absolute virtual time
+	// (tick k fires at k*period), so tick instants are a property of the
+	// configuration, not of when a waiter happened to arm — which keeps
+	// program interleavings bit-identical at any PartitionedEngine worker
+	// count.
+	timerPeriod sim.Duration
+	timerArmed  bool
 }
+
+// TimerPeriod returns the tick period for a timer CQ (0 for ordinary CQs).
+func (c *CQ) TimerPeriod() sim.Duration { return c.timerPeriod }
 
 // SetAutoDrain configures the CQ to discard entries instead of retaining
 // them for Poll. The monotone counter (what WAIT observes) and the callback
@@ -83,4 +98,26 @@ func (c *CQ) push(e CQE) {
 }
 
 // addWaiter registers a re-kick callback for a queue blocked on this CQ.
-func (c *CQ) addWaiter(fn func()) { c.waiters = append(c.waiters, fn) }
+// Waiting on a timer CQ lazily arms its next grid tick: an idle timer
+// (nothing waiting) costs no events at all.
+func (c *CQ) addWaiter(fn func()) {
+	c.waiters = append(c.waiters, fn)
+	c.armTimer()
+}
+
+// armTimer schedules the next grid-aligned tick of a timer CQ. Each tick
+// delivers one completion; further ticks are armed only while waiters
+// remain, re-registered through addWaiter by still-unsatisfied WAITs.
+func (c *CQ) armTimer() {
+	if c.timerPeriod <= 0 || c.timerArmed {
+		return
+	}
+	c.timerArmed = true
+	now := c.nic.eng.Now()
+	next := sim.Time(0).Add((sim.Duration(now)/c.timerPeriod + 1) * c.timerPeriod)
+	c.nic.eng.ScheduleAt(next, func() {
+		c.timerArmed = false
+		c.nic.counters.TimerTicks++
+		c.push(CQE{Opcode: OpNop, Status: StatusSuccess})
+	})
+}

@@ -148,3 +148,79 @@ func TestPostSendBatchHoldOwnership(t *testing.T) {
 		t.Fatalf("granted batch completions = %d, want 2", got)
 	}
 }
+
+// A remote WQE rewrite landing after PostSendBatch but BEFORE the per-slot
+// doorbell grant must be observed by the NIC: the doorbell is the commit
+// point, and Hyperloop's remote manipulation depends on patches applied to
+// held slots taking effect.
+func TestRewriteBeforeGrantObserved(t *testing.T) {
+	r := dbRig(t, 0)
+	src := r.na.RegisterRAM(64, AccessLocalWrite)
+	dst := r.nb.RegisterRAM(64, AccessRemoteWrite)
+	pay := []byte("patched-before-db")
+	src.Backing().WriteAt(0, pay)
+
+	first, err := r.qa.PostSendBatch([]WQE{{
+		Opcode: OpWrite, Signaled: true, WRID: 1,
+		RKey: dst.RKey(), RAddr: 0,
+		SGEs: []SGE{{LKey: src.LKey(), Offset: 0, Length: uint32(len(pay))}},
+	}}, HoldOwnership)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rewrite: redirect the WRITE's remote address while the slot is
+	// still host-owned (inert).
+	r.qa.SQTable().PatchSlotU64(first, offRAddr, 32)
+	r.qa.Doorbell(first)
+	r.eng.Drain()
+	if got := len(r.acq.Poll(4)); got != 1 {
+		t.Fatalf("completions = %d, want 1", got)
+	}
+	got := make([]byte, len(pay))
+	dst.Backing().ReadAt(32, got)
+	if string(got) != string(pay) {
+		t.Fatalf("pre-grant rewrite ignored: dst@32 = %q", got)
+	}
+	dst.Backing().ReadAt(0, got)
+	if string(got) == string(pay) {
+		t.Fatal("write landed at the stale pre-rewrite address too")
+	}
+}
+
+// A rewrite landing AFTER the doorbell grant must NOT be observed: the NIC
+// captures the descriptor at the grant (the doorbell synchronously peeks
+// and schedules the op), and a later patch changes only the next use of
+// the slot — matching real hardware, where the fetched WQE is immutable.
+func TestRewriteAfterGrantIgnored(t *testing.T) {
+	r := dbRig(t, 0)
+	src := r.na.RegisterRAM(64, AccessLocalWrite)
+	dst := r.nb.RegisterRAM(64, AccessRemoteWrite)
+	pay := []byte("patched-after-db")
+	src.Backing().WriteAt(0, pay)
+
+	first, err := r.qa.PostSendBatch([]WQE{{
+		Opcode: OpWrite, Signaled: true, WRID: 1,
+		RKey: dst.RKey(), RAddr: 0,
+		SGEs: []SGE{{LKey: src.LKey(), Offset: 0, Length: uint32(len(pay))}},
+	}}, HoldOwnership)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.qa.Doorbell(first)
+	// Too late: the op is already in flight with the captured image.
+	r.qa.SQTable().PatchSlotU64(first, offRAddr, 32)
+	r.eng.Drain()
+	if got := len(r.acq.Poll(4)); got != 1 {
+		t.Fatalf("completions = %d, want 1", got)
+	}
+	got := make([]byte, len(pay))
+	dst.Backing().ReadAt(0, got)
+	if string(got) != string(pay) {
+		t.Fatalf("post-grant rewrite took effect retroactively: dst@0 = %q", got)
+	}
+	var probe [1]byte
+	dst.Backing().ReadAt(32, probe[:])
+	if probe[0] != 0 {
+		t.Fatal("write landed at the post-grant patched address")
+	}
+}

@@ -17,9 +17,10 @@ const (
 	pkWriteImm
 	pkRead
 	pkCAS
+	pkMaskFAdd // masked fetch-and-add, optionally guarded
 	pkAck      // completes SEND/WRITE/WRITE_IMM at the requester
 	pkReadResp // carries READ data back
-	pkCASResp  // carries the original value back
+	pkCASResp  // carries the original value back (CAS and MaskFAdd)
 )
 
 // packet is the simulation's wire unit. Payloads travel by reference; the
@@ -34,6 +35,7 @@ type packet struct {
 	imm     uint64
 	compare uint64
 	swap    uint64
+	gmask   uint64 // pkMaskFAdd guard mask (0 = unconditional)
 	readLen int
 	reqID   uint64
 	status  Status
@@ -45,7 +47,7 @@ type packet struct {
 type TraceEvent struct {
 	At   sim.Time
 	Node fabric.NodeID
-	Kind string // "exec", "wait", "stall", "rx", "cqe"
+	Kind string // "exec", "wait", "stall", "rx", "cqe", "prog"
 	QPN  uint32
 	Op   Opcode
 	WRID uint64
@@ -70,6 +72,12 @@ type Counters struct {
 	// Doorbells counts explicit ring operations (PostSend, PostSendBatch,
 	// Doorbell) — the MMIO writes a batching client amortizes away.
 	Doorbells uint64
+	// ProgBranches counts OpGuard skips and OpCondRearm branches taken —
+	// control transfers NIC-resident WQE programs perform without any host
+	// involvement.
+	ProgBranches uint64
+	// TimerTicks counts timer-CQ completions delivered (NIC-side backoff).
+	TimerTicks uint64
 }
 
 // NIC is one RDMA-capable network adapter: it owns memory registrations,
@@ -202,6 +210,20 @@ func (n *NIC) CreateCQ() *CQ {
 // LookupCQ resolves a CQ id (used by WAIT execution).
 func (n *NIC) LookupCQ(id uint32) *CQ { return n.cqs[id] }
 
+// CreateTimerCQ allocates a completion queue that self-completes every
+// period of virtual time while WAITed on, with ticks aligned to the
+// absolute-time grid (tick k at k*period). WQE programs WAIT on it for
+// NIC-side capped backoff; idle timers schedule nothing.
+func (n *NIC) CreateTimerCQ(period sim.Duration) *CQ {
+	if period <= 0 {
+		panic("rdma: timer CQ needs a positive period")
+	}
+	cq := n.CreateCQ()
+	cq.timerPeriod = period
+	cq.autoDrain = true
+	return cq
+}
+
 // CreateQP allocates a queue pair with sqSlots send and rqSlots receive
 // slots. The queues live in registered memory; writes into the send table
 // re-kick the queue so remotely-granted ownership takes effect.
@@ -258,10 +280,25 @@ func (n *NIC) kick(q *QP) {
 	n.advanceSQ(q)
 }
 
+// maxInlineProgSteps bounds control-op work per advanceSQ invocation. A
+// well-formed WQE program always reaches a data op, a WAIT, or its gate
+// within a handful of steps; only a corrupt or adversarial program (e.g. an
+// unconditional CondRearm cycle of pure NOPs) can spin, and real hardware
+// would wedge on it too — we fail the QP instead of hanging the simulation.
+const maxInlineProgSteps = 1 << 16
+
 // advanceSQ drains the send queue head: consumes satisfied WAITs, stalls on
-// unsatisfied ones or host-owned slots, and initiates executable WQEs.
+// unsatisfied ones or host-owned slots, interprets program control ops
+// (guard skips, conditional re-arm branches) inline, and initiates
+// executable WQEs.
 func (n *NIC) advanceSQ(q *QP) {
+	steps := 0
 	for {
+		steps++
+		if steps > maxInlineProgSteps {
+			q.enterError()
+			return
+		}
 		wqe, ok := q.sq.peek()
 		if !ok || q.state != QPReady {
 			return
@@ -311,6 +348,16 @@ func (n *NIC) advanceSQ(q *QP) {
 				}
 			})
 			continue
+		case OpGuard:
+			if !n.execGuard(q, wqe) {
+				return
+			}
+			continue
+		case OpCondRearm:
+			if !n.execCondRearm(q, wqe) {
+				return
+			}
+			continue
 		default:
 			n.trace("exec", q.qpn, wqe.Opcode, wqe.WRID,
 				fmt.Sprintf("raddr=%d len=%d", wqe.RAddr, totalSGELen(wqe.SGEs)))
@@ -333,6 +380,246 @@ func (n *NIC) advanceSQ(q *QP) {
 			return
 		}
 	}
+}
+
+// readLocalU64 fetches the 8-byte word addressed by w.SGEs[i] from local
+// registered memory.
+func (n *NIC) readLocalU64(w WQE, i int) (uint64, bool) {
+	if len(w.SGEs) <= i {
+		return 0, false
+	}
+	sge := w.SGEs[i]
+	mr := n.mrsByLKey[sge.LKey]
+	if mr == nil || !mr.contains(int(sge.Offset), 8) {
+		return 0, false
+	}
+	var b [8]byte
+	mr.read(int(sge.Offset), b[:])
+	return le64(b[:]), true
+}
+
+// writeLocalU64 stores v at the location addressed by sge.
+func (n *NIC) writeLocalU64(sge SGE, v uint64) bool {
+	mr := n.mrsByLKey[sge.LKey]
+	if mr == nil || !mr.contains(int(sge.Offset), 8) {
+		return false
+	}
+	var b [8]byte
+	putLE64(b[:], v)
+	mr.write(int(sge.Offset), b[:])
+	return true
+}
+
+// execGuard interprets an OpGuard slot: compare the local word at SGEs[0]
+// (under the ProgB mask; 0 = full word) against Imm. On match execution
+// falls through; on mismatch the next ProgA slots are skipped, with skipped
+// signaled slots still delivering CQEs (StatusPredFail) so downstream WAIT
+// counts stay constant either way. SGEs[1], when present, receives the
+// observed word — how a predicated chain exports its evidence. Returns
+// false when the QP entered error state.
+func (n *NIC) execGuard(q *QP, wqe WQE) bool {
+	obs, ok := n.readLocalU64(wqe, 0)
+	if !ok {
+		q.enterError()
+		return false
+	}
+	if len(wqe.SGEs) > 1 && !n.writeLocalU64(wqe.SGEs[1], obs) {
+		q.enterError()
+		return false
+	}
+	mask := wqe.ProgB
+	if mask == 0 {
+		mask = ^uint64(0)
+	}
+	matched := obs&mask == wqe.Imm&mask
+	q.sq.advance()
+	st := StatusSuccess
+	if !matched {
+		st = StatusPredFail
+	}
+	if wqe.Signaled {
+		seq := q.execSeq
+		q.execSeq++
+		wqe := wqe
+		q.deliverInOrder(seq, func() {
+			q.sendCQ.push(CQE{WRID: wqe.WRID, Opcode: OpGuard, Status: st, QPN: q.qpn, Imm: obs})
+		})
+	}
+	if matched {
+		n.trace("prog", q.qpn, OpGuard, wqe.WRID, fmt.Sprintf("pass obs=%x", obs))
+		return true
+	}
+	n.counters.ProgBranches++
+	n.trace("prog", q.qpn, OpGuard, wqe.WRID, fmt.Sprintf("skip %d obs=%x", wqe.ProgA, obs))
+	for s := uint64(0); s < wqe.ProgA; s++ {
+		sk, ok := q.sq.peek()
+		if !ok {
+			break
+		}
+		q.sq.advance()
+		if sk.Signaled {
+			seq := q.execSeq
+			q.execSeq++
+			sk := sk
+			q.deliverInOrder(seq, func() {
+				q.sendCQ.push(CQE{WRID: sk.WRID, Opcode: sk.Opcode, Status: StatusPredFail, QPN: q.qpn})
+			})
+		}
+	}
+	return true
+}
+
+// execCondRearm interprets an OpCondRearm slot — the loop primitive of
+// NIC-resident programs. The local word at SGEs[0] is compared (under the
+// Swap mask; 0 = full word) against Imm:
+//
+//   - match: the loop exits. A final CQE (StatusSuccess, Imm = observed)
+//     is delivered and execution branches to the exit slot (WaitCQ-1; a
+//     zero WaitCQ falls through instead).
+//   - mismatch with budget (the word at SGEs[1]) > 0: the budget is
+//     decremented, the backoff WAIT slot (ProgB-1, if any) has its count
+//     doubled (0→1, capped at that slot's Swap) against *fresh* completions
+//     of its CQ, every slot in [ProgA, here] is re-armed, and the head
+//     rewinds to the retry target ProgA. No CQE: retries are silent.
+//   - mismatch with budget 0: as the exit case but StatusRetryExhausted.
+//
+// Branching re-arms ordinary slots and CLOSES flagGate slots (ownership
+// cleared), so a template program parks at its gate after the exit branch
+// until the host doorbells the next operation — template reuse with zero
+// re-posting. Returns false when the QP entered error state.
+func (n *NIC) execCondRearm(q *QP, wqe WQE) bool {
+	obs, ok := n.readLocalU64(wqe, 0)
+	if !ok {
+		q.enterError()
+		return false
+	}
+	mask := wqe.Swap
+	if mask == 0 {
+		mask = ^uint64(0)
+	}
+	matched := obs&mask == wqe.Imm&mask
+	condIdx := q.sq.headAbs()
+
+	// branch re-arms [target, condIdx] (gated slots close instead) and
+	// rewinds the consumer.
+	branch := func(target int) bool {
+		if target < 0 || target > condIdx {
+			q.enterError()
+			return false
+		}
+		n.counters.ProgBranches++
+		for i := target; i <= condIdx; i++ {
+			if q.sq.slotFlags(i)&flagGate != 0 {
+				q.sq.setSlotOwned(i, false)
+			} else {
+				q.sq.setSlotOwned(i, true)
+			}
+		}
+		q.sq.rewindTo(target)
+		return true
+	}
+	// resetBackoff rewrites the backoff WAIT slot's count and pins its CQ
+	// watermark to "completions from now on", so the wait is against fresh
+	// ticks rather than history.
+	resetBackoff := func(count uint32) bool {
+		if wqe.ProgB == 0 {
+			return true
+		}
+		b := int(wqe.ProgB) - 1
+		if b < 0 || b > condIdx {
+			q.enterError()
+			return false
+		}
+		bw := q.sq.readSlot(b)
+		cq := n.cqs[bw.WaitCQ]
+		if bw.Opcode != OpWait || cq == nil {
+			q.enterError()
+			return false
+		}
+		q.sq.patchSlotU32(b, offWaitCount, count)
+		q.waitConsumed[bw.WaitCQ] = cq.total
+		return true
+	}
+	final := func(st Status) {
+		if !wqe.Signaled {
+			return
+		}
+		seq := q.execSeq
+		q.execSeq++
+		wqe := wqe
+		q.deliverInOrder(seq, func() {
+			q.sendCQ.push(CQE{WRID: wqe.WRID, Opcode: OpCondRearm, Status: st, QPN: q.qpn, Imm: obs})
+		})
+	}
+	exit := func(st Status) bool {
+		// Restore the backoff WAIT to its encoded base count (Imm) so the
+		// next use of the template starts from the configured floor.
+		if wqe.ProgB != 0 {
+			base := uint32(q.sq.readSlot(int(wqe.ProgB) - 1).Imm)
+			if !resetBackoff(base) {
+				return false
+			}
+		}
+		if wqe.WaitCQ == 0 {
+			q.sq.advance()
+			final(st)
+			return true
+		}
+		target := int(wqe.WaitCQ) - 1
+		q.sq.advance() // consume before rewinding past ourselves
+		// Park the program (close gates, rewind) BEFORE delivering the final
+		// CQE: delivery can synchronously re-enter the host, whose next-op
+		// doorbell must land on an already-closed gate — the reverse order
+		// would clobber the fresh grant and strand the next operation.
+		if !branch(target) {
+			return false
+		}
+		n.trace("prog", q.qpn, OpCondRearm, wqe.WRID, fmt.Sprintf("%s obs=%x exit=%d", st, obs, target))
+		final(st)
+		return true
+	}
+
+	if matched {
+		return exit(StatusSuccess)
+	}
+	budget, ok := n.readLocalU64(wqe, 1)
+	if !ok {
+		q.enterError()
+		return false
+	}
+	if budget == 0 {
+		return exit(StatusRetryExhausted)
+	}
+	if !n.writeLocalU64(wqe.SGEs[1], budget-1) {
+		q.enterError()
+		return false
+	}
+	// Double the capped backoff, then loop back to the retry target.
+	if wqe.ProgB != 0 {
+		b := int(wqe.ProgB) - 1
+		if b < 0 || b > condIdx {
+			q.enterError()
+			return false
+		}
+		bw := q.sq.readSlot(b)
+		next := bw.WaitCount * 2
+		if next == 0 {
+			next = 1
+		}
+		if cap := uint32(bw.Swap); cap > 0 && next > cap {
+			next = cap
+		}
+		if !resetBackoff(next) {
+			return false
+		}
+	}
+	target := int(wqe.ProgA)
+	if !branch(target) {
+		return false
+	}
+	n.trace("prog", q.qpn, OpCondRearm, wqe.WRID,
+		fmt.Sprintf("retry obs=%x budget=%d target=%d", obs, budget-1, target))
+	return true
 }
 
 // gather concatenates the WQE's scatter/gather entries from local MRs.
@@ -393,6 +680,9 @@ func (n *NIC) initiate(q *QP, w WQE, seq uint64) {
 		pkt.kind, pkt.rkey, pkt.raddr, pkt.readLen = pkRead, w.RKey, w.RAddr, length
 	case OpCompSwap:
 		pkt.kind, pkt.rkey, pkt.raddr, pkt.compare, pkt.swap = pkCAS, w.RKey, w.RAddr, w.Imm, w.Swap
+	case OpMaskFAdd:
+		pkt.kind, pkt.rkey, pkt.raddr = pkMaskFAdd, w.RKey, w.RAddr
+		pkt.imm, pkt.swap, pkt.compare, pkt.gmask = w.Imm, w.Swap, w.ProgA, w.ProgB
 	default:
 		fail(StatusLocalProtErr)
 		return
@@ -529,6 +819,44 @@ func (n *NIC) process(pkt *packet) {
 		n.eng.Schedule(n.cfg.AtomicOp, func() {
 			n.respond(q, resp, 8)
 		})
+	case pkMaskFAdd:
+		// Masked fetch-and-add in the style of ConnectX extended atomics:
+		// the addend applies only within the field mask (swap; 0 = whole
+		// word), and only when the guarded bits (old & gmask) equal the
+		// expected value — a reader-register that cannot race a writer.
+		// The original word always returns, applied or not.
+		n.counters.AtomicsRx++
+		mr := n.mrsByRKey[pkt.rkey]
+		resp := &packet{kind: pkCASResp, dstQPN: pkt.srcQPN, reqID: pkt.reqID}
+		switch {
+		case mr == nil:
+			resp.status = StatusRemoteInvalidRkey
+		case mr.access&AccessRemoteAtomic == 0:
+			resp.status = StatusRemoteAccessErr
+		case !mr.contains(int(pkt.raddr), 8):
+			resp.status = StatusRemoteAccessErr
+		default:
+			var cur [8]byte
+			mr.read(int(pkt.raddr), cur[:])
+			orig := le64(cur[:])
+			if pkt.gmask == 0 || orig&pkt.gmask == pkt.compare {
+				field := pkt.swap
+				if field == 0 {
+					field = ^uint64(0)
+				}
+				var nv [8]byte
+				putLE64(nv[:], (orig+pkt.imm)&field|orig&^field)
+				mr.write(int(pkt.raddr), nv[:])
+			}
+			resp.imm = orig
+			resp.status = StatusSuccess
+		}
+		if resp.status != StatusSuccess {
+			n.counters.AccessFaults++
+		}
+		n.eng.Schedule(n.cfg.AtomicOp, func() {
+			n.respond(q, resp, 8)
+		})
 	case pkAck:
 		n.completeRequest(q, pkt, nil)
 	case pkReadResp:
@@ -652,7 +980,7 @@ func (n *NIC) completeRequest(q *QP, pkt *packet, scatter []byte) {
 		}
 		if p.wqe.Signaled {
 			cqe := CQE{WRID: p.wqe.WRID, Opcode: p.wqe.Opcode, Status: st, QPN: q.qpn, ByteLen: len(scatter)}
-			if p.wqe.Opcode == OpCompSwap && len(scatter) == 8 {
+			if (p.wqe.Opcode == OpCompSwap || p.wqe.Opcode == OpMaskFAdd) && len(scatter) == 8 {
 				cqe.Imm = le64(scatter)
 			}
 			q.sendCQ.push(cqe)
@@ -683,6 +1011,8 @@ func pktKindName(k packetKind) string {
 		return "READ"
 	case pkCAS:
 		return "CAS"
+	case pkMaskFAdd:
+		return "MASK_FADD"
 	case pkAck:
 		return "ACK"
 	case pkReadResp:

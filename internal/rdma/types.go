@@ -36,15 +36,18 @@ type Opcode uint8
 // without any effect — gCAS uses it to skip replicas excluded by the
 // execute map (§4.2).
 const (
-	OpInvalid  Opcode = iota
-	OpSend            // two-sided send, consumes a remote RECV
-	OpRecv            // receive buffer posting
-	OpWrite           // one-sided RDMA write
-	OpWriteImm        // RDMA write with immediate; consumes a remote RECV
-	OpRead            // one-sided RDMA read (0-byte READ doubles as gFLUSH)
-	OpCompSwap        // 8-byte compare-and-swap atomic
-	OpWait            // wait for N completions on a CQ, then proceed
-	OpNop             // no-op placeholder
+	OpInvalid   Opcode = iota
+	OpSend             // two-sided send, consumes a remote RECV
+	OpRecv             // receive buffer posting
+	OpWrite            // one-sided RDMA write
+	OpWriteImm         // RDMA write with immediate; consumes a remote RECV
+	OpRead             // one-sided RDMA read (0-byte READ doubles as gFLUSH)
+	OpCompSwap         // 8-byte compare-and-swap atomic
+	OpWait             // wait for N completions on a CQ, then proceed
+	OpNop              // no-op placeholder
+	OpGuard            // predicated skip: execute following slots only if a local word matches
+	OpCondRearm        // bounded retry loop: branch back and re-arm, or exit, on a local word
+	OpMaskFAdd         // masked fetch-and-add atomic, optionally guarded (ConnectX extended atomics)
 )
 
 func (o Opcode) String() string {
@@ -65,6 +68,12 @@ func (o Opcode) String() string {
 		return "WAIT"
 	case OpNop:
 		return "NOP"
+	case OpGuard:
+		return "GUARD"
+	case OpCondRearm:
+		return "COND_REARM"
+	case OpMaskFAdd:
+		return "MASK_FADD"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -91,9 +100,11 @@ const (
 	StatusRemoteAccessErr
 	StatusRemoteInvalidRkey
 	StatusLengthErr
-	StatusRNR        // responder had no RECV posted
-	StatusFlushErr   // WQE flushed because the QP entered error state
-	StatusAtomicMiss // CAS compare failed (reported, not an error state)
+	StatusRNR            // responder had no RECV posted
+	StatusFlushErr       // WQE flushed because the QP entered error state
+	StatusAtomicMiss     // CAS compare failed (reported, not an error state)
+	StatusPredFail       // slot skipped by a failed OpGuard predicate (not an error state)
+	StatusRetryExhausted // OpCondRearm gave up: retry budget ran out (not an error state)
 )
 
 func (s Status) String() string {
@@ -114,6 +125,10 @@ func (s Status) String() string {
 		return "flushed"
 	case StatusAtomicMiss:
 		return "atomic-compare-miss"
+	case StatusPredFail:
+		return "predicate-failed"
+	case StatusRetryExhausted:
+		return "retry-exhausted"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
 	}

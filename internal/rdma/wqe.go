@@ -25,12 +25,18 @@ const (
 	offWaitCount = 44
 	offSGEs      = 48
 	sgeSize      = 16 // lkey u32, length u32, addr u64
+	offProgA     = 112
+	offProgB     = 120
 )
 
 // WQE flag bits.
 const (
 	flagSignaled = 1 << 0 // generate a CQE on completion
 	flagHWOwned  = 1 << 1 // NIC may execute; clear = host-owned (inert)
+	// flagGate marks a template slot as the host gate of a WQE program: a
+	// CondRearm branch whose range covers it CLOSES it (clears HW ownership)
+	// instead of re-arming it, parking the program until the next doorbell.
+	flagGate = 1 << 2
 )
 
 // SGE is a scatter/gather entry addressing (lkey, region-relative offset,
@@ -48,14 +54,22 @@ type WQE struct {
 	Opcode    Opcode
 	Signaled  bool
 	HWOwned   bool
+	Gated     bool // program gate slot: closed (not re-armed) by branch re-arm
 	RKey      uint32
 	RAddr     uint64
-	Imm       uint64 // immediate data, or CAS compare value
-	Swap      uint64 // CAS swap value
+	Imm       uint64 // immediate data, or CAS compare value / guard want value
+	Swap      uint64 // CAS swap value / guard mask / MaskFAdd field mask
 	WRID      uint64
-	WaitCQ    uint32 // for OpWait: target CQ id
+	WaitCQ    uint32 // for OpWait: target CQ id; for OpCondRearm: exit slot + 1
 	WaitCount uint32 // for OpWait: completions to consume
 	SGEs      []SGE
+	// ProgA/ProgB parameterize NIC-resident WQE programs. OpGuard: ProgA is
+	// the skip count on mismatch, ProgB the compare mask (0 = full word).
+	// OpCondRearm: ProgA is the retry branch target (absolute slot), ProgB
+	// the backoff WAIT slot + 1 (0 = none). OpMaskFAdd: ProgA is the guard
+	// want value, ProgB the guard mask (0 = unconditional).
+	ProgA uint64
+	ProgB uint64
 }
 
 // Encode serializes the WQE into a 128-byte slot image.
@@ -77,6 +91,9 @@ func (w *WQE) Encode(dst []byte) {
 	if w.HWOwned {
 		flags |= flagHWOwned
 	}
+	if w.Gated {
+		flags |= flagGate
+	}
 	dst[offFlags] = flags
 	dst[offNumSGE] = byte(len(w.SGEs))
 	binary.LittleEndian.PutUint32(dst[offRKey:], w.RKey)
@@ -86,6 +103,8 @@ func (w *WQE) Encode(dst []byte) {
 	binary.LittleEndian.PutUint64(dst[offWRID:], w.WRID)
 	binary.LittleEndian.PutUint32(dst[offWaitCQ:], w.WaitCQ)
 	binary.LittleEndian.PutUint32(dst[offWaitCount:], w.WaitCount)
+	binary.LittleEndian.PutUint64(dst[offProgA:], w.ProgA)
+	binary.LittleEndian.PutUint64(dst[offProgB:], w.ProgB)
 	for i, sge := range w.SGEs {
 		base := offSGEs + i*sgeSize
 		binary.LittleEndian.PutUint32(dst[base:], sge.LKey)
@@ -103,6 +122,7 @@ func DecodeWQE(src []byte) WQE {
 		Opcode:    Opcode(src[offOpcode]),
 		Signaled:  src[offFlags]&flagSignaled != 0,
 		HWOwned:   src[offFlags]&flagHWOwned != 0,
+		Gated:     src[offFlags]&flagGate != 0,
 		RKey:      binary.LittleEndian.Uint32(src[offRKey:]),
 		RAddr:     binary.LittleEndian.Uint64(src[offRAddr:]),
 		Imm:       binary.LittleEndian.Uint64(src[offImm:]),
@@ -110,6 +130,8 @@ func DecodeWQE(src []byte) WQE {
 		WRID:      binary.LittleEndian.Uint64(src[offWRID:]),
 		WaitCQ:    binary.LittleEndian.Uint32(src[offWaitCQ:]),
 		WaitCount: binary.LittleEndian.Uint32(src[offWaitCount:]),
+		ProgA:     binary.LittleEndian.Uint64(src[offProgA:]),
+		ProgB:     binary.LittleEndian.Uint64(src[offProgB:]),
 	}
 	n := int(src[offNumSGE])
 	if n > MaxSGE {
@@ -190,3 +212,83 @@ func (t *WQETable) peek() (WQE, bool) {
 
 // advance consumes the head slot.
 func (t *WQETable) advance() { t.head++ }
+
+// headAbs returns the consumer index (the absolute index of the slot the
+// NIC will consider next).
+func (t *WQETable) headAbs() int { return t.head }
+
+// rewindTo moves the consumer back to absolute slot index abs — the branch
+// primitive of NIC-resident WQE programs. Rewinding forward of the head or
+// behind slots already overwritten by the producer is a caller bug.
+func (t *WQETable) rewindTo(abs int) {
+	if abs < 0 || abs > t.head || t.tail-abs > t.slots {
+		panic(fmt.Sprintf("rdma: rewind to %d with head %d tail %d slots %d", abs, t.head, t.tail, t.slots))
+	}
+	t.head = abs
+}
+
+// readSlot decodes the slot at absolute index abs without consuming it.
+func (t *WQETable) readSlot(abs int) WQE {
+	buf := make([]byte, SlotSize)
+	t.mr.backing.ReadAt(t.SlotOffset(abs), buf)
+	return DecodeWQE(buf)
+}
+
+// slotFlags reads the flag byte of slot abs.
+func (t *WQETable) slotFlags(abs int) byte {
+	var b [1]byte
+	t.mr.backing.ReadAt(t.SlotOffset(abs)+offFlags, b[:])
+	return b[0]
+}
+
+// setSlotOwned sets or clears the hardware-ownership bit of slot abs. It
+// writes through the backing directly (no onWrite hook), matching what the
+// NIC itself does when it re-arms a branch target: a purely NIC-internal
+// state change must not recursively re-kick the queue mid-interpretation.
+func (t *WQETable) setSlotOwned(abs int, owned bool) {
+	off := t.SlotOffset(abs) + offFlags
+	var b [1]byte
+	t.mr.backing.ReadAt(off, b[:])
+	if owned {
+		b[0] |= flagHWOwned
+	} else {
+		b[0] &^= flagHWOwned
+	}
+	t.mr.backing.WriteAt(off, b[:])
+}
+
+// patchSlotU32 overwrites one 4-byte field of the encoded slot at abs.
+func (t *WQETable) patchSlotU32(abs, fieldOff int, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	t.mr.backing.WriteAt(t.SlotOffset(abs)+fieldOff, b[:])
+}
+
+// PatchSlotU64 overwrites one 8-byte field of the encoded slot at absolute
+// index abs, at byte offset fieldOff within the 128-byte image. This is the
+// host side of template reuse: between doorbells the host rewrites only the
+// per-op fields (compare value, mask) of a parked program instead of
+// rebuilding the chain.
+func (t *WQETable) PatchSlotU64(abs int, fieldOff int, v uint64) {
+	if fieldOff < 0 || fieldOff+8 > SlotSize {
+		panic(fmt.Sprintf("rdma: patch field offset %d outside slot", fieldOff))
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	t.mr.backing.WriteAt(t.SlotOffset(abs)+fieldOff, b[:])
+}
+
+// Encoded-slot field offsets exported for host-side template patching.
+const (
+	SlotOffImm  = offImm
+	SlotOffSwap = offSwap
+)
+
+// SlotOffSGEAddr returns the byte offset of SGE i's address field within an
+// encoded slot image, for patching a template slot's operand location.
+func SlotOffSGEAddr(i int) int {
+	if i < 0 || i >= MaxSGE {
+		panic(fmt.Sprintf("rdma: sge index %d out of range", i))
+	}
+	return offSGEs + i*sgeSize + 8
+}

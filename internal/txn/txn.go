@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 
+	"hyperloop/internal/core"
 	"hyperloop/internal/locks"
 	"hyperloop/internal/sim"
 	"hyperloop/internal/wal"
@@ -33,7 +34,14 @@ var (
 	ErrMgrClosed   = errors.New("txn: manager closed")
 	ErrEmptyTxn    = errors.New("txn: transaction has no writes")
 	ErrLockTimeout = errors.New("txn: could not acquire object locks")
+	ErrFenced      = errors.New("txn: commit fenced by epoch change")
 )
+
+// Fencer is the predicated-gWRITE surface the conditional-commit fence
+// rides on; *core.Group satisfies it.
+type Fencer interface {
+	GWriteIf(off, size, guardOff int, want, mask uint64, done func(core.Result)) error
+}
 
 // Manager coordinates transactions over a shared store window: a WAL for
 // redo records, a lock table for object isolation, and an object region the
@@ -48,8 +56,14 @@ type Manager struct {
 	// lockStripes maps object offsets onto lock words.
 	lockStripes int
 
+	// Conditional-commit fence (nil = unfenced).
+	fence      Fencer
+	fenceOff   int
+	fenceEpoch func() uint64
+
 	committed uint64
 	aborted   uint64
+	fenced    uint64
 	closed    bool
 }
 
@@ -60,6 +74,21 @@ type Config struct {
 	LockStripes int
 	// Owner identifies this coordinator in lock words (default 1).
 	Owner uint64
+
+	// Fence, when non-nil, arms the conditional-commit fence: after the
+	// object locks are held but before the redo record is appended, the
+	// coordinator stamps FenceEpoch() at FenceOff+8 on every replica via a
+	// predicated gWRITE guarded by the replica-local epoch word at
+	// FenceOff. A replica whose epoch moved past the coordinator's view
+	// (a failover it hasn't observed) suppresses the stamp, the commit
+	// aborts with ErrFenced, and no redo record is ever made durable.
+	Fence Fencer
+	// FenceOff is the store offset of the 8-byte epoch guard word; the
+	// stamp word lives at FenceOff+8.
+	FenceOff int
+	// FenceEpoch returns the coordinator's current view of the chain
+	// epoch (e.g. chain.Manager.Epoch). Defaults to a constant 1.
+	FenceEpoch func() uint64
 }
 
 // New creates a transaction manager. log must be an initialized replicated
@@ -71,6 +100,9 @@ func New(eng *sim.Engine, log *wal.Log, store wal.Store, lm *locks.Manager, cfg 
 	if cfg.Owner == 0 {
 		cfg.Owner = 1
 	}
+	if cfg.FenceEpoch == nil {
+		cfg.FenceEpoch = func() uint64 { return 1 }
+	}
 	return &Manager{
 		eng:         eng,
 		log:         log,
@@ -78,11 +110,17 @@ func New(eng *sim.Engine, log *wal.Log, store wal.Store, lm *locks.Manager, cfg 
 		locks:       lm,
 		owner:       cfg.Owner,
 		lockStripes: cfg.LockStripes,
+		fence:       cfg.Fence,
+		fenceOff:    cfg.FenceOff,
+		fenceEpoch:  cfg.FenceEpoch,
 	}
 }
 
 // Stats returns (committed, aborted).
 func (m *Manager) Stats() (uint64, uint64) { return m.committed, m.aborted }
+
+// Fenced counts commits aborted by the epoch fence.
+func (m *Manager) Fenced() uint64 { return m.fenced }
 
 // Close rejects further transactions.
 func (m *Manager) Close() { m.closed = true }
@@ -191,13 +229,17 @@ func (t *Txn) Abort() {
 // Commit makes the transaction durable and applied on every replica:
 //
 //  1. acquire the group write locks covering the touched objects (gCAS);
-//  2. append one redo record holding every write (gWRITE+gFLUSH) — the
+//  2. if a Fence is configured, stamp the coordinator's epoch through a
+//     predicated gWRITE guarded by each replica's epoch word — a replica
+//     that moved past our view fences the commit (ErrFenced) before
+//     anything is made durable;
+//  3. append one redo record holding every write (gWRITE+gFLUSH) — the
 //     durability point: done's success means all-or-nothing recovery;
-//  3. execute the record (gMEMCPY+gFLUSH per write + head advance);
-//  4. release the locks.
+//  4. execute the record (gMEMCPY+gFLUSH per write + head advance);
+//  5. release the locks.
 //
-// done fires after step 4 with the first error, if any. On lock failure
-// the transaction aborts without side effects.
+// done fires after step 5 with the first error, if any. On lock failure
+// or a fence the transaction aborts without side effects.
 func (t *Txn) Commit(done func(error)) error {
 	if t.closed {
 		return ErrTxnClosed
@@ -278,11 +320,47 @@ func (t *Txn) Commit(done func(error)) error {
 		}
 	}
 
+	// Step 2: the conditional-commit fence. The stamp word (FenceOff+8)
+	// carries the epoch we are committing under; the predicated gWRITE
+	// lands it only where the replica-local guard word (FenceOff) still
+	// equals that epoch. Any mismatch means a failover this coordinator
+	// has not observed — abort before the redo record exists anywhere.
+	fenceGate := func(next func()) {
+		if m.fence == nil {
+			next()
+			return
+		}
+		want := m.fenceEpoch()
+		var stamp [8]byte
+		binary.LittleEndian.PutUint64(stamp[:], want)
+		m.store.WriteLocal(m.fenceOff+8, stamp[:])
+		err := m.fence.GWriteIf(m.fenceOff+8, 8, m.fenceOff, want, 0, func(r core.Result) {
+			if r.Err != nil {
+				release(len(stripes), func(error) { finish(r.Err) })
+				return
+			}
+			for i, obs := range r.CASOld {
+				if obs != want {
+					m.fenced++
+					release(len(stripes), func(error) {
+						finish(fmt.Errorf("%w: replica %d at epoch %d, coordinator at %d",
+							ErrFenced, i, obs, want))
+					})
+					return
+				}
+			}
+			next()
+		})
+		if err != nil {
+			release(len(stripes), func(error) { finish(err) })
+		}
+	}
+
 	// Step 1: acquire stripes in order.
 	var acquire func(i int)
 	acquire = func(i int) {
 		if i >= len(stripes) {
-			applyAndRelease()
+			fenceGate(applyAndRelease)
 			return
 		}
 		m.locks.WrLock(stripes[i], m.owner, func(err error) {

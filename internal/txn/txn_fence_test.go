@@ -1,0 +1,147 @@
+package txn
+
+import (
+	"errors"
+	"testing"
+
+	"hyperloop/internal/cluster"
+	"hyperloop/internal/core"
+	"hyperloop/internal/fabric"
+	"hyperloop/internal/locks"
+	"hyperloop/internal/sim"
+	"hyperloop/internal/wal"
+)
+
+const fenceBase = 800 << 10 // guard word; stamp word at fenceBase+8
+
+// newFencedRig builds the standard rig with the conditional-commit fence
+// armed: every replica's guard word starts at the epoch *epoch points to,
+// and the coordinator reads its view through the same pointer.
+func newFencedRig(t *testing.T, replicas int, epoch *uint64) *rig {
+	t.Helper()
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, cluster.Config{
+		Nodes: replicas + 1, StoreSize: 1 << 20, Fabric: fabric.Config{JitterFrac: -1},
+	})
+	g := core.New(cl, core.Config{Depth: 256})
+	ready := false
+	log := wal.New(wal.NodeStore{N: cl.Client()}, wal.CoreReplicator{G: g}, logBase, logSize,
+		func(err error) { ready = err == nil })
+	if !eng.RunUntil(func() bool { return ready }, eng.Now().Add(sim.Second)) {
+		t.Fatal("wal init stalled")
+	}
+	lm := locks.New(g, eng, lockBase, locks.Config{})
+	m := New(eng, log, wal.NodeStore{N: cl.Client()}, lm, Config{
+		Fence:      g,
+		FenceOff:   fenceBase,
+		FenceEpoch: func() uint64 { return *epoch },
+	})
+	r := &rig{eng: eng, cl: cl, g: g, m: m}
+	for i := 0; i < replicas; i++ {
+		setGuard(r, i, *epoch)
+	}
+	return r
+}
+
+func setGuard(r *rig, replica int, epoch uint64) {
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(epoch >> (8 * i))
+	}
+	r.g.Replica(replica).StoreWrite(fenceBase, b[:])
+}
+
+func replicaWord(r *rig, replica, off int) uint64 {
+	return le64(r.g.Replica(replica).StoreBytes(off, 8))
+}
+
+func commit(t *testing.T, r *rig, off int, v uint64) error {
+	t.Helper()
+	tx, err := r.m.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.WriteUint64(off, v)
+	done := false
+	var got error
+	if err := tx.Commit(func(err error) { got = err; done = true }); err != nil {
+		t.Fatal(err)
+	}
+	r.await(t, &done)
+	return got
+}
+
+// A commit whose epoch view matches every replica passes the fence and
+// leaves the stamp word behind on each replica.
+func TestFenceMatchCommits(t *testing.T) {
+	epoch := uint64(1)
+	r := newFencedRig(t, 3, &epoch)
+	defer r.g.Close()
+
+	if err := commit(t, r, objBase, 7); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if w := replicaWord(r, i, objBase); w != 7 {
+			t.Fatalf("replica %d object = %d, want 7", i, w)
+		}
+		if w := replicaWord(r, i, fenceBase+8); w != 1 {
+			t.Fatalf("replica %d stamp = %d, want epoch 1", i, w)
+		}
+	}
+	if r.m.Fenced() != 0 {
+		t.Fatalf("fenced = %d, want 0", r.m.Fenced())
+	}
+}
+
+// A replica whose epoch moved past the coordinator's view fences the
+// commit: ErrFenced, no object mutation anywhere, locks released, and no
+// stamp on the advanced replica.
+func TestFenceMismatchAbortsCleanly(t *testing.T) {
+	epoch := uint64(1)
+	r := newFencedRig(t, 3, &epoch)
+	defer r.g.Close()
+
+	setGuard(r, 1, 2) // replica 1 observed a failover we have not
+
+	err := commit(t, r, objBase, 7)
+	if !errors.Is(err, ErrFenced) {
+		t.Fatalf("err = %v, want ErrFenced", err)
+	}
+	for i := 0; i < 3; i++ {
+		if w := replicaWord(r, i, objBase); w != 0 {
+			t.Fatalf("replica %d object mutated to %d despite fence", i, w)
+		}
+	}
+	if w := replicaWord(r, 1, fenceBase+8); w != 0 {
+		t.Fatalf("advanced replica stamped with %d despite guard mismatch", w)
+	}
+	// The touched stripe's lock word must be free again on every replica.
+	stripe := (objBase / 64) % 64
+	for i := 0; i < 3; i++ {
+		if w := replicaWord(r, i, lockBase+8*stripe); w != 0 {
+			t.Fatalf("replica %d lock word %x still held after fence", i, w)
+		}
+	}
+	c, a := r.m.Stats()
+	if c != 0 || a != 1 {
+		t.Fatalf("committed/aborted = %d/%d, want 0/1", c, a)
+	}
+	if r.m.Fenced() != 1 {
+		t.Fatalf("fenced = %d, want 1", r.m.Fenced())
+	}
+
+	// After the coordinator learns the new epoch (and the lagging replicas
+	// catch up), commits flow again.
+	epoch = 2
+	setGuard(r, 0, 2)
+	setGuard(r, 2, 2)
+	if err := commit(t, r, objBase, 9); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if w := replicaWord(r, i, objBase); w != 9 {
+			t.Fatalf("replica %d object = %d after recovery, want 9", i, w)
+		}
+	}
+}
