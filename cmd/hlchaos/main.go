@@ -32,6 +32,7 @@ import (
 	"hyperloop/internal/faults"
 	"hyperloop/internal/load"
 	"hyperloop/internal/metrics"
+	"hyperloop/internal/qos"
 	"hyperloop/internal/stats"
 )
 
@@ -134,11 +135,14 @@ func main() {
 				failed++
 			}
 			kill := fmt.Sprintf("source[%d]", v.Spec.VictimIdx)
-			if v.Spec.KillDest {
+			faultAfter := v.Spec.FaultAfter
+			if v.Spec.Retier {
+				kill, faultAfter = "retier-dest", v.Spec.RetierAfter
+			} else if v.Spec.KillDest {
 				kill = fmt.Sprintf("dest[%d]", v.Spec.VictimIdx)
 			}
 			mt.AddRow(fmt.Sprint(v.Params.Seed), kill, fmt.Sprint(v.Spec.MigrateAt),
-				fmt.Sprint(v.Spec.FaultAfter), fmt.Sprintf("%d/%d", v.Acked, v.Errored),
+				fmt.Sprint(faultAfter), fmt.Sprintf("%d/%d", v.Acked, v.Errored),
 				fmt.Sprint(v.Migrated), v.Checks.Summary(), verdict)
 		}
 		fmt.Println(mt)
@@ -186,6 +190,52 @@ func main() {
 			fmt.Printf("--- %v ---\n", v.Spec)
 			for _, r := range v.Checks {
 				fmt.Printf("    %v\n", r)
+			}
+		}
+	}
+
+	if admission {
+		// The QoS-on arm of the tenant-burst gate: the full elastic scenario
+		// (throttle, funded edge scale-out, spend cap) with the victim's p99
+		// held within 10% of baseline as a hard check.
+		iso := experiments.TenantIsolationMatrix(*seed, *seedsPer)
+		total += len(iso)
+		for _, v := range iso {
+			merged.Merge(v.Metrics)
+		}
+		fmt.Printf("=== Tenant-isolation (QoS on): %d scenarios (base seed %d) ===\n", len(iso), *seed)
+		it := stats.NewTable("seed", "victim p99 base/burst/off", "aggressor acked", "steps/spent", "checks", "verdict")
+		for _, v := range iso {
+			verdict := "PASS"
+			if !v.Pass() {
+				verdict = "FAIL"
+				failed++
+			}
+			agg := burstTenant(v.QoSOn, "aggressor")
+			var ledger qos.TenantState
+			for _, st := range v.QoSOn.QoSTenants {
+				if st.Name == "aggressor" {
+					ledger = st
+				}
+			}
+			it.AddRow(fmt.Sprint(v.Params.Seed),
+				fmt.Sprintf("%v / %v / %v", burstTenant(v.Baseline, "victim").P99,
+					burstTenant(v.QoSOn, "victim").P99, burstTenant(v.Uncontrolled, "victim").P99),
+				fmt.Sprintf("%d/%d", agg.Acked, agg.Arrivals),
+				fmt.Sprintf("%d/%.0f", ledger.Steps, ledger.Spent),
+				v.Checks.Summary(), verdict)
+		}
+		fmt.Println(it)
+		for _, v := range iso {
+			if !*verbose && v.Pass() {
+				continue
+			}
+			fmt.Printf("--- tenant-isolation seed=%d ---\n", v.Params.Seed)
+			for _, r := range v.Checks {
+				fmt.Printf("    %v\n", r)
+			}
+			for _, e := range v.QoSOn.QoSEvents {
+				fmt.Printf("    %v %s %v: %s\n", e.At, e.Name, e.Kind, e.Detail)
 			}
 		}
 	}

@@ -11,11 +11,16 @@
 // Usage:
 //
 //	hlload [-exp all|curve|fusion] [-quick] [-seed N] [-clients N] [-arrival poisson|bmodel]
-//	       [-parallel N] [-engine-workers N] [-csv] [-bench-json FILE] [-metrics-json FILE]
+//	       [-parallel N] [-engine-workers N] [-tenants N] [-csv] [-bench-json FILE]
+//	       [-metrics-json FILE]
 //
 // The curve table plots goodput (acks within the SLO) and open-loop p99.9
 // against offered load; past the knee the admission-on rows hold goodput at
 // capacity while the admission-off rows collapse into their hidden queue.
+//
+// -tenants N swaps the sweeps for one QoS-on run over N equal tenant
+// classes and emits the per-tenant admitted/shed/p99/credits table (the
+// same cell hlqos -tenants runs, with its cardinality tally).
 package main
 
 import (
@@ -38,6 +43,7 @@ var (
 	arrival    = flag.String("arrival", "poisson", "arrival process: poisson or bmodel")
 	parallel   = flag.Int("parallel", 0, "worker count (0 = all cores, 1 = serial)")
 	engWorkers = flag.Int("engine-workers", 0, "partitioned-engine worker count (0 = all cores, 1 = serial)")
+	tenants    = flag.Int("tenants", 0, "run one QoS-on cell with this many tenant classes and print the per-tenant table")
 	benchJSON  = flag.String("bench-json", "", "write machine-readable benchmark results to this file")
 	metJSON    = flag.String("metrics-json", "", "run an instrumented collection pass and dump the metrics registry as JSON to this file")
 )
@@ -58,6 +64,22 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote metrics dump to %s\n", *metJSON)
+		return
+	}
+
+	if *tenants > 0 {
+		r := experiments.RunTenantSweep(experiments.TenantSweepParams{
+			Seed: *seed, Workers: *engWorkers, Tenants: *tenants,
+		})
+		fmt.Printf("=== Tenant sweep: %d classes, QoS on, seed %d, %v horizon ===\n",
+			*tenants, *seed, r.Run.Elapsed)
+		printTable(experiments.TenantTable(r.Run, 16))
+		fmt.Printf("label cardinality: %d distinct, %d collapsed, %d controller-skipped\n",
+			r.Distinct, r.Overflowed, r.Skipped)
+		if err := r.Run.CheckAccounting(); err != nil {
+			fmt.Fprintf(os.Stderr, "accounting: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 

@@ -49,6 +49,10 @@ type Config struct {
 	NIC       rdma.Config     // per-node NIC model
 	Fabric    fabric.Config   // network model
 	Seed      int64           // RNG seed (default 1)
+	// NodeNIC, when set, overrides NIC per node index — the hook tiered
+	// host pools (edge/general/archive hardware profiles) hang off. It must
+	// be a pure function of the index so cluster builds stay deterministic.
+	NodeNIC func(i int) rdma.Config
 }
 
 func (c *Config) fill() {
@@ -82,7 +86,11 @@ func New(eng *sim.Engine, cfg Config) *Cluster {
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		dev := nvm.New(cfg.StoreSize)
-		nic := rdma.NewNIC(eng, c.Net, cfg.NIC)
+		nicCfg := cfg.NIC
+		if cfg.NodeNIC != nil {
+			nicCfg = cfg.NodeNIC(i)
+		}
+		nic := rdma.NewNIC(eng, c.Net, nicCfg)
 		store := nic.RegisterMemory(
 			rdma.NewNVMBacking(dev, 0, cfg.StoreSize),
 			rdma.AccessLocalWrite|rdma.AccessRemoteWrite|rdma.AccessRemoteRead|rdma.AccessRemoteAtomic,

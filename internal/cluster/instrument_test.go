@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"hyperloop/internal/metrics"
+	"hyperloop/internal/rdma"
+	"hyperloop/internal/sim"
+)
+
+// TestConfigDefaults: a zero Config fills to the documented defaults, and
+// per-node NIC overrides are honored.
+func TestConfigDefaults(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := New(eng, Config{})
+	if len(cl.Nodes) != 4 {
+		t.Fatalf("default nodes = %d, want 4", len(cl.Nodes))
+	}
+	if cl.Nodes[0].Store.Len() != 16<<20 {
+		t.Fatalf("default store = %d, want 16 MiB", cl.Nodes[0].Store.Len())
+	}
+	if got := cl.String(); !strings.Contains(got, "nodes=4") {
+		t.Fatalf("String = %q", got)
+	}
+
+	tiered := New(eng, Config{Nodes: 2, StoreSize: 4096, NodeNIC: func(i int) rdma.Config {
+		c := rdma.Config{}
+		if i == 1 {
+			c.DMAGbps = 400
+		}
+		return c
+	}})
+	if len(tiered.Nodes) != 2 {
+		t.Fatalf("tiered nodes = %d", len(tiered.Nodes))
+	}
+}
+
+// TestInstrumentRegistersNodeGauges: Instrument wires every node's NIC and
+// host series as computed gauges, readable through a registry export.
+func TestInstrumentRegistersNodeGauges(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := New(eng, Config{Nodes: 3, StoreSize: 4096})
+	reg := metrics.NewRegistry()
+	Instrument(reg, cl, "test")
+
+	// Drive one message so the NIC counters move.
+	a, b := ConnectPair(cl.Nodes[0], cl.Nodes[1], 8, 8)
+	b.PostRecv(rdma.WQE{})
+	a.PostSend(rdma.WQE{Opcode: rdma.OpSend})
+	eng.Drain()
+
+	reg.Sample(eng.Now())
+	dump, err := reg.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"wqes_executed", "utilization", "test/n0", "test/n2", "doorbells"} {
+		if !strings.Contains(string(dump), want) {
+			t.Fatalf("export misses %q", want)
+		}
+	}
+}

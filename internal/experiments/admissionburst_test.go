@@ -3,14 +3,17 @@ package experiments
 import "testing"
 
 func TestAdmissionBurstIsolatesVictim(t *testing.T) {
-	for seed := int64(1); seed <= 2; seed++ {
-		v := RunAdmissionBurst(AdmissionBurstParams{Seed: seed})
+	for i, v := range AdmissionBurstMatrix(1, 2) {
+		seed := int64(1 + i)
 		t.Logf("seed %d: %v", seed, v.Spec)
 		for _, c := range v.Checks {
 			t.Logf("  %v", c)
 			if !c.Pass() {
 				t.Errorf("seed %d: check %s failed: %v", seed, c.Name, c.Err)
 			}
+		}
+		if !v.Pass() {
+			t.Errorf("seed %d: verdict failed", seed)
 		}
 		if v.Metrics == nil {
 			t.Fatalf("seed %d: burst run carried no metrics registry", seed)

@@ -442,7 +442,9 @@ func RunMigrationScenario(p MigrationParams) MigrationVerdict {
 		eng.Schedule(sim.Duration(i)*30*sim.Microsecond, func() { strand(i) })
 	}
 
-	// The migration, and the planned kill mid-copy.
+	// The migration, and the planned fault mid-copy: either a replica kill
+	// or an operator re-tiering the whole destination to edge (the fence's
+	// tier re-validation must then abort back to the source).
 	var migDone bool
 	var migErr error
 	eng.ScheduleAt(sim.Time(0).Add(spec.MigrateAt), func() {
@@ -452,16 +454,25 @@ func RunMigrationScenario(p MigrationParams) MigrationVerdict {
 			migDone, migErr = true, err
 		}
 	})
-	var victim *cluster.Node
-	if spec.KillDest {
-		victim = pl.Pool()[dest[spec.VictimIdx]]
+	if spec.Retier {
+		retierAt := sim.Time(0).Add(spec.MigrateAt + spec.RetierAfter)
+		eng.ScheduleAt(retierAt, func() {
+			for _, h := range dest {
+				pl.SetHostTier(h, shard.TierEdge)
+			}
+		})
 	} else {
-		victim = pl.Pool()[placement[msMigrShard][spec.VictimIdx]]
+		var victim *cluster.Node
+		if spec.KillDest {
+			victim = pl.Pool()[dest[spec.VictimIdx]]
+		} else {
+			victim = pl.Pool()[placement[msMigrShard][spec.VictimIdx]]
+		}
+		// CrashNode takes a delay relative to now; the spec's offsets are
+		// absolute sim times, so convert.
+		faultAt := sim.Time(0).Add(spec.MigrateAt + spec.FaultAfter)
+		fp.CrashNode(faultAt.Sub(eng.Now()), victim, false, spec.RestartAfter)
 	}
-	// CrashNode takes a delay relative to now; the spec's offsets are
-	// absolute sim times, so convert.
-	faultAt := sim.Time(0).Add(spec.MigrateAt + spec.FaultAfter)
-	fp.CrashNode(faultAt.Sub(eng.Now()), victim, false, spec.RestartAfter)
 
 	// Run through migration + workload, then quiesce.
 	eng.Run(stopAt)
@@ -531,6 +542,19 @@ func RunMigrationScenario(p MigrationParams) MigrationVerdict {
 		states = append(states, st)
 	}
 
+	if spec.Retier {
+		var retierErr error
+		switch {
+		case v.Migrated:
+			retierErr = errors.New("migration completed despite all-edge destination")
+		case !errors.Is(migErr, shard.ErrAllEdge):
+			retierErr = fmt.Errorf("abort reason not the tier constraint: %v", migErr)
+		}
+		v.Checks = append(v.Checks, check.Result{
+			Name: "retier-abort", Err: retierErr,
+			Detail: "mid-copy re-tier aborts at the fence, shard stays on source",
+		})
+	}
 	v.Checks = append(v.Checks,
 		check.Result{Name: "quiesce", Err: quiesceErr(quiesced, drainErr, migDone),
 			Detail: fmt.Sprintf("%d acked, %d indeterminate, migrated=%v", acked, errored, v.Migrated)},

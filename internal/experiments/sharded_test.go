@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"reflect"
 	"testing"
+
+	"hyperloop/internal/faults"
 )
 
 // scalingOps keeps the scaling tests quick while leaving the curve shape
@@ -97,17 +99,54 @@ func TestMigrationChaosInvariants(t *testing.T) {
 				t.Errorf("seed %d: check %s failed: %v", v.Params.Seed, c.Name, c.Err)
 			}
 		}
-		// A dest kill mid-bulk must abort back to the source; a source kill
-		// must not stop the client-driven copy from completing the cutover.
-		if v.Spec.KillDest && v.Migrated {
-			t.Errorf("seed %d: migration completed despite dest kill mid-bulk", v.Params.Seed)
-		}
-		if !v.Spec.KillDest && !v.Migrated {
-			t.Errorf("seed %d: source kill aborted the migration: %v", v.Params.Seed, v.MigErr)
+		// A mid-copy re-tier or dest kill must abort back to the source; a
+		// source kill must not stop the client-driven copy from completing
+		// the cutover.
+		switch {
+		case v.Spec.Retier:
+			if v.Migrated {
+				t.Errorf("seed %d: migration completed despite all-edge re-tier", v.Params.Seed)
+			}
+		case v.Spec.KillDest:
+			if v.Migrated {
+				t.Errorf("seed %d: migration completed despite dest kill mid-bulk", v.Params.Seed)
+			}
+		default:
+			if !v.Migrated {
+				t.Errorf("seed %d: source kill aborted the migration: %v", v.Params.Seed, v.MigErr)
+			}
 		}
 	}
 	if aborted == 0 || completed == 0 {
 		t.Fatalf("matrix did not exercise both paths: %d aborted, %d completed", aborted, completed)
+	}
+}
+
+// TestMigrationRetierAborts pins the operator-fault path: the first planned
+// retier scenario must abort at the fence with every invariant intact and
+// the shard still serving from the source.
+func TestMigrationRetierAborts(t *testing.T) {
+	seed := int64(-1)
+	for s := int64(1); s <= 64; s++ {
+		if faults.PlanMigration(s, msReplicas, msBulkWindow).Retier {
+			seed = s
+			break
+		}
+	}
+	if seed < 0 {
+		t.Fatal("no retier scenario planned in seeds 1..64")
+	}
+	v := RunMigrationScenario(MigrationParams{Seed: seed})
+	t.Logf("seed=%d %v migrated=%v migErr=%v", seed, v.Spec, v.Migrated, v.MigErr)
+	if v.Migrated {
+		t.Fatal("migration completed despite all-edge re-tier")
+	}
+	if !v.Pass() {
+		for _, c := range v.Checks {
+			if !c.Pass() {
+				t.Errorf("check %s failed: %v", c.Name, c.Err)
+			}
+		}
 	}
 }
 

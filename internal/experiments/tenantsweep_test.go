@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"hyperloop/internal/metrics"
+	"hyperloop/internal/sim"
+)
+
+func sweepSummary(r TenantSweepResult) string {
+	return fmt.Sprintf("tenants=%+v ledgers=%+v events=%+v skipped=%d verdicts=%+v",
+		r.Run.Tenants, r.Run.QoSTenants, r.Run.QoSEvents, r.Skipped, r.Run.Verdicts)
+}
+
+// TestTenantSweepCardinalityCollapse pushes the class count past the metric
+// label bound: admission accounting must stay exact for every class while
+// the controller refuses to decide for each collapsed one.
+func TestTenantSweepCardinalityCollapse(t *testing.T) {
+	n := metrics.MaxLabels + 32
+	r := RunTenantSweep(TenantSweepParams{Seed: 3, Tenants: n, Duration: 4 * sim.Millisecond})
+	if r.Overflowed != 32 || r.Distinct != metrics.MaxLabels {
+		t.Fatalf("distinct/overflowed = %d/%d, want %d/32", r.Distinct, r.Overflowed, metrics.MaxLabels)
+	}
+	if r.Skipped != r.Overflowed {
+		t.Fatalf("controller skipped %d classes, want every collapsed one (%d)", r.Skipped, r.Overflowed)
+	}
+	if err := r.Run.CheckAccounting(); err != nil {
+		t.Fatal(err)
+	}
+	var arrivals uint64
+	for _, ts := range r.Run.Tenants {
+		arrivals += ts.Arrivals
+	}
+	if arrivals != r.Run.Verdicts.Arrivals {
+		t.Fatalf("per-class arrivals sum %d != %d: collapse leaked into accounting",
+			arrivals, r.Run.Verdicts.Arrivals)
+	}
+
+	// The shared per-tenant table renders every class unless capped, hides
+	// the tail behind a "(N more)" marker when capped, and its TOTAL row
+	// carries the exact verdict sums either way.
+	full := TenantTable(r.Run, 0).String()
+	if !strings.Contains(full, fmt.Sprintf("TOTAL(%d)", n)) ||
+		!strings.Contains(full, fmt.Sprint(arrivals)) {
+		t.Fatalf("uncapped table misses totals:\n%s", full)
+	}
+	capped := TenantTable(r.Run, 8).String()
+	if !strings.Contains(capped, fmt.Sprintf("...(%d more)", n-8)) {
+		t.Fatalf("capped table misses the hidden-row marker:\n%s", capped)
+	}
+}
+
+// TestTenantSweepDeterministicAcrossWorkers: a modest sweep is byte-stable
+// at 1 vs 4 engine workers, ledgers and events included.
+func TestTenantSweepDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) string {
+		r := RunTenantSweep(TenantSweepParams{Seed: 5, Tenants: 16, Workers: workers, Duration: 4 * sim.Millisecond})
+		return sweepSummary(r)
+	}
+	if s1, s4 := run(1), run(4); s1 != s4 {
+		t.Fatalf("sweep diverged across workers:\n  w1: %s\n  w4: %s", s1, s4)
+	}
+}

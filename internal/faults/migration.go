@@ -37,9 +37,21 @@ type MigrationSpec struct {
 	FaultAfter sim.Duration
 	// RestartAfter rejoins the victim (measured from the fault).
 	RestartAfter sim.Duration
+	// Retier swaps the replica kill for an operator fault: every
+	// destination host is re-tiered to edge mid-copy, so the fence's tier
+	// re-validation must abort the migration cleanly (shard.ErrAllEdge)
+	// with the shard still serving from the source.
+	Retier bool
+	// RetierAfter is the re-tier delay after MigrateAt, drawn in the first
+	// 60% of the bulk window so it always lands before the fence.
+	RetierAfter sim.Duration
 }
 
 func (s MigrationSpec) String() string {
+	if s.Retier {
+		return fmt.Sprintf("migration-inflight seed=%d retier-dest=edge migrate@%v retier+%v",
+			s.Seed, s.MigrateAt, s.RetierAfter)
+	}
 	side := "source"
 	if s.KillDest {
 		side = "dest"
@@ -64,5 +76,9 @@ func PlanMigration(seed int64, replicas int, bulkWindow sim.Duration) MigrationS
 	lo := bulkWindow / 10
 	s.FaultAfter = lo + sim.Duration(r.Int63n(int64(bulkWindow*8/10)))
 	s.RestartAfter = 5 * sim.Millisecond
+	// Retier draws come last so the established fields keep their streams
+	// (existing seeds plan the same kills as before this class grew).
+	s.Retier = r.Intn(4) == 0
+	s.RetierAfter = lo + sim.Duration(r.Int63n(int64(bulkWindow/2)))
 	return s
 }

@@ -1,0 +1,129 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"hyperloop/internal/cluster"
+	"hyperloop/internal/sim"
+	"hyperloop/internal/span"
+)
+
+// TestShardLayerPlansDeterministic: the shard- and load-layer planners are
+// pure functions of the seed, their draws stay inside the documented
+// windows, and their String forms name the seed that produced them.
+func TestShardLayerPlansDeterministic(t *testing.T) {
+	const bulk = 10 * sim.Millisecond
+	sawKillDest, sawKillSrc, sawRetier := false, false, false
+	for seed := int64(1); seed <= 32; seed++ {
+		m := PlanMigration(seed, 3, bulk)
+		if m != PlanMigration(seed, 3, bulk) {
+			t.Fatalf("seed %d: migration plan not deterministic", seed)
+		}
+		if m.VictimIdx < 0 || m.VictimIdx >= 3 {
+			t.Fatalf("seed %d: victim %d out of range", seed, m.VictimIdx)
+		}
+		lo := bulk / 10
+		if m.FaultAfter < lo || m.FaultAfter >= lo+bulk*8/10 {
+			t.Fatalf("seed %d: fault+%v outside bulk window", seed, m.FaultAfter)
+		}
+		// The retier must land before the fence: first 60% of the window.
+		if m.RetierAfter < lo || m.RetierAfter >= lo+bulk/2 {
+			t.Fatalf("seed %d: retier+%v outside pre-fence window", seed, m.RetierAfter)
+		}
+		if !strings.Contains(m.String(), "migration-inflight") {
+			t.Fatalf("seed %d: bad String %q", seed, m)
+		}
+		switch {
+		case m.Retier:
+			sawRetier = true
+			if !strings.Contains(m.String(), "retier-dest") {
+				t.Fatalf("retier spec String misses the arm: %q", m)
+			}
+		case m.KillDest:
+			sawKillDest = true
+		default:
+			sawKillSrc = true
+		}
+
+		a := PlanAdmissionBurst(seed)
+		if a != PlanAdmissionBurst(seed) {
+			t.Fatalf("seed %d: admission plan not deterministic", seed)
+		}
+		if a.BurstMult < 4 || a.BurstMult > 12 {
+			t.Fatalf("seed %d: burst mult %d out of [4,12]", seed, a.BurstMult)
+		}
+		if !strings.Contains(a.String(), "admission-burst") {
+			t.Fatalf("seed %d: bad String %q", seed, a)
+		}
+
+		l := PlanLockContention(seed)
+		if l != PlanLockContention(seed) {
+			t.Fatalf("seed %d: lock plan not deterministic", seed)
+		}
+		if l.Cycles < 6 || l.Cycles > 10 || l.VictimIdx < 0 || l.VictimIdx >= 3 {
+			t.Fatalf("seed %d: lock draws out of range: %+v", seed, l)
+		}
+		if !strings.Contains(l.String(), "lock-contention") {
+			t.Fatalf("seed %d: bad String %q", seed, l)
+		}
+	}
+	if !sawRetier || !sawKillDest || !sawKillSrc {
+		t.Fatalf("32 seeds never hit all migration arms: retier=%v dest=%v src=%v",
+			sawRetier, sawKillDest, sawKillSrc)
+	}
+}
+
+// TestSpecStringNamesEveryClass: chain-matrix specs print their class, seed,
+// and victim so a failing verdict can always be replayed by hand.
+func TestSpecStringNamesEveryClass(t *testing.T) {
+	for _, c := range Classes {
+		s := Plan(c, 11, 3, 5*sim.Millisecond)
+		str := s.String()
+		if !strings.Contains(str, c.String()) || !strings.Contains(str, "seed=11") {
+			t.Fatalf("%v: String %q misses class or seed", c, str)
+		}
+	}
+}
+
+// TestInstallEveryClassFires installs each chain-matrix class on a live
+// plane (with span mirroring on) and runs past its recovery point: every
+// class must record at least fault and recovery actions, and StopAll must
+// leave no tenant hogs running.
+func TestInstallEveryClassFires(t *testing.T) {
+	for _, c := range Classes {
+		eng := sim.NewEngine()
+		cl := cluster.New(eng, cluster.Config{Nodes: 4, StoreSize: 1 << 16})
+		p := NewPlane(eng, cl, 3)
+		p.SetSpans(span.NewRecorder(eng))
+		if p.Rand() == nil {
+			t.Fatal("plane hides its RNG")
+		}
+		spec := Plan(c, 3, 3, 5*sim.Millisecond)
+		spec.Install(p, cl.Replicas())
+		eng.RunFor(spec.RecoverAt + 50*sim.Millisecond)
+		p.StopAll()
+		tl := p.Timeline()
+		if len(tl) == 0 {
+			t.Fatalf("%v: nothing recorded", c)
+		}
+		if !strings.Contains(tl[0].String(), "node") {
+			t.Fatalf("%v: first event %q names no victim", c, tl[0])
+		}
+	}
+}
+
+// TestPowerFailNVMRecorded: the standalone NVDIMM brown-out fires without
+// touching links or CPU and lands on the timeline.
+func TestPowerFailNVMRecorded(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, cluster.Config{Nodes: 2, StoreSize: 1 << 16})
+	victim := cl.Replicas()[0]
+	p := NewPlane(eng, cl, 9)
+	p.PowerFailNVM(sim.Millisecond, victim)
+	eng.RunFor(2 * sim.Millisecond)
+	tl := p.Timeline()
+	if len(tl) != 1 || !strings.Contains(tl[0].What, "nvm power-fail") {
+		t.Fatalf("timeline %v, want one nvm power-fail event", tl)
+	}
+}

@@ -3,6 +3,7 @@ package load
 import (
 	"errors"
 
+	"hyperloop/internal/qos"
 	"hyperloop/internal/sim"
 	"hyperloop/internal/wal"
 )
@@ -30,6 +31,11 @@ type AdmissionConfig struct {
 	// RetryDelay pauses dispatch after WAL-full backpressure: the ring needs
 	// executor progress, which hammering cannot accelerate (default 2µs).
 	RetryDelay sim.Duration
+	// PerTenantQueues splits the admission FIFO into one queue per tenant
+	// class, drained round-robin, so a bursting tenant cannot occupy the
+	// whole shared queue ahead of everyone else. The depth bound stays
+	// global. Off, the single shared FIFO is the legacy policy.
+	PerTenantQueues bool
 }
 
 func (c *AdmissionConfig) fill() {
@@ -78,41 +84,19 @@ func (v *Verdicts) Add(o Verdicts) {
 	v.Unserved += o.Unserved
 }
 
-// bucket is a virtual-time token bucket: tokens accrue with the engine
-// clock, so refill is exact and deterministic — no timer events needed.
-type bucket struct {
-	rate   float64 // tokens per second; <= 0 means unthrottled
-	burst  float64
-	tokens float64
-	last   sim.Time
-}
-
-func newBucket(class TenantClass) bucket {
-	b := bucket{rate: class.RatePerSec, burst: class.Burst}
-	if b.burst <= 0 {
-		b.burst = b.rate / 1000
-		if b.burst < 8 {
-			b.burst = 8
+// newBucket builds a class's qos.Bucket with the legacy default burst:
+// a millisecond of budget, floored at 8 ops. A class with RatePerSec 0 is
+// unthrottled — its bucket exists only so SetRate can impose a contract
+// later.
+func newBucket(class TenantClass) qos.Bucket {
+	burst := class.Burst
+	if burst <= 0 {
+		burst = class.RatePerSec / 1000
+		if burst < 8 {
+			burst = 8
 		}
 	}
-	b.tokens = b.burst
-	return b
-}
-
-func (b *bucket) take(now sim.Time) bool {
-	if b.rate <= 0 {
-		return true
-	}
-	b.tokens += now.Sub(b.last).Seconds() * b.rate
-	b.last = now
-	if b.tokens > b.burst {
-		b.tokens = b.burst
-	}
-	if b.tokens < 1 {
-		return false
-	}
-	b.tokens--
-	return true
+	return qos.NewBucket(class.RatePerSec, burst)
 }
 
 // Op is one queued put.
@@ -139,13 +123,21 @@ type Admission struct {
 	// driver, not the controller).
 	onAck func(o *Op, err error)
 
-	buckets  []bucket
+	buckets  []qos.Bucket
 	queue    []*Op
 	head     int
+	queues   [][]*Op // per-class FIFOs when cfg.PerTenantQueues
+	heads    []int
+	rr       int   // next class the round-robin drain visits
 	retry    []*Op // WAL-bounced ops, drained before the queue
 	inflight int
 	armed    bool
 	paused   bool
+
+	// qs, when set, mirrors per-tenant verdicts into metric series for the
+	// QoS controller to observe. Writes are observe-only: they never
+	// schedule events or alter admission decisions.
+	qs *qos.RegistrySource
 
 	v         Verdicts
 	queuePeak int
@@ -153,6 +145,7 @@ type Admission struct {
 	classArrivals  []uint64
 	classAdmitted  []uint64
 	classThrottled []uint64
+	classAcked     []uint64
 }
 
 // NewAdmission builds a controller for one group over the given tenant
@@ -172,11 +165,36 @@ func NewAdmission(eng *sim.Engine, cfg AdmissionConfig, classes []TenantClass,
 		classArrivals:  make([]uint64, len(classes)),
 		classAdmitted:  make([]uint64, len(classes)),
 		classThrottled: make([]uint64, len(classes)),
+		classAcked:     make([]uint64, len(classes)),
 	}
 	for _, cl := range classes {
 		a.buckets = append(a.buckets, newBucket(cl))
 	}
+	if cfg.PerTenantQueues {
+		a.queues = make([][]*Op, len(classes))
+		a.heads = make([]int, len(classes))
+	}
 	return a
+}
+
+// InstrumentQoS mirrors this controller's per-tenant verdicts and ack
+// latencies into src's metric series (one series per class, same indexing)
+// so a qos.Controller can observe the group. Set before offering load.
+func (a *Admission) InstrumentQoS(src *qos.RegistrySource) { a.qs = src }
+
+// SetRate retunes class's token bucket at the engine's current instant —
+// the QoS controller's actuation path for funded rate raises. Settling
+// happens inside the bucket, so accrual at the old rate is never lost.
+func (a *Admission) SetRate(class int, rate float64) {
+	a.buckets[class].SetRate(a.eng.Now(), rate)
+}
+
+// Rate returns class's current bucket refill rate (0 = unthrottled).
+func (a *Admission) Rate(class int) float64 { return a.buckets[class].Rate() }
+
+// Credits returns class's burst credit balance right now.
+func (a *Admission) Credits(class int) float64 {
+	return a.buckets[class].Credits(a.eng.Now())
 }
 
 // Verdicts returns the verdict counters so far.
@@ -185,15 +203,28 @@ func (a *Admission) Verdicts() Verdicts { return a.v }
 // QueuePeak returns the deepest the queue ever got.
 func (a *Admission) QueuePeak() int { return a.queuePeak }
 
+// queued returns ops sitting in the FIFO(s), whichever queue policy runs.
+func (a *Admission) queued() int {
+	if a.cfg.PerTenantQueues {
+		n := 0
+		for c := range a.queues {
+			n += len(a.queues[c]) - a.heads[c]
+		}
+		return n
+	}
+	return len(a.queue) - a.head
+}
+
 // Pending returns ops admitted but not yet terminal: queued, bounced, or in
 // the data plane.
 func (a *Admission) Pending() int {
-	return len(a.queue) - a.head + len(a.retry) + a.inflight
+	return a.queued() + len(a.retry) + a.inflight
 }
 
-// ClassStats returns per-class (arrivals, admitted, throttled) counters.
-func (a *Admission) ClassStats(class int) (arrivals, admitted, throttled uint64) {
-	return a.classArrivals[class], a.classAdmitted[class], a.classThrottled[class]
+// ClassStats returns per-class (arrivals, admitted, throttled, acked)
+// counters.
+func (a *Admission) ClassStats(class int) (arrivals, admitted, throttled, acked uint64) {
+	return a.classArrivals[class], a.classAdmitted[class], a.classThrottled[class], a.classAcked[class]
 }
 
 // Offer presents one arrival. The verdict is immediate: throttled, shed at
@@ -201,20 +232,36 @@ func (a *Admission) ClassStats(class int) (arrivals, admitted, throttled uint64)
 func (a *Admission) Offer(key string, val []byte, class int) {
 	a.v.Arrivals++
 	a.classArrivals[class]++
+	if a.qs != nil {
+		a.qs.Series(class).Arrivals.Inc()
+	}
 	if a.cfg.Enabled {
-		if !a.buckets[class].take(a.eng.Now()) {
+		// Rate 0 is unthrottled by contract; a bucket only gates once a
+		// contract (initial or SetRate-imposed) gives it a refill rate.
+		if b := &a.buckets[class]; b.Rate() > 0 && !b.Take(a.eng.Now()) {
 			a.v.ShedThrottled++
 			a.classThrottled[class]++
+			if a.qs != nil {
+				a.qs.Series(class).Throttled.Inc()
+			}
 			return
 		}
-		if len(a.queue)-a.head+len(a.retry) >= a.cfg.QueueDepth {
+		if a.queued()+len(a.retry) >= a.cfg.QueueDepth {
 			a.v.ShedQueueFull++
 			return
 		}
 	}
 	a.v.Admitted++
 	a.classAdmitted[class]++
-	a.queue = append(a.queue, &Op{key: key, val: val, class: class, arrived: a.eng.Now()})
+	if a.qs != nil {
+		a.qs.Series(class).Admitted.Inc()
+	}
+	o := &Op{key: key, val: val, class: class, arrived: a.eng.Now()}
+	if a.cfg.PerTenantQueues {
+		a.queues[class] = append(a.queues[class], o)
+	} else {
+		a.queue = append(a.queue, o)
+	}
 	if d := a.Pending() - a.inflight; d > a.queuePeak {
 		a.queuePeak = d
 	}
@@ -227,7 +274,7 @@ func (a *Admission) arm() {
 	if a.armed || a.paused {
 		return
 	}
-	if a.inflight >= a.cfg.MaxInflight || len(a.queue)-a.head+len(a.retry) == 0 {
+	if a.inflight >= a.cfg.MaxInflight || a.queued()+len(a.retry) == 0 {
 		return
 	}
 	a.armed = true
@@ -235,12 +282,32 @@ func (a *Admission) arm() {
 }
 
 // next pops the op to dispatch: bounced ops first (they were admitted
-// earliest), then the FIFO.
+// earliest), then the FIFO — or, with per-tenant queues, the next non-empty
+// class in round-robin order, so every class's head-of-line op competes
+// equally for dispatch slots.
 func (a *Admission) next() *Op {
 	if n := len(a.retry); n > 0 {
 		o := a.retry[n-1]
 		a.retry = a.retry[:n-1]
 		return o
+	}
+	if a.cfg.PerTenantQueues {
+		for i := 0; i < len(a.queues); i++ {
+			c := (a.rr + i) % len(a.queues)
+			if a.heads[c] >= len(a.queues[c]) {
+				continue
+			}
+			o := a.queues[c][a.heads[c]]
+			a.queues[c][a.heads[c]] = nil
+			a.heads[c]++
+			if a.heads[c] > 1024 && a.heads[c]*2 > len(a.queues[c]) {
+				a.queues[c] = append(a.queues[c][:0], a.queues[c][a.heads[c]:]...)
+				a.heads[c] = 0
+			}
+			a.rr = (c + 1) % len(a.queues)
+			return o
+		}
+		return nil
 	}
 	if a.head < len(a.queue) {
 		o := a.queue[a.head]
@@ -281,6 +348,9 @@ func (a *Admission) complete(o *Op, err error) {
 		// op (it was admitted — shedding it now would be a hidden hole), and
 		// pause dispatch so the executor can make progress.
 		a.v.Backpressure++
+		if a.qs != nil {
+			a.qs.Backpressure().Inc()
+		}
 		a.retry = append(a.retry, o)
 		a.pause()
 		return
@@ -289,6 +359,12 @@ func (a *Admission) complete(o *Op, err error) {
 		a.v.Failed++
 	} else {
 		a.v.Acked++
+		a.classAcked[o.class]++
+		if a.qs != nil {
+			s := a.qs.Series(o.class)
+			s.Acked.Inc()
+			s.Lat.Observe(a.eng.Now().Sub(o.arrived))
+		}
 	}
 	if a.onAck != nil {
 		a.onAck(o, err)

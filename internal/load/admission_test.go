@@ -106,8 +106,8 @@ func TestAdmissionThrottlesPerTenant(t *testing.T) {
 		})
 	}
 	eng.RunFor(10 * sim.Millisecond)
-	_, _, vThrottled := a.ClassStats(0)
-	_, aAdmitted, aThrottled := a.ClassStats(1)
+	_, _, vThrottled, _ := a.ClassStats(0)
+	_, aAdmitted, aThrottled, _ := a.ClassStats(1)
 	if vThrottled != 0 {
 		t.Fatalf("victim throttled %d times", vThrottled)
 	}

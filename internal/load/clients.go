@@ -1,6 +1,9 @@
 package load
 
-import "hyperloop/internal/sim"
+import (
+	"hyperloop/internal/qos"
+	"hyperloop/internal/sim"
+)
 
 // TenantClass is one tenant rate class: a share of the client population and
 // the admission-control budget its members collectively get at each group.
@@ -10,10 +13,14 @@ type TenantClass struct {
 	Weight int
 	// RatePerSec refills the class's per-group admission token bucket;
 	// 0 leaves the class unthrottled (only the shared queue bound applies).
+	// With QoS on, it doubles as the class's contract rate per group.
 	RatePerSec float64
 	// Burst is the bucket depth in ops (default: max(8, RatePerSec/1000) —
 	// a millisecond of budget).
 	Burst float64
+	// SLO is the class's latency target, elasticity budget, and placement
+	// hint for the QoS controller (zero value = observe-only class).
+	SLO qos.SLO
 }
 
 // DefaultTenants is the single-class population: every client in one

@@ -6,6 +6,9 @@ import (
 	"hyperloop/internal/check"
 	"hyperloop/internal/cluster"
 	"hyperloop/internal/metrics"
+	"hyperloop/internal/qos"
+	"hyperloop/internal/rdma"
+	"hyperloop/internal/shard"
 	"hyperloop/internal/sim"
 	"hyperloop/internal/stats"
 	"hyperloop/internal/ycsb"
@@ -59,6 +62,18 @@ type Config struct {
 	// on/off axis the experiments sweep.
 	Admission AdmissionConfig
 
+	// HostTiers labels each group's host pool for tiered placement and
+	// TierNIC gives tiers their own NIC profiles (see ServerConfig).
+	HostTiers []shard.Tier
+	TierNIC   map[shard.Tier]rdma.Config
+	// QoS starts one qos.Controller per group: tenant keysets become
+	// shard-scoped, verdicts flow into per-tenant metric series, and
+	// sustained saturation can fund migration-backed scale-out within each
+	// tenant's budget. Requires the hyperloop arm; forces Metrics on.
+	QoS bool
+	// QoSConfig tunes the controllers (zero fields take qos defaults).
+	QoSConfig qos.Config
+
 	// Metrics attaches per-group registries; WithSpans per-group op spans
 	// (HyperLoop arm only).
 	Metrics   bool
@@ -109,6 +124,9 @@ type TenantStat struct {
 	Throttled uint64
 	Acked     uint64
 	P99       sim.Duration
+	// Credits is the class's leftover bucket credit summed across groups at
+	// cut-off (burst headroom it never spent).
+	Credits float64
 }
 
 // Result is one serving-plane run, merged across groups in group order so
@@ -143,6 +161,18 @@ type Result struct {
 	Doorbells    uint64
 
 	Tenants []TenantStat
+
+	// QoSEvents is every group controller's decision log concatenated in
+	// group order; QoSTenants the per-tenant controller ledgers merged in
+	// group order (steps/spend summed, Degraded OR-ed). Both empty unless
+	// Config.QoS.
+	QoSEvents  []qos.Event
+	QoSTenants []qos.TenantState
+
+	// Placements is, per group in group order, the hyperloop arm's final
+	// shard→hosts map (nil for naive) — the audit trail tier-placement
+	// checks read after the run.
+	Placements [][][]int
 
 	// SpansStarted/Ended report the op-span ledger when WithSpans is set.
 	SpansStarted uint64
@@ -187,6 +217,14 @@ const keysetSize = 128
 // Run executes one open-loop serving run and returns the merged result.
 func Run(cfg Config) Result {
 	cfg.fill()
+	if cfg.QoS {
+		if cfg.System != "hyperloop" {
+			panic("load: QoS requires the hyperloop arm (scale-out needs the shard plane)")
+		}
+		// The controllers observe tenant series living in the per-group
+		// registries; without them there is nothing to window.
+		cfg.Metrics = true
+	}
 	var regs []*metrics.Registry
 	scfg := ServerConfig{
 		Groups:         cfg.Groups,
@@ -196,6 +234,8 @@ func Run(cfg Config) Result {
 		RegionSize:     cfg.RegionSize,
 		FusionDepth:    cfg.FusionDepth,
 		DoorbellCost:   cfg.DoorbellCost,
+		HostTiers:      cfg.HostTiers,
+		TierNIC:        cfg.TierNIC,
 		Workers:        cfg.Workers,
 		Seed:           cfg.Seed,
 		WithSpans:      cfg.WithSpans,
@@ -232,6 +272,8 @@ func Run(cfg Config) Result {
 		classH   []*stats.Histogram
 		classAck []uint64
 		good     uint64
+		act      *groupActuator // nil unless cfg.QoS
+		ctrl     *qos.Controller
 	}
 	gs := make([]*groupState, groups)
 
@@ -327,14 +369,64 @@ func Run(cfg Config) Result {
 			})
 		}
 
+		if cfg.QoS {
+			names := make([]string, len(cfg.Tenants))
+			classes := make([]qos.Class, len(cfg.Tenants))
+			for i, tc := range cfg.Tenants {
+				names[i] = tc.Name
+				classes[i] = qos.Class{Name: tc.Name, ContractRate: tc.RatePerSec, SLO: tc.SLO}
+			}
+			src := qos.NewRegistrySource(regs[g], names)
+			st.adm.InstrumentQoS(src)
+
+			pl := srv.Plane(g)
+			shardCache := map[int][]string{}
+			shardKeys := func(sid int) []string {
+				ks, ok := shardCache[sid]
+				if !ok {
+					ks = shardKeyset(srv, pl, g, sid)
+					shardCache[sid] = ks
+				}
+				return ks
+			}
+			// Tenant i starts on shard i mod ShardsPerGroup; shards past the
+			// tenant count are the spares scale-out recruits.
+			keysets := make([][]string, len(cfg.Tenants))
+			for i := range keysets {
+				keysets[i] = shardKeys(i % pl.Shards())
+			}
+			spare := len(cfg.Tenants)
+			if spare > pl.Shards() {
+				spare = pl.Shards()
+			}
+			st.act = &groupActuator{
+				adm: st.adm, pl: pl,
+				hosts: scfg.HostsPerGroup, replicas: scfg.Replicas,
+				keysets: keysets, spare: spare, shardKeys: shardKeys,
+			}
+			st.ctrl = qos.NewController(eng, cfg.QoSConfig, classes, src, st.act)
+			// Decisions stop at the arrival horizon; in-flight scale-outs
+			// still settle their ledgers during the drain window.
+			ctrl := st.ctrl
+			eng.Schedule(horizon.Sub(eng.Now()), func() { ctrl.Stop() })
+		}
+
 		// The open-loop arrival pump: offer, then schedule the next arrival
 		// if it still lands inside the horizon.
 		var tick func()
 		tick = func() {
 			// A client keeps its key across the run (session working set);
-			// the keyset stays bounded while the id space is huge.
+			// the keyset stays bounded while the id space is huge. With QoS
+			// on, the class's live keyset aims the op at the shards the
+			// tenant owns right now.
 			id, class := st.clients.Sample(rng)
-			key := keys[id%len(keys)]
+			var key string
+			if st.act != nil {
+				ks := st.act.keysets[class]
+				key = ks[id%len(ks)]
+			} else {
+				key = keys[id%len(keys)]
+			}
 			st.adm.Offer(key, vals.Next(0), class)
 			gap := arr.Next()
 			if eng.Now().Add(gap) <= horizon {
@@ -421,12 +513,31 @@ func Run(cfg Config) Result {
 		res.ConnsOpened += o
 		res.ConnsClosed += c
 		for i := range cfg.Tenants {
-			arrivals, admitted, throttled := st.adm.ClassStats(i)
+			arrivals, admitted, throttled, _ := st.adm.ClassStats(i)
 			res.Tenants[i].Arrivals += arrivals
 			res.Tenants[i].Admitted += admitted
 			res.Tenants[i].Throttled += throttled
 			res.Tenants[i].Acked += st.classAck[i]
+			res.Tenants[i].Credits += st.adm.Credits(i)
 			classH[i].Merge(st.classH[i])
+		}
+		if st.ctrl != nil {
+			res.QoSEvents = append(res.QoSEvents, st.ctrl.Events()...)
+			states := st.ctrl.States()
+			if res.QoSTenants == nil {
+				res.QoSTenants = make([]qos.TenantState, len(states))
+			}
+			for i, s := range states {
+				res.QoSTenants[i].Name = s.Name
+				res.QoSTenants[i].Steps += s.Steps
+				res.QoSTenants[i].Spent += s.Spent
+				res.QoSTenants[i].EscrowLeft += s.EscrowLeft
+				res.QoSTenants[i].FundedRate += s.FundedRate
+				res.QoSTenants[i].Degraded = res.QoSTenants[i].Degraded || s.Degraded
+			}
+		}
+		if pl := srv.Plane(g); pl != nil {
+			res.Placements = append(res.Placements, pl.Map.Placements())
 		}
 		if sp := srv.Spans(g); sp != nil {
 			started, ended, _, _ := sp.Counts()

@@ -31,6 +31,10 @@ type Server interface {
 	Put(g int, key string, value []byte, done func(error))
 	// Cluster returns group g's cluster (for instrumentation).
 	Cluster(g int) *cluster.Cluster
+	// Plane returns group g's shard plane for control-plane actuation
+	// (migration-backed scale-out), or nil when the backend has none (the
+	// Naive arm serves but cannot elastically re-place shards).
+	Plane(g int) *shard.Plane
 	// Spans returns group g's span recorder (nil when not recording).
 	Spans(g int) *span.Recorder
 	// FusionStats sums (batches, fused ops) across the backend's groups.
@@ -52,8 +56,14 @@ type ServerConfig struct {
 	// DoorbellCost charges per-MMIO-ring NIC time on every node of either
 	// arm (default 0 = free doorbells, the legacy model).
 	DoorbellCost sim.Duration
-	Workers      int
-	Seed         int64
+	// HostTiers labels every group's host pool (nil = untiered legacy pool;
+	// length HostsPerGroup otherwise) and TierNIC gives each tier its own
+	// NIC profile. The HyperLoop arm places and migrates by tier; the Naive
+	// arm ignores both (its chains have no placement control plane).
+	HostTiers []shard.Tier
+	TierNIC   map[shard.Tier]rdma.Config
+	Workers   int
+	Seed      int64
 	// Metrics optionally attaches one registry per group (nil, or length
 	// Groups).
 	Metrics []*metrics.Registry
@@ -108,6 +118,8 @@ func OpenHyperLoop(cfg ServerConfig) (Server, error) {
 		Group:          core.Config{Depth: 512, FusionDepth: cfg.FusionDepth},
 		Fabric:         fabric.Config{JitterFrac: -1},
 		NIC:            rdma.Config{DoorbellCost: cfg.DoorbellCost},
+		HostTiers:      cfg.HostTiers,
+		TierNIC:        cfg.TierNIC,
 		Seed:           cfg.Seed,
 		Workers:        cfg.Workers,
 		Metrics:        cfg.Metrics,
@@ -126,6 +138,7 @@ func (s *hlServer) Cluster(g int) *cluster.Cluster {
 	return s.pp.Group(g).Cl
 }
 func (s *hlServer) Spans(g int) *span.Recorder { return s.pp.Spans(g) }
+func (s *hlServer) Plane(g int) *shard.Plane   { return s.pp.Group(g) }
 
 func (s *hlServer) Put(g int, key string, value []byte, done func(error)) {
 	s.pp.Put(g, key, value, done)
@@ -255,6 +268,7 @@ func (s *nvServer) HomeGroup(key string) int {
 
 func (s *nvServer) Cluster(g int) *cluster.Cluster { return s.groups[g].cl }
 func (s *nvServer) Spans(g int) *span.Recorder     { return nil }
+func (s *nvServer) Plane(g int) *shard.Plane       { return nil }
 
 func (s *nvServer) Put(g int, key string, value []byte, done func(error)) {
 	ng := s.groups[g]

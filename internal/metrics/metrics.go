@@ -222,6 +222,26 @@ func (r *Registry) Sample(now sim.Time) {
 // whether one has happened.
 func (r *Registry) LastSample() (sim.Time, bool) { return r.lastSample, r.sampled }
 
+// Distinct reports whether (subsystem, name, label) exists as its own
+// series — i.e. it was registered and did NOT collapse into the overflow
+// label. Readers that act on per-label values (the QoS controller) must
+// treat a non-distinct series as unreliable: a collapsed counter mixes an
+// unknown set of labels.
+func (r *Registry) Distinct(subsystem, name, label string) bool {
+	if label == OverflowLabel {
+		return false
+	}
+	k := Key{subsystem, name, label}
+	if _, ok := r.counters[k]; ok {
+		return true
+	}
+	if _, ok := r.gauges[k]; ok {
+		return true
+	}
+	_, ok := r.hists[k]
+	return ok
+}
+
 // Merge folds src into r: counters add, histograms merge, gauges take the
 // source's materialised value (per-cell gauges should carry disjoint labels,
 // e.g. a worker or shard suffix). Merging cells in input order keeps the

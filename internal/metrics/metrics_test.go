@@ -218,6 +218,46 @@ func TestLabelCardinalityOverflow(t *testing.T) {
 	}
 }
 
+// TestThousandTenantsCollapseWithoutPerturbation is the QoS-era cardinality
+// regression: 1k+ tenant labels fold into the single overflow series, every
+// pre-cap tenant's counts stay exactly its own, and Distinct tells readers
+// which is which so nothing acts on the collapsed bucket.
+func TestThousandTenantsCollapseWithoutPerturbation(t *testing.T) {
+	r := NewRegistry()
+	const tenants = 1200
+	for i := 0; i < tenants; i++ {
+		// Every tenant contributes a distinct count so perturbation of any
+		// surviving series would be visible.
+		r.Counter("tenant", "arrivals", fmt.Sprintf("t%04d", i)).Add(uint64(i + 1))
+	}
+	for i := 0; i < MaxLabels; i++ {
+		lbl := fmt.Sprintf("t%04d", i)
+		if got := r.Counter("tenant", "arrivals", lbl).Value(); got != uint64(i+1) {
+			t.Fatalf("tenant %d perturbed: %d, want %d", i, got, i+1)
+		}
+		if !r.Distinct("tenant", "arrivals", lbl) {
+			t.Fatalf("pre-cap tenant %d not distinct", i)
+		}
+	}
+	// The overflow series absorbed exactly the post-cap tenants' sum.
+	var want uint64
+	for i := MaxLabels; i < tenants; i++ {
+		want += uint64(i + 1)
+	}
+	if got := r.Counter("tenant", "arrivals", OverflowLabel).Value(); got != want {
+		t.Fatalf("overflow sum %d, want %d", got, want)
+	}
+	if r.Distinct("tenant", "arrivals", fmt.Sprintf("t%04d", tenants-1)) {
+		t.Fatal("collapsed tenant reported distinct")
+	}
+	if r.Distinct("tenant", "arrivals", OverflowLabel) {
+		t.Fatal("the overflow label itself must never read as distinct")
+	}
+	if r.Distinct("tenant", "arrivals", "never-registered") {
+		t.Fatal("unregistered label reported distinct")
+	}
+}
+
 // --- sampler ---
 
 func TestSamplerTicksOnVirtualClock(t *testing.T) {

@@ -1,0 +1,85 @@
+package qos
+
+import "hyperloop/internal/sim"
+
+// Bucket is the canonical virtual-time token bucket behind tenant burst
+// credits: tokens accrue at rate per second of simulated time up to a burst
+// cap, and one token admits one op. Two invariants hold under any call
+// sequence, including adversarial (non-monotonic) timestamps:
+//
+//	0 <= Credits(now) <= Cap
+//
+// Time moving backwards — which a correct caller never does, but a buggy
+// merge of per-group clocks could — is treated as zero elapsed time rather
+// than accruing a negative credit.
+type Bucket struct {
+	rate   float64 // tokens per second of virtual time
+	cap    float64 // burst ceiling
+	tokens float64
+	last   sim.Time
+	spent  uint64 // lifetime tokens consumed
+}
+
+// NewBucket returns a bucket with the given refill rate (tokens/sec) and
+// burst cap, born full at virtual time zero. Negative inputs clamp to zero.
+func NewBucket(rate, burst float64) Bucket {
+	if rate < 0 {
+		rate = 0
+	}
+	if burst < 0 {
+		burst = 0
+	}
+	return Bucket{rate: rate, cap: burst, tokens: burst}
+}
+
+// settle accrues credit for the time since the last settle, clamping both
+// backwards time and the burst cap.
+func (b *Bucket) settle(now sim.Time) {
+	if now > b.last {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.cap {
+			b.tokens = b.cap
+		}
+		b.last = now
+	}
+	// now <= b.last: clock went backwards (or stood still); accrue nothing
+	// and keep the later watermark so a replayed timestamp cannot double-pay.
+}
+
+// Take spends one token if one whole token is available and reports whether
+// the op is admitted.
+func (b *Bucket) Take(now sim.Time) bool {
+	b.settle(now)
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	b.spent++
+	return true
+}
+
+// Credits returns the whole tokens available at now without spending any.
+func (b *Bucket) Credits(now sim.Time) float64 {
+	b.settle(now)
+	return b.tokens
+}
+
+// Spent returns the lifetime token spend.
+func (b *Bucket) Spent() uint64 { return b.spent }
+
+// Rate returns the current refill rate in tokens per second.
+func (b *Bucket) Rate() float64 { return b.rate }
+
+// Cap returns the burst ceiling.
+func (b *Bucket) Cap() float64 { return b.cap }
+
+// SetRate settles at now, then swaps the refill rate — the elastic-rate
+// lever the QoS controller pulls after a funded scale-out. Accrued credit
+// is kept; negative rates clamp to zero.
+func (b *Bucket) SetRate(now sim.Time, rate float64) {
+	b.settle(now)
+	if rate < 0 {
+		rate = 0
+	}
+	b.rate = rate
+}

@@ -1,0 +1,126 @@
+package qos
+
+import (
+	"math"
+	"testing"
+
+	"hyperloop/internal/sim"
+)
+
+// checkBucket asserts the two bucket invariants at an observation point.
+func checkBucket(t *testing.T, b *Bucket, now sim.Time) {
+	t.Helper()
+	c := b.Credits(now)
+	if c < 0 || math.IsNaN(c) {
+		t.Fatalf("credits went negative: %v at %v", c, now)
+	}
+	if c > b.Cap()+1e-9 {
+		t.Fatalf("credits %v exceed cap %v at %v", c, b.Cap(), now)
+	}
+}
+
+func TestBucketAccrualAndSpend(t *testing.T) {
+	b := NewBucket(1_000_000, 8) // 1 token/µs, burst 8
+	if got := b.Credits(0); got != 8 {
+		t.Fatalf("born with %v credits, want full burst 8", got)
+	}
+	for i := 0; i < 8; i++ {
+		if !b.Take(0) {
+			t.Fatalf("take %d refused with credits available", i)
+		}
+	}
+	if b.Take(0) {
+		t.Fatal("take admitted with an empty bucket")
+	}
+	// 3µs refills 3 tokens.
+	now := sim.Time(3 * sim.Microsecond)
+	if got := b.Credits(now); got < 2.99 || got > 3.01 {
+		t.Fatalf("credits after 3µs = %v, want ~3", got)
+	}
+	// A long idle clamps at the cap, never above.
+	now = sim.Time(1 * sim.Second)
+	if got := b.Credits(now); got != 8 {
+		t.Fatalf("credits after idle = %v, want cap 8", got)
+	}
+	if b.Spent() != 8 {
+		t.Fatalf("spent = %d, want 8", b.Spent())
+	}
+}
+
+func TestBucketBackwardsTimeAccruesNothing(t *testing.T) {
+	b := NewBucket(1_000_000, 4)
+	for i := 0; i < 4; i++ {
+		b.Take(sim.Time(10 * sim.Microsecond))
+	}
+	// The clock jumping backwards must not mint credit, and the later
+	// watermark must survive so a replay can't double-pay.
+	if got := b.Credits(sim.Time(2 * sim.Microsecond)); got != 0 {
+		t.Fatalf("backwards time minted %v credits", got)
+	}
+	if got := b.Credits(sim.Time(11 * sim.Microsecond)); got < 0.99 || got > 1.01 {
+		t.Fatalf("credits after watermark+1µs = %v, want ~1", got)
+	}
+}
+
+func TestBucketSetRate(t *testing.T) {
+	b := NewBucket(1_000_000, 8)
+	for i := 0; i < 8; i++ {
+		b.Take(0)
+	}
+	b.SetRate(sim.Time(2*sim.Microsecond), 4_000_000)
+	// 2µs at the old rate accrued 2; the next 1µs at the new rate adds 4.
+	if got := b.Credits(sim.Time(3 * sim.Microsecond)); got < 5.99 || got > 6.01 {
+		t.Fatalf("credits across a rate change = %v, want ~6", got)
+	}
+	if b.Rate() != 4_000_000 {
+		t.Fatalf("rate = %v, want 4e6", b.Rate())
+	}
+	b.SetRate(sim.Time(3*sim.Microsecond), -5)
+	if b.Rate() != 0 {
+		t.Fatalf("negative rate not clamped: %v", b.Rate())
+	}
+}
+
+func TestBucketZeroRateNeverRefills(t *testing.T) {
+	b := NewBucket(0, 2)
+	if !b.Take(0) || !b.Take(0) {
+		t.Fatal("burst credits not spendable at rate 0")
+	}
+	if b.Take(sim.Time(sim.Second)) {
+		t.Fatal("rate-0 bucket refilled")
+	}
+}
+
+// FuzzTenantBucket drives a bucket with an adversarial op/timestamp stream
+// — including non-monotonic clocks and mid-stream rate changes — and
+// asserts credits never go negative nor above the cap.
+func FuzzTenantBucket(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 255, 0, 128, 7}, uint16(5000), uint8(8))
+	f.Add([]byte{9, 9, 9, 9, 9, 9}, uint16(0), uint8(0))
+	f.Add([]byte{1, 0, 1, 0, 1, 0, 200, 100}, uint16(65535), uint8(255))
+	f.Fuzz(func(t *testing.T, ops []byte, rate uint16, burst uint8) {
+		b := NewBucket(float64(rate)*1000, float64(burst))
+		var now sim.Time
+		for i, op := range ops {
+			// Low bits pick the action, high bits the time delta; every
+			// third op rewinds the clock to probe the monotonic guard.
+			delta := sim.Duration(op>>2) * sim.Microsecond
+			if i%3 == 2 {
+				now = now.Add(-delta)
+			} else {
+				now = now.Add(delta)
+			}
+			switch op & 3 {
+			case 0, 1:
+				b.Take(now)
+			case 2:
+				b.SetRate(now, float64(op)*500)
+			case 3:
+				b.Credits(now)
+			}
+			if c := b.Credits(now); c < 0 || c > b.Cap()+1e-9 || math.IsNaN(c) {
+				t.Fatalf("op %d at %v: credits %v outside [0, %v]", i, now, c, b.Cap())
+			}
+		}
+	})
+}

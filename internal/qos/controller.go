@@ -1,0 +1,228 @@
+package qos
+
+import (
+	"fmt"
+
+	"hyperloop/internal/shard"
+	"hyperloop/internal/sim"
+)
+
+// Config tunes one group's QoS controller. Zero values take the defaults
+// noted on each field.
+type Config struct {
+	// Window is the observation period between decision ticks (200µs).
+	Window sim.Duration
+	// Sustain is how many consecutive saturated windows arm the saturation
+	// signal (2) — a single bursty window never triggers spend.
+	Sustain int
+	// SaturationFrac is the throttled share of a tenant's window arrivals
+	// that marks the window saturated (0.25).
+	SaturationFrac float64
+	// FundFrac is the admission-rate raise per completed scale-out step,
+	// as a fraction of the contract rate (0.5).
+	FundFrac float64
+	// MaxSteps is a safety cap on funded steps per tenant regardless of
+	// escrow (8).
+	MaxSteps int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 200 * sim.Microsecond
+	}
+	if c.Sustain <= 0 {
+		c.Sustain = 2
+	}
+	if c.SaturationFrac <= 0 {
+		c.SaturationFrac = 0.25
+	}
+	if c.FundFrac <= 0 {
+		c.FundFrac = 0.5
+	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = 8
+	}
+	return c
+}
+
+type tenantState struct {
+	prev           TenantWindow
+	sustain        int
+	steps          int
+	spent          float64
+	escrow         float64
+	funded         float64
+	inflight       bool
+	degraded       bool
+	overflowLogged bool
+	breachLogged   bool
+}
+
+// Controller is one group leader's observe→decide→act loop. It ticks every
+// cfg.Window on the group's engine, differences the Source snapshots, and
+// drives the Actuator. All state is engine-local, so runs stay
+// byte-identical at any worker count.
+type Controller struct {
+	eng     *sim.Engine
+	cfg     Config
+	classes []Class
+	src     Source
+	act     Actuator
+	st      []tenantState
+	events  []Event
+	timer   sim.EventID
+	stopped bool
+}
+
+// NewController starts a controller on eng and schedules its first tick one
+// window out. Each tenant's escrow is seeded from its SLO budget.
+func NewController(eng *sim.Engine, cfg Config, classes []Class, src Source, act Actuator) *Controller {
+	c := &Controller{
+		eng:     eng,
+		cfg:     cfg.withDefaults(),
+		classes: classes,
+		src:     src,
+		act:     act,
+		st:      make([]tenantState, len(classes)),
+	}
+	for i := range classes {
+		c.st[i].escrow = classes[i].SLO.Budget.Escrow
+	}
+	c.timer = eng.Schedule(c.cfg.Window, c.tick)
+	return c
+}
+
+// Stop cancels the tick loop; in-flight scale-outs still complete.
+func (c *Controller) Stop() {
+	if c.stopped {
+		return
+	}
+	c.stopped = true
+	if c.timer.Valid() {
+		c.eng.Cancel(c.timer)
+	}
+}
+
+// Events returns the decision log in virtual-time order.
+func (c *Controller) Events() []Event { return c.events }
+
+// States snapshots the per-tenant ledgers.
+func (c *Controller) States() []TenantState {
+	out := make([]TenantState, len(c.st))
+	for i := range c.st {
+		out[i] = TenantState{
+			Name:       c.classes[i].Name,
+			Steps:      c.st[i].steps,
+			Spent:      c.st[i].spent,
+			EscrowLeft: c.st[i].escrow,
+			FundedRate: c.st[i].funded,
+			Degraded:   c.st[i].degraded,
+		}
+	}
+	return out
+}
+
+func (c *Controller) log(at sim.Time, class int, kind EventKind, detail string) {
+	c.events = append(c.events, Event{
+		At: at, Class: class, Name: c.classes[class].Name, Kind: kind, Detail: detail,
+	})
+}
+
+func (c *Controller) tick() {
+	if c.stopped {
+		return
+	}
+	now := c.eng.Now()
+	for i := range c.classes {
+		c.observe(i, now)
+	}
+	c.timer = c.eng.Schedule(c.cfg.Window, c.tick)
+}
+
+// observe differences class i's window and decides. The decision ladder is
+// strict: collapsed series are skipped, a lone saturated window only arms
+// the counter, and funding happens only within escrow, cap, and MaxSteps.
+func (c *Controller) observe(i int, now sim.Time) {
+	cl := &c.classes[i]
+	st := &c.st[i]
+	cur := c.src.Window(i)
+	w := TenantWindow{
+		Arrivals:     cur.Arrivals - st.prev.Arrivals,
+		Admitted:     cur.Admitted - st.prev.Admitted,
+		Throttled:    cur.Throttled - st.prev.Throttled,
+		Acked:        cur.Acked - st.prev.Acked,
+		Backpressure: cur.Backpressure - st.prev.Backpressure,
+	}
+	st.prev = cur
+
+	if cl.SLO.P99Target > 0 && cur.P99 > cl.SLO.P99Target && !st.breachLogged {
+		st.breachLogged = true
+		c.log(now, i, SLOBreach, fmt.Sprintf("p99 %v over target %v", cur.P99, cl.SLO.P99Target))
+	}
+	if cl.ContractRate <= 0 {
+		return
+	}
+	if cur.Overflow {
+		st.sustain = 0
+		if !st.overflowLogged {
+			st.overflowLogged = true
+			c.log(now, i, OverflowSkipped, "series collapsed into overflow label; refusing to decide")
+		}
+		return
+	}
+	saturated := w.Arrivals > 0 &&
+		float64(w.Throttled) >= c.cfg.SaturationFrac*float64(w.Arrivals)
+	if !saturated {
+		st.sustain = 0
+		return
+	}
+	st.sustain++
+	if st.sustain < c.cfg.Sustain || st.inflight {
+		return
+	}
+	st.sustain = 0
+
+	b := cl.SLO.Budget
+	canFund := st.steps < c.cfg.MaxSteps &&
+		st.escrow >= b.StepCost &&
+		st.spent+b.StepCost <= b.SpendCap
+	if canFund || !st.degraded {
+		c.log(now, i, Saturated, fmt.Sprintf("shed %d of %d arrivals; backpressure +%d",
+			w.Throttled, w.Arrivals, w.Backpressure))
+	}
+	if !canFund {
+		if !st.degraded {
+			st.degraded = true
+			c.log(now, i, CapExhausted, fmt.Sprintf(
+				"spent %.1f of cap %.1f, escrow %.1f: degrading to throttle",
+				st.spent, b.SpendCap, st.escrow))
+		}
+		return
+	}
+	st.spent += b.StepCost
+	st.escrow -= b.StepCost
+	st.inflight = true
+	c.log(now, i, Funded, fmt.Sprintf("step %d: cost %.1f, escrow %.1f left",
+		st.steps+1, b.StepCost, st.escrow))
+	c.act.ScaleOut(i, cl.SLO.Hint, func(err error) { c.scaleDone(i, err) })
+}
+
+func (c *Controller) scaleDone(i int, err error) {
+	cl := &c.classes[i]
+	st := &c.st[i]
+	st.inflight = false
+	if err != nil {
+		st.spent -= cl.SLO.Budget.StepCost
+		st.escrow += cl.SLO.Budget.StepCost
+		c.log(c.eng.Now(), i, ScaleOutFailed, fmt.Sprintf("refunded: %v", err))
+		return
+	}
+	st.steps++
+	st.funded += c.cfg.FundFrac * cl.ContractRate
+	c.act.SetRate(i, cl.ContractRate+st.funded)
+	c.log(c.eng.Now(), i, ScaleOutDone, fmt.Sprintf("rate raised to %.0f/s", cl.ContractRate+st.funded))
+}
+
+// Hint re-exports the shard placement hint type for callers that only
+// import qos.
+type Hint = shard.Hint

@@ -1,0 +1,282 @@
+package qos
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"hyperloop/internal/metrics"
+	"hyperloop/internal/shard"
+	"hyperloop/internal/sim"
+)
+
+// fakeSource scripts per-class cumulative windows by tick index.
+type fakeSource struct {
+	tick    int
+	windows func(class, tick int) TenantWindow
+}
+
+func (s *fakeSource) Window(i int) TenantWindow { return s.windows(i, s.tick) }
+
+// fakeActuator records decisions and completes scale-outs on the engine.
+type fakeActuator struct {
+	eng      *sim.Engine
+	rates    []float64
+	scales   int
+	failWith error
+	delay    sim.Duration
+}
+
+func (a *fakeActuator) SetRate(i int, r float64) { a.rates = append(a.rates, r) }
+
+func (a *fakeActuator) ScaleOut(i int, hint shard.Hint, done func(error)) {
+	a.scales++
+	err := a.failWith
+	a.eng.Schedule(a.delay, func() { done(err) })
+}
+
+func saturatedAlways(class, tick int) TenantWindow {
+	// Cumulative counters growing every window, 50% throttled.
+	return TenantWindow{
+		Arrivals:  uint64(tick) * 100,
+		Admitted:  uint64(tick) * 50,
+		Throttled: uint64(tick) * 50,
+	}
+}
+
+func testClasses(escrow, cap float64) []Class {
+	return []Class{{
+		Name:         "agg",
+		ContractRate: 10_000,
+		SLO: SLO{
+			Budget: Budget{Escrow: escrow, StepCost: 1, SpendCap: cap},
+			Hint:   shard.HintHot,
+		},
+	}}
+}
+
+func runController(t *testing.T, classes []Class, src Source, act Actuator, d sim.Duration) *Controller {
+	t.Helper()
+	eng := sim.NewEngine()
+	fa, ok := act.(*fakeActuator)
+	if ok {
+		fa.eng = eng
+	}
+	fs, isFake := src.(*fakeSource)
+	c := NewController(eng, Config{Window: 100 * sim.Microsecond}, classes, src, act)
+	if isFake {
+		// Advance the scripted tick just before each controller tick fires.
+		var pump func()
+		pump = func() {
+			fs.tick++
+			eng.Schedule(100*sim.Microsecond, pump)
+		}
+		eng.Schedule(100*sim.Microsecond-1, pump)
+	}
+	eng.Run(sim.Time(0).Add(d))
+	c.Stop()
+	// Drain in-flight scale-out completions so ledgers are settled.
+	eng.Run(sim.Time(0).Add(d + sim.Millisecond))
+	return c
+}
+
+func kinds(events []Event) []EventKind {
+	out := make([]EventKind, len(events))
+	for i, e := range events {
+		out[i] = e.Kind
+	}
+	return out
+}
+
+func TestControllerFundsThenExhausts(t *testing.T) {
+	src := &fakeSource{windows: saturatedAlways}
+	act := &fakeActuator{delay: 10 * sim.Microsecond}
+	c := runController(t, testClasses(2, 2), src, act, 3*sim.Millisecond)
+
+	st := c.States()[0]
+	if st.Steps != 2 {
+		t.Fatalf("steps = %d, want 2 (escrow covers exactly 2)", st.Steps)
+	}
+	if st.Spent != 2 || st.EscrowLeft != 0 {
+		t.Fatalf("spent/escrow = %v/%v, want 2/0", st.Spent, st.EscrowLeft)
+	}
+	if !st.Degraded {
+		t.Fatal("controller did not degrade to throttling at the cap")
+	}
+	// Funded rate: contract 10k, FundFrac 0.5 → +5k per step.
+	if st.FundedRate != 10_000 {
+		t.Fatalf("funded rate = %v, want 10000", st.FundedRate)
+	}
+	if act.scales != 2 {
+		t.Fatalf("scale-outs = %d, want 2", act.scales)
+	}
+	if len(act.rates) != 2 || act.rates[0] != 15_000 || act.rates[1] != 20_000 {
+		t.Fatalf("rates = %v, want [15000 20000]", act.rates)
+	}
+	var sawCap bool
+	for _, e := range c.Events() {
+		if e.Kind == CapExhausted {
+			sawCap = true
+		}
+	}
+	if !sawCap {
+		t.Fatalf("no cap-exhausted event in %v", kinds(c.Events()))
+	}
+}
+
+func TestControllerRefundsFailedScaleOut(t *testing.T) {
+	src := &fakeSource{windows: saturatedAlways}
+	act := &fakeActuator{delay: 10 * sim.Microsecond, failWith: errors.New("no spare shard")}
+	c := runController(t, testClasses(4, 4), src, act, 2*sim.Millisecond)
+
+	st := c.States()[0]
+	if st.Steps != 0 {
+		t.Fatalf("steps = %d, want 0 (every scale-out failed)", st.Steps)
+	}
+	if st.Spent != 0 || st.EscrowLeft != 4 {
+		t.Fatalf("spent/escrow = %v/%v, want 0/4 after refunds", st.Spent, st.EscrowLeft)
+	}
+	if len(act.rates) != 0 {
+		t.Fatalf("rate raised despite failed scale-outs: %v", act.rates)
+	}
+	if act.scales == 0 {
+		t.Fatal("no scale-out attempted")
+	}
+}
+
+func TestControllerCalmTenantNeverFunds(t *testing.T) {
+	src := &fakeSource{windows: func(class, tick int) TenantWindow {
+		return TenantWindow{Arrivals: uint64(tick) * 100, Admitted: uint64(tick) * 100}
+	}}
+	act := &fakeActuator{delay: sim.Microsecond}
+	c := runController(t, testClasses(10, 10), src, act, 2*sim.Millisecond)
+	if act.scales != 0 || len(c.Events()) != 0 {
+		t.Fatalf("calm tenant acted on: %d scale-outs, events %v", act.scales, kinds(c.Events()))
+	}
+}
+
+func TestControllerSingleWindowDoesNotTrigger(t *testing.T) {
+	// Saturated only in window 3: sustain=2 must never be reached.
+	src := &fakeSource{windows: func(class, tick int) TenantWindow {
+		w := TenantWindow{Arrivals: uint64(tick) * 100, Admitted: uint64(tick) * 100}
+		if tick >= 3 {
+			w.Throttled = 90 // one window's worth, then flat again
+		}
+		return w
+	}}
+	act := &fakeActuator{delay: sim.Microsecond}
+	c := runController(t, testClasses(10, 10), src, act, 2*sim.Millisecond)
+	if act.scales != 0 {
+		t.Fatalf("single saturated window funded a step (events %v)", kinds(c.Events()))
+	}
+}
+
+func TestControllerOverflowIsConservative(t *testing.T) {
+	src := &fakeSource{windows: func(class, tick int) TenantWindow {
+		w := saturatedAlways(class, tick)
+		w.Overflow = true
+		return w
+	}}
+	act := &fakeActuator{delay: sim.Microsecond}
+	c := runController(t, testClasses(10, 10), src, act, 2*sim.Millisecond)
+	if act.scales != 0 {
+		t.Fatal("controller scaled out from an overflow-bucket series")
+	}
+	evs := c.Events()
+	if len(evs) != 1 || evs[0].Kind != OverflowSkipped {
+		t.Fatalf("events = %v, want exactly one overflow-skipped", kinds(evs))
+	}
+}
+
+func TestControllerSLOBreachObserved(t *testing.T) {
+	classes := testClasses(0, 0)
+	classes[0].SLO.P99Target = 100 * sim.Microsecond
+	src := &fakeSource{windows: func(class, tick int) TenantWindow {
+		w := TenantWindow{Arrivals: uint64(tick) * 100, Admitted: uint64(tick) * 100}
+		w.P99 = 250 * sim.Microsecond
+		return w
+	}}
+	act := &fakeActuator{delay: sim.Microsecond}
+	c := runController(t, classes, src, act, sim.Millisecond)
+	var breaches int
+	for _, e := range c.Events() {
+		if e.Kind == SLOBreach {
+			breaches++
+		}
+	}
+	if breaches != 1 {
+		t.Fatalf("SLO breaches logged %d times, want once", breaches)
+	}
+	if act.scales != 0 {
+		t.Fatal("SLO breach alone must never fund a scale-out")
+	}
+}
+
+// TestRegistrySourceOverflowConservative is the label-cardinality
+// regression for the QoS reader: past MaxLabels the collapsed tenants'
+// snapshots are flagged Overflow, distinct tenants stay unperturbed, and
+// the controller refuses to act for collapsed tenants.
+func TestRegistrySourceOverflowConservative(t *testing.T) {
+	reg := metrics.NewRegistry()
+	n := metrics.MaxLabels + 64
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("t%04d", i)
+	}
+	src := NewRegistrySource(reg, names)
+
+	for i := 0; i < n; i++ {
+		s := src.Series(i)
+		s.Arrivals.Add(100)
+		s.Throttled.Add(90)
+	}
+	if !src.Distinct(0) || src.Distinct(n-1) {
+		t.Fatalf("distinct flags wrong: first=%v last=%v", src.Distinct(0), src.Distinct(n-1))
+	}
+	// Tenant 0's series is its own: exactly what it wrote, regardless of
+	// the overflow crowd.
+	if w := src.Window(0); w.Overflow || w.Arrivals != 100 {
+		t.Fatalf("distinct tenant perturbed: %+v", w)
+	}
+	// A collapsed tenant reads the shared overflow counter and says so.
+	if w := src.Window(n - 1); !w.Overflow {
+		t.Fatalf("collapsed tenant not flagged: %+v", w)
+	}
+
+	// End-to-end: a saturated-looking collapsed tenant must not be funded.
+	eng := sim.NewEngine()
+	act := &fakeActuator{eng: eng, delay: sim.Microsecond}
+	classes := make([]Class, n)
+	for i := range classes {
+		classes[i] = Class{Name: names[i], ContractRate: 1000,
+			SLO: SLO{Budget: Budget{Escrow: 10, StepCost: 1, SpendCap: 10}}}
+	}
+	c := NewController(eng, Config{Window: 100 * sim.Microsecond}, classes, src, act)
+	pump := func() {
+		for i := 0; i < n; i++ {
+			s := src.Series(i)
+			s.Arrivals.Add(100)
+			s.Throttled.Add(90)
+		}
+	}
+	var tickPump func()
+	tickPump = func() { pump(); eng.Schedule(100*sim.Microsecond, tickPump) }
+	eng.Schedule(100*sim.Microsecond-1, tickPump)
+	eng.Run(sim.Time(0).Add(2 * sim.Millisecond))
+	c.Stop()
+
+	funded := map[int]bool{}
+	for _, e := range c.Events() {
+		if e.Kind == Funded {
+			funded[e.Class] = true
+		}
+	}
+	for i := metrics.MaxLabels; i < n; i++ {
+		if funded[i] {
+			t.Fatalf("collapsed tenant %d was funded", i)
+		}
+	}
+	if len(funded) == 0 {
+		t.Fatal("no distinct tenant funded — controller inert, test vacuous")
+	}
+}

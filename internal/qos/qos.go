@@ -1,0 +1,168 @@
+// Package qos is the deterministic tenant control plane: it closes the
+// observe→decide→act loop over the serving stack. Per-tenant contracts
+// (admission rate, burst credits, a latency budget) are observed through
+// virtual-time windows over tenant-labeled counters; a sustained saturation
+// signal — the tenant shedding more than a threshold share of its arrivals
+// while the group queue backs up — makes the controller *act*: it funds a
+// shard scale-out step from the tenant's escrow if the budget cap allows,
+// and degrades to plain throttling when the escrow is exhausted (the
+// Nil-Store §6.1 economics: user-funded elasticity, never unfunded).
+//
+// Everything runs on the owning group's event engine in virtual time, so a
+// run is byte-identical at any -parallel / -engine-workers setting. The
+// controller never reads wall clock, never samples outside its window tick,
+// and treats collapsed (overflow-label) metric series as unreliable: no
+// scale-out decision is ever made from the overflow bucket.
+package qos
+
+import (
+	"fmt"
+
+	"hyperloop/internal/shard"
+	"hyperloop/internal/sim"
+)
+
+// Budget is a tenant's elasticity escrow, in abstract funding units. A
+// scale-out step is funded only while Spent+StepCost <= SpendCap and the
+// escrow covers the step; otherwise the controller degrades to throttling.
+type Budget struct {
+	// Escrow is the balance deposited for elastic capacity.
+	Escrow float64
+	// StepCost is the price of one scale-out step (one shard recruited).
+	StepCost float64
+	// SpendCap bounds lifetime spend regardless of escrow top-ups.
+	SpendCap float64
+}
+
+// SLO carries a tenant's service terms: the latency budget it bought, the
+// elasticity escrow behind it, and the placement hint steering where funded
+// capacity lands (Hot recruits edge-tier hosts, Cold archive-tier).
+type SLO struct {
+	// P99Target is the tenant's tail-latency budget; breaches are recorded
+	// as events (observe-only — the scale-out trigger is throttle share,
+	// which is exact, not a quantile estimate).
+	P99Target sim.Duration
+	Budget    Budget
+	Hint      shard.Hint
+}
+
+// Class is one tenant class as the controller sees it: a name, the
+// per-group contracted admission rate, and its SLO terms. ContractRate 0
+// means uncontracted — the controller observes but never acts.
+type Class struct {
+	Name         string
+	ContractRate float64
+	SLO          SLO
+}
+
+// TenantWindow is a cumulative snapshot of one tenant's counters, read at a
+// window tick. The controller differences consecutive snapshots itself.
+type TenantWindow struct {
+	Arrivals  uint64
+	Admitted  uint64
+	Throttled uint64
+	Acked     uint64
+	// Backpressure counts WAL ring-full bounces attributed to the group
+	// (shared across tenants; reported per window for the saturation log).
+	Backpressure uint64
+	// P99 is the tenant's cumulative ack-latency p99 at the snapshot
+	// (zero when the source has no latency stream). Used only for
+	// SLO-breach bookkeeping, never for spend decisions.
+	P99 sim.Duration
+	// Overflow marks the snapshot as coming from a collapsed metric series
+	// (the MaxLabels overflow bucket). Overflow windows never trigger
+	// scale-out: the counts mix an unknown set of tenants.
+	Overflow bool
+}
+
+// Source exposes tenant counters to the controller. Implementations must be
+// deterministic reads of simulation state (no wall clock, no goroutines).
+type Source interface {
+	// Window returns the cumulative snapshot for class i.
+	Window(i int) TenantWindow
+}
+
+// Actuator applies controller decisions to the serving plane.
+type Actuator interface {
+	// SetRate replaces class i's admission bucket refill rate.
+	SetRate(i int, ratePerSec float64)
+	// ScaleOut recruits one more shard for class i, biased by hint. done
+	// fires on the owning engine with nil on success; on error the step is
+	// refunded. At most one ScaleOut per class is in flight at a time.
+	ScaleOut(i int, hint shard.Hint, done func(error))
+}
+
+// EventKind classifies controller log entries.
+type EventKind int
+
+const (
+	// Saturated: the sustained-saturation signal fired for a tenant.
+	Saturated EventKind = iota
+	// Funded: a scale-out step was paid for and dispatched.
+	Funded
+	// ScaleOutDone: the funded step completed; the contract rate was raised.
+	ScaleOutDone
+	// ScaleOutFailed: the funded step failed; the spend was refunded.
+	ScaleOutFailed
+	// CapExhausted: saturation persisted but escrow/cap refused the step;
+	// the tenant degrades to throttling at its current rate.
+	CapExhausted
+	// OverflowSkipped: the tenant's series collapsed into the overflow
+	// label; the controller refused to decide on it.
+	OverflowSkipped
+	// SLOBreach: the tenant's cumulative p99 crossed its P99Target
+	// (observational only).
+	SLOBreach
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case Saturated:
+		return "saturated"
+	case Funded:
+		return "funded"
+	case ScaleOutDone:
+		return "scaleout-done"
+	case ScaleOutFailed:
+		return "scaleout-failed"
+	case CapExhausted:
+		return "cap-exhausted"
+	case OverflowSkipped:
+		return "overflow-skipped"
+	case SLOBreach:
+		return "slo-breach"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one controller decision, stamped in virtual time. Events are
+// appended in engine order per controller; callers merge controllers in
+// group order for a deterministic global log.
+type Event struct {
+	At     sim.Time
+	Class  int
+	Name   string
+	Kind   EventKind
+	Detail string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%v %s %s: %s", e.At, e.Name, e.Kind, e.Detail)
+}
+
+// TenantState is a snapshot of the controller's per-tenant ledger.
+type TenantState struct {
+	Name string
+	// Steps counts completed funded scale-out steps.
+	Steps int
+	// Spent is the lifetime escrow spend (refunds excluded).
+	Spent float64
+	// EscrowLeft is the remaining balance.
+	EscrowLeft float64
+	// FundedRate is the extra admission rate granted on top of the
+	// contract by completed steps.
+	FundedRate float64
+	// Degraded reports the tenant hit the budget cap while saturated and
+	// was left throttled.
+	Degraded bool
+}

@@ -1,0 +1,60 @@
+package qos
+
+import (
+	"strings"
+	"testing"
+
+	"hyperloop/internal/metrics"
+	"hyperloop/internal/sim"
+)
+
+// TestEventKindStrings: every decision kind prints a stable name (these land
+// in determinism-gated summaries and CI logs), and unknown kinds are still
+// printable.
+func TestEventKindStrings(t *testing.T) {
+	want := map[EventKind]string{
+		Saturated:       "saturated",
+		Funded:          "funded",
+		ScaleOutDone:    "scaleout-done",
+		ScaleOutFailed:  "scaleout-failed",
+		CapExhausted:    "cap-exhausted",
+		OverflowSkipped: "overflow-skipped",
+		SLOBreach:       "slo-breach",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+	if got := EventKind(99).String(); !strings.Contains(got, "99") {
+		t.Fatalf("unknown kind prints %q", got)
+	}
+	e := Event{At: sim.Time(1500), Name: "agg", Kind: Funded, Detail: "step 1"}
+	for _, part := range []string{"agg", "funded", "step 1"} {
+		if !strings.Contains(e.String(), part) {
+			t.Fatalf("Event.String() = %q misses %q", e.String(), part)
+		}
+	}
+}
+
+// TestBucketNegativeArgsClamp: adversarial constructor arguments clamp to
+// zero instead of minting negative credit.
+func TestBucketNegativeArgsClamp(t *testing.T) {
+	b := NewBucket(-5, -3)
+	if b.Rate() != 0 || b.Credits(0) != 0 {
+		t.Fatalf("negative args leaked: rate=%v credits=%v", b.Rate(), b.Credits(0))
+	}
+	if b.Take(sim.Time(1000)) {
+		t.Fatal("empty zero-rate bucket granted a token")
+	}
+}
+
+// TestRegistrySourceBackpressure: the group-wide backpressure counter is a
+// live handle into the same registry series the windows read.
+func TestRegistrySourceBackpressure(t *testing.T) {
+	src := NewRegistrySource(metrics.NewRegistry(), []string{"a"})
+	src.Backpressure().Add(3)
+	if w := src.Window(0); w.Backpressure != 3 {
+		t.Fatalf("window backpressure = %v, want 3", w.Backpressure)
+	}
+}

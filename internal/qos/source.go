@@ -1,0 +1,86 @@
+package qos
+
+import (
+	"hyperloop/internal/metrics"
+	"hyperloop/internal/sim"
+)
+
+// Subsystem is the metrics subsystem carrying tenant-labeled QoS series.
+const Subsystem = "tenant"
+
+// TenantSeries is the write side of one tenant's QoS stream: the serving
+// plane increments these from its hot paths (observe-only handles, per the
+// determinism rules), and the controller reads them back through Window.
+type TenantSeries struct {
+	Arrivals  *metrics.Counter
+	Admitted  *metrics.Counter
+	Throttled *metrics.Counter
+	Acked     *metrics.Counter
+	Lat       *metrics.Histogram
+}
+
+// RegistrySource adapts tenant-labeled registry series into a Source. When
+// a tenant's label collapsed into the MaxLabels overflow bucket, its
+// snapshots are flagged Overflow and the controller refuses to act on them
+// — the collapsed counter mixes every overflowed tenant.
+type RegistrySource struct {
+	reg      *metrics.Registry
+	series   []TenantSeries
+	distinct []bool
+	backpr   *metrics.Counter
+}
+
+// NewRegistrySource registers (or looks up) the tenant-labeled series for
+// each name in reg. Registration order is the caller's name order, so the
+// same names always collapse the same way at the cardinality bound.
+func NewRegistrySource(reg *metrics.Registry, names []string) *RegistrySource {
+	s := &RegistrySource{
+		reg:      reg,
+		series:   make([]TenantSeries, len(names)),
+		distinct: make([]bool, len(names)),
+		backpr:   reg.Counter(Subsystem, "backpressure", "group"),
+	}
+	for i, name := range names {
+		s.series[i] = TenantSeries{
+			Arrivals:  reg.Counter(Subsystem, "arrivals", name),
+			Admitted:  reg.Counter(Subsystem, "admitted", name),
+			Throttled: reg.Counter(Subsystem, "throttled", name),
+			Acked:     reg.Counter(Subsystem, "acked", name),
+			Lat:       reg.Histogram(Subsystem, "lat", name),
+		}
+	}
+	// Distinctness is checked after all registrations: a label is reliable
+	// only if every one of its series survived the cardinality bound.
+	for i, name := range names {
+		s.distinct[i] = reg.Distinct(Subsystem, "arrivals", name) &&
+			reg.Distinct(Subsystem, "lat", name)
+	}
+	return s
+}
+
+// Series returns tenant i's write handles.
+func (s *RegistrySource) Series(i int) TenantSeries { return s.series[i] }
+
+// Backpressure returns the group-wide WAL-bounce counter handle.
+func (s *RegistrySource) Backpressure() *metrics.Counter { return s.backpr }
+
+// Distinct reports whether tenant i's series survived the label bound.
+func (s *RegistrySource) Distinct(i int) bool { return s.distinct[i] }
+
+// Window implements Source.
+func (s *RegistrySource) Window(i int) TenantWindow {
+	t := s.series[i]
+	var p99 sim.Duration
+	if t.Lat.Hist().Count() > 0 {
+		p99 = t.Lat.Hist().P99()
+	}
+	return TenantWindow{
+		Arrivals:     t.Arrivals.Value(),
+		Admitted:     t.Admitted.Value(),
+		Throttled:    t.Throttled.Value(),
+		Acked:        t.Acked.Value(),
+		Backpressure: s.backpr.Value(),
+		P99:          p99,
+		Overflow:     !s.distinct[i],
+	}
+}

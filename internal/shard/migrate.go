@@ -82,6 +82,9 @@ func (p *Plane) Migrate(sid int, destHosts []int, done func(error)) error {
 		}
 		seen[h] = true
 	}
+	if err := p.validateTiers(destHosts); err != nil {
+		return err
+	}
 	s.migrating = true
 	m := &migration{p: p, s: s, destHosts: append([]int(nil), destHosts...), done: done}
 	p.note("shard %d: migrate %v -> %v: quiesce", sid, s.replicas, destHosts)
@@ -142,6 +145,13 @@ func (m *migration) destWrite(off, size int, done func(error)) {
 // destination; the ack is the cutover point.
 func (m *migration) fence() {
 	p, s := m.p, m.s
+	if err := p.validateTiers(m.destHosts); err != nil {
+		// A host was re-tiered during the bulk copy and the destination
+		// chain no longer satisfies the tier constraint. The epoch word has
+		// not moved yet, so this aborts as cleanly as a dest failure.
+		m.abort(fmt.Errorf("shard %d: fence: %w", s.ID, err))
+		return
+	}
 	next := s.epoch + 1
 	p.client.StoreWrite(s.base+epochOff, epochBytes(next))
 	p.note("shard %d: epoch fence %d -> %d", s.ID, s.epoch, next)

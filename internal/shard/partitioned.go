@@ -40,6 +40,12 @@ type PartitionedConfig struct {
 	// is the engine lookahead; cross-group forwards pay its deterministic
 	// Latency both ways.
 	InterFabric fabric.Config
+	// HostTiers / TierNIC / Hints configure tiered placement per group
+	// exactly as in Config — every group's pool carries the same tier
+	// labels, keeping cross-group placement symmetric and deterministic.
+	HostTiers []Tier
+	TierNIC   map[Tier]rdma.Config
+	Hints     func(shard int) Hint
 	// Seed feeds every group (group g gets Seed + g*9973).
 	Seed int64
 	// Workers is the engine worker count (0 = all cores, 1 = serial).
@@ -144,6 +150,9 @@ func NewPartitionedPlane(cfg PartitionedConfig) *PartitionedPlane {
 			Group:       cfg.Group,
 			Fabric:      cfg.Fabric,
 			NIC:         cfg.NIC,
+			HostTiers:   cfg.HostTiers,
+			TierNIC:     cfg.TierNIC,
+			Hints:       cfg.Hints,
 			Seed:        cfg.Seed + int64(g)*9973,
 		}
 		if cfg.Metrics != nil {

@@ -64,6 +64,18 @@ type Config struct {
 	CommitEvery int
 	// Seed feeds the cluster and the per-shard stores.
 	Seed int64
+	// HostTiers labels each pool host with a hardware tier (nil = the
+	// legacy uniform general pool). With tiers set and no explicit
+	// placement, shards place via hint-biased tiered rendezvous, and every
+	// migration destination must satisfy the no-all-edge constraint.
+	HostTiers []Tier
+	// TierNIC overrides the NIC profile per tier when New builds the
+	// cluster itself (edge faster, archive slower). Open ignores it, like
+	// Fabric and NIC — the caller's cluster wins.
+	TierNIC map[Tier]rdma.Config
+	// Hints supplies each shard's service-temperature hint for tiered
+	// placement and the rebalancer (nil = HintNone throughout).
+	Hints func(shard int) Hint
 	// Metrics attaches the observability registry (nil = disabled). Series
 	// are labeled "s<id>" per shard — cardinality is bounded by the shard
 	// count, never the keyspace.
@@ -230,6 +242,7 @@ type Plane struct {
 	cfg    Config
 	client *cluster.Node
 	pool   []*cluster.Node // replica hosts (cluster nodes 1..Hosts)
+	tiers  []Tier          // pool tier labels (nil = untiered)
 	shards []*Shard
 
 	reb      *Rebalancer
@@ -256,14 +269,18 @@ func StoreSize(cfg Config) int {
 // shard's (empty) log header is durable on its replicas.
 func New(eng *sim.Engine, cfg Config, done func(error)) *Plane {
 	cfg.fill()
-	cl := cluster.New(eng, cluster.Config{
+	ccfg := cluster.Config{
 		Nodes:     cfg.Hosts + 1,
 		StoreSize: StoreSize(cfg),
 		Fabric:    cfg.Fabric,
 		NIC:       cfg.NIC,
 		Seed:      cfg.Seed,
-	})
-	return Open(eng, cl, nil, cfg, done)
+	}
+	if len(cfg.TierNIC) > 0 {
+		base, tiers, overrides := cfg.NIC, cfg.HostTiers, cfg.TierNIC
+		ccfg.NodeNIC = func(i int) rdma.Config { return tierNICFor(base, tiers, overrides, i) }
+	}
+	return Open(eng, cluster.New(eng, ccfg), nil, cfg, done)
 }
 
 // Open builds the plane over an existing cluster (node 0 = front-end,
@@ -282,6 +299,12 @@ func Open(eng *sim.Engine, cl *cluster.Cluster, placement [][]int, cfg Config, d
 	if len(p.pool) < cfg.Hosts {
 		panic(fmt.Sprintf("shard: cluster has %d hosts, config needs %d", len(p.pool), cfg.Hosts))
 	}
+	if len(cfg.HostTiers) > 0 {
+		if len(cfg.HostTiers) != cfg.Hosts {
+			panic(fmt.Sprintf("shard: %d host tiers for %d hosts", len(cfg.HostTiers), cfg.Hosts))
+		}
+		p.tiers = append([]Tier(nil), cfg.HostTiers...)
+	}
 	if cfg.Boundaries != nil {
 		p.Map = NewRangeMap(cfg.Boundaries)
 	} else {
@@ -298,6 +321,10 @@ func Open(eng *sim.Engine, cl *cluster.Cluster, placement [][]int, cfg Config, d
 			if err := p.Map.Place(s, hosts); err != nil {
 				panic(err)
 			}
+		}
+	} else if p.tiers != nil {
+		if err := p.Map.PlaceAllTiered(cfg.Hosts, cfg.Replicas, p.tiers, cfg.Hints); err != nil {
+			panic(err)
 		}
 	} else if err := p.Map.PlaceAll(cfg.Hosts, cfg.Replicas); err != nil {
 		panic(err)

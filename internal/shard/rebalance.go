@@ -19,6 +19,11 @@ type RebalanceConfig struct {
 	Cooldown sim.Duration
 	// MaxMigrations caps rebalancer-triggered moves (0 = unlimited).
 	MaxMigrations int
+	// HintOf supplies each shard's service-temperature hint on a tiered
+	// plane (nil = HintNone): replacement hosts must sit in a tier the hint
+	// tolerates, and a move may never leave a chain all-edge. On an
+	// untiered plane the hint is irrelevant and behavior is unchanged.
+	HintOf func(shard int) Hint
 }
 
 func (c *RebalanceConfig) fill() {
@@ -134,11 +139,19 @@ func (r *Rebalancer) scan() {
 		return
 	}
 
-	// Replacement: the least-loaded host not already in the shard's set.
+	// Replacement: the least-loaded host not already in the shard's set
+	// whose tier the shard's hint tolerates (untiered planes tolerate all).
 	cur := p.Map.Placement(victim)
+	hint := HintNone
+	if r.cfg.HintOf != nil {
+		hint = r.cfg.HintOf(victim)
+	}
 	repl, replLoad := -1, ^uint64(0)
 	for h, l := range load {
 		if contains(cur, h) {
+			continue
+		}
+		if !r.tierAllowed(hint, cur, hot, h) {
 			continue
 		}
 		if l < replLoad {
@@ -171,4 +184,26 @@ func (r *Rebalancer) scan() {
 		r.paused = false
 	}
 	r.rearm()
+}
+
+// tierAllowed reports whether moving the replica on host `hot` to `cand`
+// respects the tier rules for a shard hinted `hint` currently on `cur`:
+// the candidate's tier must not be the hint's last resort, and the
+// resulting chain must not be all-edge.
+func (r *Rebalancer) tierAllowed(hint Hint, cur []int, hot, cand int) bool {
+	tiers := r.p.tiers
+	if len(tiers) == 0 {
+		return true
+	}
+	if tierRank(hint, tierOf(tiers, cand)) >= 2 {
+		return false
+	}
+	dest := make([]int, 0, len(cur))
+	for _, h := range cur {
+		if h == hot {
+			h = cand
+		}
+		dest = append(dest, h)
+	}
+	return !allEdge(dest, tiers)
 }

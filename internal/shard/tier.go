@@ -1,0 +1,224 @@
+package shard
+
+import (
+	"errors"
+	"sort"
+
+	"hyperloop/internal/rdma"
+)
+
+// Tiered host pools. A pool host carries a Tier label describing its
+// hardware profile (NIC and NVM speed via per-tier rdma.Config); a shard
+// carries a Hint describing its service temperature. Placement, migration
+// targets, and the rebalancer bias toward tier/hint affinity, with one hard
+// constraint: a replica chain may never consist of edge-tier hosts only —
+// edge capacity is elastic overflow, not a durability root.
+
+// Tier classifies a pool host's hardware profile.
+type Tier uint8
+
+const (
+	// TierGeneral is the default profile; an untiered pool is all-general.
+	TierGeneral Tier = iota
+	// TierEdge hosts have the fastest NIC/NVM path but are volatile
+	// capacity, recruited by funded scale-out for hot tenants.
+	TierEdge
+	// TierArchive hosts have the slowest path and the most room; cold
+	// shards settle there.
+	TierArchive
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierEdge:
+		return "edge"
+	case TierArchive:
+		return "archive"
+	}
+	return "general"
+}
+
+// Hint is a shard's service-temperature hint, biasing which tiers its
+// replicas land on.
+type Hint uint8
+
+const (
+	// HintNone prefers general hosts and keeps edge as a last resort.
+	HintNone Hint = iota
+	// HintHot recruits edge-tier hosts first (latency-critical, funded).
+	HintHot
+	// HintCold settles on archive-tier hosts first.
+	HintCold
+)
+
+func (h Hint) String() string {
+	switch h {
+	case HintHot:
+		return "hot"
+	case HintCold:
+		return "cold"
+	}
+	return "none"
+}
+
+// ErrAllEdge rejects a replica chain made entirely of edge-tier hosts.
+var ErrAllEdge = errors.New("shard: replica chain would be all edge-tier")
+
+// tierRank orders tiers by preference under a hint (0 = most preferred,
+// 2 = last resort). Rank-2 tiers are also off-limits to the rebalancer.
+func tierRank(h Hint, t Tier) int {
+	switch h {
+	case HintHot:
+		switch t {
+		case TierEdge:
+			return 0
+		case TierGeneral:
+			return 1
+		}
+		return 2
+	case HintCold:
+		switch t {
+		case TierArchive:
+			return 0
+		case TierGeneral:
+			return 1
+		}
+		return 2
+	}
+	switch t {
+	case TierGeneral:
+		return 0
+	case TierArchive:
+		return 1
+	}
+	return 2
+}
+
+// tierOf looks a host up in a tier table, defaulting to general for hosts
+// past the table (or a nil table — the untiered legacy pool).
+func tierOf(tiers []Tier, h int) Tier {
+	if h < len(tiers) {
+		return tiers[h]
+	}
+	return TierGeneral
+}
+
+// allEdge reports whether every listed host is edge-tier. An untiered pool
+// has no edge hosts, so it always reports false.
+func allEdge(hosts []int, tiers []Tier) bool {
+	if len(tiers) == 0 || len(hosts) == 0 {
+		return false
+	}
+	for _, h := range hosts {
+		if tierOf(tiers, h) != TierEdge {
+			return false
+		}
+	}
+	return true
+}
+
+// PickTiered returns shard s's `replicas` hosts from a pool of `hosts`,
+// chosen by hint-biased rendezvous hashing: hosts sort by (tier preference
+// under hint, rendezvous score, index), so the pick is a pure function of
+// its arguments — map versions, placement history, and time never enter.
+// Anti-affinity holds by construction and an all-edge chain is repaired by
+// swapping the weakest pick for the best non-edge candidate.
+func PickTiered(s, hosts, replicas int, tiers []Tier, hint Hint) []int {
+	type scored struct {
+		rank  int
+		score uint64
+		host  int
+	}
+	sc := make([]scored, hosts)
+	for h := 0; h < hosts; h++ {
+		sc[h] = scored{tierRank(hint, tierOf(tiers, h)), rendezvous(s, h), h}
+	}
+	sort.Slice(sc, func(i, j int) bool {
+		if sc[i].rank != sc[j].rank {
+			return sc[i].rank < sc[j].rank
+		}
+		if sc[i].score != sc[j].score {
+			return sc[i].score > sc[j].score
+		}
+		return sc[i].host < sc[j].host
+	})
+	if replicas > hosts {
+		replicas = hosts
+	}
+	picks := make([]int, replicas)
+	for i := range picks {
+		picks[i] = sc[i].host
+	}
+	if allEdge(picks, tiers) {
+		for _, c := range sc[replicas:] {
+			if tierOf(tiers, c.host) != TierEdge {
+				picks[replicas-1] = c.host
+				break
+			}
+		}
+	}
+	return picks
+}
+
+// PlaceAllTiered assigns every shard `replicas` hosts by hint-biased tiered
+// rendezvous (PickTiered). hintOf may be nil (HintNone throughout).
+func (m *Map) PlaceAllTiered(hosts, replicas int, tiers []Tier, hintOf func(shard int) Hint) error {
+	if replicas > hosts {
+		return errors.New("shard: more replicas than hosts")
+	}
+	for s := 0; s < m.shards; s++ {
+		hint := HintNone
+		if hintOf != nil {
+			hint = hintOf(s)
+		}
+		if err := m.Place(s, PickTiered(s, hosts, replicas, tiers, hint)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tiers returns the plane's pool tier labels (nil when untiered).
+func (p *Plane) Tiers() []Tier {
+	if p.tiers == nil {
+		return nil
+	}
+	return append([]Tier(nil), p.tiers...)
+}
+
+// HostTier returns pool host h's tier.
+func (p *Plane) HostTier(h int) Tier { return tierOf(p.tiers, h) }
+
+// SetHostTier relabels pool host h mid-run (an operator re-tiering a
+// machine). Placement is not re-evaluated eagerly, but any in-flight
+// migration re-validates the tier constraint at its fence and aborts if the
+// destination chain has become all-edge.
+func (p *Plane) SetHostTier(h int, t Tier) {
+	if p.tiers == nil {
+		p.tiers = make([]Tier, len(p.pool))
+	}
+	p.tiers[h] = t
+	p.note("host %d re-tiered to %v", h, t)
+}
+
+// validateTiers rejects destination chains that violate the tier
+// constraint; an untiered plane accepts everything.
+func (p *Plane) validateTiers(hosts []int) error {
+	if allEdge(hosts, p.tiers) {
+		return ErrAllEdge
+	}
+	return nil
+}
+
+// tierNICFor resolves the NIC profile for cluster node i (node 0 is the
+// front-end client and keeps the base profile; host h = node h+1 takes its
+// tier's override when one is configured).
+func tierNICFor(base rdma.Config, tiers []Tier, overrides map[Tier]rdma.Config, i int) rdma.Config {
+	if i == 0 {
+		return base
+	}
+	if c, ok := overrides[tierOf(tiers, i-1)]; ok {
+		return c
+	}
+	return base
+}

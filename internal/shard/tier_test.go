@@ -1,0 +1,256 @@
+package shard
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"hyperloop/internal/core"
+	"hyperloop/internal/sim"
+)
+
+// mixedTiers labels a pool: the last `edge` hosts edge-tier, the one before
+// them archive, the rest general.
+func mixedTiers(hosts, edge int) []Tier {
+	tiers := make([]Tier, hosts)
+	for h := hosts - edge; h < hosts; h++ {
+		tiers[h] = TierEdge
+	}
+	if hosts-edge-1 >= 0 {
+		tiers[hosts-edge-1] = TierArchive
+	}
+	return tiers
+}
+
+func tierCounts(hosts []int, tiers []Tier) map[Tier]int {
+	out := map[Tier]int{}
+	for _, h := range hosts {
+		out[tierOf(tiers, h)]++
+	}
+	return out
+}
+
+func TestPickTieredHintBias(t *testing.T) {
+	const hosts, replicas = 10, 3
+	tiers := mixedTiers(hosts, 3) // 0-5 general, 6 archive, 7-9 edge
+	for s := 0; s < 8; s++ {
+		// HintNone keeps edge hosts out entirely: 6 general + 1 archive
+		// outrank them.
+		if c := tierCounts(PickTiered(s, hosts, replicas, tiers, HintNone), tiers); c[TierEdge] != 0 {
+			t.Fatalf("shard %d: HintNone placed on edge: %v", s, c)
+		}
+		// HintHot recruits edge first but never an all-edge chain.
+		picks := PickTiered(s, hosts, replicas, tiers, HintHot)
+		c := tierCounts(picks, tiers)
+		if c[TierEdge] != 2 {
+			t.Fatalf("shard %d: HintHot picked %v, want exactly 2 of 3 edge (no-all-edge)", s, c)
+		}
+		// HintCold pins the lone archive host.
+		if c := tierCounts(PickTiered(s, hosts, replicas, tiers, HintCold), tiers); c[TierArchive] != 1 {
+			t.Fatalf("shard %d: HintCold skipped archive: %v", s, c)
+		}
+	}
+}
+
+func TestPickTieredAntiAffinity(t *testing.T) {
+	tiers := mixedTiers(12, 4)
+	for s := 0; s < 16; s++ {
+		for _, hint := range []Hint{HintNone, HintHot, HintCold} {
+			picks := PickTiered(s, 12, 3, tiers, hint)
+			seen := map[int]bool{}
+			for _, h := range picks {
+				if seen[h] {
+					t.Fatalf("shard %d hint %v: host %d repeated in %v", s, hint, h, picks)
+				}
+				seen[h] = true
+			}
+		}
+	}
+}
+
+func TestPickTieredAllEdgePoolUnsatisfiable(t *testing.T) {
+	// A pool with nothing but edge hosts can't honor the constraint; the
+	// pick still returns a chain (validation rejects it downstream).
+	tiers := []Tier{TierEdge, TierEdge, TierEdge, TierEdge}
+	picks := PickTiered(0, 4, 3, tiers, HintHot)
+	if len(picks) != 3 || !allEdge(picks, tiers) {
+		t.Fatalf("picks = %v", picks)
+	}
+}
+
+// TestPickTieredDeterministicAcrossMapVersions: hint-biased routing is a
+// pure function of (shard, pool, tiers, hint) — placement history and map
+// version bumps never shift it.
+func TestPickTieredDeterministicAcrossMapVersions(t *testing.T) {
+	const hosts, replicas = 10, 3
+	tiers := mixedTiers(hosts, 3)
+	m := NewHashMap(6)
+	if err := m.PlaceAllTiered(hosts, replicas, tiers, func(s int) Hint { return Hint(s % 3) }); err != nil {
+		t.Fatal(err)
+	}
+	before := fmt.Sprint(m.Placements())
+	v := m.Version()
+
+	// Churn the map: re-place two shards, bumping the version.
+	if err := m.Place(1, []int{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Place(1, PickTiered(1, hosts, replicas, tiers, HintHot)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Version() == v {
+		t.Fatal("version did not bump")
+	}
+
+	// Re-deriving every placement from scratch reproduces the original.
+	m2 := NewHashMap(6)
+	if err := m2.PlaceAllTiered(hosts, replicas, tiers, func(s int) Hint { return Hint(s % 3) }); err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprint(m2.Placements()); got != before {
+		t.Fatalf("tiered placement drifted across map generations:\n%s\n%s", got, before)
+	}
+	for s := 0; s < 6; s++ {
+		a := fmt.Sprint(PickTiered(s, hosts, replicas, tiers, HintHot))
+		b := fmt.Sprint(PickTiered(s, hosts, replicas, tiers, HintHot))
+		if a != b {
+			t.Fatalf("PickTiered(%d) unstable: %s vs %s", s, a, b)
+		}
+	}
+}
+
+func TestMigrateRejectsAllEdgeDest(t *testing.T) {
+	tiers := mixedTiers(8, 3) // hosts 5,6,7 edge... (4 archive)
+	tiers[4] = TierEdge       // now 4,5,6,7 edge: an all-edge dest is possible
+	eng, p := testPlane(t, Config{
+		Shards: 2, Replicas: 3, Hosts: 8, Seed: 19, HostTiers: tiers,
+	})
+	defer p.Close()
+	_ = eng
+	err := p.Migrate(0, []int{4, 5, 6}, nil)
+	if err == nil || !strings.Contains(err.Error(), "all edge-tier") {
+		t.Fatalf("all-edge destination accepted: %v", err)
+	}
+}
+
+// TestMigrationAbortsOnMidflightRetier: an operator re-tiers a destination
+// host to edge while the bulk copy runs, making the chain all-edge. The
+// fence re-validates and the migration aborts cleanly — epoch unmoved,
+// shard still serving from the source.
+func TestMigrationAbortsOnMidflightRetier(t *testing.T) {
+	tiers := mixedTiers(8, 2) // hosts 6,7 edge; 5 archive; 0-4 general
+	eng, p := testPlane(t, Config{
+		Shards: 2, Replicas: 3, Hosts: 8,
+		ChunkBytes: 1024, Seed: 13, HostTiers: tiers,
+		Group: core.Config{Depth: 256, OpTimeout: 2 * sim.Millisecond},
+	})
+	defer p.Close()
+
+	const sid = 1
+	keys := keysFor(p, sid, 60)
+	putAll(t, eng, p, keys, func(k string) []byte { return []byte("v:" + k) })
+
+	// Destination: both edge hosts plus one free general host.
+	cur := p.Map.Placement(sid)
+	gen := -1
+	for h := 0; h < 5; h++ {
+		if !contains(cur, h) {
+			gen = h
+			break
+		}
+	}
+	if gen < 0 {
+		t.Fatal("no free general host")
+	}
+	dest := []int{6, 7, gen}
+	for _, h := range dest {
+		if contains(cur, h) {
+			t.Fatalf("dest %v overlaps current %v", dest, cur)
+		}
+	}
+
+	oldHosts := p.Shard(sid).Replicas()
+	var migErr error
+	migDone := false
+	if err := p.Migrate(sid, dest, func(err error) {
+		migErr = err
+		migDone = true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Mid-copy, the general host is re-tiered to edge: dest becomes
+	// all-edge and the fence must refuse it.
+	p.SetHostTier(gen, TierEdge)
+
+	if !eng.RunUntil(func() bool { return migDone }, eng.Now().Add(10*sim.Second)) {
+		t.Fatal("migration neither completed nor aborted")
+	}
+	if migErr == nil || !strings.Contains(migErr.Error(), "all edge-tier") {
+		t.Fatalf("migration error = %v, want all-edge tier violation", migErr)
+	}
+	s := p.Shard(sid)
+	if s.Epoch() != 0 || s.Migrations() != 0 {
+		t.Fatalf("epoch=%d migrations=%d after tier abort, want 0/0", s.Epoch(), s.Migrations())
+	}
+	if fmt.Sprint(s.Replicas()) != fmt.Sprint(oldHosts) {
+		t.Fatalf("replicas %v after abort, want %v", s.Replicas(), oldHosts)
+	}
+	// Still serving on the source chain.
+	more := keysFor(p, sid, 70)[60:]
+	putAll(t, eng, p, more, func(k string) []byte { return []byte("v:" + k) })
+	for _, k := range append(append([]string{}, keys...), more...) {
+		if v, ok := p.Get(k); !ok || string(v) != "v:"+k {
+			t.Fatalf("key %q lost after tier abort", k)
+		}
+	}
+}
+
+// TestRebalancerRespectsTiers: with the pool tiered and the shard unhinted,
+// the rebalancer must not move it onto an edge host even when edge is the
+// least loaded — and must still fix the hot spot using an allowed host.
+func TestRebalancerRespectsTiers(t *testing.T) {
+	tiers := make([]Tier, 8)
+	tiers[6], tiers[7] = TierEdge, TierEdge // idle and tempting
+	eng, p := testPlane(t, Config{
+		Shards: 4, Replicas: 3, Hosts: 8, Seed: 17,
+		RegionSize: 4 << 20, LogSize: 1 << 20,
+		HostTiers: tiers,
+	})
+	defer p.Close()
+
+	reb := p.StartRebalancer(RebalanceConfig{
+		Every:         200 * sim.Microsecond,
+		MinOps:        32,
+		Imbalance:     1.5,
+		MaxMigrations: 1,
+	})
+
+	const hot = 2
+	before := fmt.Sprint(p.Map.Placement(hot))
+	keys := keysFor(p, hot, 400)
+	acked := 0
+	for _, k := range keys {
+		if _, err := p.Put(k, []byte("hot"), func(err error) {
+			if err != nil {
+				t.Errorf("put: %v", err)
+			}
+			acked++
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	migrated := func() bool { return reb.Moves() >= 1 && !p.Shard(hot).Migrating() }
+	if !eng.RunUntil(func() bool { return acked >= len(keys) && migrated() },
+		eng.Now().Add(10*sim.Second)) {
+		t.Fatalf("acked=%d moves=%d: rebalancer never triggered", acked, reb.Moves())
+	}
+	after := p.Map.Placement(hot)
+	if fmt.Sprint(after) == before {
+		t.Fatalf("hot shard placement unchanged: %v", after)
+	}
+	for _, h := range after {
+		if tierOf(tiers, h) == TierEdge {
+			t.Fatalf("unhinted shard rebalanced onto edge host %d: %v", h, after)
+		}
+	}
+}
