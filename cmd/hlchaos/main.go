@@ -66,7 +66,7 @@ func main() {
 		}
 	}
 	var classes []faults.Class
-	migration, admission, lockcont := false, false, false
+	migration, admission, lockcont, coldrestore := false, false, false, false
 	for _, c := range requested {
 		switch c {
 		case faults.MigrationInflight:
@@ -75,6 +75,8 @@ func main() {
 			admission = true
 		case faults.LockContention:
 			lockcont = true
+		case faults.ColdRestore:
+			coldrestore = true
 		default:
 			classes = append(classes, c)
 		}
@@ -261,6 +263,49 @@ func main() {
 		}
 		fmt.Println(lt)
 		for _, v := range lc {
+			if !*verbose && v.Pass() {
+				continue
+			}
+			fmt.Printf("--- %v ---\n", v.Spec)
+			for _, e := range v.Timeline {
+				fmt.Printf("    %v\n", e)
+			}
+			for _, r := range v.Checks {
+				fmt.Printf("    %v\n", r)
+			}
+		}
+	}
+
+	if coldrestore {
+		cold := experiments.ColdRestoreMatrix(*seed, *seedsPer)
+		total += len(cold)
+		for _, v := range cold {
+			merged.Merge(v.Metrics)
+		}
+		fmt.Printf("=== Cold-restore: %d scenarios (base seed %d) ===\n", len(cold), *seed)
+		ct := stats.NewTable("seed", "victim", "fault@", "chaos", "rto", "rpo-cold", "acked-lost", "attempts", "checks", "verdict")
+		for _, v := range cold {
+			verdict := "PASS"
+			if !v.Pass() {
+				verdict = "FAIL"
+				failed++
+			}
+			chaos := "-"
+			switch {
+			case v.Spec.KillUploader && v.Spec.KillRestorer:
+				chaos = "uploader+restorer"
+			case v.Spec.KillUploader:
+				chaos = "uploader"
+			case v.Spec.KillRestorer:
+				chaos = "restorer"
+			}
+			ct.AddRow(fmt.Sprint(v.Spec.Seed), fmt.Sprintf("r%d", v.Spec.VictimIdx),
+				fmt.Sprint(v.Spec.FaultAt), chaos, fmt.Sprint(v.RTO),
+				fmt.Sprint(v.RPOCold), fmt.Sprint(v.AckedLost),
+				fmt.Sprint(v.RestoreAttempts), v.Checks.Summary(), verdict)
+		}
+		fmt.Println(ct)
+		for _, v := range cold {
 			if !*verbose && v.Pass() {
 				continue
 			}

@@ -1,0 +1,166 @@
+// Command hlrestore runs the ephemeral-replica plane: WAL segment streaming
+// to the simulated object store, restore-from-cold with measured RTO/RPO,
+// and CRAQ-style read offload across the replication chain.
+//
+// Three sections:
+//
+//  1. The headline cold-restore scenario at -seed: a replica is destroyed
+//     and rebuilt from snapshot + segment replay while a transactional
+//     workload keeps running; the checks table is the verdict (RPO over
+//     acked commits must be zero).
+//  2. The RTO/RPO sweep: the same scenario across segment-size × snapshot-
+//     interval cells, showing how stream shape trades restore time against
+//     upload amplification — never against acked-write durability.
+//  3. The read-offload scaling table: YCSB-B and -D read-mostly mixes over
+//     chains of 2/3/5 replicas, tail-only baseline vs CRAQ spread reads.
+//     Spread scales with chain length; tail stays flat.
+//
+// Usage:
+//
+//	hlrestore [-seed N] [-parallel N] [-engine-workers N] [-csv] [-v]
+//	          [-metrics-json FILE]
+//
+// The same -seed produces byte-identical output and metrics dumps at any
+// -parallel or -engine-workers setting; the CI determinism gate diffs both.
+// The exit status is 1 if any check fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hyperloop/internal/experiments"
+	"hyperloop/internal/metrics"
+	"hyperloop/internal/sim"
+	"hyperloop/internal/stats"
+)
+
+var (
+	seed       = flag.Int64("seed", 1, "simulation seed")
+	parallel   = flag.Int("parallel", 0, "worker count for scenario cells (0 = all cores, 1 = serial)")
+	engWorkers = flag.Int("engine-workers", 0, "partitioned-engine worker count for read-offload cells (0 = all cores, 1 = serial)")
+	csv        = flag.Bool("csv", false, "emit tables as CSV")
+	verbose    = flag.Bool("v", false, "print fault timelines and per-check details")
+	metJSON    = flag.String("metrics-json", "", "merge every scenario's metrics registry and dump as JSON to this file")
+)
+
+// Sweep axes: segment size changes replay chunking, snapshot interval
+// changes how much tail the restore replays on top of the baseline image.
+var (
+	sweepSegBytes  = []int{1 << 10, 4 << 10, 16 << 10}
+	sweepSnapEvery = []sim.Duration{10 * sim.Millisecond, 40 * sim.Millisecond}
+	offloadChains  = []int{2, 3, 5}
+)
+
+func main() {
+	flag.Parse()
+	experiments.SetParallelism(*parallel)
+	failed := 0
+	merged := metrics.NewRegistry()
+
+	// 1. Headline scenario.
+	v := experiments.RunColdRestoreScenario(experiments.ColdRestoreParams{Seed: *seed})
+	merged.Merge(v.Metrics)
+	fmt.Printf("=== Cold restore: %v ===\n", v.Spec)
+	fmt.Printf("detect=%v rto=%v rpo-cold=%d acked-lost=%d attempts=%d txns=%d/%d\n",
+		v.DetectIn, v.RTO, v.RPOCold, v.AckedLost, v.RestoreAttempts, v.Committed, v.Errored)
+	fmt.Printf("restore: %dB snapshot + %d segments (%d records) to seq %d in %v\n",
+		v.Restore.SnapshotBytes, v.Restore.Segments, v.Restore.Records,
+		v.Restore.RestoredSeq, v.Restore.Elapsed)
+	fmt.Printf("stream: %d segments, %d snapshots, %d records, %d retries\n",
+		v.Stream.Segments, v.Stream.Snapshots, v.Stream.Records, v.Stream.Retries)
+	ct := stats.NewTable("check", "detail", "verdict")
+	for _, c := range v.Checks {
+		verdict, detail := "PASS", c.Detail
+		if c.Err != nil {
+			verdict, detail = "FAIL", c.Err.Error()
+			failed++
+		}
+		ct.AddRow(c.Name, detail, verdict)
+	}
+	printTable(ct)
+	if *verbose || !v.Pass() {
+		for _, e := range v.Timeline {
+			fmt.Printf("    %v\n", e)
+		}
+	}
+
+	// 2. RTO/RPO sweep.
+	cells := experiments.RestoreSweep(*seed, sweepSegBytes, sweepSnapEvery)
+	fmt.Printf("=== RTO/RPO sweep: %d segment sizes x %d snapshot intervals (seed %d) ===\n",
+		len(sweepSegBytes), len(sweepSnapEvery), *seed)
+	st := stats.NewTable("segment", "snapshot", "rto", "rpo-cold", "acked-lost",
+		"attempts", "segs", "snaps", "retries", "checks", "verdict")
+	for _, c := range cells {
+		merged.Merge(c.Verdict.Metrics)
+		verdict := "PASS"
+		if !c.Verdict.Pass() {
+			verdict = "FAIL"
+			failed++
+		}
+		st.AddRow(fmt.Sprintf("%dKiB", c.SegmentBytes>>10), fmt.Sprint(c.SnapshotEvery),
+			fmt.Sprint(c.Verdict.RTO), fmt.Sprint(c.Verdict.RPOCold),
+			fmt.Sprint(c.Verdict.AckedLost), fmt.Sprint(c.Verdict.RestoreAttempts),
+			fmt.Sprint(c.Verdict.Stream.Segments), fmt.Sprint(c.Verdict.Stream.Snapshots),
+			fmt.Sprint(c.Verdict.Stream.Retries), c.Verdict.Checks.Summary(), verdict)
+	}
+	printTable(st)
+	for _, c := range cells {
+		if c.Verdict.Pass() {
+			continue
+		}
+		fmt.Printf("--- seg=%d snap=%v ---\n", c.SegmentBytes, c.SnapshotEvery)
+		for _, r := range c.Verdict.Checks {
+			fmt.Printf("    %v\n", r)
+		}
+	}
+
+	// 3. Read-offload scaling.
+	for _, wl := range []string{"B", "D"} {
+		cells := experiments.ReadOffloadSweep(wl, offloadChains, *seed, *engWorkers)
+		fmt.Printf("=== Read offload: YCSB-%s, chains %v (seed %d) ===\n", wl, offloadChains, *seed)
+		ot := stats.NewTable("chain", "tail kops/s", "spread kops/s", "speedup",
+			"clean/dirty (spread)", "tail p50", "spread p50", "verdict")
+		for _, c := range cells {
+			verdict := "PASS"
+			if !c.Tail.Skew.Pass() || !c.Spread.Skew.Pass() {
+				verdict = "FAIL"
+				failed++
+			}
+			ot.AddRow(fmt.Sprint(c.Replicas),
+				fmt.Sprintf("%.1f", c.Tail.ReadTputKops),
+				fmt.Sprintf("%.1f", c.Spread.ReadTputKops),
+				fmt.Sprintf("%.2fx", c.Speedup()),
+				fmt.Sprintf("%d/%d", c.Spread.Clean, c.Spread.Dirty),
+				fmt.Sprint(c.Tail.ReadLat.P50), fmt.Sprint(c.Spread.ReadLat.P50), verdict)
+		}
+		printTable(ot)
+	}
+
+	if *metJSON != "" {
+		data, err := merged.ExportJSON()
+		if err == nil {
+			err = os.WriteFile(*metJSON, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics-json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote metrics dump to %s\n", *metJSON)
+	}
+
+	if failed > 0 {
+		fmt.Printf("%d checks FAILED\n", failed)
+		os.Exit(1)
+	}
+	fmt.Println("all checks passed")
+}
+
+func printTable(t *stats.Table) {
+	if *csv {
+		fmt.Print(t.CSV())
+		return
+	}
+	fmt.Println(t)
+}

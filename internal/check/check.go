@@ -324,3 +324,30 @@ func Membership(failovers uint64, expectFailover bool, paused bool, members, wan
 	}
 	return res
 }
+
+// RestoreEquivalence verifies the ephemeral-replica contract (DESIGN.md
+// §17): the window image rebuilt from the object store's snapshot + segment
+// blobs must be byte-identical to the live image at the same commit point.
+// rebuild runs the store-side reconstruction (typically stream.RebuildImage
+// wrapped over the scenario's objstore); the caller quiesces the streamer
+// first so both sides describe the same prefix of commits.
+func RestoreEquivalence(live Image, rebuild func() (img []byte, base int, covered uint64, err error)) Result {
+	res := Result{Name: "restore-equivalence"}
+	img, base, covered, err := rebuild()
+	if err != nil {
+		res.Err = fmt.Errorf("rebuild: %w", err)
+		return res
+	}
+	want := live.Read(base, len(img))
+	if !bytes.Equal(img, want) {
+		for i := range want {
+			if img[i] != want[i] {
+				res.Err = fmt.Errorf("rebuilt image diverges from %s at offset %d (%#x != %#x, covered seq %d)",
+					live.Name, base+i, img[i], want[i], covered)
+				return res
+			}
+		}
+	}
+	res.Detail = fmt.Sprintf("%dB at [%d,+%d) identical, covered seq %d", len(img), base, len(img), covered)
+	return res
+}

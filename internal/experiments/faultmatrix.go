@@ -11,8 +11,10 @@ import (
 	"hyperloop/internal/faults"
 	"hyperloop/internal/locks"
 	"hyperloop/internal/metrics"
+	"hyperloop/internal/objstore"
 	"hyperloop/internal/sim"
 	"hyperloop/internal/span"
+	"hyperloop/internal/stream"
 	"hyperloop/internal/txn"
 	"hyperloop/internal/wal"
 )
@@ -140,6 +142,17 @@ func RunFaultScenario(p FaultParams) FaultVerdict {
 
 	sw := &switchGroup{g: core.NewWithNodes(eng, client, members, coreCfg)}
 	log := wal.New(wal.NodeStore{N: client}, sw, fmLogBase, fmLogSize, nil)
+	// Every matrix cell also streams the object window to a simulated object
+	// store, so the restore-equivalence property (rebuild from blobs ==
+	// client's live window) is exercised by every chaos class. The streamer
+	// only observes the WAL — the scenario unfolds identically without it.
+	obs := objstore.New(eng, objstore.Config{Seed: p.Seed*3 + 11})
+	str := stream.NewStreamer(eng, obs, log, stream.StreamerConfig{
+		Prefix:     crPrefix,
+		WindowBase: fmObjBase,
+		WindowSize: crWindowSize,
+		FlushEvery: crFlushEvery,
+	}, client.StoreBytes)
 	lm := locks.New(sw, eng, fmLockBase, locks.Config{})
 	tm := txn.New(eng, log, wal.NodeStore{N: client}, lm, txn.Config{LockStripes: fmLockStripes})
 
@@ -298,6 +311,11 @@ func RunFaultScenario(p FaultParams) FaultVerdict {
 			drainErr = fmt.Errorf("final flush: %w", flushErr)
 		}
 	}
+	// Let the stream finish uploading everything committed before comparing
+	// the rebuilt image against the live window.
+	streamIdle := false
+	str.Quiesce(func() { streamIdle = true })
+	streamOK := eng.RunUntil(func() bool { return streamIdle }, deadline)
 	mgr.Halt()
 	plane.StopAll()
 
@@ -345,6 +363,13 @@ func RunFaultScenario(p FaultParams) FaultVerdict {
 			len(final), fmMembers, v.DetectIn, detectBound, chainCfg.HeartbeatEvery),
 		check.SpanConservation(rec),
 	)
+	restoreEq := check.Result{Name: "restore-equivalence", Err: errors.New("stream never quiesced")}
+	if streamOK {
+		restoreEq = check.RestoreEquivalence(live(client), func() ([]byte, int, uint64, error) {
+			return stream.RebuildImage(obs.Peek, crPrefix)
+		})
+	}
+	v.Checks = append(v.Checks, restoreEq)
 	// Every surviving member's durable image must match its live view after
 	// the final flush — nothing the client was promised lives only in a
 	// volatile cache.

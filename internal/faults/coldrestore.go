@@ -1,0 +1,72 @@
+package faults
+
+import (
+	"fmt"
+
+	"hyperloop/internal/sim"
+)
+
+// ColdRestore destroys one chain replica for good (power-fail crash, no
+// restart) and repairs the chain by rebuilding a spare from the object
+// store — snapshot install + segment replay (stream.StartRestore) instead of
+// PR 2's live-peer CatchUp — with the client's WAL Reattach covering the
+// not-yet-uploaded tail. Chaos arms crash the segment uploader mid-stream
+// and kill the restoring host mid-replay; the invariants are RPO = zero
+// acked writes lost, WAL soundness, restore equivalence, and store
+// convergence after repair. Like the other shard-layer classes it is not
+// part of the chain-matrix Classes — it runs on its own scenario — but
+// ParseClass accepts it via AllClasses.
+const ColdRestore Class = LockContention + 1
+
+// ColdRestoreSpec is one planned cold-restore scenario: pure data drawn
+// deterministically from a seed, like Spec. New fields are drawn AFTER the
+// existing ones so old seeds keep their kill points.
+type ColdRestoreSpec struct {
+	Seed int64
+	// VictimIdx is the chain member destroyed (never restarted).
+	VictimIdx int
+	// FaultAt is when the victim dies.
+	FaultAt sim.Duration
+	// KillUploader crashes the segment uploader mid-stream at UploaderCrashAt
+	// (before the victim dies), restarting it one flush interval later under
+	// a new generation — the restore point is then the stale-but-consistent
+	// manifest.
+	KillUploader    bool
+	UploaderCrashAt sim.Duration
+	// KillRestorer aborts the in-flight restore RestorerKillDelay after it
+	// starts (mid-replay) and restarts it from scratch — a restoring host
+	// dying and being replaced by another.
+	KillRestorer      bool
+	RestorerKillDelay sim.Duration
+}
+
+func (s ColdRestoreSpec) String() string {
+	out := fmt.Sprintf("cold-restore seed=%d victim=r%d fault@%v", s.Seed, s.VictimIdx, s.FaultAt)
+	if s.KillUploader {
+		out += fmt.Sprintf(" kill-uploader@%v", s.UploaderCrashAt)
+	}
+	if s.KillRestorer {
+		out += fmt.Sprintf(" kill-restorer+%v", s.RestorerKillDelay)
+	}
+	return out
+}
+
+// PlanColdRestore draws a cold-restore scenario from seed. Draw order is
+// part of the seed contract: VictimIdx, FaultAt, the uploader-kill arm, then
+// the restorer-kill arm — append future draws after these.
+func PlanColdRestore(seed int64) ColdRestoreSpec {
+	class := int64(ColdRestore) + 1 // variable: the mix must wrap, not constant-fold
+	r := sim.NewRand(seed ^ class*0x1E3779B97F4A7C15)
+	s := ColdRestoreSpec{
+		Seed:      seed,
+		VictimIdx: r.Intn(3),
+		// The victim dies once the stream is warmed up and some segments are
+		// durable, jittered so cells don't align on one upload phase.
+		FaultAt: 20*sim.Millisecond + r.Exp(5*sim.Millisecond),
+	}
+	s.KillUploader = r.Intn(2) == 0
+	s.UploaderCrashAt = 8*sim.Millisecond + sim.Duration(r.Intn(8))*sim.Millisecond
+	s.KillRestorer = r.Intn(2) == 0
+	s.RestorerKillDelay = sim.Duration(200+r.Intn(800)) * sim.Microsecond
+	return s
+}

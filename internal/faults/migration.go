@@ -17,7 +17,7 @@ const MigrationInflight Class = TenantBurst + 1
 
 // AllClasses lists every class ParseClass accepts: the chain-matrix classes
 // plus the shard- and load-layer ones.
-var AllClasses = append(append([]Class(nil), Classes...), MigrationInflight, AdmissionBurst, LockContention)
+var AllClasses = append(append([]Class(nil), Classes...), MigrationInflight, AdmissionBurst, LockContention, ColdRestore)
 
 // MigrationSpec is one planned migration-inflight scenario: when the
 // migration starts, which side loses a replica, which one, and when —

@@ -50,6 +50,8 @@ func (c Class) String() string {
 		return "admission-burst"
 	case LockContention:
 		return "lock-contention"
+	case ColdRestore:
+		return "cold-restore"
 	default:
 		return fmt.Sprintf("class(%d)", int(c))
 	}

@@ -1,0 +1,184 @@
+// CRAQ-style read serving (DESIGN.md §17): every chain replica serves reads,
+// not just the head's memtable or an eventually-consistent replica probe.
+// Per-key dirty state is maintained on the client from the WAL's lifecycle
+// taps: a key turns dirty when a write enters the log (propagation begins)
+// and turns clean when the record's commit is acknowledged by every replica
+// (back-propagation of the commit ack). Clean keys are served directly from
+// the queried replica's NVM via the one-sided read path; dirty keys forward
+// to the TAIL — the read still pays the tail's wire and queueing cost, and
+// the value served is the newest *acked* version, never an unacked one.
+package kvstore
+
+import "hyperloop/internal/wal"
+
+// craqKey is the per-key protocol state.
+type craqKey struct {
+	dirty     int    // in-flight (appended, uncommitted) writes
+	hasAcked  bool   // an acked version exists beyond the committed one
+	ackedSeq  uint64 // newest acked write's sequence
+	ackedVal  []byte // its value (nil + ackedDead for a tombstone)
+	ackedDead bool
+}
+
+// craqVer is a proposed (appended, not yet acked) version of one key.
+type craqVer struct {
+	val  []byte
+	dead bool
+}
+
+// craqState tracks the dirty map and per-seq bookkeeping.
+type craqState struct {
+	db   *DB
+	keys map[string]*craqKey
+	// perSeq maps a record sequence to the keys (and proposed versions) it
+	// writes, in entry order.
+	perSeq map[uint64][]craqEntry
+
+	cleanReads, dirtyReads uint64
+}
+
+type craqEntry struct {
+	key string
+	ver craqVer
+}
+
+// EnableCRAQ turns on clean/dirty tracking. Call it once, right after Open
+// and before the first write, alongside EnableReplicaReads (GetCRAQ needs
+// the read paths). The default store skips all of this — CRAQ runs are a
+// distinct configuration, so legacy byte-streams are untouched.
+func (db *DB) EnableCRAQ() {
+	if db.craq != nil {
+		return
+	}
+	db.craq = &craqState{
+		db:     db,
+		keys:   make(map[string]*craqKey),
+		perSeq: make(map[uint64][]craqEntry),
+	}
+	db.log.AddTap(db.craq)
+}
+
+// CRAQStats returns (clean, dirty) read counts.
+func (db *DB) CRAQStats() (uint64, uint64) {
+	if db.craq == nil {
+		return 0, 0
+	}
+	return db.craq.cleanReads, db.craq.dirtyReads
+}
+
+// DirtyKeys returns the number of keys currently dirty (test/debug).
+func (db *DB) DirtyKeys() int {
+	if db.craq == nil {
+		return 0
+	}
+	n := 0
+	for _, st := range db.craq.keys {
+		if st.dirty > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Appended marks every key the record writes dirty and stashes the proposed
+// versions. Entries are slot images, so the key is recovered by decoding.
+func (c *craqState) Appended(seq uint64, entries []wal.Entry) {
+	var list []craqEntry
+	for _, e := range entries {
+		key, val, _, flags, _, err := decodeSlot(e.Data)
+		if err != nil {
+			continue // not a slot image; nothing to track
+		}
+		st := c.keys[key]
+		if st == nil {
+			st = &craqKey{}
+			c.keys[key] = st
+		}
+		st.dirty++
+		list = append(list, craqEntry{key: key, ver: craqVer{val: val, dead: flags&flagDead != 0}})
+	}
+	c.perSeq[seq] = list
+}
+
+// Acked promotes the record's versions to "acked": a dirty read may now
+// serve them (the client has been told the write is durable).
+func (c *craqState) Acked(seq uint64) {
+	for _, ce := range c.perSeq[seq] {
+		st := c.keys[ce.key]
+		if st == nil {
+			continue
+		}
+		if !st.hasAcked || seq >= st.ackedSeq {
+			st.hasAcked = true
+			st.ackedSeq = seq
+			st.ackedVal = ce.ver.val
+			st.ackedDead = ce.ver.dead
+		}
+	}
+}
+
+// Applied is unused (the client-local apply is not a chain event).
+func (c *craqState) Applied(seq uint64) {}
+
+// Committed clears the dirty bits: every replica has acknowledged the
+// record's data-region copies, so the slot bytes ARE the acked version and
+// replicas may serve it locally again.
+func (c *craqState) Committed(seq uint64) {
+	for _, ce := range c.perSeq[seq] {
+		st := c.keys[ce.key]
+		if st == nil {
+			continue
+		}
+		st.dirty--
+		if st.dirty == 0 && st.ackedSeq <= seq {
+			// No newer acked version remains outstanding; drop the stash.
+			st.hasAcked = false
+			st.ackedVal = nil
+		}
+	}
+	delete(c.perSeq, seq)
+}
+
+// Retargeted is a no-op: Reattach replays pending records, and their
+// re-acks/commits flow through the same transitions.
+func (c *craqState) Retargeted(gen uint64) {}
+
+// GetCRAQ reads key from replica r under the clean/dirty protocol. A clean
+// key is served from r's NVM directly (no tail involvement); a dirty key
+// forwards to the tail — the read is issued on the tail's wire (paying its
+// queueing) and serves the newest acked version. done's value is nil with
+// ErrNotFound for tombstones/missing keys.
+func (db *DB) GetCRAQ(key string, r int, done func(val []byte, clean bool, err error)) {
+	if db.craq == nil {
+		done(nil, false, ErrClosed)
+		return
+	}
+	st := db.craq.keys[key]
+	if st == nil || st.dirty == 0 {
+		db.craq.cleanReads++
+		db.GetFromReplica(key, r, func(val []byte, err error) {
+			done(val, true, err)
+		})
+		return
+	}
+	// Dirty: forward to the tail. The one-sided read pays the tail's
+	// capacity; the response carries the newest acked version (the tail's
+	// committed slot when nothing newer has been acked).
+	db.craq.dirtyReads++
+	tail := len(db.readers) - 1
+	hasAcked, ackedVal, ackedDead := st.hasAcked, st.ackedVal, st.ackedDead
+	db.GetFromReplica(key, tail, func(val []byte, err error) {
+		if hasAcked {
+			if ackedDead {
+				done(nil, false, ErrNotFound)
+				return
+			}
+			done(append([]byte(nil), ackedVal...), false, nil)
+			return
+		}
+		done(val, false, err)
+	})
+}
+
+// TailReplica returns the index of the tail read path.
+func (db *DB) TailReplica() int { return len(db.readers) - 1 }

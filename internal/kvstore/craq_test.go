@@ -1,0 +1,210 @@
+package kvstore
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+
+	"hyperloop/internal/cluster"
+	"hyperloop/internal/sim"
+)
+
+// craqDB builds a 3-replica store with CRAQ and replica read paths enabled,
+// and manual commit control (CommitEvery maxed out).
+func craqDB(t *testing.T) (*sim.Engine, *DB, func()) {
+	t.Helper()
+	eng, g, db := hyperDB(t, 3)
+	db.cfg.CommitEvery = 1 << 30
+	db.EnableReplicaReads(g.Client(), []*cluster.Node{g.Replica(0), g.Replica(1), g.Replica(2)})
+	db.EnableCRAQ()
+	return eng, db, g.Close
+}
+
+// putAcked writes key=val and runs until the replication ack.
+func putAcked(t *testing.T, eng *sim.Engine, db *DB, key, val string) {
+	t.Helper()
+	acked := false
+	if err := db.Put(key, []byte(val), func(err error) {
+		if err != nil {
+			t.Fatalf("put %s: %v", key, err)
+		}
+		acked = true
+	}); err != nil {
+		t.Fatalf("put %s: %v", key, err)
+	}
+	if !eng.RunUntil(func() bool { return acked }, eng.Now().Add(sim.Second)) {
+		t.Fatalf("put %s never acked", key)
+	}
+}
+
+// commitAll drains the WAL executor.
+func commitAll(t *testing.T, eng *sim.Engine, db *DB) {
+	t.Helper()
+	done := false
+	db.Commit(func(err error) {
+		if err != nil {
+			t.Fatalf("commit: %v", err)
+		}
+		done = true
+	})
+	if !eng.RunUntil(func() bool { return done }, eng.Now().Add(10*sim.Second)) {
+		t.Fatal("commit stalled")
+	}
+}
+
+// readCRAQ issues one CRAQ read and waits for it.
+func readCRAQ(t *testing.T, eng *sim.Engine, db *DB, key string, r int) (string, bool, error) {
+	t.Helper()
+	var val []byte
+	var clean bool
+	var rerr error
+	done := false
+	db.GetCRAQ(key, r, func(v []byte, c bool, err error) {
+		val, clean, rerr = v, c, err
+		done = true
+	})
+	if !eng.RunUntil(func() bool { return done }, eng.Now().Add(sim.Second)) {
+		t.Fatalf("read %s stalled", key)
+	}
+	return string(val), clean, rerr
+}
+
+func TestCRAQDirtyBitLifecycle(t *testing.T) {
+	eng, db, closeG := craqDB(t)
+	defer closeG()
+
+	if db.DirtyKeys() != 0 {
+		t.Fatalf("dirty at start: %d", db.DirtyKeys())
+	}
+	putAcked(t, eng, db, "k", "v1")
+	if db.DirtyKeys() != 1 {
+		t.Fatalf("dirty after append: %d", db.DirtyKeys())
+	}
+	// A second in-flight write to the same key stacks: still one dirty key,
+	// clean only after BOTH commit.
+	putAcked(t, eng, db, "k", "v2")
+	if db.DirtyKeys() != 1 {
+		t.Fatalf("dirty after second append: %d", db.DirtyKeys())
+	}
+	commitAll(t, eng, db)
+	if db.DirtyKeys() != 0 {
+		t.Fatalf("dirty after commit: %d", db.DirtyKeys())
+	}
+	// Clean read at a mid-chain replica serves locally.
+	got, clean, err := readCRAQ(t, eng, db, "k", 1)
+	if err != nil || !clean || got != "v2" {
+		t.Fatalf("clean read: %q clean=%v err=%v", got, clean, err)
+	}
+	if c, d := db.CRAQStats(); c != 1 || d != 0 {
+		t.Fatalf("stats: clean=%d dirty=%d", c, d)
+	}
+}
+
+func TestCRAQMidChainNeverServesUnacked(t *testing.T) {
+	eng, db, closeG := craqDB(t)
+	defer closeG()
+
+	putAcked(t, eng, db, "k", "committed")
+	commitAll(t, eng, db)
+
+	// Issue a new write and read BEFORE its replication ack: the key is
+	// dirty, nothing newer is acked, so the forwarded read serves the
+	// committed value — never the in-flight "unacked" one.
+	if err := db.Put("k", []byte("unacked"), nil); err != nil {
+		t.Fatal(err)
+	}
+	got, clean, err := readCRAQ(t, eng, db, "k", 1)
+	if err != nil || clean || got != "committed" {
+		t.Fatalf("pre-ack dirty read: %q clean=%v err=%v", got, clean, err)
+	}
+
+	// After the ack (still uncommitted) the dirty read serves the acked
+	// version — the client has been told it is durable.
+	if !eng.RunUntil(func() bool { return db.log.Ready() }, eng.Now().Add(sim.Second)) {
+		t.Fatal("append never acked")
+	}
+	got, clean, err = readCRAQ(t, eng, db, "k", 1)
+	if err != nil || clean || got != "unacked" {
+		t.Fatalf("post-ack dirty read: %q clean=%v err=%v", got, clean, err)
+	}
+
+	// Commit cleans the key; the mid-chain replica serves it locally.
+	commitAll(t, eng, db)
+	got, clean, err = readCRAQ(t, eng, db, "k", 1)
+	if err != nil || !clean || got != "unacked" {
+		t.Fatalf("post-commit read: %q clean=%v err=%v", got, clean, err)
+	}
+	if _, d := db.CRAQStats(); d != 2 {
+		t.Fatalf("dirty reads = %d", d)
+	}
+}
+
+func TestCRAQMonotonicReadsPerConnection(t *testing.T) {
+	eng, db, closeG := craqDB(t)
+	defer closeG()
+
+	// One "connection" reads replica 2 while versions v001..v040 are
+	// written and committed concurrently. Observed versions must never go
+	// backwards.
+	last := 0
+	observe := func(got string, clean bool, err error) {
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		v, perr := strconv.Atoi(got[1:])
+		if perr != nil {
+			t.Fatalf("bad value %q", got)
+		}
+		if v < last {
+			t.Fatalf("non-monotonic read: v%03d after v%03d (clean=%v)", v, last, clean)
+		}
+		last = v
+	}
+	putAcked(t, eng, db, "k", "v000")
+	commitAll(t, eng, db)
+	for i := 1; i <= 40; i++ {
+		putAcked(t, eng, db, "k", fmt.Sprintf("v%03d", i))
+		observe(readCRAQ(t, eng, db, "k", 2)) // dirty: forwards to tail
+		if i%3 == 0 {
+			commitAll(t, eng, db)
+			observe(readCRAQ(t, eng, db, "k", 2)) // clean: served at replica
+		}
+	}
+	c, d := db.CRAQStats()
+	if c == 0 || d == 0 {
+		t.Fatalf("want a mix of clean and dirty reads: clean=%d dirty=%d", c, d)
+	}
+}
+
+func TestCRAQDirtyDeleteForwardsTombstone(t *testing.T) {
+	eng, db, closeG := craqDB(t)
+	defer closeG()
+
+	putAcked(t, eng, db, "k", "v1")
+	commitAll(t, eng, db)
+	acked := false
+	if err := db.Delete("k", func(err error) { acked = err == nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !eng.RunUntil(func() bool { return acked }, eng.Now().Add(sim.Second)) {
+		t.Fatal("delete never acked")
+	}
+	// Acked but uncommitted delete: the dirty read must observe the
+	// tombstone, not the stale committed value.
+	_, clean, err := readCRAQ(t, eng, db, "k", 0)
+	if clean || err != ErrNotFound {
+		t.Fatalf("dirty deleted read: clean=%v err=%v", clean, err)
+	}
+}
+
+func TestCRAQDisabledReads(t *testing.T) {
+	eng, g, db := hyperDB(t, 3)
+	defer g.Close()
+	done := false
+	var gerr error
+	db.GetCRAQ("k", 0, func(_ []byte, _ bool, err error) { gerr = err; done = true })
+	eng.RunUntil(func() bool { return done }, eng.Now().Add(sim.Second))
+	if gerr != ErrClosed {
+		t.Fatalf("CRAQ read without EnableCRAQ: %v", gerr)
+	}
+}

@@ -110,6 +110,7 @@ type DB struct {
 	closed        bool
 	commitWaiters []func(error)
 	readers       []*replicaReader
+	craq          *craqState // nil unless EnableCRAQ
 
 	puts, gets, dels, scans uint64
 }

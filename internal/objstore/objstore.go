@@ -1,0 +1,200 @@
+// Package objstore is a deterministic simulated object store — the
+// durability root of the ephemeral-replica design (DESIGN.md §17). It models
+// an S3-class blob service on virtual time: keyed immutable blobs, per-op
+// base latency plus a bandwidth term, seeded jitter, and failure injection
+// (per-op loss probability and scheduled outage windows) so chaos arms can
+// crash an upload mid-segment without leaving the simulation's determinism
+// envelope.
+//
+// The store is engine-local: all mutation happens inside scheduled events,
+// and the synchronous accessors (Peek, List, Stats) are control-plane reads
+// for checkers and experiment drivers, never data-plane shortcuts.
+package objstore
+
+import (
+	"errors"
+	"sort"
+	"strings"
+
+	"hyperloop/internal/sim"
+)
+
+// ErrUnavailable reports a failed or outage-dropped operation. Callers are
+// expected to retry with their own policy; the store never retries.
+var ErrUnavailable = errors.New("objstore: unavailable")
+
+// ErrNotFound reports a Get/Delete for a key that has no blob.
+var ErrNotFound = errors.New("objstore: not found")
+
+// Config models the service. Zero values take the defaults noted.
+type Config struct {
+	// PutLatency / GetLatency are per-op base latencies before the bandwidth
+	// term (defaults 500µs / 200µs — cross-AZ object store, not a local SSD).
+	PutLatency sim.Duration
+	GetLatency sim.Duration
+	// BytesPerSec is the modeled transfer bandwidth (default 1 GiB/s).
+	BytesPerSec float64
+	// JitterFrac spreads each op's latency uniformly in ±frac (default 0.1).
+	JitterFrac float64
+	// FailProb is the per-op probability of ErrUnavailable after the modeled
+	// latency (default 0; chaos arms raise it or use Outage).
+	FailProb float64
+	// Seed feeds the store's private jitter/failure stream.
+	Seed int64
+}
+
+func (c *Config) fill() {
+	if c.PutLatency == 0 {
+		c.PutLatency = 500 * sim.Microsecond
+	}
+	if c.GetLatency == 0 {
+		c.GetLatency = 200 * sim.Microsecond
+	}
+	if c.BytesPerSec == 0 {
+		c.BytesPerSec = float64(1 << 30)
+	}
+	if c.JitterFrac == 0 {
+		c.JitterFrac = 0.1
+	}
+}
+
+// Stats are cumulative op counters (control-plane reads for reports).
+type Stats struct {
+	Puts, Gets, Deletes uint64
+	Failed              uint64
+	BytesIn, BytesOut   uint64
+}
+
+// Store is one simulated object-store endpoint.
+type Store struct {
+	eng      *sim.Engine
+	cfg      Config
+	rng      *sim.Rand
+	blobs    map[string][]byte
+	outageTo sim.Time // ops starting before this fail with ErrUnavailable
+	stats    Stats
+}
+
+// New creates a store on eng.
+func New(eng *sim.Engine, cfg Config) *Store {
+	cfg.fill()
+	return &Store{
+		eng:   eng,
+		cfg:   cfg,
+		rng:   sim.NewRand(cfg.Seed ^ 0x6f626a73746f7265), // "objstore"
+		blobs: make(map[string][]byte),
+	}
+}
+
+// latency models one op moving n payload bytes.
+func (s *Store) latency(base sim.Duration, n int) sim.Duration {
+	d := base + sim.Duration(float64(n)/s.cfg.BytesPerSec*float64(sim.Second))
+	return s.rng.Jitter(d, s.cfg.JitterFrac)
+}
+
+// fails draws the per-op failure decision. The draw happens at issue time so
+// the RNG stream is consumed identically whether or not an outage window is
+// active (outage checks don't consume randomness).
+func (s *Store) fails() bool {
+	return s.cfg.FailProb > 0 && s.rng.Float64() < s.cfg.FailProb
+}
+
+// Put stores an immutable copy of data under key after the modeled transfer
+// latency. done(nil) on success; done(ErrUnavailable) if the op drew a
+// failure or started inside an outage window (a failed put stores nothing —
+// blobs are atomic).
+func (s *Store) Put(key string, data []byte, done func(error)) {
+	failed := s.fails() || s.eng.Now() < s.outageTo
+	d := s.latency(s.cfg.PutLatency, len(data))
+	cp := append([]byte(nil), data...)
+	s.eng.Schedule(d, func() {
+		if failed {
+			s.stats.Failed++
+			if done != nil {
+				done(ErrUnavailable)
+			}
+			return
+		}
+		s.blobs[key] = cp
+		s.stats.Puts++
+		s.stats.BytesIn += uint64(len(cp))
+		if done != nil {
+			done(nil)
+		}
+	})
+}
+
+// Get fetches the blob at key after the modeled transfer latency. The data
+// slice is a private copy.
+func (s *Store) Get(key string, done func([]byte, error)) {
+	failed := s.fails() || s.eng.Now() < s.outageTo
+	blob, ok := s.blobs[key]
+	d := s.latency(s.cfg.GetLatency, len(blob))
+	cp := append([]byte(nil), blob...)
+	s.eng.Schedule(d, func() {
+		switch {
+		case failed:
+			s.stats.Failed++
+			done(nil, ErrUnavailable)
+		case !ok:
+			done(nil, ErrNotFound)
+		default:
+			s.stats.Gets++
+			s.stats.BytesOut += uint64(len(cp))
+			done(cp, nil)
+		}
+	})
+}
+
+// Delete removes key after the base put latency (no bandwidth term).
+func (s *Store) Delete(key string, done func(error)) {
+	failed := s.fails() || s.eng.Now() < s.outageTo
+	d := s.latency(s.cfg.PutLatency, 0)
+	s.eng.Schedule(d, func() {
+		if failed {
+			s.stats.Failed++
+			if done != nil {
+				done(ErrUnavailable)
+			}
+			return
+		}
+		delete(s.blobs, key)
+		s.stats.Deletes++
+		if done != nil {
+			done(nil)
+		}
+	})
+}
+
+// Outage makes every op issued in the next d fail with ErrUnavailable.
+// Overlapping outages extend to the later end.
+func (s *Store) Outage(d sim.Duration) {
+	if to := s.eng.Now().Add(d); to > s.outageTo {
+		s.outageTo = to
+	}
+}
+
+// SetFailProb replaces the per-op failure probability.
+func (s *Store) SetFailProb(p float64) { s.cfg.FailProb = p }
+
+// List returns the keys under prefix in sorted order — a synchronous
+// control-plane read (restore planning, checkers).
+func (s *Store) List(prefix string) []string {
+	var keys []string
+	for k := range s.blobs {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Peek returns the blob bytes without latency or copy — checker use only.
+func (s *Store) Peek(key string) ([]byte, bool) {
+	b, ok := s.blobs[key]
+	return b, ok
+}
+
+// Stats returns cumulative counters.
+func (s *Store) Stats() Stats { return s.stats }

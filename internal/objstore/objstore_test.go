@@ -1,0 +1,165 @@
+package objstore
+
+import (
+	"errors"
+	"testing"
+
+	"hyperloop/internal/sim"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	eng := sim.NewEngine()
+	st := New(eng, Config{Seed: 1})
+	data := []byte("segment-bytes")
+	var putErr error
+	putDone := false
+	st.Put("gen0/seg/0001", data, func(err error) { putErr = err; putDone = true })
+	eng.Drain()
+	if !putDone || putErr != nil {
+		t.Fatalf("put: done=%v err=%v", putDone, putErr)
+	}
+	// Mutating the caller's slice must not reach the stored blob.
+	data[0] = 'X'
+	var got []byte
+	st.Get("gen0/seg/0001", func(b []byte, err error) {
+		if err != nil {
+			t.Fatalf("get: %v", err)
+		}
+		got = b
+	})
+	eng.Drain()
+	if string(got) != "segment-bytes" {
+		t.Fatalf("got %q", got)
+	}
+	if s := st.Stats(); s.Puts != 1 || s.Gets != 1 || s.BytesIn != 13 || s.BytesOut != 13 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	eng := sim.NewEngine()
+	st := New(eng, Config{Seed: 1})
+	var got error
+	st.Get("nope", func(_ []byte, err error) { got = err })
+	eng.Drain()
+	if !errors.Is(got, ErrNotFound) {
+		t.Fatalf("err = %v", got)
+	}
+}
+
+func TestLatencyModel(t *testing.T) {
+	eng := sim.NewEngine()
+	// JitterFrac < 0 disables jitter: latency is exactly base + size/bandwidth.
+	st := New(eng, Config{Seed: 1, JitterFrac: -1, BytesPerSec: 1 << 20, PutLatency: sim.Millisecond})
+	var doneAt sim.Time
+	st.Put("k", make([]byte, 1<<20), func(error) { doneAt = eng.Now() })
+	eng.Drain()
+	want := sim.Time(sim.Millisecond + sim.Second)
+	if doneAt != want {
+		t.Fatalf("put finished at %v, want %v", doneAt, want)
+	}
+}
+
+func TestOutageWindow(t *testing.T) {
+	eng := sim.NewEngine()
+	st := New(eng, Config{Seed: 7})
+	st.Outage(10 * sim.Millisecond)
+	var first, second error
+	st.Put("a", []byte("x"), func(err error) { first = err })
+	eng.Schedule(20*sim.Millisecond, func() {
+		st.Put("b", []byte("y"), func(err error) { second = err })
+	})
+	eng.Drain()
+	if !errors.Is(first, ErrUnavailable) {
+		t.Fatalf("in-outage put: %v", first)
+	}
+	if second != nil {
+		t.Fatalf("post-outage put: %v", second)
+	}
+	if _, ok := st.Peek("a"); ok {
+		t.Fatal("failed put must not store a blob")
+	}
+	if _, ok := st.Peek("b"); !ok {
+		t.Fatal("post-outage put missing")
+	}
+}
+
+func TestFailProbDeterministic(t *testing.T) {
+	run := func() (fails int) {
+		eng := sim.NewEngine()
+		st := New(eng, Config{Seed: 42, FailProb: 0.3})
+		for i := 0; i < 100; i++ {
+			st.Put("k", []byte("v"), func(err error) {
+				if err != nil {
+					fails++
+				}
+			})
+		}
+		eng.Drain()
+		return fails
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("failure stream not deterministic: %d vs %d", a, b)
+	}
+	if a == 0 || a == 100 {
+		t.Fatalf("degenerate failure count %d", a)
+	}
+}
+
+func TestListPrefix(t *testing.T) {
+	eng := sim.NewEngine()
+	st := New(eng, Config{Seed: 1})
+	for _, k := range []string{"s0/seg/2", "s0/seg/1", "s1/seg/1", "s0/snap/1"} {
+		st.Put(k, []byte("x"), nil)
+	}
+	eng.Drain()
+	got := st.List("s0/seg/")
+	if len(got) != 2 || got[0] != "s0/seg/1" || got[1] != "s0/seg/2" {
+		t.Fatalf("list: %v", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	eng := sim.NewEngine()
+	st := New(eng, Config{Seed: 1})
+	st.Put("k", []byte("v"), nil)
+	eng.Drain()
+	var derr error
+	st.Delete("k", func(err error) { derr = err })
+	eng.Drain()
+	if derr != nil {
+		t.Fatalf("delete: %v", derr)
+	}
+	if _, ok := st.Peek("k"); ok {
+		t.Fatal("blob survived delete")
+	}
+}
+
+// TestSetFailProbTogglesInjection: a probability of 1 fails every op, and
+// resetting to 0 restores service — the chaos-arm control knob.
+func TestSetFailProbTogglesInjection(t *testing.T) {
+	eng := sim.NewEngine()
+	st := New(eng, Config{Seed: 3})
+	st.SetFailProb(1)
+	var putErr, delErr error
+	st.Put("k", []byte("v"), func(err error) { putErr = err })
+	st.Delete("k", func(err error) { delErr = err })
+	eng.Drain()
+	if !errors.Is(putErr, ErrUnavailable) || !errors.Is(delErr, ErrUnavailable) {
+		t.Fatalf("injected failure missing: put=%v delete=%v", putErr, delErr)
+	}
+	st.SetFailProb(0)
+	ok := false
+	st.Put("k", []byte("v"), func(err error) { ok = err == nil })
+	eng.Drain()
+	if !ok {
+		t.Fatal("put still failing after SetFailProb(0)")
+	}
+	if _, found := st.Peek("k"); !found {
+		t.Fatal("blob missing after recovered put")
+	}
+	if s := st.Stats(); s.Failed != 2 {
+		t.Fatalf("failed ops = %d, want 2", s.Failed)
+	}
+}

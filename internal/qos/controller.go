@@ -18,6 +18,12 @@ type Config struct {
 	// SaturationFrac is the throttled share of a tenant's window arrivals
 	// that marks the window saturated (0.25).
 	SaturationFrac float64
+	// BackpressureFrac is the WAL ring-full bounce count, as a share of the
+	// window's admitted requests, that marks the window saturated even when
+	// the admission throttle is quiet (0.5). Bounces mean admitted work is
+	// stalling inside the group — a saturation mode the throttle share alone
+	// under-reports, since the limiter only sees arrivals it refused.
+	BackpressureFrac float64
 	// FundFrac is the admission-rate raise per completed scale-out step,
 	// as a fraction of the contract rate (0.5).
 	FundFrac float64
@@ -35,6 +41,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SaturationFrac <= 0 {
 		c.SaturationFrac = 0.25
+	}
+	if c.BackpressureFrac <= 0 {
+		c.BackpressureFrac = 0.5
 	}
 	if c.FundFrac <= 0 {
 		c.FundFrac = 0.5
@@ -172,6 +181,12 @@ func (c *Controller) observe(i int, now sim.Time) {
 	}
 	saturated := w.Arrivals > 0 &&
 		float64(w.Throttled) >= c.cfg.SaturationFrac*float64(w.Arrivals)
+	// WAL ring-full bounces are the second saturation mode: admitted work
+	// stalling inside the group, invisible to the admission throttle.
+	if !saturated && w.Arrivals > 0 && w.Admitted > 0 &&
+		float64(w.Backpressure) >= c.cfg.BackpressureFrac*float64(w.Admitted) {
+		saturated = true
+	}
 	if !saturated {
 		st.sustain = 0
 		return

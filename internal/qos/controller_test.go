@@ -171,6 +171,57 @@ func TestControllerSingleWindowDoesNotTrigger(t *testing.T) {
 	}
 }
 
+// TestControllerBackpressureSaturation pins the second saturation mode:
+// every arrival is admitted (the throttle share reads 0%), but WAL
+// ring-full bounces pile up inside the group. Throttle share alone would
+// under-report this as a calm tenant; the backpressure term must fund the
+// scale-out anyway.
+func TestControllerBackpressureSaturation(t *testing.T) {
+	src := &fakeSource{windows: func(class, tick int) TenantWindow {
+		return TenantWindow{
+			Arrivals:     uint64(tick) * 100,
+			Admitted:     uint64(tick) * 100, // throttle silent
+			Backpressure: uint64(tick) * 60,  // 60% of admitted bounced
+		}
+	}}
+	act := &fakeActuator{delay: 10 * sim.Microsecond}
+	c := runController(t, testClasses(2, 2), src, act, 3*sim.Millisecond)
+
+	st := c.States()[0]
+	if st.Steps != 2 {
+		t.Fatalf("steps = %d, want 2 (backpressure saturation must fund)", st.Steps)
+	}
+	if act.scales != 2 {
+		t.Fatalf("scale-outs = %d, want 2", act.scales)
+	}
+	var sawSaturated bool
+	for _, e := range c.Events() {
+		if e.Kind == Saturated {
+			sawSaturated = true
+		}
+	}
+	if !sawSaturated {
+		t.Fatalf("no saturated event in %v", kinds(c.Events()))
+	}
+}
+
+// TestControllerMildBackpressureDoesNotTrigger: bounces below the
+// BackpressureFrac share of admitted work stay sub-saturation.
+func TestControllerMildBackpressureDoesNotTrigger(t *testing.T) {
+	src := &fakeSource{windows: func(class, tick int) TenantWindow {
+		return TenantWindow{
+			Arrivals:     uint64(tick) * 100,
+			Admitted:     uint64(tick) * 100,
+			Backpressure: uint64(tick) * 40, // below the 0.5 default
+		}
+	}}
+	act := &fakeActuator{delay: sim.Microsecond}
+	c := runController(t, testClasses(10, 10), src, act, 2*sim.Millisecond)
+	if act.scales != 0 {
+		t.Fatalf("mild backpressure funded a step (events %v)", kinds(c.Events()))
+	}
+}
+
 func TestControllerOverflowIsConservative(t *testing.T) {
 	src := &fakeSource{windows: func(class, tick int) TenantWindow {
 		w := saturatedAlways(class, tick)

@@ -35,6 +35,9 @@ type PartitionedConfig struct {
 	Group       core.Config
 	Fabric      fabric.Config
 	NIC         rdma.Config
+	// CRAQ enables clean/dirty read serving on every group's plane exactly
+	// as in Config.CRAQ.
+	CRAQ bool
 	// InterFabric models the link between groups (default 3µs propagation —
 	// an inter-rack hop, wider than the intra-group 1.5µs). Its MinLatency
 	// is the engine lookahead; cross-group forwards pay its deterministic
@@ -150,6 +153,7 @@ func NewPartitionedPlane(cfg PartitionedConfig) *PartitionedPlane {
 			Group:       cfg.Group,
 			Fabric:      cfg.Fabric,
 			NIC:         cfg.NIC,
+			CRAQ:        cfg.CRAQ,
 			HostTiers:   cfg.HostTiers,
 			TierNIC:     cfg.TierNIC,
 			Hints:       cfg.Hints,

@@ -148,3 +148,99 @@ func TestPartitionedPlaneForwardRefusal(t *testing.T) {
 	}
 	pp.Close()
 }
+
+// TestPartitionedPlaneCRAQReads: the CRAQ flag plumbs through to every
+// group's plane — a committed key serves a clean read from any chain
+// replica of its home group, and the ancillary surface (spans, commit
+// drain, group-key salting) behaves.
+func TestPartitionedPlaneCRAQReads(t *testing.T) {
+	pp := NewPartitionedPlane(PartitionedConfig{
+		Groups:         2,
+		ShardsPerGroup: 1,
+		Replicas:       3,
+		RegionSize:     128 << 10,
+		CRAQ:           true,
+		WithSpans:      true,
+		Seed:           7,
+		Workers:        1,
+	})
+	if err := pp.WaitOpen(sim.Time(sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < pp.Groups(); g++ {
+		if pp.Spans(g) == nil {
+			t.Fatalf("group %d has no span recorder", g)
+		}
+	}
+	// One key per group, written at its home group.
+	keys := make([]string, pp.Groups())
+	for i, found := 0, 0; found < len(keys); i++ {
+		k := fmt.Sprintf("craq-%d", i)
+		if g := pp.HomeGroup(k); keys[g] == "" {
+			keys[g] = k
+			found++
+		}
+	}
+	if pp.GroupMap.Route(GroupKey(keys[0])) != pp.HomeGroup(keys[0]) {
+		t.Fatal("GroupKey salting disagrees with HomeGroup")
+	}
+	acked := 0
+	for g, k := range keys {
+		g, k := g, k
+		pp.PE.Partition(g).Schedule(0, func() {
+			pp.Put(g, k, []byte("v-"+k), func(err error) {
+				if err != nil {
+					t.Errorf("put %s: %v", k, err)
+				}
+				acked++
+			})
+		})
+	}
+	drive := func(cond func() bool) {
+		deadline := pp.PE.Partition(0).Now()
+		for chunk := 0; chunk < 200 && !cond(); chunk++ {
+			deadline = deadline.Add(200 * sim.Microsecond)
+			pp.PE.Run(deadline)
+		}
+		if !cond() {
+			t.Fatal("partitioned CRAQ run stalled")
+		}
+	}
+	drive(func() bool { return acked == len(keys) })
+	// CommitAll slots are filled on error only; drive past the drain.
+	slots := pp.CommitAll()
+	drive(func() bool {
+		return pp.PE.Partition(0).Now() > sim.Time(0).Add(2*sim.Millisecond)
+	})
+	for g, s := range slots {
+		if *s != nil {
+			t.Fatalf("group %d commit: %v", g, *s)
+		}
+	}
+	// Every replica of the home group serves the committed key clean.
+	reads := 0
+	for g, k := range keys {
+		g, k := g, k
+		for r := 0; r < 3; r++ {
+			r := r
+			pp.PE.Partition(g).Schedule(0, func() {
+				pp.Group(g).ReadCRAQ(k, r, func(val []byte, clean bool, err error) {
+					if err != nil || !clean || string(val) != "v-"+k {
+						t.Errorf("read %s@r%d: val=%q clean=%v err=%v", k, r, val, clean, err)
+					}
+					reads++
+				})
+			})
+		}
+	}
+	drive(func() bool { return reads == 3*len(keys) })
+	for g := range keys {
+		if c, d := pp.Group(g).Shard(0).DB().CRAQStats(); c != 3 || d != 0 {
+			t.Fatalf("group %d craq stats clean=%d dirty=%d, want 3/0", g, c, d)
+		}
+	}
+	if s := pp.Group(0).String(); s == "" {
+		t.Fatal("empty plane description")
+	}
+	pp.Close()
+}

@@ -62,6 +62,11 @@ type Config struct {
 	Group core.Config
 	// CommitEvery is the per-shard kvstore commit policy (default 1).
 	CommitEvery int
+	// CRAQ enables clean/dirty read serving at every chain replica
+	// (kvstore.EnableCRAQ): clean keys are read from the queried replica
+	// directly, dirty keys forward to the tail. Off by default — CRAQ runs
+	// are a distinct configuration, so legacy byte-streams are untouched.
+	CRAQ bool
 	// Seed feeds the cluster and the per-shard stores.
 	Seed int64
 	// HostTiers labels each pool host with a hardware tier (nil = the
@@ -390,6 +395,9 @@ func (p *Plane) buildShard(sid int, opened func(error)) *Shard {
 		Seed:        p.cfg.Seed + int64(sid)*7919,
 	}, opened)
 	s.db.EnableReplicaReads(p.client, p.hostNodes(hosts))
+	if p.cfg.CRAQ {
+		s.db.EnableCRAQ()
+	}
 	if p.cfg.Metrics != nil {
 		lbl := fmt.Sprintf("s%d", sid)
 		s.putCount = p.cfg.Metrics.Counter("shard", "puts", lbl)
@@ -397,6 +405,16 @@ func (p *Plane) buildShard(sid int, opened func(error)) *Shard {
 		s.putLat = p.cfg.Metrics.Histogram("shard", "put_latency_ns", lbl)
 		p.cfg.Metrics.GaugeFunc("shard", "epoch", lbl, func() float64 { return float64(s.epoch) })
 		p.cfg.Metrics.GaugeFunc("shard", "migrations", lbl, func() float64 { return float64(s.migrations) })
+		if p.cfg.CRAQ {
+			p.cfg.Metrics.GaugeFunc("shard", "craq_clean_reads", lbl, func() float64 {
+				c, _ := s.db.CRAQStats()
+				return float64(c)
+			})
+			p.cfg.Metrics.GaugeFunc("shard", "craq_dirty_reads", lbl, func() float64 {
+				_, d := s.db.CRAQStats()
+				return float64(d)
+			})
+		}
 	}
 	return s
 }
@@ -565,6 +583,40 @@ func (p *Plane) getFromReplica(key string, attempt int, done func([]byte, error)
 			p.staleServed++ // would have to serve stale — counted, never hidden
 		}
 		done(val, err)
+	})
+}
+
+// ReadCRAQ reads key from replica r of its owning shard under the CRAQ
+// clean/dirty protocol (Config.CRAQ must be set): clean keys are served from
+// r's NVM directly, dirty keys forward to the tail and serve the newest
+// acked version. r = -1 selects the tail. The shard epoch is validated the
+// same way as GetFromReplica — a read racing a migration cutover is
+// re-issued rather than served stale.
+func (p *Plane) ReadCRAQ(key string, r int, done func(val []byte, clean bool, err error)) {
+	if !p.open {
+		done(nil, false, ErrNotOpen)
+		return
+	}
+	p.readCRAQ(key, r, 0, done)
+}
+
+func (p *Plane) readCRAQ(key string, r, attempt int, done func(val []byte, clean bool, err error)) {
+	s := p.Route(key)
+	rr := r
+	if rr < 0 {
+		rr = s.db.TailReplica()
+	}
+	issueEpoch := s.epoch
+	s.db.GetCRAQ(key, rr, func(val []byte, clean bool, err error) {
+		if s.epoch != issueEpoch {
+			p.staleSuppressed++
+			if attempt+1 < maxReadRetries {
+				p.readCRAQ(key, r, attempt+1, done)
+				return
+			}
+			p.staleServed++
+		}
+		done(val, clean, err)
 	})
 }
 

@@ -1,0 +1,181 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+
+	"hyperloop/internal/objstore"
+	"hyperloop/internal/sim"
+)
+
+// ErrAborted reports a restore cancelled mid-replay (chaos kill point).
+var ErrAborted = errors.New("stream: restore aborted")
+
+// RestoreStats describes a completed restore.
+type RestoreStats struct {
+	SnapshotBytes int
+	Segments      int
+	Records       int
+	SegmentBytes  int
+	RestoredSeq   uint64 // first sequence NOT covered by the restored image
+	Elapsed       sim.Duration
+}
+
+// Restore is a handle on an in-flight restore-from-cold.
+type Restore struct {
+	aborted bool
+}
+
+// Abort cancels the restore at its next async step; done fires with
+// ErrAborted. Already-installed bytes stay installed — the restoring host is
+// assumed destroyed or re-restored by the caller.
+func (r *Restore) Abort() { r.aborted = true }
+
+// restoreRetry backs off object-store unavailability during restore.
+const restoreRetry = 2 * sim.Millisecond
+
+// StartRestore rebuilds a window from the stream at prefix: manifest →
+// snapshot (if any) → segments in order, installing bytes via install
+// (offsets are absolute store-window offsets; entries outside the manifest
+// window are dropped). done fires with the stats or the first fatal error;
+// ErrUnavailable is retried forever — chaos outage windows end.
+func StartRestore(eng *sim.Engine, store *objstore.Store, prefix string, install func(off int, data []byte), done func(RestoreStats, error)) *Restore {
+	r := &Restore{}
+	start := eng.Now()
+	var stats RestoreStats
+
+	fail := func(err error) { done(stats, err) }
+
+	// get fetches one key with unavailability retry and abort checks.
+	var get func(key string, then func([]byte))
+	get = func(key string, then func([]byte)) {
+		store.Get(key, func(blob []byte, err error) {
+			switch {
+			case r.aborted:
+				fail(ErrAborted)
+			case errors.Is(err, objstore.ErrUnavailable):
+				eng.Schedule(restoreRetry, func() { get(key, then) })
+			case err != nil:
+				fail(fmt.Errorf("stream: restore %s: %w", key, err))
+			default:
+				then(blob)
+			}
+		})
+	}
+
+	get(prefix+"/MANIFEST", func(blob []byte) {
+		man, err := DecodeManifest(blob)
+		if err != nil {
+			fail(err)
+			return
+		}
+		var applySegs func(i int, expect uint64)
+		applySegs = func(i int, expect uint64) {
+			if i >= len(man.Segments) {
+				stats.RestoredSeq = expect
+				stats.Elapsed = eng.Now().Sub(start)
+				done(stats, nil)
+				return
+			}
+			ref := man.Segments[i]
+			get(ref.Key, func(blob []byte) {
+				seg, err := DecodeSegment(blob)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if seg.StartSeq != expect || seg.EndSeq() != ref.EndSeq {
+					fail(fmt.Errorf("stream: restore %s: range [%d,%d) vs manifest [%d,%d): %w",
+						ref.Key, seg.StartSeq, seg.EndSeq(), ref.StartSeq, ref.EndSeq, ErrCorrupt))
+					return
+				}
+				for _, rec := range seg.Recs {
+					for _, e := range rec.Entries {
+						if e.Offset >= man.Base && e.Offset+len(e.Data) <= man.Base+man.Size {
+							install(e.Offset, e.Data)
+						}
+					}
+					stats.Records++
+				}
+				stats.Segments++
+				stats.SegmentBytes += len(blob)
+				applySegs(i+1, ref.EndSeq)
+			})
+		}
+		if man.SnapKey == "" {
+			// Implicit baseline: the formatted window is all zero.
+			applySegs(0, man.SnapSeq)
+			return
+		}
+		get(man.SnapKey, func(blob []byte) {
+			snap, err := DecodeSnapshot(blob)
+			if err != nil {
+				fail(err)
+				return
+			}
+			if snap.UpToSeq != man.SnapSeq || snap.Base != man.Base {
+				fail(fmt.Errorf("stream: restore %s: snapshot seq %d/base %d vs manifest %d/%d: %w",
+					man.SnapKey, snap.UpToSeq, snap.Base, man.SnapSeq, man.Base, ErrCorrupt))
+				return
+			}
+			install(snap.Base, snap.Data)
+			stats.SnapshotBytes = len(snap.Data)
+			applySegs(0, man.SnapSeq)
+		})
+	})
+	return r
+}
+
+// RebuildImage synchronously reconstructs the streamed window from the
+// store's current blobs — the checker-side half of restore equivalence. It
+// returns the window image, its base offset, and the first uncovered
+// sequence.
+func RebuildImage(peek func(key string) ([]byte, bool), prefix string) ([]byte, int, uint64, error) {
+	blob, ok := peek(prefix + "/MANIFEST")
+	if !ok {
+		return nil, 0, 0, fmt.Errorf("stream: rebuild: no manifest at %s", prefix)
+	}
+	man, err := DecodeManifest(blob)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	img := make([]byte, man.Size)
+	if man.SnapKey != "" {
+		sb, ok := peek(man.SnapKey)
+		if !ok {
+			return nil, 0, 0, fmt.Errorf("stream: rebuild: missing snapshot %s", man.SnapKey)
+		}
+		snap, err := DecodeSnapshot(sb)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if snap.UpToSeq != man.SnapSeq || snap.Base != man.Base || len(snap.Data) > len(img) {
+			return nil, 0, 0, ErrCorrupt
+		}
+		copy(img, snap.Data)
+	}
+	covered := man.SnapSeq
+	for _, ref := range man.Segments {
+		sb, ok := peek(ref.Key)
+		if !ok {
+			return nil, 0, 0, fmt.Errorf("stream: rebuild: missing segment %s", ref.Key)
+		}
+		seg, err := DecodeSegment(sb)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if seg.StartSeq != covered || seg.EndSeq() != ref.EndSeq {
+			return nil, 0, 0, ErrCorrupt
+		}
+		for _, rec := range seg.Recs {
+			for _, e := range rec.Entries {
+				off := e.Offset - man.Base
+				if off >= 0 && off+len(e.Data) <= len(img) {
+					copy(img[off:], e.Data)
+				}
+			}
+		}
+		covered = ref.EndSeq
+	}
+	return img, man.Base, covered, nil
+}

@@ -1,0 +1,319 @@
+// Package stream implements continuous WAL shipping to the simulated object
+// store (DESIGN.md §17): a per-shard segment cutter buffers committed WAL
+// records, cuts them into immutable segment blobs, and uploads them
+// asynchronously behind a manifest; periodic snapshots re-baseline the
+// stream so restore cost stays bounded. Any replica can then be destroyed
+// and rebuilt from snapshot + segment replay (restore-from-cold), with the
+// client's own WAL covering the not-yet-uploaded tail via Reattach.
+package stream
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+
+	"hyperloop/internal/wal"
+)
+
+// Codec errors. Decoders reject anything they did not produce: wrong magic,
+// CRC mismatch, out-of-bounds lengths, or trailing bytes.
+var (
+	ErrCorrupt = errors.New("stream: corrupt blob")
+)
+
+// Blob layouts (all little-endian; crc is IEEE over buf[8:]):
+//
+//	segment:  magic u32 | crc u32 | shard u32 | gen u32 | startSeq u64 |
+//	          nRecs u32 | recs
+//	rec:      nEntries u32 | entries           (seq implicit: startSeq+i)
+//	entry:    offset u64 | len u32 | data
+//	snapshot: magic u32 | crc u32 | shard u32 | gen u32 | upToSeq u64 |
+//	          base u64 | dataLen u32 | data
+//	manifest: magic u32 | crc u32 | shard u32 | gen u32 | snapSeq u64 |
+//	          base u64 | size u64 | snapKey str16 | nSegs u32 | refs
+//	ref:      startSeq u64 | endSeq u64 | key str16
+//	str16:    len u16 | bytes
+const (
+	segMagic  = 0x47534c48 // "HLSG"
+	snapMagic = 0x4e534c48 // "HLSN"
+	manMagic  = 0x464d4c48 // "HLMF"
+)
+
+// Rec is one committed WAL record inside a segment.
+type Rec struct {
+	Entries []wal.Entry
+}
+
+// Segment is a contiguous run of committed records [StartSeq, EndSeq()).
+type Segment struct {
+	Shard    int
+	Gen      uint32 // streamer generation (bumps on uploader restart)
+	StartSeq uint64
+	Recs     []Rec
+}
+
+// EndSeq returns the first sequence NOT covered by the segment.
+func (s *Segment) EndSeq() uint64 { return s.StartSeq + uint64(len(s.Recs)) }
+
+// Snapshot is a checkpoint of the streamed window at a commit point: every
+// record below UpToSeq is folded into Data.
+type Snapshot struct {
+	Shard   int
+	Gen     uint32
+	UpToSeq uint64
+	Base    int // store-window offset the data installs at
+	Data    []byte
+}
+
+// SegRef names one uploaded segment from a manifest.
+type SegRef struct {
+	StartSeq, EndSeq uint64
+	Key              string
+}
+
+// Manifest is the stream's root object: the restore plan. SnapKey may be
+// empty when the baseline is the all-zero formatted window (SnapSeq 0).
+// Segments are contiguous: Segments[0].StartSeq == SnapSeq and each ref
+// continues the previous one.
+type Manifest struct {
+	Shard    int
+	Gen      uint32
+	SnapSeq  uint64
+	Base     int // streamed window [Base, Base+Size)
+	Size     int
+	SnapKey  string
+	Segments []SegRef
+}
+
+// seal stamps the magic and CRC onto an assembled blob.
+func seal(buf []byte, magic uint32) []byte {
+	binary.LittleEndian.PutUint32(buf[0:], magic)
+	binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(buf[8:]))
+	return buf
+}
+
+// open verifies magic and CRC, returning the body after the 16-byte common
+// prefix (shard u32 | gen u32 follow the seal in every blob type).
+func checkSeal(buf []byte, magic uint32) error {
+	if len(buf) < 16 {
+		return ErrCorrupt
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != magic {
+		return ErrCorrupt
+	}
+	if crc32.ChecksumIEEE(buf[8:]) != binary.LittleEndian.Uint32(buf[4:]) {
+		return ErrCorrupt
+	}
+	return nil
+}
+
+// EncodeSegment serializes a segment blob.
+func EncodeSegment(s *Segment) []byte {
+	n := 16 + 8 + 4
+	for _, r := range s.Recs {
+		n += 4
+		for _, e := range r.Entries {
+			n += 12 + len(e.Data)
+		}
+	}
+	buf := make([]byte, n)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(s.Shard))
+	binary.LittleEndian.PutUint32(buf[12:], s.Gen)
+	binary.LittleEndian.PutUint64(buf[16:], s.StartSeq)
+	binary.LittleEndian.PutUint32(buf[24:], uint32(len(s.Recs)))
+	w := 28
+	for _, r := range s.Recs {
+		binary.LittleEndian.PutUint32(buf[w:], uint32(len(r.Entries)))
+		w += 4
+		for _, e := range r.Entries {
+			binary.LittleEndian.PutUint64(buf[w:], uint64(e.Offset))
+			binary.LittleEndian.PutUint32(buf[w+8:], uint32(len(e.Data)))
+			copy(buf[w+12:], e.Data)
+			w += 12 + len(e.Data)
+		}
+	}
+	return seal(buf, segMagic)
+}
+
+// DecodeSegment parses a segment blob, rejecting corruption.
+func DecodeSegment(buf []byte) (*Segment, error) {
+	if err := checkSeal(buf, segMagic); err != nil {
+		return nil, err
+	}
+	if len(buf) < 28 {
+		return nil, ErrCorrupt
+	}
+	s := &Segment{
+		Shard:    int(binary.LittleEndian.Uint32(buf[8:])),
+		Gen:      binary.LittleEndian.Uint32(buf[12:]),
+		StartSeq: binary.LittleEndian.Uint64(buf[16:]),
+	}
+	nRecs := int(binary.LittleEndian.Uint32(buf[24:]))
+	r := 28
+	for i := 0; i < nRecs; i++ {
+		if r+4 > len(buf) {
+			return nil, ErrCorrupt
+		}
+		nEnt := int(binary.LittleEndian.Uint32(buf[r:]))
+		r += 4
+		rec := Rec{}
+		for j := 0; j < nEnt; j++ {
+			if r+12 > len(buf) {
+				return nil, ErrCorrupt
+			}
+			off := int(binary.LittleEndian.Uint64(buf[r:]))
+			dl := int(binary.LittleEndian.Uint32(buf[r+8:]))
+			if dl < 0 || r+12+dl > len(buf) {
+				return nil, ErrCorrupt
+			}
+			data := make([]byte, dl)
+			copy(data, buf[r+12:])
+			rec.Entries = append(rec.Entries, wal.Entry{Offset: off, Data: data})
+			r += 12 + dl
+		}
+		s.Recs = append(s.Recs, rec)
+	}
+	if r != len(buf) {
+		return nil, ErrCorrupt // trailing bytes are not ours
+	}
+	return s, nil
+}
+
+// EncodeSnapshot serializes a snapshot blob.
+func EncodeSnapshot(s *Snapshot) []byte {
+	buf := make([]byte, 16+8+8+4+len(s.Data))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(s.Shard))
+	binary.LittleEndian.PutUint32(buf[12:], s.Gen)
+	binary.LittleEndian.PutUint64(buf[16:], s.UpToSeq)
+	binary.LittleEndian.PutUint64(buf[24:], uint64(s.Base))
+	binary.LittleEndian.PutUint32(buf[32:], uint32(len(s.Data)))
+	copy(buf[36:], s.Data)
+	return seal(buf, snapMagic)
+}
+
+// DecodeSnapshot parses a snapshot blob, rejecting corruption.
+func DecodeSnapshot(buf []byte) (*Snapshot, error) {
+	if err := checkSeal(buf, snapMagic); err != nil {
+		return nil, err
+	}
+	if len(buf) < 36 {
+		return nil, ErrCorrupt
+	}
+	dl := int(binary.LittleEndian.Uint32(buf[32:]))
+	if dl < 0 || 36+dl != len(buf) {
+		return nil, ErrCorrupt
+	}
+	s := &Snapshot{
+		Shard:   int(binary.LittleEndian.Uint32(buf[8:])),
+		Gen:     binary.LittleEndian.Uint32(buf[12:]),
+		UpToSeq: binary.LittleEndian.Uint64(buf[16:]),
+		Base:    int(binary.LittleEndian.Uint64(buf[24:])),
+		Data:    append([]byte(nil), buf[36:36+dl]...),
+	}
+	return s, nil
+}
+
+// putStr16 appends a length-prefixed string.
+func putStr16(buf []byte, w int, s string) int {
+	binary.LittleEndian.PutUint16(buf[w:], uint16(len(s)))
+	copy(buf[w+2:], s)
+	return w + 2 + len(s)
+}
+
+// getStr16 reads a length-prefixed string.
+func getStr16(buf []byte, r int) (string, int, error) {
+	if r+2 > len(buf) {
+		return "", 0, ErrCorrupt
+	}
+	n := int(binary.LittleEndian.Uint16(buf[r:]))
+	if r+2+n > len(buf) {
+		return "", 0, ErrCorrupt
+	}
+	return string(buf[r+2 : r+2+n]), r + 2 + n, nil
+}
+
+// EncodeManifest serializes a manifest blob.
+func EncodeManifest(m *Manifest) []byte {
+	n := 16 + 8 + 8 + 8 + 2 + len(m.SnapKey) + 4
+	for _, s := range m.Segments {
+		n += 16 + 2 + len(s.Key)
+	}
+	buf := make([]byte, n)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(m.Shard))
+	binary.LittleEndian.PutUint32(buf[12:], m.Gen)
+	binary.LittleEndian.PutUint64(buf[16:], m.SnapSeq)
+	binary.LittleEndian.PutUint64(buf[24:], uint64(m.Base))
+	binary.LittleEndian.PutUint64(buf[32:], uint64(m.Size))
+	w := putStr16(buf, 40, m.SnapKey)
+	binary.LittleEndian.PutUint32(buf[w:], uint32(len(m.Segments)))
+	w += 4
+	for _, s := range m.Segments {
+		binary.LittleEndian.PutUint64(buf[w:], s.StartSeq)
+		binary.LittleEndian.PutUint64(buf[w+8:], s.EndSeq)
+		w = putStr16(buf, w+16, s.Key)
+	}
+	return seal(buf, manMagic)
+}
+
+// DecodeManifest parses a manifest blob, rejecting corruption and refs whose
+// sequence ranges are inverted or discontiguous.
+func DecodeManifest(buf []byte) (*Manifest, error) {
+	if err := checkSeal(buf, manMagic); err != nil {
+		return nil, err
+	}
+	if len(buf) < 44 {
+		return nil, ErrCorrupt
+	}
+	m := &Manifest{
+		Shard:   int(binary.LittleEndian.Uint32(buf[8:])),
+		Gen:     binary.LittleEndian.Uint32(buf[12:]),
+		SnapSeq: binary.LittleEndian.Uint64(buf[16:]),
+		Base:    int(binary.LittleEndian.Uint64(buf[24:])),
+		Size:    int(binary.LittleEndian.Uint64(buf[32:])),
+	}
+	if m.Size < 0 || m.Base < 0 {
+		return nil, ErrCorrupt
+	}
+	var err error
+	var r int
+	m.SnapKey, r, err = getStr16(buf, 40)
+	if err != nil {
+		return nil, err
+	}
+	if r+4 > len(buf) {
+		return nil, ErrCorrupt
+	}
+	nSegs := int(binary.LittleEndian.Uint32(buf[r:]))
+	r += 4
+	next := m.SnapSeq
+	for i := 0; i < nSegs; i++ {
+		if r+16 > len(buf) {
+			return nil, ErrCorrupt
+		}
+		ref := SegRef{
+			StartSeq: binary.LittleEndian.Uint64(buf[r:]),
+			EndSeq:   binary.LittleEndian.Uint64(buf[r+8:]),
+		}
+		ref.Key, r, err = getStr16(buf, r+16)
+		if err != nil {
+			return nil, err
+		}
+		if ref.EndSeq < ref.StartSeq || ref.StartSeq != next {
+			return nil, ErrCorrupt
+		}
+		next = ref.EndSeq
+		m.Segments = append(m.Segments, ref)
+	}
+	if r != len(buf) {
+		return nil, ErrCorrupt
+	}
+	return m, nil
+}
+
+// Covered returns the first sequence NOT durable under this manifest.
+func (m *Manifest) Covered() uint64 {
+	if n := len(m.Segments); n > 0 {
+		return m.Segments[n-1].EndSeq
+	}
+	return m.SnapSeq
+}

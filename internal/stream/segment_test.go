@@ -1,0 +1,154 @@
+package stream
+
+import (
+	"bytes"
+	"testing"
+
+	"hyperloop/internal/wal"
+)
+
+func sampleSegment() *Segment {
+	return &Segment{
+		Shard:    3,
+		Gen:      2,
+		StartSeq: 41,
+		Recs: []Rec{
+			{Entries: []wal.Entry{{Offset: 4096, Data: []byte("alpha")}}},
+			{Entries: []wal.Entry{
+				{Offset: 8192, Data: bytes.Repeat([]byte{0xAB}, 300)},
+				{Offset: 0, Data: []byte{1}},
+			}},
+			{Entries: nil},
+		},
+	}
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	s := sampleSegment()
+	enc := EncodeSegment(s)
+	got, err := DecodeSegment(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shard != 3 || got.Gen != 2 || got.StartSeq != 41 || got.EndSeq() != 44 {
+		t.Fatalf("header: %+v", got)
+	}
+	for i, r := range got.Recs {
+		if len(r.Entries) != len(s.Recs[i].Entries) {
+			t.Fatalf("rec %d: %d entries", i, len(r.Entries))
+		}
+		for j, e := range r.Entries {
+			want := s.Recs[i].Entries[j]
+			if e.Offset != want.Offset || !bytes.Equal(e.Data, want.Data) {
+				t.Fatalf("rec %d entry %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestSegmentRejectsCorruption(t *testing.T) {
+	enc := EncodeSegment(sampleSegment())
+	for _, i := range []int{0, 4, 8, 20, 30, len(enc) - 1} {
+		bad := append([]byte(nil), enc...)
+		bad[i] ^= 0xFF
+		if _, err := DecodeSegment(bad); err == nil {
+			t.Fatalf("corruption at byte %d undetected", i)
+		}
+	}
+	if _, err := DecodeSegment(enc[:20]); err == nil {
+		t.Fatal("truncation undetected")
+	}
+	if _, err := DecodeSegment(append(enc, 0)); err == nil {
+		t.Fatal("trailing byte undetected")
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := &Snapshot{Shard: 1, Gen: 5, UpToSeq: 99, Base: 65536, Data: []byte("window-bytes")}
+	got, err := DecodeSnapshot(EncodeSnapshot(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shard != 1 || got.Gen != 5 || got.UpToSeq != 99 || got.Base != 65536 || !bytes.Equal(got.Data, s.Data) {
+		t.Fatalf("snapshot: %+v", got)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := &Manifest{
+		Shard: 2, Gen: 1, SnapSeq: 10, Base: 4096, Size: 1 << 20,
+		SnapKey: "s2/g0001/snap/000000000000000a",
+		Segments: []SegRef{
+			{StartSeq: 10, EndSeq: 25, Key: "s2/g0001/seg/000000000000000a"},
+			{StartSeq: 25, EndSeq: 25, Key: "s2/g0001/seg/0000000000000019"},
+			{StartSeq: 25, EndSeq: 40, Key: "s2/g0001/seg/0000000000000019b"},
+		},
+	}
+	got, err := DecodeManifest(EncodeManifest(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SnapKey != m.SnapKey || got.Size != m.Size || got.Base != m.Base || len(got.Segments) != 3 {
+		t.Fatalf("manifest: %+v", got)
+	}
+	if got.Covered() != 40 {
+		t.Fatalf("covered = %d", got.Covered())
+	}
+	empty := &Manifest{Shard: 0, SnapSeq: 7, Base: 0, Size: 128}
+	got, err = DecodeManifest(EncodeManifest(empty))
+	if err != nil || got.Covered() != 7 || got.SnapKey != "" {
+		t.Fatalf("empty manifest: %+v err=%v", got, err)
+	}
+}
+
+func TestManifestRejectsDiscontiguousRefs(t *testing.T) {
+	m := &Manifest{
+		SnapSeq: 10, Size: 64,
+		Segments: []SegRef{{StartSeq: 12, EndSeq: 20, Key: "k"}}, // gap 10→12
+	}
+	if _, err := DecodeManifest(EncodeManifest(m)); err == nil {
+		t.Fatal("gap undetected")
+	}
+	m.Segments = []SegRef{{StartSeq: 10, EndSeq: 5, Key: "k"}} // inverted
+	if _, err := DecodeManifest(EncodeManifest(m)); err == nil {
+		t.Fatal("inverted range undetected")
+	}
+}
+
+// FuzzSegmentCodec: round-trip for valid blobs; arbitrary input must either
+// decode to something that re-encodes byte-identically or be rejected —
+// never panic or mis-accept.
+func FuzzSegmentCodec(f *testing.F) {
+	f.Add(EncodeSegment(sampleSegment()))
+	f.Add(EncodeSegment(&Segment{}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSegment(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeSegment(s), data) {
+			t.Fatalf("accepted blob does not re-encode identically")
+		}
+	})
+}
+
+// FuzzSnapshotManifest fuzzes both root-object codecs the same way.
+func FuzzSnapshotManifest(f *testing.F) {
+	f.Add(EncodeSnapshot(&Snapshot{Shard: 1, UpToSeq: 3, Base: 64, Data: []byte("d")}))
+	f.Add(EncodeManifest(&Manifest{SnapSeq: 2, Size: 32, SnapKey: "k",
+		Segments: []SegRef{{StartSeq: 2, EndSeq: 4, Key: "s"}}}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if s, err := DecodeSnapshot(data); err == nil {
+			if !bytes.Equal(EncodeSnapshot(s), data) {
+				t.Fatalf("accepted snapshot does not re-encode identically")
+			}
+		}
+		if m, err := DecodeManifest(data); err == nil {
+			if !bytes.Equal(EncodeManifest(m), data) {
+				t.Fatalf("accepted manifest does not re-encode identically")
+			}
+		}
+	})
+}

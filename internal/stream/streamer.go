@@ -1,0 +1,380 @@
+package stream
+
+import (
+	"fmt"
+
+	"hyperloop/internal/objstore"
+	"hyperloop/internal/sim"
+	"hyperloop/internal/wal"
+)
+
+// StreamerConfig sizes the segment cutter. Zero values take the defaults
+// noted.
+type StreamerConfig struct {
+	Shard  int
+	Prefix string // object key prefix, e.g. "s0"
+	// WindowBase/WindowSize bound the streamed store window (the data/object
+	// region; the WAL ring and control words are NOT streamed — they are
+	// rebuilt by Reattach and the repair path respectively).
+	WindowBase int
+	WindowSize int
+	// SegmentBytes caps one segment's payload (default 16 KiB).
+	SegmentBytes int
+	// FlushEvery is the cut/upload cadence (default 1ms).
+	FlushEvery sim.Duration
+	// SnapshotEvery re-baselines the stream when the log is idle at a tick
+	// (default 0: snapshot only when a restart forces one).
+	SnapshotEvery sim.Duration
+	// RetryAfter backs off a failed upload (default 2ms).
+	RetryAfter sim.Duration
+}
+
+func (c *StreamerConfig) fill() {
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = 16 << 10
+	}
+	if c.FlushEvery <= 0 {
+		c.FlushEvery = sim.Millisecond
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 2 * sim.Millisecond
+	}
+}
+
+// StreamerStats are cumulative counters.
+type StreamerStats struct {
+	Segments  uint64 // segments uploaded
+	Snapshots uint64 // snapshots uploaded
+	Records   uint64 // records shipped in segments
+	Retries   uint64 // upload retries after ErrUnavailable
+}
+
+// segRec is one committed record buffered for the next cut.
+type segRec struct {
+	seq     uint64
+	entries []wal.Entry
+	bytes   int
+}
+
+// Streamer tails a WAL via wal.Tap and ships committed records to the
+// object store as segments behind a manifest. It must be attached (AddTap)
+// at log creation, before any append, so its view starts at sequence zero —
+// the all-zero formatted window is then a valid implicit baseline and no
+// initial snapshot is required.
+//
+// Tap callbacks only move bytes between buffers; all engine activity
+// (cutting, uploading, retries) happens on the streamer's own timer, so the
+// WAL's event schedule is untouched by the tap itself.
+type Streamer struct {
+	eng   *sim.Engine
+	store *objstore.Store
+	log   *wal.Log
+	cfg   StreamerConfig
+	read  func(off, size int) []byte // window reader for snapshots
+
+	stash    map[uint64][]wal.Entry // appended, not yet committed
+	buffered []segRec               // committed, not yet cut
+	bufBytes int
+
+	man          Manifest
+	covered      uint64 // next sequence not yet durable in the store
+	nextCut      uint64 // next sequence to leave the buffer for a segment
+	gen          uint32 // bumps on Restart (new key namespace)
+	needBaseline bool   // a restart lost tail records; snapshot before cutting
+
+	queue      []upload // cut blobs awaiting upload, in order
+	uploading  bool
+	crashed    bool
+	epoch      int // bumps on Crash; stale async completions are dropped
+	lastSnapAt sim.Time
+	waiters    []func()
+
+	stats StreamerStats
+}
+
+// upload is one blob headed for the store. Segments carry their ref;
+// snapshots carry the manifest reset.
+type upload struct {
+	key      string
+	blob     []byte
+	ref      SegRef // segments only
+	snapshot bool
+	snapSeq  uint64
+}
+
+// NewStreamer attaches a streamer to log (which must be freshly created) and
+// starts its timer. read supplies window bytes for snapshots — typically the
+// client-local store, which mirrors the replicas at commit points.
+func NewStreamer(eng *sim.Engine, store *objstore.Store, log *wal.Log, cfg StreamerConfig, read func(off, size int) []byte) *Streamer {
+	cfg.fill()
+	s := &Streamer{
+		eng:     eng,
+		store:   store,
+		log:     log,
+		cfg:     cfg,
+		read:    read,
+		stash:   make(map[uint64][]wal.Entry),
+		covered: log.Seq(),
+		nextCut: log.Seq(),
+		man: Manifest{
+			Shard:   cfg.Shard,
+			SnapSeq: log.Seq(),
+			Base:    cfg.WindowBase,
+			Size:    cfg.WindowSize,
+		},
+	}
+	log.AddTap(s)
+	eng.Schedule(cfg.FlushEvery, s.tick)
+	return s
+}
+
+// Appended stashes a private copy of the record's entries (the WAL may alias
+// caller buffers).
+func (s *Streamer) Appended(seq uint64, entries []wal.Entry) {
+	if s.crashed {
+		return
+	}
+	cp := make([]wal.Entry, len(entries))
+	for i, e := range entries {
+		cp[i] = wal.Entry{Offset: e.Offset, Data: append([]byte(nil), e.Data...)}
+	}
+	s.stash[seq] = cp
+}
+
+// Acked is unused by the streamer (segments hold committed records only).
+func (s *Streamer) Acked(seq uint64) {}
+
+// Applied is unused by the streamer (segments hold committed records only).
+func (s *Streamer) Applied(seq uint64) {}
+
+// Committed moves the record from the stash to the cut buffer. A commit for
+// a sequence the stash has never seen can only happen while re-baselining
+// after a restart (the append landed during the crash window); the upcoming
+// snapshot covers it.
+func (s *Streamer) Committed(seq uint64) {
+	if s.crashed {
+		return
+	}
+	entries, ok := s.stash[seq]
+	if !ok {
+		return
+	}
+	delete(s.stash, seq)
+	n := 4
+	for _, e := range entries {
+		n += 12 + len(e.Data)
+	}
+	s.buffered = append(s.buffered, segRec{seq: seq, entries: entries, bytes: n})
+	s.bufBytes += n
+}
+
+// Retargeted is a no-op: Reattach replays pending records through the same
+// commit path, so the stream continues seamlessly across chain repair.
+func (s *Streamer) Retargeted(gen uint64) {}
+
+// tick cuts and pumps on the flush cadence.
+func (s *Streamer) tick() {
+	if s.crashed {
+		return
+	}
+	if s.needBaseline || (s.cfg.SnapshotEvery > 0 && s.eng.Now().Sub(s.lastSnapAt) >= s.cfg.SnapshotEvery) {
+		s.trySnapshot()
+	}
+	if !s.needBaseline {
+		s.cut()
+	}
+	s.pump()
+	s.notifyIdle()
+	s.eng.Schedule(s.cfg.FlushEvery, s.tick)
+}
+
+// cut drains the buffer into segment uploads of at most SegmentBytes each.
+func (s *Streamer) cut() {
+	for len(s.buffered) > 0 {
+		if s.buffered[0].seq != s.nextCut {
+			panic(fmt.Sprintf("stream: sequence gap: buffered %d, next %d", s.buffered[0].seq, s.nextCut))
+		}
+		seg := &Segment{Shard: s.cfg.Shard, Gen: s.gen, StartSeq: s.buffered[0].seq}
+		size := 0
+		for len(s.buffered) > 0 && (len(seg.Recs) == 0 || size+s.buffered[0].bytes <= s.cfg.SegmentBytes) {
+			r := s.buffered[0]
+			s.buffered = s.buffered[1:]
+			s.bufBytes -= r.bytes
+			size += r.bytes
+			seg.Recs = append(seg.Recs, Rec{Entries: r.entries})
+		}
+		s.nextCut = seg.EndSeq()
+		key := fmt.Sprintf("%s/g%04d/seg/%016x", s.cfg.Prefix, s.gen, seg.StartSeq)
+		s.queue = append(s.queue, upload{
+			key:  key,
+			blob: EncodeSegment(seg),
+			ref:  SegRef{StartSeq: seg.StartSeq, EndSeq: seg.EndSeq(), Key: key},
+		})
+	}
+}
+
+// trySnapshot re-baselines when the upload pipeline is drained and no
+// execute is mid-apply: every committed record is then folded into the
+// window bytes, so buffered records are discarded (the snapshot covers
+// them) and the segment list resets. Appended-but-unexecuted records are
+// not yet applied to the window and stay out of the baseline — they arrive
+// later as segments (or ride Reattach after a chain repair) — which keeps
+// re-baselining possible while an outage wedges the pending queue.
+func (s *Streamer) trySnapshot() {
+	if s.uploading || len(s.queue) > 0 || s.log.Executing() > 0 {
+		return
+	}
+	upTo := s.log.Seq() - uint64(s.log.Pending())
+	snap := &Snapshot{
+		Shard:   s.cfg.Shard,
+		Gen:     s.gen,
+		UpToSeq: upTo,
+		Base:    s.cfg.WindowBase,
+		Data:    s.read(s.cfg.WindowBase, s.cfg.WindowSize),
+	}
+	for _, r := range s.buffered {
+		s.bufBytes -= r.bytes
+	}
+	s.buffered = nil
+	key := fmt.Sprintf("%s/g%04d/snap/%016x", s.cfg.Prefix, s.gen, upTo)
+	s.queue = append(s.queue, upload{key: key, blob: EncodeSnapshot(snap), snapshot: true, snapSeq: upTo})
+	s.nextCut = upTo
+	s.lastSnapAt = s.eng.Now()
+}
+
+// pump keeps exactly one blob upload in flight; each successful blob is
+// chased by a manifest write before the next blob starts, so the manifest
+// never references a blob the store does not hold.
+func (s *Streamer) pump() {
+	if s.uploading || s.crashed || len(s.queue) == 0 {
+		return
+	}
+	s.uploading = true
+	u := s.queue[0]
+	epoch := s.epoch
+	var attempt func()
+	attempt = func() {
+		s.store.Put(u.key, u.blob, func(err error) {
+			if s.epoch != epoch {
+				return // crashed while in flight
+			}
+			if err != nil {
+				s.stats.Retries++
+				s.eng.Schedule(s.cfg.RetryAfter, attempt)
+				return
+			}
+			s.queue = s.queue[1:]
+			var covered uint64
+			if u.snapshot {
+				s.man = Manifest{
+					Shard:   s.cfg.Shard,
+					Gen:     s.gen,
+					SnapSeq: u.snapSeq,
+					Base:    s.cfg.WindowBase,
+					Size:    s.cfg.WindowSize,
+					SnapKey: u.key,
+				}
+				covered = u.snapSeq
+				s.stats.Snapshots++
+			} else {
+				s.man.Segments = append(s.man.Segments, u.ref)
+				covered = u.ref.EndSeq
+				s.stats.Segments++
+				s.stats.Records += u.ref.EndSeq - u.ref.StartSeq
+			}
+			s.putManifest(epoch, covered, u.snapshot)
+		})
+	}
+	attempt()
+}
+
+// putManifest writes the updated manifest, then releases the pipeline.
+// CoveredSeq (and, for a snapshot, the baseline reset) only advance once the
+// manifest referencing the blob is durable — a restore that reads the store
+// at any instant sees coverage of at least CoveredSeq, never less.
+func (s *Streamer) putManifest(epoch int, covered uint64, snapshot bool) {
+	blob := EncodeManifest(&s.man)
+	var attempt func()
+	attempt = func() {
+		s.store.Put(s.manifestKey(), blob, func(err error) {
+			if s.epoch != epoch {
+				return
+			}
+			if err != nil {
+				s.stats.Retries++
+				s.eng.Schedule(s.cfg.RetryAfter, attempt)
+				return
+			}
+			s.covered = covered
+			if snapshot {
+				s.needBaseline = false
+			}
+			s.uploading = false
+			s.notifyIdle()
+			s.pump()
+		})
+	}
+	attempt()
+}
+
+func (s *Streamer) manifestKey() string { return s.cfg.Prefix + "/MANIFEST" }
+
+// ManifestKey returns the stream's root object key.
+func (s *Streamer) ManifestKey() string { return s.manifestKey() }
+
+// CoveredSeq returns the first sequence not yet durable in the object store
+// — log.Seq() minus this is the stream's cold-durability lag (RPO-cold).
+func (s *Streamer) CoveredSeq() uint64 { return s.covered }
+
+// Lag returns the number of log sequences not yet durable in the store.
+func (s *Streamer) Lag() uint64 { return s.log.Seq() - s.covered }
+
+// Stats returns cumulative counters.
+func (s *Streamer) Stats() StreamerStats { return s.stats }
+
+// Crash kills the uploader mid-flight: buffered records, stashed appends,
+// and queued/in-flight uploads are lost. The object store keeps whatever the
+// manifest already references — a consistent (if stale) restore point.
+func (s *Streamer) Crash() {
+	s.crashed = true
+	s.epoch++
+	s.uploading = false
+	s.stash = make(map[uint64][]wal.Entry)
+	s.buffered = nil
+	s.bufBytes = 0
+	s.queue = nil
+}
+
+// Restart revives a crashed uploader under a new generation. Records that
+// committed during the crash window were never observed, so segment cutting
+// stays disabled until a fresh snapshot re-baselines the stream (the
+// Litestream new-generation rule); until then CoveredSeq holds at its
+// pre-crash value.
+func (s *Streamer) Restart() {
+	if !s.crashed {
+		return
+	}
+	s.crashed = false
+	s.gen++
+	s.needBaseline = true
+	s.eng.Schedule(s.cfg.FlushEvery, s.tick)
+}
+
+// Quiesce fires done once everything committed so far is durable in the
+// object store (buffer, queue, and in-flight upload all drained, and any
+// pending re-baseline taken). Callers typically drain the WAL first.
+func (s *Streamer) Quiesce(done func()) {
+	s.waiters = append(s.waiters, done)
+	s.notifyIdle()
+}
+
+func (s *Streamer) notifyIdle() {
+	if s.crashed || s.needBaseline || s.uploading || len(s.queue) > 0 || len(s.buffered) > 0 {
+		return
+	}
+	ws := s.waiters
+	s.waiters = nil
+	for _, w := range ws {
+		w()
+	}
+}

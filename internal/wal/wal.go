@@ -113,7 +113,8 @@ type Log struct {
 	appends  uint64
 	executes uint64
 
-	obs *walObs // nil when uninstrumented (the default)
+	obs  *walObs // nil when uninstrumented (the default)
+	taps []Tap   // lifecycle observers (empty by default)
 }
 
 // walObs holds observability handles. All hooks observe only — they never
@@ -144,6 +145,35 @@ func (l *Log) Instrument(reg *metrics.Registry, spans *span.Recorder, label stri
 	}
 	l.obs = o
 }
+
+// Tap observes the log's lifecycle events. Taps are synchronous and
+// observe-only — they must not schedule events or mutate log state from
+// inside a callback, so tapped runs stay byte-identical to untapped ones
+// (consumers that need async work, like the segment streamer, schedule it
+// from their own timers). Events:
+//
+//   - Appended fires after a record is accepted into the ring (local write
+//     done, replication issued but not yet acked).
+//   - Acked fires when the record's replication write completes on every
+//     replica — the client-visible durability (ack) point. It fires again if
+//     Reattach re-replicates the record to a rebuilt group.
+//   - Applied fires inside ExecuteAndAdvance after the record's entries have
+//     been applied to the client-local store, before the replica copies ack.
+//   - Committed fires when the record's durable head advance begins — every
+//     replica has acknowledged every entry copy by this point, so the record
+//     is globally visible and can never be rolled back.
+//   - Retargeted fires when Reattach re-points the log at a rebuilt group.
+type Tap interface {
+	Appended(seq uint64, entries []Entry)
+	Acked(seq uint64)
+	Applied(seq uint64)
+	Committed(seq uint64)
+	Retargeted(gen uint64)
+}
+
+// AddTap registers a lifecycle observer. Multiple taps fire in registration
+// order.
+func (l *Log) AddTap(t Tap) { l.taps = append(l.taps, t) }
 
 // pendingRec pairs a record with its replication state: ExecuteAndAdvance
 // must not commit a record whose append has not been acknowledged by every
@@ -244,6 +274,13 @@ func (l *Log) Pending() int { return len(l.pending) }
 
 // Seq returns the next record sequence number.
 func (l *Log) Seq() uint64 { return l.seq }
+
+// Gen returns the Reattach generation (0 until the first repair).
+func (l *Log) Gen() uint64 { return l.gen }
+
+// Executing returns the number of records popped by ExecuteAndAdvance whose
+// replica copies have not yet completed.
+func (l *Log) Executing() int { return len(l.inflight) }
 
 // Stats returns (appends, executes).
 func (l *Log) Stats() (uint64, uint64) { return l.appends, l.executes }
@@ -367,10 +404,16 @@ func (l *Log) AppendMode(entries []Entry, durable bool, done func(error)) error 
 	l.appends++
 	pr := &pendingRec{rec: rec}
 	l.pending = append(l.pending, pr)
+	for _, t := range l.taps {
+		t.Appended(rec.Seq, rec.Entries)
+	}
 
 	l.rep.Write(l.ring(pos), len(enc), durable, func(err error) {
 		if err == nil {
 			pr.acked = true
+			for _, t := range l.taps {
+				t.Acked(rec.Seq)
+			}
 		}
 		if done != nil {
 			done(err)
@@ -411,6 +454,9 @@ func (l *Log) ExecuteAndAdvance(done func(error)) error {
 	// Apply locally (client-side data region mirrors the replicas).
 	for _, e := range rec.Entries {
 		l.store.WriteLocal(e.Offset, e.Data)
+	}
+	for _, t := range l.taps {
+		t.Applied(rec.Seq)
 	}
 
 	// Issue every entry's copy; the last completion gates the head update.
@@ -492,6 +538,9 @@ func (l *Log) Reattach(rep Replicator, done func(error)) {
 	l.rep = rep
 	l.gen++
 	gen := l.gen
+	for _, t := range l.taps {
+		t.Retargeted(l.gen)
+	}
 	for len(l.inflight) > 0 {
 		l.reinstate(l.inflight[0])
 		l.inflight = l.inflight[1:]
@@ -514,6 +563,9 @@ func (l *Log) Reattach(rep Replicator, done func(error)) {
 		rep.Write(l.ring(pr.rec.pos), pr.rec.size, true, func(err error) {
 			if err == nil && l.gen == gen {
 				pr.acked = true
+				for _, t := range l.taps {
+					t.Acked(pr.rec.Seq)
+				}
 			}
 			finish(err)
 		})
@@ -523,6 +575,9 @@ func (l *Log) Reattach(rep Replicator, done func(error)) {
 // advanceHead truncates the executed record from the ring and replicates
 // the new header durably.
 func (l *Log) advanceHead(rec Record, done func(error)) {
+	for _, t := range l.taps {
+		t.Committed(rec.Seq)
+	}
 	consumed := rec.size
 	if rec.pos != l.head {
 		// The record wrapped past a pad (possibly marker-less) that filled

@@ -497,3 +497,56 @@ func TestReattachDuringInflightExecute(t *testing.T) {
 		t.Fatalf("pending after replay: %d", l.Pending())
 	}
 }
+
+// tapLog records tap callbacks in order.
+type tapLog struct{ events []string }
+
+func (tl *tapLog) Appended(seq uint64, entries []Entry) {
+	tl.events = append(tl.events, fmt.Sprintf("append:%d(%d)", seq, len(entries)))
+}
+func (tl *tapLog) Acked(seq uint64)     { tl.events = append(tl.events, fmt.Sprintf("ack:%d", seq)) }
+func (tl *tapLog) Applied(seq uint64)   { tl.events = append(tl.events, fmt.Sprintf("apply:%d", seq)) }
+func (tl *tapLog) Committed(seq uint64) { tl.events = append(tl.events, fmt.Sprintf("commit:%d", seq)) }
+func (tl *tapLog) Retargeted(gen uint64) {
+	tl.events = append(tl.events, fmt.Sprintf("retarget:%d", gen))
+}
+
+func TestTapLifecycleOrdering(t *testing.T) {
+	store := newMemStore(1 << 16)
+	rep := LocalReplicator{Stores: []Store{store}}
+	l := New(store, rep, 0, 4096, nil)
+	tl := &tapLog{}
+	l.AddTap(tl)
+
+	if err := l.Append([]Entry{{Offset: 8192, Data: []byte("x")}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.ExecuteAndAdvance(nil); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"append:0(1)", "ack:0", "apply:0", "commit:0"}
+	if len(tl.events) != len(want) {
+		t.Fatalf("events: %v", tl.events)
+	}
+	for i, w := range want {
+		if tl.events[i] != w {
+			t.Fatalf("event %d = %q, want %q (all: %v)", i, tl.events[i], w, tl.events)
+		}
+	}
+	if l.Gen() != 0 || l.Executing() != 0 {
+		t.Fatalf("gen=%d executing=%d", l.Gen(), l.Executing())
+	}
+
+	// Reattach fires Retargeted and re-acks pending records.
+	if err := l.Append([]Entry{{Offset: 8200, Data: []byte("y")}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	tl.events = nil
+	l.Reattach(rep, nil)
+	if l.Gen() != 1 {
+		t.Fatalf("gen = %d", l.Gen())
+	}
+	if len(tl.events) != 2 || tl.events[0] != "retarget:1" || tl.events[1] != "ack:1" {
+		t.Fatalf("reattach events: %v", tl.events)
+	}
+}
